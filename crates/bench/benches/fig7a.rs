@@ -1,0 +1,39 @@
+//! Criterion bench for Fig. 7(a): minimum-cover computation time as a
+//! function of the number of universal-relation fields, with the exponential
+//! `naive` baseline on the small sizes where it is tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlprop_bench::{FIG7A_DEPTH, FIG7A_KEYS};
+use xmlprop_core::{minimum_cover, naive_minimum_cover};
+use xmlprop_workload::{generate, WorkloadConfig};
+
+fn bench_minimum_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_minimum_cover");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for fields in [5usize, 10, 25, 50, 100, 200] {
+        let w = generate(&WorkloadConfig::new(fields, FIG7A_DEPTH, FIG7A_KEYS));
+        group.bench_with_input(BenchmarkId::from_parameter(fields), &w, |b, w| {
+            b.iter(|| minimum_cover(&w.sigma, &w.universal));
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_naive_baseline");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for fields in [5usize, 8, 10, 12] {
+        let w = generate(&WorkloadConfig::new(fields, FIG7A_DEPTH.min(fields), FIG7A_KEYS));
+        group.bench_with_input(BenchmarkId::from_parameter(fields), &w, |b, w| {
+            b.iter(|| naive_minimum_cover(&w.sigma, &w.universal));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig7a, bench_minimum_cover, bench_naive);
+criterion_main!(fig7a);

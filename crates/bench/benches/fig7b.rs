@@ -1,0 +1,49 @@
+//! Criterion bench for Fig. 7(b): effect of the table-tree depth on checking
+//! key propagation (fields = 15, keys = 10), comparing Algorithm
+//! `propagation` against `GminimumCover`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlprop_bench::{probe_fds, FIG7B_FIELDS, FIG7B_KEYS};
+use xmlprop_core::{propagation, GMinimumCover};
+use xmlprop_workload::{generate, WorkloadConfig};
+
+fn bench_depth(c: &mut Criterion) {
+    let mut prop_group = c.benchmark_group("fig7b_propagation_by_depth");
+    prop_group.sample_size(20);
+    prop_group.measurement_time(std::time::Duration::from_secs(2));
+    prop_group.warm_up_time(std::time::Duration::from_secs(1));
+    for depth in [2usize, 5, 10, 15, 20] {
+        let fields = FIG7B_FIELDS.max(depth);
+        let w = generate(&WorkloadConfig::new(fields, depth, FIG7B_KEYS));
+        let probes = probe_fds(&w, 4);
+        prop_group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .map(|fd| propagation(&w.sigma, &w.universal, fd))
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    prop_group.finish();
+
+    let mut g_group = c.benchmark_group("fig7b_gminimumcover_by_depth");
+    g_group.sample_size(10);
+    g_group.measurement_time(std::time::Duration::from_secs(2));
+    g_group.warm_up_time(std::time::Duration::from_secs(1));
+    for depth in [2usize, 5, 10, 15, 20] {
+        let fields = FIG7B_FIELDS.max(depth);
+        let w = generate(&WorkloadConfig::new(fields, depth, FIG7B_KEYS));
+        let probes = probe_fds(&w, 4);
+        g_group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let checker = GMinimumCover::new(w.sigma.clone(), w.universal.clone());
+                probes.iter().map(|fd| checker.check(fd)).collect::<Vec<_>>()
+            });
+        });
+    }
+    g_group.finish();
+}
+
+criterion_group!(fig7b, bench_depth);
+criterion_main!(fig7b);

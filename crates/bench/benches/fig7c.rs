@@ -1,0 +1,47 @@
+//! Criterion bench for Fig. 7(c): effect of the number of XML keys on
+//! checking key propagation (fields = 15, depth = 10), comparing Algorithm
+//! `propagation` against `GminimumCover`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlprop_bench::{probe_fds, FIG7C_DEPTH, FIG7C_FIELDS};
+use xmlprop_core::{propagation, GMinimumCover};
+use xmlprop_workload::{generate, WorkloadConfig};
+
+fn bench_keys(c: &mut Criterion) {
+    let mut prop_group = c.benchmark_group("fig7c_propagation_by_keys");
+    prop_group.sample_size(20);
+    prop_group.measurement_time(std::time::Duration::from_secs(2));
+    prop_group.warm_up_time(std::time::Duration::from_secs(1));
+    for keys in [10usize, 25, 50, 75, 100] {
+        let w = generate(&WorkloadConfig::new(FIG7C_FIELDS, FIG7C_DEPTH, keys));
+        let probes = probe_fds(&w, 4);
+        prop_group.bench_with_input(BenchmarkId::from_parameter(keys), &keys, |b, _| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .map(|fd| propagation(&w.sigma, &w.universal, fd))
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    prop_group.finish();
+
+    let mut g_group = c.benchmark_group("fig7c_gminimumcover_by_keys");
+    g_group.sample_size(10);
+    g_group.measurement_time(std::time::Duration::from_secs(2));
+    g_group.warm_up_time(std::time::Duration::from_secs(1));
+    for keys in [10usize, 25, 50, 75, 100] {
+        let w = generate(&WorkloadConfig::new(FIG7C_FIELDS, FIG7C_DEPTH, keys));
+        let probes = probe_fds(&w, 4);
+        g_group.bench_with_input(BenchmarkId::from_parameter(keys), &keys, |b, _| {
+            b.iter(|| {
+                let checker = GMinimumCover::new(w.sigma.clone(), w.universal.clone());
+                probes.iter().map(|fd| checker.check(fd)).collect::<Vec<_>>()
+            });
+        });
+    }
+    g_group.finish();
+}
+
+criterion_group!(fig7c, bench_keys);
+criterion_main!(fig7c);

@@ -1,0 +1,57 @@
+//! Ablation bench: the key-implication procedure in isolation.
+//!
+//! Section 6 of the paper explains both Fig. 7(b) and Fig. 7(c) through the
+//! cost of the `implication` calls that `propagation` and `GminimumCover`
+//! make: their running time is a function of the size of the XML keys, which
+//! grows with the table-tree depth and with the number of keys.  This bench
+//! isolates that inner loop so the explanation can be checked directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlprop_xmlkeys::{implies, XmlKey};
+use xmlprop_xmlpath::PathExpr;
+use xmlprop_workload::{generate, WorkloadConfig};
+
+/// A probe key representative of what Algorithm `propagation` asks: is the
+/// deepest entity level keyed (relative to the level above) by its id?
+fn probe_for(depth: usize) -> XmlKey {
+    let mut context = PathExpr::epsilon().descendant("e0");
+    for level in 1..depth.saturating_sub(1) {
+        context = context.child(format!("e{level}"));
+    }
+    XmlKey::new(
+        context,
+        PathExpr::label(format!("e{}", depth - 1)),
+        [format!("@id{}", depth - 1)],
+    )
+}
+
+fn bench_by_keys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("implication_by_keys");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for keys in [10usize, 25, 50, 100] {
+        let w = generate(&WorkloadConfig::new(20, 5, keys));
+        let probe = probe_for(5);
+        group.bench_with_input(BenchmarkId::from_parameter(keys), &keys, |b, _| {
+            b.iter(|| implies(&w.sigma, &probe));
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("implication_by_depth");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for depth in [2usize, 5, 10, 20] {
+        let w = generate(&WorkloadConfig::new(20.max(depth), depth, 10));
+        let probe = probe_for(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| implies(&w.sigma, &probe));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(implication, bench_by_keys, bench_by_depth);
+criterion_main!(implication);

@@ -1,0 +1,153 @@
+//! Regenerates the evaluation of Section 6 of the paper and prints the
+//! series of Fig. 7(a)–(c) plus the in-text large-scale spot checks.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p xmlprop-bench --bin paper_experiments            # all experiments
+//! cargo run --release -p xmlprop-bench --bin paper_experiments -- fig7a   # one experiment
+//! cargo run --release -p xmlprop-bench --bin paper_experiments -- quick   # reduced grids
+//! ```
+//!
+//! Results are printed as text tables and also written as JSON files under
+//! `target/paper_experiments/` for archival (EXPERIMENTS.md quotes them).
+
+use std::fs;
+use std::path::PathBuf;
+use xmlprop_bench::{fig7a, fig7b, fig7c, large_scale, render_table};
+
+fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/paper_experiments");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = out_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+fn run_fig7a(quick: bool) {
+    println!("== Fig. 7(a): minimum-cover computation time vs. number of fields ==");
+    println!("   (depth = 5, keys = 10; naive is the exponential baseline)\n");
+    let fields: Vec<usize> = if quick {
+        vec![5, 10, 15, 20, 40, 80]
+    } else {
+        vec![5, 10, 15, 20, 25, 50, 75, 100, 150, 200, 300, 400, 500]
+    };
+    // The naive baseline doubles its work with every added field (the paper
+    // reports a ~200x blow-up per +5 fields); 15 fields already takes
+    // seconds, so the sweep stops there.
+    let naive_cutoff = 15;
+    let points = fig7a(&fields, naive_cutoff);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.fields.to_string(),
+                format!("{:.3}", p.minimum_cover_ms),
+                p.cover_size.to_string(),
+                p.naive_ms.map(|ms| format!("{ms:.3}")).unwrap_or_else(|| "-".to_string()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["fields", "minimumCover (ms)", "cover size", "naive (ms)"], &rows)
+    );
+    write_json("fig7a", &points);
+}
+
+fn run_fig7b(quick: bool) {
+    println!("== Fig. 7(b): effect of table-tree depth (fields = 15, keys = 10) ==\n");
+    let depths: Vec<usize> =
+        if quick { vec![2, 5, 10, 15] } else { vec![2, 4, 6, 8, 10, 12, 14, 16, 18, 20] };
+    let points = fig7b(&depths);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.parameter.to_string(),
+                format!("{:.3}", p.propagation_ms),
+                format!("{:.3}", p.g_minimum_cover_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["depth", "propagation (ms)", "GminimumCover (ms)"], &rows)
+    );
+    write_json("fig7b", &points);
+}
+
+fn run_fig7c(quick: bool) {
+    println!("== Fig. 7(c): effect of the number of XML keys (fields = 15, depth = 10) ==\n");
+    let keys: Vec<usize> =
+        if quick { vec![10, 25, 50] } else { vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100] };
+    let points = fig7c(&keys);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.parameter.to_string(),
+                format!("{:.3}", p.propagation_ms),
+                format!("{:.3}", p.g_minimum_cover_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["keys", "propagation (ms)", "GminimumCover (ms)"], &rows)
+    );
+    write_json("fig7c", &points);
+}
+
+fn run_large() {
+    println!("== Section 6 in-text large-scale spot checks ==\n");
+    let points = large_scale();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.algorithm.to_string(),
+                p.fields.to_string(),
+                p.keys.to_string(),
+                format!("{:.3}", p.elapsed_ms),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["algorithm", "fields", "keys", "elapsed (ms)"], &rows));
+    write_json("large_scale", &points);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "quick")
+        .collect();
+    let run_all = wanted.is_empty();
+
+    if run_all || wanted.contains(&"fig7a") {
+        run_fig7a(quick);
+    }
+    if run_all || wanted.contains(&"fig7b") {
+        run_fig7b(quick);
+    }
+    if run_all || wanted.contains(&"fig7c") {
+        run_fig7c(quick);
+    }
+    if run_all || wanted.contains(&"large") {
+        run_large();
+    }
+    println!("JSON copies written to {}", out_dir().display());
+}

@@ -1,0 +1,252 @@
+//! Experiment harness reproducing the evaluation of Section 6 (Fig. 7).
+//!
+//! Each figure of the paper's evaluation corresponds to one function here
+//! returning a series of measured points; the `paper_experiments` binary
+//! prints them as text tables and writes machine-readable JSON, and the
+//! Criterion benches (`benches/fig7*.rs`) measure the same operations with
+//! statistical rigor on a reduced parameter grid.
+//!
+//! The absolute numbers will differ from the paper's 2003 hardware; what is
+//! being reproduced is the *shape* of each curve:
+//!
+//! * Fig. 7(a): `minimumCover` grows polynomially with the number of fields
+//!   while `naive` explodes exponentially (≈200× per +5 fields);
+//! * Fig. 7(b): both `propagation` and `GminimumCover` are insensitive to
+//!   the table-tree depth, and `propagation` is much faster;
+//! * Fig. 7(c): `propagation` grows roughly linearly with the number of
+//!   keys, `GminimumCover` faster.
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+use std::time::{Duration, Instant};
+use xmlprop_core::{minimum_cover, naive_minimum_cover, propagation, GMinimumCover};
+use xmlprop_reldb::Fd;
+use xmlprop_workload::{generate, target_fd, Workload, WorkloadConfig};
+
+/// Milliseconds with fractional precision, for compact reporting.
+fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Times a closure, returning (elapsed ms, result).
+pub fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (millis(start.elapsed()), out)
+}
+
+/// Default depth used by the Fig. 7(a) sweep (the paper fixes depth and keys
+/// while varying the number of fields; exact values are not printed, so we
+/// use the Fig. 7(b)/(c) defaults: depth 5, keys 10).
+pub const FIG7A_DEPTH: usize = 5;
+/// Default key count for Fig. 7(a).
+pub const FIG7A_KEYS: usize = 10;
+/// Fields default of Fig. 7(b) as stated in the paper.
+pub const FIG7B_FIELDS: usize = 15;
+/// Number of keys used in Fig. 7(b) as stated in the paper.
+pub const FIG7B_KEYS: usize = 10;
+/// Fields default of Fig. 7(c).
+pub const FIG7C_FIELDS: usize = 15;
+/// Table-tree depth used in Fig. 7(c) (the paper states depth = 10).
+pub const FIG7C_DEPTH: usize = 10;
+
+/// One measured point of Fig. 7(a).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7aPoint {
+    /// Number of universal-relation fields.
+    pub fields: usize,
+    /// Time to compute the minimum cover with the polynomial algorithm (ms).
+    pub minimum_cover_ms: f64,
+    /// Size of the produced cover.
+    pub cover_size: usize,
+    /// Time of the exponential `naive` algorithm (ms), only measured while
+    /// it stays tractable (`None` beyond the cut-off).
+    pub naive_ms: Option<f64>,
+}
+
+/// Runs the Fig. 7(a) sweep: minimum-cover time vs. number of fields.
+/// `naive_max_fields` bounds the exponential baseline (the paper itself only
+/// reports `naive` on small inputs, noting a ~200× blow-up per +5 fields).
+pub fn fig7a(field_counts: &[usize], naive_max_fields: usize) -> Vec<Fig7aPoint> {
+    field_counts
+        .iter()
+        .map(|&fields| {
+            let w = generate(&WorkloadConfig::new(fields, FIG7A_DEPTH.min(fields), FIG7A_KEYS));
+            let (minimum_cover_ms, cover) = time(|| minimum_cover(&w.sigma, &w.universal));
+            let naive_ms = (fields <= naive_max_fields)
+                .then(|| time(|| naive_minimum_cover(&w.sigma, &w.universal)).0);
+            Fig7aPoint { fields, minimum_cover_ms, cover_size: cover.len(), naive_ms }
+        })
+        .collect()
+}
+
+/// One measured point of Fig. 7(b) / Fig. 7(c): the two propagation-checking
+/// algorithms on the same probe FDs.
+#[derive(Debug, Clone, Serialize)]
+pub struct PropagationPoint {
+    /// The varied parameter (depth for Fig. 7(b), keys for Fig. 7(c)).
+    pub parameter: usize,
+    /// Time of Algorithm `propagation` (ms) over the probe set.
+    pub propagation_ms: f64,
+    /// Time of `GminimumCover` (ms) for the same probes, including the
+    /// minimum-cover computation it performs.
+    pub g_minimum_cover_ms: f64,
+    /// Whether the representative probe FD was reported propagated (sanity:
+    /// both algorithms must agree).
+    pub probe_propagated: bool,
+}
+
+/// Builds the probe FDs used by the propagation experiments: the positive
+/// chain FD plus `extra` random ones.
+pub fn probe_fds(workload: &Workload, extra: usize) -> Vec<Fd> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(workload.config.seed ^ 0xfd);
+    let mut probes = vec![target_fd(workload)];
+    for i in 0..extra {
+        probes.push(xmlprop_workload::random_fd(workload, &mut rng, 1 + i % 3));
+    }
+    probes
+}
+
+fn propagation_point(parameter: usize, w: &Workload) -> PropagationPoint {
+    let probes = probe_fds(w, 4);
+    let (propagation_ms, results) = time(|| {
+        probes.iter().map(|fd| propagation(&w.sigma, &w.universal, fd)).collect::<Vec<_>>()
+    });
+    let (g_minimum_cover_ms, g_results) = time(|| {
+        let checker = GMinimumCover::new(w.sigma.clone(), w.universal.clone());
+        probes.iter().map(|fd| checker.check(fd)).collect::<Vec<_>>()
+    });
+    assert_eq!(results, g_results, "propagation and GminimumCover disagree on {probes:?}");
+    PropagationPoint {
+        parameter,
+        propagation_ms,
+        g_minimum_cover_ms,
+        probe_propagated: results[0],
+    }
+}
+
+/// Fig. 7(b): effect of table-tree depth (fields = 15, keys = 10).
+pub fn fig7b(depths: &[usize]) -> Vec<PropagationPoint> {
+    depths
+        .iter()
+        .map(|&depth| {
+            let fields = FIG7B_FIELDS.max(depth);
+            let w = generate(&WorkloadConfig::new(fields, depth, FIG7B_KEYS));
+            propagation_point(depth, &w)
+        })
+        .collect()
+}
+
+/// Fig. 7(c): effect of the number of XML keys (fields = 15, depth = 10).
+pub fn fig7c(key_counts: &[usize]) -> Vec<PropagationPoint> {
+    key_counts
+        .iter()
+        .map(|&keys| {
+            let w = generate(&WorkloadConfig::new(FIG7C_FIELDS, FIG7C_DEPTH, keys));
+            propagation_point(keys, &w)
+        })
+        .collect()
+}
+
+/// One of the in-text large-scale spot checks of Section 6.
+#[derive(Debug, Clone, Serialize)]
+pub struct LargeScalePoint {
+    /// Which algorithm was measured.
+    pub algorithm: &'static str,
+    /// Number of fields.
+    pub fields: usize,
+    /// Number of keys.
+    pub keys: usize,
+    /// Elapsed time in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// The in-text measurements of Section 6: `GminimumCover` at (200 fields,
+/// 50 keys) and (150, 100), and `propagation` at 1000 fields (the Oracle
+/// column limit) with 50 and 100 keys.
+pub fn large_scale() -> Vec<LargeScalePoint> {
+    let mut out = Vec::new();
+    for (fields, keys) in [(200usize, 50usize), (150, 100)] {
+        let w = generate(&WorkloadConfig::new(fields, 10, keys));
+        let probe = target_fd(&w);
+        let (elapsed_ms, _) = time(|| {
+            let checker = GMinimumCover::new(w.sigma.clone(), w.universal.clone());
+            checker.check(&probe)
+        });
+        out.push(LargeScalePoint { algorithm: "GminimumCover", fields, keys, elapsed_ms });
+    }
+    for keys in [50usize, 100] {
+        let w = generate(&WorkloadConfig::new(1000, 10, keys));
+        let probe = target_fd(&w);
+        let (elapsed_ms, _) = time(|| propagation(&w.sigma, &w.universal, &probe));
+        out.push(LargeScalePoint { algorithm: "propagation", fields: 1000, keys, elapsed_ms });
+    }
+    out
+}
+
+/// Renders a series of labelled rows as an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    let header_line = fmt_row(&header_cells);
+    let mut out = header_line.clone();
+    out.push('\n');
+    out.push_str(&"-".repeat(header_line.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7a_small_sweep_runs() {
+        let points = fig7a(&[6, 8, 10], 8);
+        assert_eq!(points.len(), 3);
+        assert!(points[0].naive_ms.is_some());
+        assert!(points[2].naive_ms.is_none());
+        assert!(points.iter().all(|p| p.minimum_cover_ms >= 0.0));
+    }
+
+    #[test]
+    fn fig7b_and_7c_agreement_holds() {
+        // propagation_point asserts that the two algorithms agree on every
+        // probe; running a couple of points is the test.
+        let b = fig7b(&[2, 4]);
+        assert_eq!(b.len(), 2);
+        let c = fig7c(&[4, 8]);
+        assert_eq!(c.len(), 2);
+        assert!(b[0].probe_propagated);
+        assert!(c[0].probe_propagated);
+    }
+
+    #[test]
+    fn table_rendering_is_aligned() {
+        let table = render_table(
+            &["fields", "ms"],
+            &[vec!["5".into(), "0.1".into()], vec!["500".into(), "123.4".into()]],
+        );
+        assert!(table.contains("fields"));
+        assert_eq!(table.lines().count(), 4);
+    }
+}

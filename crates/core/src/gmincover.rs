@@ -1,0 +1,165 @@
+//! `GminimumCover` — checking key propagation through the minimum cover
+//! (Section 6).
+//!
+//! The paper's second experiment compares Algorithm `propagation` against an
+//! alternative that (1) computes the minimum cover of all propagated FDs
+//! once, then (2) answers individual `Σ ⊨_σ (X → A)` questions by relational
+//! FD implication against that cover, plus the same non-null analysis that
+//! `propagation` performs with its `Ycheck` set.
+
+use std::collections::BTreeSet;
+use xmlprop_reldb::{implies as fd_implies, Fd};
+use xmlprop_xmlkeys::{attribute_assured, KeySet};
+use xmlprop_xmltransform::TableRule;
+
+/// A prepared `GminimumCover` checker for one universal relation.
+#[derive(Debug, Clone)]
+pub struct GMinimumCover {
+    sigma: KeySet,
+    rule: TableRule,
+    cover: Vec<Fd>,
+}
+
+impl GMinimumCover {
+    /// Computes the minimum cover for `rule` under `sigma` and returns a
+    /// checker that can answer propagation questions against it.
+    pub fn new(sigma: KeySet, rule: TableRule) -> Self {
+        let cover = crate::minimum_cover(&sigma, &rule);
+        GMinimumCover { sigma, rule, cover }
+    }
+
+    /// The minimum cover backing this checker.
+    pub fn cover(&self) -> &[Fd] {
+        &self.cover
+    }
+
+    /// The universal-relation rule this checker was built for.
+    pub fn rule(&self) -> &TableRule {
+        &self.rule
+    }
+
+    /// Checks whether `fd` is propagated, using relational implication
+    /// against the cover plus the non-null condition: every left-hand-side
+    /// field must be guaranteed non-null whenever the right-hand side is
+    /// non-null (i.e. be an assured attribute of an ancestor of the
+    /// right-hand side's variable).
+    pub fn check(&self, fd: &Fd) -> bool {
+        fd.rhs().iter().all(|a| self.check_single(fd.lhs(), a))
+    }
+
+    fn check_single(&self, x_fields: &BTreeSet<String>, a_field: &str) -> bool {
+        // Relational implication against the cover (trivial FDs included).
+        let single = Fd::new(x_fields.clone(), std::iter::once(a_field.to_string()).collect());
+        if !x_fields.contains(a_field) && !fd_implies(&self.cover, &single) {
+            return false;
+        }
+        // Non-null analysis, mirroring the Ycheck bookkeeping of Fig. 5.
+        let tree = self.rule.table_tree();
+        let Some(a_var) = self.rule.field_var(a_field) else { return false };
+        for field in x_fields {
+            if field == a_field {
+                continue;
+            }
+            let Some(var) = self.rule.field_var(field) else { return false };
+            let Some(parent) = tree.parent(var) else { return false };
+            // The field's variable must hang off an ancestor of A's variable
+            // through an attribute edge whose existence is assured by Σ.
+            if !tree.is_ancestor_or_self(parent, a_var) {
+                return false;
+            }
+            let path = tree.edge_path(var).expect("non-root variable has an edge");
+            let assured = match path.atoms() {
+                [xmlprop_xmlpath::Atom::Label(label)] if label.starts_with('@') => {
+                    attribute_assured(&self.sigma, &tree.path_from_root(parent), label)
+                }
+                _ => false,
+            };
+            if !assured {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation;
+    use xmlprop_xmlkeys::example_2_1_keys;
+    use xmlprop_xmltransform::sample::example_3_1_universal;
+
+    fn fd(s: &str) -> Fd {
+        Fd::parse(s).unwrap()
+    }
+
+    fn checker() -> GMinimumCover {
+        GMinimumCover::new(example_2_1_keys(), example_3_1_universal())
+    }
+
+    #[test]
+    fn accepts_the_example_3_1_fds() {
+        let g = checker();
+        assert!(g.check(&fd("bookIsbn -> bookTitle")));
+        assert!(g.check(&fd("bookIsbn -> authContact")));
+        assert!(g.check(&fd("bookIsbn, chapNum -> chapName")));
+        assert!(g.check(&fd("bookIsbn, chapNum, secNum -> secName")));
+        assert_eq!(g.cover().len(), 4);
+        assert_eq!(g.rule().schema().arity(), 8);
+    }
+
+    #[test]
+    fn rejects_non_propagated_fds() {
+        let g = checker();
+        assert!(!g.check(&fd("bookIsbn -> bookAuthor")));
+        assert!(!g.check(&fd("bookTitle -> bookIsbn")));
+        assert!(!g.check(&fd("chapNum -> chapName")));
+        assert!(!g.check(&fd("bookIsbn, chapNum -> secName")));
+    }
+
+    #[test]
+    fn agrees_with_propagation_on_single_attribute_probes() {
+        // Same question, two algorithms: the paper's experiment relies on
+        // both giving the same answer.
+        let sigma = example_2_1_keys();
+        let u = example_3_1_universal();
+        let g = GMinimumCover::new(sigma.clone(), u.clone());
+        let attrs: Vec<String> = u.schema().attributes().to_vec();
+        for a in &attrs {
+            for x in &attrs {
+                let probe = Fd::to_attr([x.clone()], a.clone());
+                assert_eq!(
+                    g.check(&probe),
+                    propagation(&sigma, &u, &probe),
+                    "disagreement on {probe}"
+                );
+            }
+            for x in &attrs {
+                for y in &attrs {
+                    if x == y {
+                        continue;
+                    }
+                    let probe = Fd::to_attr([x.clone(), y.clone()], a.clone());
+                    assert_eq!(
+                        g.check(&probe),
+                        propagation(&sigma, &u, &probe),
+                        "disagreement on {probe}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn null_condition_is_enforced() {
+        // bookTitle is an element (not an assured attribute), so adding it to
+        // a left-hand side breaks condition (1) even though the relational
+        // implication succeeds by augmentation.
+        let g = checker();
+        assert!(!g.check(&fd("bookIsbn, bookTitle -> chapName")));
+        assert!(g.check(&fd("bookIsbn, chapNum -> chapName")));
+        // A trivial FD with an unassured extra attribute is rejected too.
+        assert!(!g.check(&fd("bookTitle, chapName -> chapName")));
+        assert!(g.check(&fd("chapName -> chapName")));
+    }
+}

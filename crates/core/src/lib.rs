@@ -1,0 +1,67 @@
+//! The core algorithms of *"Propagating XML Constraints to Relations"*
+//! (Davidson, Fan, Hara, Qin — ICDE 2003).
+//!
+//! Given a set `Σ` of XML keys and a transformation `σ` (table rules) from
+//! XML to relations, this crate answers the two questions the paper poses:
+//!
+//! 1. **Key propagation** — is a given functional dependency `X → A` on a
+//!    relation of the target schema guaranteed to hold on `σ(T)` for *every*
+//!    document `T ⊨ Σ`?  ([`propagation`], Algorithm of Fig. 5, polynomial
+//!    time.)
+//! 2. **Minimum cover** — what is a minimum cover of *all* the FDs
+//!    propagated onto a universal relation?  ([`minimum_cover`], the
+//!    polynomial Section 5 algorithm; [`naive_minimum_cover`], the
+//!    exponential baseline it is compared against in Fig. 7(a).)
+//!
+//! On top of those it provides:
+//!
+//! * [`GMinimumCover`] — the `GminimumCover` variant of Section 6 that
+//!   answers single-FD questions through the minimum cover;
+//! * [`refine`] — the end-to-end design-refinement pipeline of Examples 1.2
+//!   and 3.1 (cover → BCNF / 3NF schema);
+//! * [`consistency`] — checking a *predefined* relational schema against the
+//!   XML keys (the Example 1.1 scenario);
+//! * [`limits`] — a documentation module for the undecidability results
+//!   (Theorems 3.1 and 3.2) that motivate the restrictions of the framework.
+//!
+//! # Quick start
+//!
+//! ```
+//! use xmlprop_core::{minimum_cover, propagation};
+//! use xmlprop_reldb::Fd;
+//! use xmlprop_xmlkeys::example_2_1_keys;
+//! use xmlprop_xmltransform::sample::{example_2_4_transformation, example_3_1_universal};
+//!
+//! let sigma = example_2_1_keys();
+//! let t = example_2_4_transformation();
+//!
+//! // Example 4.2: isbn -> contact is propagated onto the book relation...
+//! let fd = Fd::parse("isbn -> contact").unwrap();
+//! assert!(propagation(&sigma, t.rule("book").unwrap(), &fd));
+//!
+//! // ...while (inChapt, number) -> name on section is not.
+//! let fd = Fd::parse("inChapt, number -> name").unwrap();
+//! assert!(!propagation(&sigma, t.rule("section").unwrap(), &fd));
+//!
+//! // Example 3.1: the minimum cover over the universal relation.
+//! let cover = minimum_cover(&sigma, &example_3_1_universal());
+//! assert_eq!(cover.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod consistency;
+mod gmincover;
+pub mod limits;
+mod mincover;
+mod naive;
+mod propagation;
+mod refine;
+
+pub use consistency::{check_declared_keys, ConsistencyReport, KeyCheck};
+pub use gmincover::GMinimumCover;
+pub use mincover::{minimum_cover, minimum_cover_with_stats, CoverStats};
+pub use naive::{naive_minimum_cover, naive_propagated_fds};
+pub use propagation::{propagation, propagation_explained, PropagationOutcome};
+pub use refine::{refine, refine_with_checker, RefinedDesign};

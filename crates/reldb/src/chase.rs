@@ -1,0 +1,212 @@
+//! The chase test for lossless-join decompositions.
+//!
+//! The design-refinement pipeline of the paper decomposes a universal
+//! relation guided by the propagated FDs (Examples 1.2 and 3.1).  A
+//! decomposition is only acceptable if it is **lossless**: joining the
+//! fragments must reconstruct exactly the original relation for every
+//! instance satisfying the FDs.  The classical way to verify this is the
+//! chase over a tableau with one row per fragment; this module implements it
+//! so that the normalization algorithms can be checked (and property-tested)
+//! rather than trusted.
+
+use crate::Fd;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A tableau cell: either the distinguished symbol `a_j` for column `j`, or
+/// a non-distinguished symbol `b_{i,j}` for row `i`, column `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Symbol {
+    Distinguished(usize),
+    NonDistinguished(usize, usize),
+}
+
+/// True if decomposing the attribute set `universe` into `fragments` is a
+/// lossless-join decomposition under the FDs `fds`, decided by the chase.
+///
+/// The tableau starts with one row per fragment: distinguished symbols in the
+/// fragment's own columns, fresh symbols elsewhere.  FDs are applied until a
+/// fixpoint — whenever two rows agree on `X` of some `X → Y`, their `Y`
+/// symbols are equated (preferring distinguished symbols).  The decomposition
+/// is lossless iff some row becomes all-distinguished.
+pub fn is_lossless_join(
+    universe: &BTreeSet<String>,
+    fragments: &[BTreeSet<String>],
+    fds: &[Fd],
+) -> bool {
+    if fragments.iter().any(|f| !f.is_subset(universe)) {
+        return false;
+    }
+    let columns: Vec<&String> = universe.iter().collect();
+    let col_index: BTreeMap<&str, usize> =
+        columns.iter().enumerate().map(|(i, a)| (a.as_str(), i)).collect();
+
+    // Initial tableau.
+    let mut tableau: Vec<Vec<Symbol>> = fragments
+        .iter()
+        .enumerate()
+        .map(|(row, fragment)| {
+            columns
+                .iter()
+                .enumerate()
+                .map(|(col, attr)| {
+                    if fragment.contains(*attr) {
+                        Symbol::Distinguished(col)
+                    } else {
+                        Symbol::NonDistinguished(row, col)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Chase to fixpoint.  Each application only ever replaces symbols by
+    // "smaller" ones (distinguished preferred), so this terminates.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fd in fds {
+            let lhs_cols: Vec<usize> =
+                fd.lhs().iter().filter_map(|a| col_index.get(a.as_str()).copied()).collect();
+            if lhs_cols.len() != fd.lhs().len() {
+                continue; // FD mentions attributes outside the universe
+            }
+            let rhs_cols: Vec<usize> =
+                fd.rhs().iter().filter_map(|a| col_index.get(a.as_str()).copied()).collect();
+            for i in 0..tableau.len() {
+                for j in (i + 1)..tableau.len() {
+                    if lhs_cols.iter().all(|&c| tableau[i][c] == tableau[j][c]) {
+                        for &c in &rhs_cols {
+                            let (si, sj) = (tableau[i][c], tableau[j][c]);
+                            if si == sj {
+                                continue;
+                            }
+                            // Equate: prefer the distinguished symbol, else
+                            // the lexicographically smaller one.
+                            let keep = match (si, sj) {
+                                (Symbol::Distinguished(_), _) => si,
+                                (_, Symbol::Distinguished(_)) => sj,
+                                _ => si.min(sj),
+                            };
+                            let drop = if keep == si { sj } else { si };
+                            for row in tableau.iter_mut() {
+                                for cell in row.iter_mut() {
+                                    if *cell == drop {
+                                        *cell = keep;
+                                        changed = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    tableau
+        .iter()
+        .any(|row| row.iter().enumerate().all(|(c, s)| *s == Symbol::Distinguished(c)))
+}
+
+/// Convenience overload for [`crate::Decomposition`] results.
+pub fn decomposition_is_lossless(
+    universe: &BTreeSet<String>,
+    decomposition: &crate::Decomposition,
+    fds: &[Fd],
+) -> bool {
+    let fragments: Vec<BTreeSet<String>> =
+        decomposition.relations.iter().map(|r| r.schema.attribute_set()).collect();
+    is_lossless_join(universe, &fragments, fds)
+}
+
+/// True if the decomposition is dependency preserving: the union of the FDs
+/// projected onto the fragments is equivalent to the original set.
+pub fn is_dependency_preserving(
+    fragments: &[BTreeSet<String>],
+    fds: &[Fd],
+) -> bool {
+    let mut projected: Vec<Fd> = Vec::new();
+    for fragment in fragments {
+        projected.extend(crate::project_fds(fds, fragment));
+    }
+    fds.iter().all(|fd| crate::implies(&projected, fd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attrs, bcnf_decompose, synthesize_3nf};
+
+    fn fd(s: &str) -> Fd {
+        Fd::parse(s).unwrap()
+    }
+
+    #[test]
+    fn textbook_lossless_and_lossy_cases() {
+        let universe = attrs(["a", "b", "c"]);
+        let fds = vec![fd("a -> b")];
+        // {a,b}, {a,c} is lossless (a -> b); {a,b}, {b,c} is lossy.
+        assert!(is_lossless_join(&universe, &[attrs(["a", "b"]), attrs(["a", "c"])], &fds));
+        assert!(!is_lossless_join(&universe, &[attrs(["a", "b"]), attrs(["b", "c"])], &fds));
+        // Without any FDs only a fragment equal to the universe is lossless.
+        assert!(!is_lossless_join(&universe, &[attrs(["a", "b"]), attrs(["a", "c"])], &[]));
+        assert!(is_lossless_join(&universe, std::slice::from_ref(&universe), &[]));
+    }
+
+    #[test]
+    fn fragments_outside_the_universe_are_rejected() {
+        let universe = attrs(["a", "b"]);
+        assert!(!is_lossless_join(&universe, &[attrs(["a", "z"])], &[]));
+    }
+
+    #[test]
+    fn bcnf_decomposition_of_the_paper_examples_is_lossless() {
+        // Example 1.2.
+        let universe = attrs(["isbn", "bookTitle", "author", "chapterNum", "chapterName"]);
+        let fds = vec![fd("isbn -> bookTitle"), fd("isbn, chapterNum -> chapterName")];
+        let dec = bcnf_decompose("Chapter", &universe, &fds);
+        assert!(decomposition_is_lossless(&universe, &dec, &fds));
+
+        // Example 3.1.
+        let universe = attrs([
+            "bookIsbn",
+            "bookTitle",
+            "bookAuthor",
+            "authContact",
+            "chapNum",
+            "chapName",
+            "secNum",
+            "secName",
+        ]);
+        let fds = vec![
+            fd("bookIsbn -> bookTitle"),
+            fd("bookIsbn -> authContact"),
+            fd("bookIsbn, chapNum -> chapName"),
+            fd("bookIsbn, chapNum, secNum -> secName"),
+        ];
+        let dec = bcnf_decompose("U", &universe, &fds);
+        assert!(decomposition_is_lossless(&universe, &dec, &fds));
+    }
+
+    #[test]
+    fn third_normal_form_synthesis_is_lossless_and_dependency_preserving() {
+        let universe = attrs(["a", "b", "c", "d", "e"]);
+        let fds = vec![fd("a -> b"), fd("b -> c"), fd("a, d -> e")];
+        let dec = synthesize_3nf("r", &universe, &fds);
+        assert!(decomposition_is_lossless(&universe, &dec, &fds));
+        let fragments: Vec<BTreeSet<String>> =
+            dec.relations.iter().map(|r| r.schema.attribute_set()).collect();
+        assert!(is_dependency_preserving(&fragments, &fds));
+    }
+
+    #[test]
+    fn classic_dependency_loss_is_detected() {
+        // BCNF of {street, city, zip} with (street, city) -> zip, zip -> city
+        // famously loses the first dependency.
+        let fds = vec![fd("street, city -> zip"), fd("zip -> city")];
+        let fragments = vec![attrs(["zip", "city"]), attrs(["street", "zip"])];
+        assert!(!is_dependency_preserving(&fragments, &fds));
+        // ...but it is still lossless.
+        assert!(is_lossless_join(&attrs(["street", "city", "zip"]), &fragments, &fds));
+    }
+}

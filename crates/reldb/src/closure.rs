@@ -1,0 +1,103 @@
+//! Armstrong reasoning: attribute closure, implication, cover equivalence.
+
+use crate::Fd;
+use std::collections::BTreeSet;
+
+/// The closure `X⁺` of an attribute set under a set of FDs: all attributes
+/// functionally determined by `X`.
+///
+/// Standard fixpoint computation; linear in the total size of `fds` per
+/// round, with at most `|fds|` rounds (the classical O(n·|F|) bound, which is
+/// all the paper needs — FD implication is described there as "checked in
+/// linear time using the Armstrong's Axioms").
+pub fn closure(attrs: &BTreeSet<String>, fds: &[Fd]) -> BTreeSet<String> {
+    let mut result = attrs.clone();
+    let mut changed = true;
+    let mut applied = vec![false; fds.len()];
+    while changed {
+        changed = false;
+        for (i, fd) in fds.iter().enumerate() {
+            if applied[i] {
+                continue;
+            }
+            if fd.lhs().is_subset(&result) {
+                applied[i] = true;
+                for a in fd.rhs() {
+                    if result.insert(a.clone()) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// True if `fds ⊨ fd` (the FD is derivable by Armstrong's axioms).
+pub fn implies(fds: &[Fd], fd: &Fd) -> bool {
+    let cl = closure(fd.lhs(), fds);
+    fd.rhs().is_subset(&cl)
+}
+
+/// True if two FD sets are equivalent (each implies every FD of the other).
+pub fn covers_equivalent(a: &[Fd], b: &[Fd]) -> bool {
+    a.iter().all(|fd| implies(b, fd)) && b.iter().all(|fd| implies(a, fd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs;
+
+    fn fd(s: &str) -> Fd {
+        Fd::parse(s).unwrap()
+    }
+
+    #[test]
+    fn closure_basic() {
+        let fds = vec![fd("a -> b"), fd("b -> c"), fd("c, d -> e")];
+        assert_eq!(closure(&attrs(["a"]), &fds), attrs(["a", "b", "c"]));
+        assert_eq!(closure(&attrs(["a", "d"]), &fds), attrs(["a", "b", "c", "d", "e"]));
+        assert_eq!(closure(&attrs(["d"]), &fds), attrs(["d"]));
+        assert_eq!(closure(&BTreeSet::new(), &fds), BTreeSet::new());
+    }
+
+    #[test]
+    fn closure_with_empty_lhs_fd() {
+        let fds = vec![fd("-> k"), fd("k -> v")];
+        assert_eq!(closure(&BTreeSet::new(), &fds), attrs(["k", "v"]));
+    }
+
+    #[test]
+    fn implication() {
+        let fds = vec![fd("a -> b"), fd("b -> c")];
+        assert!(implies(&fds, &fd("a -> c")));
+        assert!(implies(&fds, &fd("a -> a, b, c")));
+        assert!(implies(&fds, &fd("a, x -> c")));
+        assert!(!implies(&fds, &fd("b -> a")));
+        assert!(!implies(&fds, &fd("c -> a")));
+        // Reflexivity without any FDs.
+        assert!(implies(&[], &fd("a, b -> a")));
+    }
+
+    #[test]
+    fn equivalence_of_covers() {
+        let f1 = vec![fd("a -> b"), fd("b -> c")];
+        let f2 = vec![fd("a -> b, c"), fd("b -> c")];
+        let f3 = vec![fd("a -> b")];
+        assert!(covers_equivalent(&f1, &f2));
+        assert!(!covers_equivalent(&f1, &f3));
+        assert!(covers_equivalent(&[], &[]));
+    }
+
+    #[test]
+    fn paper_example_1_2_cover_derivations() {
+        // Example 1.2: from the minimum cover {isbn -> bookTitle,
+        // (isbn, chapterNum) -> chapterName}, isbn alone does not determine
+        // chapterName but (isbn, chapterNum) does.
+        let cover = vec![fd("isbn -> bookTitle"), fd("isbn, chapterNum -> chapterName")];
+        assert!(implies(&cover, &fd("isbn, chapterNum -> bookTitle, chapterName")));
+        assert!(!implies(&cover, &fd("isbn -> chapterName")));
+        assert!(!implies(&cover, &fd("isbn -> author")));
+    }
+}

@@ -1,0 +1,443 @@
+//! Schema normalization: candidate keys, BCNF decomposition, 3NF synthesis.
+//!
+//! The paper's motivation for computing a minimum cover of the propagated
+//! FDs is to "decompose the universal relation into a normal form (such as
+//! BCNF or 3NF)" guided by those FDs (Examples 1.2 and 3.1).  This module
+//! provides the classical algorithms needed for that last step.
+
+use crate::{closure, minimize, Fd, RelationSchema};
+use std::collections::BTreeSet;
+
+/// One relation produced by a decomposition, together with the keys that
+/// hold on it (the FDs projected onto it would be redundant to store in
+/// full; keys are what the paper's examples report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecomposedRelation {
+    /// The schema of the fragment.
+    pub schema: RelationSchema,
+    /// A candidate key of the fragment (as chosen by the decomposition).
+    pub key: BTreeSet<String>,
+}
+
+impl DecomposedRelation {
+    /// Renders the fragment as a `CREATE TABLE` statement with a primary
+    /// key, for the examples that print a refined design.
+    pub fn to_sql(&self) -> String {
+        let cols: Vec<String> = self
+            .schema
+            .attributes()
+            .iter()
+            .map(|a| format!("    {a} TEXT"))
+            .collect();
+        let key: Vec<String> = self.key.iter().cloned().collect();
+        format!(
+            "CREATE TABLE {} (\n{},\n    PRIMARY KEY ({})\n);",
+            self.schema.name(),
+            cols.join(",\n"),
+            key.join(", ")
+        )
+    }
+}
+
+/// The result of a normalization: a list of fragments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomposition {
+    /// The fragments, in the order they were produced.
+    pub relations: Vec<DecomposedRelation>,
+}
+
+impl Decomposition {
+    /// Renders the whole decomposition as SQL DDL.
+    pub fn to_sql(&self) -> String {
+        self.relations.iter().map(DecomposedRelation::to_sql).collect::<Vec<_>>().join("\n\n")
+    }
+
+    /// The set of attribute sets (useful in tests, where fragment order and
+    /// names are irrelevant).
+    pub fn attribute_sets(&self) -> BTreeSet<BTreeSet<String>> {
+        self.relations.iter().map(|r| r.schema.attribute_set()).collect()
+    }
+}
+
+/// Projects a set of FDs onto a subset of attributes: all FDs `X → A` with
+/// `X ∪ {A} ⊆ attrs` implied by `fds`.  Exponential in `|attrs|` in the worst
+/// case (this is the classical embedded-FD problem the paper cites [16]); we
+/// only call it on decomposition fragments, which are small.
+pub fn project_fds(fds: &[Fd], attrs: &BTreeSet<String>) -> Vec<Fd> {
+    let attr_vec: Vec<&String> = attrs.iter().collect();
+    let mut out = Vec::new();
+    for mask in 0u64..(1u64 << attr_vec.len().min(63)) {
+        let lhs: BTreeSet<String> = attr_vec
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, a)| (*a).clone())
+            .collect();
+        let cl = closure(&lhs, fds);
+        for a in attrs {
+            if !lhs.contains(a) && cl.contains(a) {
+                out.push(Fd::to_attr(lhs.iter().cloned(), a.clone()));
+            }
+        }
+    }
+    minimize(&out)
+}
+
+/// All candidate keys of a relation with attribute set `attrs` under `fds`.
+///
+/// Uses the standard observation that attributes never appearing on any
+/// right-hand side must be part of every key, then searches supersets in
+/// increasing size.  Exponential in the worst case (inherent), fine for the
+/// schema sizes normalization is used on.
+pub fn candidate_keys(attrs: &BTreeSet<String>, fds: &[Fd]) -> Vec<BTreeSet<String>> {
+    let mut must: BTreeSet<String> = attrs.clone();
+    for fd in fds {
+        for a in fd.rhs() {
+            if !fd.lhs().contains(a) {
+                must.remove(a);
+            }
+        }
+    }
+    if closure(&must, fds).is_superset(attrs) {
+        return vec![must];
+    }
+    let optional: Vec<&String> = attrs.iter().filter(|a| !must.contains(*a)).collect();
+    let mut keys: Vec<BTreeSet<String>> = Vec::new();
+    // Enumerate subsets of the optional attributes by increasing size so that
+    // only minimal keys are recorded.
+    for size in 1..=optional.len() {
+        let mut found_at_this_size = Vec::new();
+        for combo in combinations(&optional, size) {
+            let mut candidate = must.clone();
+            candidate.extend(combo.iter().map(|a| (*a).clone()));
+            if keys.iter().any(|k| k.is_subset(&candidate)) {
+                continue;
+            }
+            if closure(&candidate, fds).is_superset(attrs) {
+                found_at_this_size.push(candidate);
+            }
+        }
+        keys.extend(found_at_this_size);
+    }
+    if keys.is_empty() {
+        // No proper subset works; the full attribute set is the only key.
+        keys.push(attrs.clone());
+    }
+    keys
+}
+
+fn combinations<'a>(items: &[&'a String], size: usize) -> Vec<Vec<&'a String>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(size);
+    fn rec<'a>(
+        items: &[&'a String],
+        size: usize,
+        start: usize,
+        current: &mut Vec<&'a String>,
+        out: &mut Vec<Vec<&'a String>>,
+    ) {
+        if current.len() == size {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..items.len() {
+            current.push(items[i]);
+            rec(items, size, i + 1, current, out);
+            current.pop();
+        }
+    }
+    rec(items, size, 0, &mut current, &mut out);
+    out
+}
+
+/// True if every non-trivial FD of `fds` (projected onto `attrs`) has a
+/// superkey left-hand side — i.e. the fragment is in BCNF.
+pub fn is_bcnf(attrs: &BTreeSet<String>, fds: &[Fd]) -> bool {
+    for fd in project_fds(fds, attrs) {
+        if fd.is_trivial() {
+            continue;
+        }
+        if !closure(fd.lhs(), fds).is_superset(attrs) {
+            return false;
+        }
+    }
+    true
+}
+
+/// True if the fragment is in 3NF: for every non-trivial projected FD
+/// `X → A`, either `X` is a superkey or `A` is a prime attribute (member of
+/// some candidate key of the fragment).
+pub fn is_3nf(attrs: &BTreeSet<String>, fds: &[Fd]) -> bool {
+    let local = project_fds(fds, attrs);
+    let keys = candidate_keys(attrs, &local);
+    let prime: BTreeSet<String> = keys.iter().flatten().cloned().collect();
+    for fd in &local {
+        if fd.is_trivial() {
+            continue;
+        }
+        let is_superkey = closure(fd.lhs(), &local).is_superset(attrs);
+        if is_superkey {
+            continue;
+        }
+        if !fd.rhs().iter().all(|a| prime.contains(a)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Classical BCNF decomposition of the relation `name(attrs)` under `fds`.
+///
+/// Repeatedly picks a violating FD `X → Y` (with `X` not a superkey) and
+/// splits the schema into `X ∪ X⁺-restricted` and `X ∪ rest`.  The result is
+/// a lossless-join decomposition whose fragments are each in BCNF.  Fragment
+/// names are derived from `name` with a numeric suffix unless a violating
+/// FD's attributes suggest nothing better.
+pub fn bcnf_decompose(name: &str, attrs: &BTreeSet<String>, fds: &[Fd]) -> Decomposition {
+    let mut fragments: Vec<BTreeSet<String>> = vec![attrs.clone()];
+    let mut finished: Vec<BTreeSet<String>> = Vec::new();
+
+    while let Some(current) = fragments.pop() {
+        let local = project_fds(fds, &current);
+        let violating = local.iter().find(|fd| {
+            !fd.is_trivial() && !closure(fd.lhs(), &local).is_superset(&current)
+        });
+        match violating {
+            None => finished.push(current),
+            Some(fd) => {
+                let cl: BTreeSet<String> = closure(fd.lhs(), &local)
+                    .intersection(&current)
+                    .cloned()
+                    .collect();
+                // Fragment 1: X⁺ ∩ current; Fragment 2: X ∪ (current \ X⁺).
+                let frag1 = cl.clone();
+                let mut frag2: BTreeSet<String> = fd.lhs().clone();
+                frag2.extend(current.difference(&cl).cloned());
+                // A violating FD guarantees both fragments are strictly
+                // smaller than `current`, so this terminates.
+                fragments.push(frag1);
+                fragments.push(frag2);
+            }
+        }
+    }
+
+    // Drop fragments that are subsets of other fragments (they carry no
+    // information), then name them.
+    finished.sort_by_key(|f| std::cmp::Reverse(f.len()));
+    let mut kept: Vec<BTreeSet<String>> = Vec::new();
+    for f in finished {
+        if !kept.iter().any(|k| f.is_subset(k)) {
+            kept.push(f);
+        }
+    }
+
+    let relations = kept
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let local = project_fds(fds, &f);
+            let mut keys = candidate_keys(&f, &local);
+            keys.sort_by_key(|k| (k.len(), k.iter().cloned().collect::<Vec<_>>()));
+            let key = keys.into_iter().next().unwrap_or_else(|| f.clone());
+            DecomposedRelation {
+                schema: RelationSchema::new(format!("{name}_{}", i + 1), f.iter().cloned()),
+                key,
+            }
+        })
+        .collect();
+    Decomposition { relations }
+}
+
+/// 3NF synthesis (Bernstein): one fragment per group of minimum-cover FDs
+/// with the same left-hand side, plus a key fragment if no fragment contains
+/// a candidate key of the universal schema.  Dependency-preserving and
+/// lossless.
+pub fn synthesize_3nf(name: &str, attrs: &BTreeSet<String>, fds: &[Fd]) -> Decomposition {
+    let cover = minimize(fds);
+    // Group by LHS.
+    let mut groups: Vec<(BTreeSet<String>, BTreeSet<String>)> = Vec::new();
+    for fd in &cover {
+        match groups.iter_mut().find(|(lhs, _)| lhs == fd.lhs()) {
+            Some((_, rhs)) => rhs.extend(fd.rhs().iter().cloned()),
+            None => groups.push((fd.lhs().clone(), fd.rhs().clone())),
+        }
+    }
+    let mut schemas: Vec<(BTreeSet<String>, BTreeSet<String>)> = Vec::new();
+    for (lhs, rhs) in groups {
+        let mut all = lhs.clone();
+        all.extend(rhs.iter().cloned());
+        schemas.push((all, lhs));
+    }
+    // Attributes not mentioned in any FD must still be stored somewhere.
+    let mentioned: BTreeSet<String> =
+        cover.iter().flat_map(|fd| fd.attributes().into_iter()).collect();
+    let unmentioned: BTreeSet<String> = attrs.difference(&mentioned).cloned().collect();
+    if !unmentioned.is_empty() {
+        // They are determined by nothing, so they join a key fragment below
+        // (standard treatment: they become part of the key of the relation).
+        schemas.push((unmentioned.clone(), unmentioned));
+    }
+    // Ensure some fragment contains a candidate key of the whole schema.
+    let keys = candidate_keys(attrs, &cover);
+    let has_key_fragment = schemas
+        .iter()
+        .any(|(all, _)| keys.iter().any(|k| k.is_subset(all)));
+    if !has_key_fragment {
+        let mut keys_sorted = keys.clone();
+        keys_sorted.sort_by_key(|k| (k.len(), k.iter().cloned().collect::<Vec<_>>()));
+        let key = keys_sorted.into_iter().next().unwrap_or_else(|| attrs.clone());
+        schemas.push((key.clone(), key));
+    }
+    // Drop fragments contained in others.
+    schemas.sort_by_key(|(all, _)| std::cmp::Reverse(all.len()));
+    let mut kept: Vec<(BTreeSet<String>, BTreeSet<String>)> = Vec::new();
+    for (all, key) in schemas {
+        if !kept.iter().any(|(k_all, _)| all.is_subset(k_all)) {
+            kept.push((all, key));
+        }
+    }
+    let relations = kept
+        .into_iter()
+        .enumerate()
+        .map(|(i, (all, key))| DecomposedRelation {
+            schema: RelationSchema::new(format!("{name}_{}", i + 1), all.iter().cloned()),
+            key,
+        })
+        .collect();
+    Decomposition { relations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs;
+
+    fn fd(s: &str) -> Fd {
+        Fd::parse(s).unwrap()
+    }
+
+    #[test]
+    fn candidate_keys_simple() {
+        let a = attrs(["a", "b", "c"]);
+        let fds = vec![fd("a -> b"), fd("b -> c")];
+        assert_eq!(candidate_keys(&a, &fds), vec![attrs(["a"])]);
+
+        let fds2 = vec![fd("a -> b"), fd("b -> a")];
+        let keys = candidate_keys(&attrs(["a", "b", "c"]), &fds2);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&attrs(["a", "c"])));
+        assert!(keys.contains(&attrs(["b", "c"])));
+    }
+
+    #[test]
+    fn candidate_keys_no_fds() {
+        let a = attrs(["a", "b"]);
+        assert_eq!(candidate_keys(&a, &[]), vec![a.clone()]);
+    }
+
+    #[test]
+    fn bcnf_detection() {
+        let a = attrs(["isbn", "title", "chapNum", "chapName"]);
+        let fds = vec![fd("isbn -> title"), fd("isbn, chapNum -> chapName")];
+        assert!(!is_bcnf(&a, &fds)); // isbn -> title with isbn not a superkey
+        assert!(is_bcnf(&attrs(["isbn", "title"]), &fds));
+        assert!(is_bcnf(&attrs(["isbn", "chapNum", "chapName"]), &fds));
+    }
+
+    #[test]
+    fn third_normal_form_detection() {
+        // Classic non-3NF example: a -> b, b -> c with key a.
+        let a = attrs(["a", "b", "c"]);
+        let fds = vec![fd("a -> b"), fd("b -> c")];
+        assert!(!is_3nf(&a, &fds));
+        // b -> c where c is prime is allowed in 3NF.
+        let fds2 = vec![fd("a, b -> c"), fd("c -> b")];
+        assert!(is_3nf(&attrs(["a", "b", "c"]), &fds2));
+        assert!(!is_bcnf(&attrs(["a", "b", "c"]), &fds2));
+    }
+
+    #[test]
+    fn bcnf_decomposition_of_example_1_2() {
+        // Example 1.2: Chapter(isbn, bookTitle, author, chapterNum, chapterName)
+        // with isbn -> bookTitle and (isbn, chapterNum) -> chapterName.
+        let a = attrs(["isbn", "bookTitle", "author", "chapterNum", "chapterName"]);
+        let fds = vec![fd("isbn -> bookTitle"), fd("isbn, chapterNum -> chapterName")];
+        let dec = bcnf_decompose("Chapter", &a, &fds);
+        let sets = dec.attribute_sets();
+        // The paper's result: Book(isbn, bookTitle), Chapter(isbn, chapterNum,
+        // chapterName), Author(isbn, author).
+        assert!(sets.contains(&attrs(["isbn", "bookTitle"])));
+        assert!(sets.contains(&attrs(["isbn", "chapterNum", "chapterName"])));
+        assert!(sets.contains(&attrs(["isbn", "author", "chapterNum"]))
+            || sets.contains(&attrs(["isbn", "author"])),
+            "author must end up keyed by isbn (possibly with chapterNum), got {sets:?}");
+        // Every fragment must be in BCNF.
+        for r in &dec.relations {
+            assert!(is_bcnf(&r.schema.attribute_set(), &fds), "fragment {} not BCNF", r.schema);
+        }
+    }
+
+    #[test]
+    fn bcnf_decomposition_example_3_1() {
+        let a = attrs([
+            "bookIsbn",
+            "bookTitle",
+            "bookAuthor",
+            "authContact",
+            "chapNum",
+            "chapName",
+            "secNum",
+            "secName",
+        ]);
+        let fds = vec![
+            fd("bookIsbn -> bookTitle"),
+            fd("bookIsbn -> authContact"),
+            fd("bookIsbn, chapNum -> chapName"),
+            fd("bookIsbn, chapNum, secNum -> secName"),
+        ];
+        let dec = bcnf_decompose("U", &a, &fds);
+        for r in &dec.relations {
+            assert!(is_bcnf(&r.schema.attribute_set(), &fds), "fragment {} not BCNF", r.schema);
+        }
+        // The decomposition keeps all attributes.
+        let union: BTreeSet<String> =
+            dec.relations.iter().flat_map(|r| r.schema.attribute_set()).collect();
+        assert_eq!(union, a);
+    }
+
+    #[test]
+    fn synthesis_is_dependency_preserving_and_has_key_fragment() {
+        let a = attrs(["a", "b", "c", "d"]);
+        let fds = vec![fd("a -> b"), fd("b -> c")];
+        let dec = synthesize_3nf("r", &a, &fds);
+        let sets = dec.attribute_sets();
+        assert!(sets.iter().any(|s| s.is_superset(&attrs(["a", "b"]))));
+        assert!(sets.iter().any(|s| s.is_superset(&attrs(["b", "c"]))));
+        // d is in no FD, so it must appear, and some fragment must contain a
+        // candidate key (a, d).
+        assert!(sets.iter().any(|s| s.contains("d")));
+        assert!(sets.iter().any(|s| s.is_superset(&attrs(["a", "d"]))));
+        for r in &dec.relations {
+            assert!(is_3nf(&r.schema.attribute_set(), &fds), "fragment {} not 3NF", r.schema);
+        }
+    }
+
+    #[test]
+    fn sql_rendering_mentions_keys() {
+        let a = attrs(["isbn", "title"]);
+        let fds = vec![fd("isbn -> title")];
+        let dec = bcnf_decompose("book", &a, &fds);
+        let sql = dec.to_sql();
+        assert!(sql.contains("CREATE TABLE"));
+        assert!(sql.contains("PRIMARY KEY (isbn)"));
+    }
+
+    #[test]
+    fn project_fds_onto_fragment() {
+        let fds = vec![fd("a -> b"), fd("b -> c")];
+        let projected = project_fds(&fds, &attrs(["a", "c"]));
+        // a -> c is implied and survives projection; b is gone.
+        assert!(crate::implies(&projected, &fd("a -> c")));
+        assert!(projected.iter().all(|f| f.attributes().is_subset(&attrs(["a", "c"]))));
+    }
+}

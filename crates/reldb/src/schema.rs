@@ -1,0 +1,92 @@
+//! Relation schemas.
+
+use std::fmt;
+
+/// The schema of one relation: a name and an ordered list of attribute
+/// (field) names, written `R(a1, …, an)` in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Creates a schema from a name and attribute list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attribute name is repeated — relational schemas are sets
+    /// of attributes and a duplicate would make field lookups ambiguous.
+    pub fn new<I, S>(name: impl Into<String>, attributes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for a in &attributes {
+            assert!(seen.insert(a.clone()), "duplicate attribute `{a}` in relation schema");
+        }
+        RelationSchema { name: name.into(), attributes }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute names, in declaration order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// The number of attributes (the "fields" count of the experiments in
+    /// Section 6).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The position of an attribute, if it exists.
+    pub fn index_of(&self, attribute: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == attribute)
+    }
+
+    /// True if the schema has the named attribute.
+    pub fn contains(&self, attribute: &str) -> bool {
+        self.index_of(attribute).is_some()
+    }
+
+    /// The attributes as a set (useful for FD reasoning).
+    pub fn attribute_set(&self) -> std::collections::BTreeSet<String> {
+        self.attributes.iter().cloned().collect()
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attributes.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let s = RelationSchema::new("chapter", ["inBook", "number", "name"]);
+        assert_eq!(s.name(), "chapter");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("number"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.contains("name"));
+        assert_eq!(s.to_string(), "chapter(inBook, number, name)");
+        assert_eq!(s.attribute_set().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn rejects_duplicate_attributes() {
+        let _ = RelationSchema::new("r", ["a", "a"]);
+    }
+}

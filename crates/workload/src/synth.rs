@@ -1,0 +1,364 @@
+//! Workload generation: universal relations, table trees and key sets.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use xmlprop_reldb::Fd;
+use xmlprop_xmlkeys::{KeySet, XmlKey};
+use xmlprop_xmlpath::PathExpr;
+use xmlprop_xmltransform::{parse_single_rule, TableRule};
+
+/// Parameters of a synthetic workload (the independent variables of the
+/// Section 6 experiments).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of fields of the universal relation.
+    pub fields: usize,
+    /// Depth of the table tree: number of nested entity levels.
+    pub depth: usize,
+    /// Number of XML keys to generate (at least `depth` are needed to form
+    /// the transitive identification chain; extra keys are alternative
+    /// identifiers).
+    pub keys: usize,
+    /// Fraction of the non-identifier fields that are mapped from *element*
+    /// children rather than attributes (such fields can never participate in
+    /// key left-hand sides, like `bookTitle` in the paper's example).
+    pub element_field_ratio: f64,
+    /// RNG seed, so experiments are reproducible.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig { fields: 15, depth: 5, keys: 10, element_field_ratio: 0.3, seed: 42 }
+    }
+}
+
+impl WorkloadConfig {
+    /// A convenience constructor for the three experiment parameters, with
+    /// defaults for the rest.
+    pub fn new(fields: usize, depth: usize, keys: usize) -> Self {
+        WorkloadConfig { fields, depth, keys, ..WorkloadConfig::default() }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One generated workload: the key set `Σ`, the universal-relation table
+/// rule, and bookkeeping needed by the document generator and FD probes.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The configuration the workload was generated from.
+    pub config: WorkloadConfig,
+    /// The generated XML keys.
+    pub sigma: KeySet,
+    /// The universal-relation table rule.
+    pub universal: TableRule,
+    /// For every entity level `i` (0-based): the element label of that level.
+    pub level_labels: Vec<String>,
+    /// For every entity level: the fields mapped from attributes of that
+    /// level (the identifier field first).
+    pub attr_fields_per_level: Vec<Vec<String>>,
+    /// For every entity level: the fields mapped from element children.
+    pub element_fields_per_level: Vec<Vec<String>>,
+}
+
+impl Workload {
+    /// The field that identifies entity level `i` within its parent.
+    pub fn id_field(&self, level: usize) -> &str {
+        &self.attr_fields_per_level[level][0]
+    }
+
+    /// The identifying fields of all levels from the root down to `level`
+    /// (inclusive) — a transitive key for that level.
+    pub fn chain_key(&self, level: usize) -> BTreeSet<String> {
+        (0..=level).map(|l| self.id_field(l).to_string()).collect()
+    }
+}
+
+/// Generates a workload from a configuration.
+///
+/// Structure: `depth` nested levels `e0, e1, …`; level `i` is reached from
+/// level `i-1` by the child path `e{i}` (level 0 by `//e0` from the root).
+/// Level `i` carries an identifying attribute `@id{i}` mapped to the field
+/// `id{i}`; the remaining fields are distributed round-robin over the
+/// levels, each as either an attribute (`@a{j}`) or an element (`m{j}`)
+/// child.  The key set is the identification chain
+/// `(ε, (//e0, {@id0})), (//e0, (e1, {@id1})), …` plus, for every extra key
+/// requested, either a uniqueness key for an element field or an alternative
+/// relative key on an attribute field of some level.
+pub fn generate(config: &WorkloadConfig) -> Workload {
+    assert!(config.depth >= 1, "depth must be at least 1");
+    assert!(
+        config.fields >= config.depth,
+        "need at least one (identifier) field per level: fields={} depth={}",
+        config.fields,
+        config.depth
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let level_labels: Vec<String> = (0..config.depth).map(|i| format!("e{i}")).collect();
+
+    // Field assignment.
+    let mut attr_fields_per_level: Vec<Vec<String>> = Vec::with_capacity(config.depth);
+    let mut element_fields_per_level: Vec<Vec<String>> = vec![Vec::new(); config.depth];
+    for (i, _) in level_labels.iter().enumerate() {
+        attr_fields_per_level.push(vec![format!("id{i}")]);
+    }
+    for j in 0..(config.fields - config.depth) {
+        let level = j % config.depth;
+        let field = format!("f{j}");
+        if rng.gen_bool(config.element_field_ratio) {
+            element_fields_per_level[level].push(field);
+        } else {
+            attr_fields_per_level[level].push(field);
+        }
+    }
+
+    // Universal-relation rule text.
+    let mut all_fields: Vec<String> = Vec::with_capacity(config.fields);
+    for level in 0..config.depth {
+        all_fields.extend(attr_fields_per_level[level].iter().cloned());
+        all_fields.extend(element_fields_per_level[level].iter().cloned());
+    }
+    let mut body = String::new();
+    for (level, label) in level_labels.iter().enumerate() {
+        if level == 0 {
+            body.push_str(&format!("  v0 := xr//{label};\n"));
+        } else {
+            body.push_str(&format!("  v{level} := v{}/{label};\n", level - 1));
+        }
+        for field in &attr_fields_per_level[level] {
+            body.push_str(&format!("  w_{field} := v{level}/@{field};\n"));
+        }
+        for field in &element_fields_per_level[level] {
+            body.push_str(&format!("  w_{field} := v{level}/{field}_el;\n"));
+        }
+    }
+    for field in &all_fields {
+        body.push_str(&format!("  {field} := value(w_{field});\n"));
+    }
+    let rule_text = format!("rule U({}) {{\n{body}}}", all_fields.join(", "));
+    let universal = parse_single_rule(&rule_text).expect("generated rule is well-formed");
+
+    // Key set: the identification chain first.
+    let mut sigma = KeySet::new();
+    for level in 0..config.depth {
+        let context = level_path(&level_labels, level);
+        let target = if level == 0 {
+            PathExpr::epsilon().descendant(&level_labels[0])
+        } else {
+            PathExpr::label(&level_labels[level])
+        };
+        let context = if level == 0 { PathExpr::epsilon() } else { context };
+        sigma.add(
+            XmlKey::new(context, target, [format!("@id{level}")])
+                .named(format!("chain{level}")),
+        );
+    }
+
+    // Extra keys up to the requested count.
+    let mut extra_index = 0usize;
+    while sigma.len() < config.keys {
+        let level = extra_index % config.depth;
+        let position = level_path(&level_labels, level + 1);
+        // Prefer a uniqueness key for an element field of this level (these
+        // are what make element fields determinable, like K3/K4/K7 in the
+        // paper); fall back to an alternative attribute key; finally fall
+        // back to an absolute identifier for the level.
+        let element_choice = element_fields_per_level[level]
+            .get(extra_index / config.depth)
+            .cloned();
+        let attr_choice = attr_fields_per_level[level]
+            .get(1 + extra_index / config.depth)
+            .cloned();
+        let key = if let Some(field) = element_choice {
+            XmlKey::new(position, PathExpr::label(format!("{field}_el")), Vec::<String>::new())
+                .named(format!("uniq_{field}"))
+        } else if let Some(field) = attr_choice {
+            let context = level_path(&level_labels, level);
+            let target = if level == 0 {
+                PathExpr::epsilon().descendant(&level_labels[0])
+            } else {
+                PathExpr::label(&level_labels[level])
+            };
+            let context = if level == 0 { PathExpr::epsilon() } else { context };
+            XmlKey::new(context, target, [format!("@{field}")]).named(format!("alt_{field}"))
+        } else {
+            // Fallback when the level has no spare field: a (derivable but
+            // still size-contributing) uniqueness key on the level's
+            // identifier attribute.  Kept relative so that documents only
+            // need sibling-local identifier uniqueness.
+            XmlKey::new(
+                level_path(&level_labels, level + 1),
+                PathExpr::label(format!("@id{level}")),
+                Vec::<String>::new(),
+            )
+            .named(format!("extra{extra_index}"))
+        };
+        sigma.add(key);
+        extra_index += 1;
+        if extra_index > config.keys * 4 + config.depth * 4 {
+            break; // every candidate exhausted; sigma is as large as it gets
+        }
+    }
+
+    Workload {
+        config: config.clone(),
+        sigma,
+        universal,
+        level_labels,
+        attr_fields_per_level,
+        element_fields_per_level,
+    }
+}
+
+/// The path from the document root to entity level `len` (exclusive), e.g.
+/// `//e0/e1/e2` for `len = 3`.
+fn level_path(labels: &[String], len: usize) -> PathExpr {
+    let mut path = PathExpr::epsilon();
+    for (i, label) in labels.iter().take(len).enumerate() {
+        if i == 0 {
+            path = path.descendant(label);
+        } else {
+            path = path.child(label);
+        }
+    }
+    path
+}
+
+/// An FD that the generated key chain propagates: the chain key of the
+/// deepest level determines any field of that level.  This is the "expected
+/// positive" probe used by the propagation benchmarks (Fig. 7(b)/(c)).
+pub fn target_fd(workload: &Workload) -> Fd {
+    let deepest = workload.config.depth - 1;
+    let lhs = workload.chain_key(deepest);
+    // Prefer a field of the deepest level whose determination is actually
+    // supported by a generated key: an element field with a `uniq_…` key, an
+    // attribute field with an `alt_…` key, or (as a last resort) the level's
+    // identifier itself, which makes the probe a trivial-but-null-sensitive
+    // FD.  This keeps the probe a *positive* case at every workload size,
+    // matching the paper's use of a representative propagated FD.
+    let has_key = |prefix: &str, field: &str| {
+        workload.sigma.iter().any(|k| k.name() == Some(&format!("{prefix}{field}")))
+    };
+    let rhs = workload.element_fields_per_level[deepest]
+        .iter()
+        .find(|f| has_key("uniq_", f))
+        .or_else(|| {
+            workload.attr_fields_per_level[deepest].iter().skip(1).find(|f| has_key("alt_", f))
+        })
+        .cloned()
+        .unwrap_or_else(|| workload.id_field(deepest).to_string());
+    Fd::new(lhs, std::iter::once(rhs).collect())
+}
+
+/// A random FD probe over the workload's fields: `lhs_size` random distinct
+/// fields on the left, one other random field on the right.  Used to
+/// exercise the negative/mixed cases of the propagation benchmarks.
+pub fn random_fd(workload: &Workload, rng: &mut StdRng, lhs_size: usize) -> Fd {
+    let fields: Vec<&String> = workload.universal.schema().attributes().iter().collect();
+    let mut shuffled = fields.clone();
+    shuffled.shuffle(rng);
+    let lhs: BTreeSet<String> =
+        shuffled.iter().take(lhs_size.min(fields.len().saturating_sub(1))).map(|s| (*s).clone()).collect();
+    let rhs = shuffled
+        .iter()
+        .skip(lhs_size)
+        .chain(shuffled.iter())
+        .find(|f| !lhs.contains(f.as_str()))
+        .expect("at least one field outside the LHS")
+        .to_string();
+    Fd::new(lhs, std::iter::once(rhs).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlprop_core::{minimum_cover, propagation};
+
+    #[test]
+    fn generated_workload_has_requested_shape() {
+        let config = WorkloadConfig::new(20, 4, 12);
+        let w = generate(&config);
+        assert_eq!(w.universal.schema().arity(), 20);
+        assert_eq!(w.universal.table_tree().depth(), 5); // entities + leaf vars
+        assert_eq!(w.level_labels.len(), 4);
+        assert!(w.sigma.len() >= 4, "chain keys present");
+        assert!(w.sigma.len() <= 12);
+        assert!(w.sigma.is_transitive(), "generated key set must be transitive");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = WorkloadConfig::new(30, 5, 15).with_seed(7);
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.sigma, b.sigma);
+        assert_eq!(a.universal, b.universal);
+        let c = generate(&WorkloadConfig::new(30, 5, 15).with_seed(8));
+        assert!(c.universal != a.universal || c.sigma != a.sigma);
+    }
+
+    #[test]
+    fn chain_fd_is_propagated() {
+        for (fields, depth, keys) in [(10, 3, 6), (15, 5, 10), (24, 6, 20)] {
+            let w = generate(&WorkloadConfig::new(fields, depth, keys));
+            let fd = target_fd(&w);
+            assert!(
+                propagation(&w.sigma, &w.universal, &fd),
+                "target FD {fd} should be propagated for fields={fields} depth={depth} keys={keys}"
+            );
+        }
+    }
+
+    #[test]
+    fn shallow_lhs_is_not_propagated_for_deep_fields() {
+        // A field at the deepest level cannot be determined by the top-level
+        // identifier alone.
+        let w = generate(&WorkloadConfig::new(12, 4, 8));
+        let deep_field = target_fd(&w).rhs().iter().next().unwrap().clone();
+        let fd = Fd::to_attr([w.id_field(0).to_string()], deep_field);
+        assert!(!propagation(&w.sigma, &w.universal, &fd));
+    }
+
+    #[test]
+    fn minimum_cover_scales_with_keys() {
+        let small = generate(&WorkloadConfig::new(20, 4, 4));
+        let large = generate(&WorkloadConfig::new(20, 4, 20));
+        let cover_small = minimum_cover(&small.sigma, &small.universal);
+        let cover_large = minimum_cover(&large.sigma, &large.universal);
+        assert!(
+            cover_large.len() >= cover_small.len(),
+            "more keys should not shrink the cover ({} vs {})",
+            cover_large.len(),
+            cover_small.len()
+        );
+        assert!(!cover_large.is_empty());
+    }
+
+    #[test]
+    fn random_fd_probe_is_well_formed() {
+        let w = generate(&WorkloadConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        for lhs_size in 1..5 {
+            let fd = random_fd(&w, &mut rng, lhs_size);
+            assert!(!fd.rhs().is_empty());
+            assert!(!fd.is_trivial());
+            for a in fd.attributes() {
+                assert!(w.universal.schema().contains(&a), "unknown field {a}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one (identifier) field per level")]
+    fn rejects_fewer_fields_than_levels() {
+        generate(&WorkloadConfig::new(3, 5, 5));
+    }
+}

@@ -1,0 +1,212 @@
+//! Sets of XML keys and the transitive-set property.
+
+use crate::XmlKey;
+use std::fmt;
+
+/// A set `Σ` of XML keys.
+///
+/// Order is preserved (it is convenient for display and deterministic
+/// benchmarks) but has no semantic meaning.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KeySet {
+    keys: Vec<XmlKey>,
+}
+
+impl KeySet {
+    /// The empty key set.
+    pub fn new() -> Self {
+        KeySet::default()
+    }
+
+    /// Builds a set from a vector of keys, dropping exact duplicates.
+    pub fn from_keys(keys: Vec<XmlKey>) -> Self {
+        let mut out = KeySet::new();
+        for k in keys {
+            out.add(k);
+        }
+        out
+    }
+
+    /// Adds a key (ignored if an identical key is already present).
+    pub fn add(&mut self, key: XmlKey) {
+        if !self.keys.contains(&key) {
+            self.keys.push(key);
+        }
+    }
+
+    /// Iterates over the keys.
+    pub fn iter(&self) -> impl Iterator<Item = &XmlKey> {
+        self.keys.iter()
+    }
+
+    /// The keys as a slice.
+    pub fn keys(&self) -> &[XmlKey] {
+        &self.keys
+    }
+
+    /// The number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Looks a key up by name.
+    pub fn get(&self, name: &str) -> Option<&XmlKey> {
+        self.keys.iter().find(|k| k.name() == Some(name))
+    }
+
+    /// The total size `|Σ|` (sum of key sizes), the measure used in the
+    /// paper's complexity statements.
+    pub fn size(&self) -> usize {
+        self.keys.iter().map(XmlKey::size).sum()
+    }
+
+    /// The *immediately precedes* relation of Section 4: key `a` immediately
+    /// precedes key `b` when `b`'s context is (equivalent to) `a`'s context
+    /// concatenated with `a`'s target, i.e. `Qb ≡ Qa/Qa'`.
+    pub fn immediately_precedes(a: &XmlKey, b: &XmlKey) -> bool {
+        a.absolute_target().equivalent(b.context())
+    }
+
+    /// True if `Σ` is a **transitive** set of keys: every relative key is
+    /// preceded (transitively) by an absolute key of the set, so that any
+    /// target node can be identified all the way up from the root
+    /// (Section 4, Example 4.1).
+    pub fn is_transitive(&self) -> bool {
+        self.keys.iter().all(|k| self.key_reachable_from_absolute(k))
+    }
+
+    /// True if this particular key is reachable (via the precedes relation)
+    /// from some absolute key of the set — absolute keys are trivially
+    /// reachable from themselves.
+    pub fn key_reachable_from_absolute(&self, key: &XmlKey) -> bool {
+        if key.is_absolute() {
+            return true;
+        }
+        // Breadth-first search backwards over the "immediately precedes"
+        // relation: find a predecessor chain ending in an absolute key.
+        let mut frontier: Vec<&XmlKey> = vec![key];
+        let mut visited: Vec<&XmlKey> = vec![key];
+        while let Some(current) = frontier.pop() {
+            for candidate in &self.keys {
+                if KeySet::immediately_precedes(candidate, current) {
+                    if candidate.is_absolute() {
+                        return true;
+                    }
+                    if !visited.contains(&candidate) {
+                        visited.push(candidate);
+                        frontier.push(candidate);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for KeySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for key in &self.keys {
+            writeln!(f, "{key}")?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for KeySet {
+    type Item = XmlKey;
+    type IntoIter = std::vec::IntoIter<XmlKey>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.keys.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a KeySet {
+    type Item = &'a XmlKey;
+    type IntoIter = std::slice::Iter<'a, XmlKey>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.keys.iter()
+    }
+}
+
+impl FromIterator<XmlKey> for KeySet {
+    fn from_iter<T: IntoIterator<Item = XmlKey>>(iter: T) -> Self {
+        KeySet::from_keys(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example_2_1_keys;
+
+    #[test]
+    fn construction_and_lookup() {
+        let keys = example_2_1_keys();
+        assert_eq!(keys.len(), 7);
+        assert!(keys.get("K2").is_some());
+        assert!(keys.get("K9").is_none());
+        assert!(keys.size() > 0);
+        assert!(!keys.is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let mut keys = KeySet::new();
+        let k = XmlKey::parse("(ε, (//book, {@isbn}))").unwrap();
+        keys.add(k.clone());
+        keys.add(k);
+        assert_eq!(keys.len(), 1);
+    }
+
+    #[test]
+    fn example_4_1_transitivity() {
+        // {K1, K2} is transitive; {K2} alone is not.
+        let all = example_2_1_keys();
+        let k1 = all.get("K1").unwrap().clone();
+        let k2 = all.get("K2").unwrap().clone();
+        let both = KeySet::from_keys(vec![k1.clone(), k2.clone()]);
+        assert!(both.is_transitive());
+        assert!(KeySet::immediately_precedes(&k1, &k2));
+        let only_k2 = KeySet::from_keys(vec![k2]);
+        assert!(!only_k2.is_transitive());
+    }
+
+    #[test]
+    fn full_example_set_is_transitive() {
+        // K6 needs K2 which needs K1; K4/K5/K7/K3 similarly chain upward.
+        let keys = example_2_1_keys();
+        assert!(keys.is_transitive());
+        // Dropping K1 breaks the chains for every relative key.
+        let without_k1: KeySet =
+            keys.iter().filter(|k| k.name() != Some("K1")).cloned().collect();
+        assert!(!without_k1.is_transitive());
+    }
+
+    #[test]
+    fn chains_of_length_two() {
+        // K6 = (//book/chapter, (section, {@number})) is preceded by K2,
+        // which is preceded by K1 — reachability must follow the chain.
+        let keys = example_2_1_keys();
+        let k1 = keys.get("K1").unwrap();
+        let k2 = keys.get("K2").unwrap();
+        let k6 = keys.get("K6").unwrap();
+        assert!(KeySet::immediately_precedes(k2, k6));
+        assert!(!KeySet::immediately_precedes(k1, k6));
+        assert!(keys.key_reachable_from_absolute(k6));
+    }
+
+    #[test]
+    fn display_lists_all_keys() {
+        let keys = example_2_1_keys();
+        let text = keys.to_string();
+        assert_eq!(text.lines().count(), 7);
+        assert!(text.contains("K5"));
+    }
+}

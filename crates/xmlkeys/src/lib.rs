@@ -1,0 +1,83 @@
+//! XML keys (class `K^A`): definition, satisfaction and implication.
+//!
+//! Following Section 2 of *"Propagating XML Constraints to Relations"*, an
+//! XML key is written
+//!
+//! ```text
+//! K = (Q, (Q', {@a1, …, @ak}))
+//! ```
+//!
+//! where `Q` is the **context** path, `Q'` the **target** path and the
+//! `@ai` are attribute **key paths**.  A document `T` satisfies the key iff
+//! for every context node `n ∈ [[Q]]` and every pair of target nodes
+//! `n1, n2 ∈ n[[Q']]`:
+//!
+//! 1. `n1` and `n2` each have a unique `@ai` attribute for every `i`, and
+//! 2. if they agree on the values of all the `@ai` then `n1 = n2`.
+//!
+//! A key is *absolute* when `Q = ε` and *relative* otherwise.
+//!
+//! This crate provides:
+//!
+//! * [`XmlKey`] — construction, parsing (`"(//book, (chapter, {@number}))"`)
+//!   and display;
+//! * [`satisfies`] / [`violations`] — Definition 2.1 over
+//!   [`xmlprop_xmltree::Document`]s, with detailed violation reports;
+//! * [`KeySet`] — sets `Σ` of keys, the *precedes* relation and the
+//!   **transitive set** test of Section 4;
+//! * [`implies`] — the key implication test `Σ ⊨ φ` used by the propagation
+//!   algorithms, together with [`attributes_assured`], the `exist()`
+//!   sub-procedure of Fig. 5.
+//!
+//! # Implication procedure
+//!
+//! The full inference system appears only in the authors' technical report;
+//! the conference paper names two of its rules (*epsilon* and
+//! *target-to-context*) and states that implication is decided in
+//! `O(|Σ|·|φ|)` time by examining the keys of `Σ` one at a time.  We
+//! implement exactly that shape:
+//!
+//! * `(Q, (ε, S))` holds whenever every attribute of `S` is assured (by some
+//!   key of `Σ`) to exist uniquely on every node reached by `Q`
+//!   (the *epsilon* rule for `S = ∅`);
+//! * `(Q, (Q', S))` follows from a single key `(Qk, (A/B, Sk)) ∈ Σ` with
+//!   `Sk ⊆ S` when `Q ⊑ Qk/A` and `Q' ⊑ B` (the *target-to-context* rule
+//!   combined with context/target path containment), provided the extra
+//!   attributes `S \ Sk` are assured on the target position.
+//!
+//! The procedure is **sound** (every implication it reports is a semantic
+//! consequence — property-tested against random documents) and reproduces
+//! every implication used in the paper's worked examples; like the paper's
+//! own algorithm it examines each key of `Σ` independently.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod general;
+mod implication;
+mod key;
+mod keyset;
+mod satisfy;
+pub mod xsd;
+
+pub use general::{partition_for_propagation, GeneralKey};
+pub use implication::{attribute_assured, attributes_assured, implies, node_unique_under};
+pub use key::{ParseKeyError, XmlKey};
+pub use keyset::KeySet;
+pub use satisfy::{satisfies, satisfies_all, violations, Violation};
+pub use xsd::{import_xsd_keys, XsdImport, XsdImportError};
+
+/// The seven sample keys K1–K7 of Example 2.1 in the paper, over the Fig. 1
+/// document.  Exposed here because tests, examples and benchmarks across the
+/// workspace all start from them.
+pub fn example_2_1_keys() -> KeySet {
+    KeySet::from_keys(vec![
+        XmlKey::parse("K1: (ε, (//book, {@isbn}))").expect("K1"),
+        XmlKey::parse("K2: (//book, (chapter, {@number}))").expect("K2"),
+        XmlKey::parse("K3: (//book, (title, {}))").expect("K3"),
+        XmlKey::parse("K4: (//book/chapter, (name, {}))").expect("K4"),
+        XmlKey::parse("K5: (//book/chapter/section, (name, {}))").expect("K5"),
+        XmlKey::parse("K6: (//book/chapter, (section, {@number}))").expect("K6"),
+        XmlKey::parse("K7: (//book, (author/contact, {}))").expect("K7"),
+    ])
+}

@@ -1,0 +1,256 @@
+//! Key satisfaction (Definition 2.1) and violation reporting.
+
+use crate::XmlKey;
+use std::collections::BTreeMap;
+use xmlprop_xmltree::{Document, NodeId};
+
+/// A reason why a document fails to satisfy a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A target node lacks one of the key attributes (condition 1).
+    MissingAttribute {
+        /// The context node under which the target was found.
+        context: NodeId,
+        /// The offending target node.
+        target: NodeId,
+        /// The missing attribute name (with `@`).
+        attribute: String,
+    },
+    /// A target node carries more than one copy of a key attribute
+    /// (condition 1 requires uniqueness of the attribute itself).
+    DuplicateAttribute {
+        /// The context node under which the target was found.
+        context: NodeId,
+        /// The offending target node.
+        target: NodeId,
+        /// The duplicated attribute name (with `@`).
+        attribute: String,
+    },
+    /// Two distinct target nodes under the same context agree on all key
+    /// attribute values (condition 2).
+    DuplicateKeyValue {
+        /// The context node under which the clash happens.
+        context: NodeId,
+        /// The first clashing target node.
+        first: NodeId,
+        /// The second clashing target node.
+        second: NodeId,
+        /// The shared key values, in key-attribute order.
+        values: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::MissingAttribute { context, target, attribute } => write!(
+                f,
+                "target node {target} (context {context}) is missing key attribute {attribute}"
+            ),
+            Violation::DuplicateAttribute { context, target, attribute } => write!(
+                f,
+                "target node {target} (context {context}) has more than one {attribute} attribute"
+            ),
+            Violation::DuplicateKeyValue { context, first, second, values } => write!(
+                f,
+                "target nodes {first} and {second} under context {context} share key value ({})",
+                values.join(", ")
+            ),
+        }
+    }
+}
+
+/// Computes all violations of `key` in `doc` (empty iff the document
+/// satisfies the key).
+pub fn violations(doc: &Document, key: &XmlKey) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let contexts = key.context().evaluate(doc, doc.root());
+    for context in contexts {
+        let targets = key.target().evaluate(doc, context);
+        // Map from key-value tuple to the first target node carrying it.
+        let mut seen: BTreeMap<Vec<String>, NodeId> = BTreeMap::new();
+        for target in targets {
+            let mut values = Vec::with_capacity(key.key_attrs().len());
+            let mut complete = true;
+            for attr in key.key_attrs() {
+                let nodes: Vec<NodeId> = doc
+                    .children(target)
+                    .filter(|&c| doc.kind(c).is_attribute() && doc.label(c) == attr)
+                    .collect();
+                match nodes.len() {
+                    0 => {
+                        out.push(Violation::MissingAttribute {
+                            context,
+                            target,
+                            attribute: attr.clone(),
+                        });
+                        complete = false;
+                    }
+                    1 => values.push(doc.text_value(nodes[0]).unwrap_or("").to_string()),
+                    _ => {
+                        out.push(Violation::DuplicateAttribute {
+                            context,
+                            target,
+                            attribute: attr.clone(),
+                        });
+                        complete = false;
+                    }
+                }
+            }
+            if !complete {
+                continue;
+            }
+            match seen.get(&values) {
+                Some(&first) if first != target => {
+                    out.push(Violation::DuplicateKeyValue {
+                        context,
+                        first,
+                        second: target,
+                        values: values.clone(),
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    seen.insert(values, target);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True if `doc ⊨ key` (Definition 2.1).
+pub fn satisfies(doc: &Document, key: &XmlKey) -> bool {
+    violations(doc, key).is_empty()
+}
+
+/// True if the document satisfies every key of the set.
+pub fn satisfies_all<'a>(doc: &Document, keys: impl IntoIterator<Item = &'a XmlKey>) -> bool {
+    keys.into_iter().all(|k| satisfies(doc, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example_2_1_keys;
+    use xmlprop_xmltree::sample::{fig1, fig1_duplicate_isbn};
+    use xmlprop_xmltree::ElementBuilder;
+
+    #[test]
+    fn fig1_satisfies_all_sample_keys() {
+        // Example 2.3: the tree of Fig. 1 satisfies K1–K7.
+        let doc = fig1();
+        for key in example_2_1_keys().iter() {
+            assert!(
+                satisfies(&doc, key),
+                "{key} should hold on Fig. 1, violations: {:?}",
+                violations(&doc, key)
+            );
+        }
+        assert!(satisfies_all(&doc, example_2_1_keys().iter()));
+    }
+
+    #[test]
+    fn duplicate_isbn_violates_k1_only() {
+        let doc = fig1_duplicate_isbn();
+        let keys = example_2_1_keys();
+        let k1 = keys.get("K1").unwrap();
+        let v = violations(&doc, k1);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::DuplicateKeyValue { ref values, .. } if values == &vec!["123".to_string()]));
+        // The other keys still hold.
+        for key in keys.iter().filter(|k| k.name() != Some("K1")) {
+            assert!(satisfies(&doc, key), "{key} unexpectedly violated");
+        }
+    }
+
+    #[test]
+    fn missing_attribute_is_a_violation() {
+        // A book with no @isbn violates K1's condition (1).
+        let doc = ElementBuilder::new("r")
+            .child(ElementBuilder::new("book").text_child("title", "No isbn"))
+            .build();
+        let keys = example_2_1_keys();
+        let v = violations(&doc, keys.get("K1").unwrap());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::MissingAttribute { ref attribute, .. } if attribute == "@isbn"));
+    }
+
+    #[test]
+    fn duplicate_attribute_is_a_violation() {
+        // The paper's model allows a node to carry two @isbn children; the
+        // key then fails condition (1).
+        let mut doc = ElementBuilder::new("r").child(ElementBuilder::new("book")).build();
+        let book = doc.element_children(doc.root()).next().unwrap();
+        doc.add_attribute(book, "isbn", "1");
+        doc.add_attribute(book, "isbn", "2");
+        let keys = example_2_1_keys();
+        let v = violations(&doc, keys.get("K1").unwrap());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn relative_key_scopes_violations_to_the_context() {
+        // Two chapters numbered 1 in *different* books is fine (K2 holds),
+        // but two chapters numbered 1 in the *same* book is a violation.
+        let ok = ElementBuilder::new("r")
+            .child(
+                ElementBuilder::new("book")
+                    .attr("isbn", "1")
+                    .child(ElementBuilder::new("chapter").attr("number", "1")),
+            )
+            .child(
+                ElementBuilder::new("book")
+                    .attr("isbn", "2")
+                    .child(ElementBuilder::new("chapter").attr("number", "1")),
+            )
+            .build();
+        let keys = example_2_1_keys();
+        assert!(satisfies(&ok, keys.get("K2").unwrap()));
+
+        let bad = ElementBuilder::new("r")
+            .child(
+                ElementBuilder::new("book")
+                    .attr("isbn", "1")
+                    .child(ElementBuilder::new("chapter").attr("number", "1"))
+                    .child(ElementBuilder::new("chapter").attr("number", "1")),
+            )
+            .build();
+        assert!(!satisfies(&bad, keys.get("K2").unwrap()));
+    }
+
+    #[test]
+    fn empty_key_set_means_at_most_one_target() {
+        // K3 = (//book, (title, {})): a book with two titles violates it.
+        let bad = ElementBuilder::new("r")
+            .child(
+                ElementBuilder::new("book")
+                    .attr("isbn", "1")
+                    .text_child("title", "A")
+                    .text_child("title", "B"),
+            )
+            .build();
+        let keys = example_2_1_keys();
+        assert!(!satisfies(&bad, keys.get("K3").unwrap()));
+        // But two authors are fine because no key restricts author count.
+        let doc = fig1();
+        assert!(satisfies_all(&doc, keys.iter()));
+    }
+
+    #[test]
+    fn violation_messages_are_readable() {
+        let doc = fig1_duplicate_isbn();
+        let keys = example_2_1_keys();
+        let v = violations(&doc, keys.get("K1").unwrap());
+        let msg = v[0].to_string();
+        assert!(msg.contains("share key value (123)"), "{msg}");
+    }
+
+    #[test]
+    fn context_that_matches_nothing_is_vacuously_satisfied() {
+        let doc = fig1();
+        let key = XmlKey::parse("(//magazine, (issue, {@number}))").unwrap();
+        assert!(satisfies(&doc, &key));
+    }
+}

@@ -1,0 +1,345 @@
+//! Importing XML Schema identity constraints as keys of class `K^A`.
+//!
+//! The paper's key notation is deliberately more concise than XML Schema's
+//! (`xs:key` with `xs:selector`/`xs:field`), but Section 1 notes that the
+//! class studied "is a subset of those in XML Schema".  Data providers in
+//! practice publish XSD, so this module converts the convertible subset of
+//! XML Schema identity constraints into [`crate::XmlKey`]s:
+//!
+//! * an `xs:key` (or `xs:unique`) element declared within the element
+//!   declaration for some element type `E` becomes a key whose **context**
+//!   is `//E` (or `ε` when declared on the schema's root declaration);
+//! * the `xs:selector` XPath becomes the **target** path (only the
+//!   child/descendant axes of the paper's path language are supported;
+//!   predicates, unions, `..`, and attributes in the selector are rejected);
+//! * each `xs:field` must be of the form `@name` (class `K^A` restricts key
+//!   paths to attributes); `xs:unique` with *no* field or element fields is
+//!   rejected as outside the class.
+//!
+//! `xs:keyref` (foreign keys) is recognised and reported as unsupported:
+//! Theorem 3.2 of the paper shows that propagation with foreign keys is
+//! undecidable, so refusing them is the faithful behaviour.
+
+use crate::{KeySet, XmlKey};
+use std::fmt;
+use xmlprop_xmlpath::PathExpr;
+use xmlprop_xmltree::{Document, NodeId};
+
+/// Why an identity constraint could not be imported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XsdImportError {
+    /// The schema document could not be parsed as XML.
+    Xml(String),
+    /// A keyref was encountered; foreign keys cannot be propagated
+    /// (Theorem 3.2), so the import refuses rather than silently dropping it.
+    ForeignKeyUnsupported {
+        /// The `name` attribute of the keyref.
+        name: String,
+    },
+    /// A selector or field XPath uses syntax outside the paper's fragment.
+    UnsupportedPath {
+        /// The constraint the path belongs to.
+        constraint: String,
+        /// The offending XPath text.
+        xpath: String,
+        /// What exactly is not supported.
+        reason: String,
+    },
+    /// A field is not a simple attribute path (class `K^A` requirement).
+    NonAttributeField {
+        /// The constraint the field belongs to.
+        constraint: String,
+        /// The offending field XPath.
+        xpath: String,
+    },
+    /// The constraint element is missing a required child or attribute.
+    Malformed {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for XsdImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XsdImportError::Xml(e) => write!(f, "schema is not well-formed XML: {e}"),
+            XsdImportError::ForeignKeyUnsupported { name } => write!(
+                f,
+                "keyref `{name}`: foreign keys cannot be propagated (Theorem 3.2) and are not imported"
+            ),
+            XsdImportError::UnsupportedPath { constraint, xpath, reason } => {
+                write!(f, "constraint `{constraint}`: selector `{xpath}` is unsupported ({reason})")
+            }
+            XsdImportError::NonAttributeField { constraint, xpath } => write!(
+                f,
+                "constraint `{constraint}`: field `{xpath}` is not a simple attribute (class K^A only allows @attribute fields)"
+            ),
+            XsdImportError::Malformed { message } => write!(f, "malformed constraint: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for XsdImportError {}
+
+/// The outcome of importing a schema: the keys that could be converted plus
+/// the constraints that were skipped (with the reason), so callers can warn
+/// instead of failing outright.
+#[derive(Debug, Clone, Default)]
+pub struct XsdImport {
+    /// Successfully converted keys.
+    pub keys: KeySet,
+    /// Constraints that could not be converted.
+    pub skipped: Vec<XsdImportError>,
+}
+
+/// Imports the identity constraints of an XML Schema document (given as XSD
+/// text).  Constraints that fall outside the paper's key class are collected
+/// in [`XsdImport::skipped`] rather than aborting the import.
+pub fn import_xsd_keys(xsd_text: &str) -> Result<XsdImport, XsdImportError> {
+    let doc = Document::parse_str(xsd_text).map_err(|e| XsdImportError::Xml(e.to_string()))?;
+    let mut out = XsdImport::default();
+    collect(&doc, doc.root(), &mut out);
+    Ok(out)
+}
+
+fn local_name(label: &str) -> &str {
+    label.rsplit(':').next().unwrap_or(label)
+}
+
+fn collect(doc: &Document, node: NodeId, out: &mut XsdImport) {
+    for child in doc.element_children(node) {
+        match local_name(doc.label(child)) {
+            "key" | "unique" => match convert_constraint(doc, child) {
+                Ok(key) => out.keys.add(key),
+                Err(e) => out.skipped.push(e),
+            },
+            "keyref" => out.skipped.push(XsdImportError::ForeignKeyUnsupported {
+                name: doc.attribute(child, "name").unwrap_or("<unnamed>").to_string(),
+            }),
+            _ => collect(doc, child, out),
+        }
+    }
+}
+
+/// Converts one `xs:key` / `xs:unique` element into an [`XmlKey`].
+fn convert_constraint(doc: &Document, node: NodeId) -> Result<XmlKey, XsdImportError> {
+    let name = doc.attribute(node, "name").unwrap_or("<unnamed>").to_string();
+
+    // The context is the element declaration the constraint is attached to:
+    // the nearest enclosing xs:element's name, reached from anywhere in the
+    // document (hence `//element-name`), or ε when there is none (schema
+    // scope).
+    let mut context = PathExpr::epsilon();
+    let mut anc = doc.parent(node);
+    while let Some(a) = anc {
+        if local_name(doc.label(a)) == "element" {
+            if let Some(elem_name) = doc.attribute(a, "name") {
+                context = PathExpr::epsilon().descendant(elem_name);
+            }
+            break;
+        }
+        anc = doc.parent(a);
+    }
+
+    // Selector.
+    let selector = doc
+        .element_children(node)
+        .find(|&c| local_name(doc.label(c)) == "selector")
+        .and_then(|s| doc.attribute(s, "xpath").map(str::to_string))
+        .ok_or_else(|| XsdImportError::Malformed {
+            message: format!("constraint `{name}` has no selector"),
+        })?;
+    let target = convert_selector_path(&name, &selector)?;
+
+    // Fields.
+    let mut attrs = Vec::new();
+    for field in doc.element_children(node).filter(|&c| local_name(doc.label(c)) == "field") {
+        let xpath = doc
+            .attribute(field, "xpath")
+            .ok_or_else(|| XsdImportError::Malformed {
+                message: format!("a field of constraint `{name}` has no xpath"),
+            })?
+            .trim()
+            .to_string();
+        match xpath.strip_prefix('@') {
+            Some(attr) if !attr.is_empty() && !attr.contains('/') => attrs.push(format!("@{attr}")),
+            _ => {
+                return Err(XsdImportError::NonAttributeField { constraint: name, xpath });
+            }
+        }
+    }
+
+    Ok(XmlKey::new(context, target, attrs).named(name))
+}
+
+/// Converts an `xs:selector` XPath into the paper's path language.
+fn convert_selector_path(constraint: &str, xpath: &str) -> Result<PathExpr, XsdImportError> {
+    let xpath = xpath.trim();
+    let unsupported = |reason: &str| XsdImportError::UnsupportedPath {
+        constraint: constraint.to_string(),
+        xpath: xpath.to_string(),
+        reason: reason.to_string(),
+    };
+    if xpath.is_empty() || xpath == "." {
+        return Ok(PathExpr::epsilon());
+    }
+    if xpath.contains('|') {
+        return Err(unsupported("union paths are not in the fragment"));
+    }
+    if xpath.contains('[') || xpath.contains(']') {
+        return Err(unsupported("predicates are not in the fragment"));
+    }
+    if xpath.contains("..") {
+        return Err(unsupported("the parent axis is not in the fragment"));
+    }
+    if xpath.contains('@') {
+        return Err(unsupported("selectors must reach elements, not attributes"));
+    }
+    // XSD selectors commonly start with `.//`; normalize that to `//`, and a
+    // plain `./` prefix to nothing.
+    let normalized = if let Some(rest) = xpath.strip_prefix(".//") {
+        format!("//{rest}")
+    } else if let Some(rest) = xpath.strip_prefix("./") {
+        rest.to_string()
+    } else {
+        xpath.to_string()
+    };
+    let normalized = normalized.replace("child::", "").replace("descendant-or-self::node()/", "//");
+    if normalized.contains("::") {
+        return Err(unsupported("only the child and // axes are in the fragment"));
+    }
+    normalized
+        .parse::<PathExpr>()
+        .map_err(|e| unsupported(&format!("cannot parse as the paper's path language: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOOK_XSD: &str = r#"
+      <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+        <xs:element name="r">
+          <xs:key name="bookIsbn">
+            <xs:selector xpath=".//book"/>
+            <xs:field xpath="@isbn"/>
+          </xs:key>
+        </xs:element>
+        <xs:element name="book">
+          <xs:key name="chapterNumber">
+            <xs:selector xpath="chapter"/>
+            <xs:field xpath="@number"/>
+          </xs:key>
+        </xs:element>
+      </xs:schema>"#;
+
+    #[test]
+    fn imports_key_constraints() {
+        let import = import_xsd_keys(BOOK_XSD).unwrap();
+        assert!(import.skipped.is_empty(), "{:?}", import.skipped);
+        assert_eq!(import.keys.len(), 2);
+        let k1 = import.keys.get("bookIsbn").unwrap();
+        assert_eq!(k1.context().to_string(), "//r");
+        assert_eq!(k1.target().to_string(), "//book");
+        assert_eq!(k1.key_attrs(), ["@isbn"]);
+        let k2 = import.keys.get("chapterNumber").unwrap();
+        assert_eq!(k2.context().to_string(), "//book");
+        assert_eq!(k2.target().to_string(), "chapter");
+    }
+
+    #[test]
+    fn keyrefs_are_refused_with_a_reason() {
+        let xsd = r#"
+          <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+            <xs:element name="db">
+              <xs:keyref name="chapterToBook" refer="bookIsbn">
+                <xs:selector xpath="chapter"/>
+                <xs:field xpath="@inBook"/>
+              </xs:keyref>
+            </xs:element>
+          </xs:schema>"#;
+        let import = import_xsd_keys(xsd).unwrap();
+        assert!(import.keys.is_empty());
+        assert_eq!(import.skipped.len(), 1);
+        assert!(matches!(import.skipped[0], XsdImportError::ForeignKeyUnsupported { .. }));
+        assert!(import.skipped[0].to_string().contains("Theorem 3.2"));
+    }
+
+    #[test]
+    fn non_attribute_fields_are_rejected() {
+        let xsd = r#"
+          <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+            <xs:element name="db">
+              <xs:unique name="byTitle">
+                <xs:selector xpath=".//book"/>
+                <xs:field xpath="title"/>
+              </xs:unique>
+            </xs:element>
+          </xs:schema>"#;
+        let import = import_xsd_keys(xsd).unwrap();
+        assert!(import.keys.is_empty());
+        assert!(matches!(import.skipped[0], XsdImportError::NonAttributeField { .. }));
+    }
+
+    #[test]
+    fn unsupported_selector_syntax_is_reported() {
+        for (xpath, fragment) in [
+            ("book[1]", "predicates"),
+            ("book|magazine", "union"),
+            ("../book", "parent axis"),
+            ("book/@isbn", "attributes"),
+        ] {
+            let xsd = format!(
+                r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+                     <xs:element name="db">
+                       <xs:key name="k"><xs:selector xpath="{xpath}"/><xs:field xpath="@id"/></xs:key>
+                     </xs:element>
+                   </xs:schema>"#
+            );
+            let import = import_xsd_keys(&xsd).unwrap();
+            assert!(import.keys.is_empty(), "{xpath} should not import");
+            let msg = import.skipped[0].to_string();
+            assert!(msg.contains(fragment) || msg.contains("unsupported"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn empty_selector_means_the_declaring_element_itself() {
+        let xsd = r#"
+          <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+            <xs:element name="book">
+              <xs:unique name="selfId">
+                <xs:selector xpath="."/>
+                <xs:field xpath="@isbn"/>
+              </xs:unique>
+            </xs:element>
+          </xs:schema>"#;
+        let import = import_xsd_keys(xsd).unwrap();
+        let key = import.keys.get("selfId").unwrap();
+        assert!(key.target().is_epsilon());
+        assert_eq!(key.context().to_string(), "//book");
+    }
+
+    #[test]
+    fn malformed_constraints_and_bad_xml() {
+        assert!(import_xsd_keys("<not closed").is_err());
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+            <xs:element name="db"><xs:key name="nosel"><xs:field xpath="@a"/></xs:key></xs:element>
+          </xs:schema>"#;
+        let import = import_xsd_keys(xsd).unwrap();
+        assert!(matches!(import.skipped[0], XsdImportError::Malformed { .. }));
+    }
+
+    #[test]
+    fn imported_keys_work_with_the_rest_of_the_stack() {
+        // The imported keys hold on the Fig. 1 document (context //r matches
+        // its root) and support the same propagation reasoning.
+        let import = import_xsd_keys(BOOK_XSD).unwrap();
+        let doc = xmlprop_xmltree::sample::fig1();
+        assert!(crate::satisfies_all(&doc, &import.keys));
+        assert!(crate::implies(
+            &import.keys,
+            &XmlKey::parse("(//r, (//book, {@isbn}))").unwrap()
+        ));
+    }
+}

@@ -1,0 +1,307 @@
+//! Language containment for the path fragment `ε | l | P/P | P//P`.
+//!
+//! A path expression denotes a set of concrete paths (words over the
+//! infinite alphabet of node labels), with `//` denoting "any path"
+//! (`Σ*`).  Containment `P ⊑ Q` asks whether every word of `P` is a word of
+//! `Q`.  Both XML key implication (Section 4 of the paper) and the `exist`
+//! sub-procedure of Algorithm `propagation` reduce to this test, so it must
+//! be exact and fast.
+//!
+//! # Algorithm
+//!
+//! Normalize both expressions into *blocks*: maximal label runs separated by
+//! `//` gaps, i.e. `P = w0 // w1 // … // wk`.  Because the label alphabet is
+//! unbounded, a gap of `P` can always be instantiated with arbitrarily many
+//! labels that occur nowhere in `Q`; this forces the following
+//! characterisation (k = number of gaps in `P`, m = number of gaps in `Q`,
+//! `v0..vm` the blocks of `Q`):
+//!
+//! * `m = 0` (Q is a single fixed word): containment holds iff `k = 0` and
+//!   `w0 = v0`.
+//! * `k = 0` (P is a single fixed word): containment is ordinary wildcard
+//!   matching of the word `w0` against the pattern `Q`: `v0` must be a
+//!   prefix, `vm` a suffix (without overlapping), and the middle blocks must
+//!   occur in order, disjointly, in between — greedy leftmost matching is
+//!   complete here.
+//! * `k ≥ 1, m ≥ 1`: `v0` must be a prefix of `w0`, `vm` a suffix of `wk`,
+//!   and the middle blocks `v1..v(m-1)` must occur, in order and without
+//!   crossing a gap of `P`, inside the remaining literal material
+//!   `w0[|v0|..], w1, …, wk[..len-|vm|]` — again greedy matching is
+//!   complete.
+//!
+//! Soundness and completeness of the greedy step follow from the standard
+//! exchange argument for pattern matching with `*` wildcards.
+
+use crate::expr::{Atom, PathExpr};
+
+/// Splits an expression into its literal blocks (label runs between `//`s)
+/// and reports how many gaps it has.
+fn blocks(expr: &PathExpr) -> (Vec<Vec<&str>>, usize) {
+    let mut out: Vec<Vec<&str>> = vec![Vec::new()];
+    let mut gaps = 0usize;
+    for atom in expr.atoms() {
+        match atom {
+            Atom::Label(l) => out.last_mut().expect("at least one block").push(l.as_str()),
+            Atom::AnyPath => {
+                gaps += 1;
+                out.push(Vec::new());
+            }
+        }
+    }
+    (out, gaps)
+}
+
+/// Finds the first occurrence of `needle` as a contiguous factor of
+/// `haystack` starting at or after `from`; returns the index just past the
+/// match.
+fn find_factor(haystack: &[&str], needle: &[&str], from: usize) -> Option<usize> {
+    if needle.is_empty() {
+        return Some(from.min(haystack.len()));
+    }
+    if haystack.len() < needle.len() {
+        return None;
+    }
+    let last_start = haystack.len() - needle.len();
+    (from..=last_start)
+        .find(|&start| &haystack[start..start + needle.len()] == needle)
+        .map(|start| start + needle.len())
+}
+
+/// Greedily places the blocks `needles` (in order, disjointly) into the
+/// sequence of `segments`, never letting a needle span two segments.
+/// `segments` are scanned left to right.
+fn place_blocks(segments: &[Vec<&str>], needles: &[Vec<&str>]) -> bool {
+    let mut seg = 0usize;
+    let mut offset = 0usize;
+    'next_needle: for needle in needles {
+        while seg < segments.len() {
+            if let Some(end) = find_factor(&segments[seg], needle, offset) {
+                offset = end;
+                continue 'next_needle;
+            }
+            seg += 1;
+            offset = 0;
+        }
+        return false;
+    }
+    true
+}
+
+/// Containment `p ⊑ q` of path-expression languages.
+pub fn contained_in(p: &PathExpr, q: &PathExpr) -> bool {
+    let (p_blocks, p_gaps) = blocks(p);
+    let (q_blocks, q_gaps) = blocks(q);
+
+    if q_gaps == 0 {
+        // Q denotes a single word.
+        return p_gaps == 0 && p_blocks[0] == q_blocks[0];
+    }
+
+    let v0 = &q_blocks[0];
+    let vm = &q_blocks[q_blocks.len() - 1];
+    let middles = &q_blocks[1..q_blocks.len() - 1];
+
+    if p_gaps == 0 {
+        // P is a single word w0; match it against the pattern Q.
+        let w0 = &p_blocks[0];
+        if w0.len() < v0.len() + vm.len() {
+            return false;
+        }
+        if &w0[..v0.len()] != v0.as_slice() || &w0[w0.len() - vm.len()..] != vm.as_slice() {
+            return false;
+        }
+        let interior = vec![w0[v0.len()..w0.len() - vm.len()].to_vec()];
+        return place_blocks(&interior, middles);
+    }
+
+    // Both have gaps. Anchor v0 at the start of w0 and vm at the end of wk.
+    let w0 = &p_blocks[0];
+    let wk = &p_blocks[p_blocks.len() - 1];
+    if w0.len() < v0.len() || &w0[..v0.len()] != v0.as_slice() {
+        return false;
+    }
+    if wk.len() < vm.len() || &wk[wk.len() - vm.len()..] != vm.as_slice() {
+        return false;
+    }
+    // Remaining literal material of P, in order; middle blocks of Q must be
+    // placed inside it without crossing gap boundaries.
+    let mut segments: Vec<Vec<&str>> = Vec::with_capacity(p_blocks.len());
+    if p_blocks.len() == 1 {
+        // Unreachable (p_gaps >= 1 implies at least two blocks) but kept for
+        // clarity: a single block would need both anchors inside it.
+        segments.push(w0[v0.len()..w0.len() - vm.len()].to_vec());
+    } else {
+        segments.push(w0[v0.len()..].to_vec());
+        for b in &p_blocks[1..p_blocks.len() - 1] {
+            segments.push(b.clone());
+        }
+        segments.push(wk[..wk.len() - vm.len()].to_vec());
+    }
+    place_blocks(&segments, middles)
+}
+
+/// Membership of a concrete word (label sequence) in the language of `q`.
+pub fn word_matches(word: &[String], q: &PathExpr) -> bool {
+    let as_expr = PathExpr::from_labels(word.iter().cloned());
+    contained_in(&as_expr, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathExpr {
+        s.parse().unwrap()
+    }
+
+    #[track_caller]
+    fn assert_cont(a: &str, b: &str, expect: bool) {
+        assert_eq!(contained_in(&p(a), &p(b)), expect, "{a} ⊑ {b} should be {expect}");
+    }
+
+    #[test]
+    fn fixed_words() {
+        assert_cont("a/b/c", "a/b/c", true);
+        assert_cont("a/b", "a/b/c", false);
+        assert_cont("a/b/c", "a/b", false);
+        assert_cont("ε", "ε", true);
+        assert_cont("a", "ε", false);
+        assert_cont("ε", "a", false);
+    }
+
+    #[test]
+    fn word_in_pattern() {
+        assert_cont("book/chapter", "//chapter", true);
+        assert_cont("book/chapter", "//book", false);
+        assert_cont("book/chapter/section", "book//section", true);
+        assert_cont("book/section", "book//section", true); // `//` matches ε
+        assert_cont("book/chapter/section", "//chapter//", true);
+        assert_cont("a/x/b/y/c", "a//b//c", true);
+        assert_cont("a/y/c", "a//b//c", false);
+        assert_cont("ε", "//", true);
+        assert_cont("a", "//", true);
+    }
+
+    #[test]
+    fn pattern_in_fixed_word_only_if_equal_and_gap_free() {
+        assert_cont("//a", "a", false);
+        assert_cont("a//", "a", false);
+        assert_cont("a", "a", true);
+    }
+
+    #[test]
+    fn pattern_in_pattern() {
+        assert_cont("//book/chapter", "//chapter", true);
+        assert_cont("//chapter", "//book/chapter", false);
+        assert_cont("//book/chapter", "//", true);
+        assert_cont("//", "//book", false);
+        assert_cont("a//b", "a//b", true);
+        assert_cont("a/x//b", "a//b", true);
+        assert_cont("a//x/b", "a//b", true);
+        assert_cont("a//b", "a/x//b", false);
+        assert_cont("a//b//c", "a//c", true);
+        assert_cont("a//c", "a//b//c", false);
+        assert_cont("//book//", "//", true);
+        assert_cont("//", "//book//", false);
+    }
+
+    #[test]
+    fn middle_blocks_must_respect_gaps() {
+        // Every word of a//c contains no guaranteed `b`, so it cannot be
+        // contained in //b//.
+        assert_cont("a//c", "//b//", false);
+        // But a//b/c ⊑ //b// since b literally occurs in every word.
+        assert_cont("a//b/c", "//b//", true);
+        // A middle block may not span a gap of P: every word of a//b has a
+        // potential junk segment between a and b, so //a/b// does not cover.
+        assert_cont("a//b", "//a/b//", false);
+        assert_cont("a/b//x", "//a/b//", true);
+    }
+
+    #[test]
+    fn anchors_are_required() {
+        // P's words may start with `b`, which //a... cannot absorb — wait,
+        // //a is not a prefix anchor; check real anchor cases:
+        assert_cont("b//c", "a//c", false); // prefix mismatch
+        assert_cont("a/b//c", "a//c", true);
+        assert_cont("a//b", "a//c", false); // suffix mismatch
+        assert_cont("a//c/b", "a//b", true);
+    }
+
+    #[test]
+    fn paper_examples() {
+        // Section 2: book/chapter ∈ //chapter and //book/chapter.
+        assert!(word_matches(
+            &["book".to_string(), "chapter".to_string()],
+            &p("//chapter")
+        ));
+        assert!(word_matches(
+            &["book".to_string(), "chapter".to_string()],
+            &p("//book/chapter")
+        ));
+        // exist() in Example 4.2: //book ⊑ ε-concat-//book.
+        assert_cont("//book", "//book", true);
+        // Transitive-key reasoning: //book/chapter ⊑ //book / chapter.
+        assert_cont("//book/chapter", "//chapter", true);
+    }
+
+    #[test]
+    fn equivalence_and_reflexivity() {
+        for s in ["ε", "a", "//", "//book/chapter", "a//b//c"] {
+            assert_cont(s, s, true);
+        }
+        assert!(p("a////b").equivalent(&p("a//b")));
+        assert!(!p("a//b").equivalent(&p("a/b")));
+    }
+
+    #[test]
+    fn brute_force_cross_check() {
+        // Enumerate all words up to length 3 over a 2-letter alphabet and
+        // compare membership-based containment against the decision
+        // procedure, for a small universe of expressions.
+        let alphabet = ["a", "b"];
+        let mut words: Vec<Vec<String>> = vec![vec![]];
+        for len in 1..=3usize {
+            let mut level: Vec<Vec<String>> = vec![vec![]];
+            for _ in 0..len {
+                let mut next = Vec::new();
+                for w in &level {
+                    for l in alphabet {
+                        let mut w2 = w.clone();
+                        w2.push(l.to_string());
+                        next.push(w2);
+                    }
+                }
+                level = next;
+            }
+            words.extend(level);
+        }
+        let exprs = [
+            "ε", "a", "b", "a/b", "//", "//a", "a//", "//a//", "a//b", "//a/b", "b//a", "a//a",
+            "//b//a", "a/b//a",
+        ];
+        for pe in exprs {
+            for qe in exprs {
+                let pexpr = p(pe);
+                let qexpr = p(qe);
+                let decided = contained_in(&pexpr, &qexpr);
+                // Sampled containment: every enumerated word of P must be in Q.
+                // (Only a necessary check on this finite sample, but whenever
+                // the decision procedure says "contained", the sample must
+                // agree; and when it says "not contained" over this small
+                // alphabet-closed universe, some word up to length 3 plus a
+                // fresh-letter trick should witness it for these expressions.)
+                if decided {
+                    for w in &words {
+                        if word_matches(w, &pexpr) {
+                            assert!(
+                                word_matches(w, &qexpr),
+                                "{pe} ⊑ {qe} claimed, but word {w:?} is a counterexample"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

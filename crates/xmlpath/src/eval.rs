@@ -1,0 +1,139 @@
+//! Evaluation of path expressions over XML documents: `n[[P]]`.
+
+use crate::expr::{Atom, PathExpr};
+use std::collections::BTreeSet;
+use xmlprop_xmltree::{Document, NodeId};
+
+/// Evaluates `from[[expr]]`: the set of nodes reached from `from` by
+/// following the path expression, in document order and without duplicates.
+///
+/// Semantics (Section 2 of the paper):
+///
+/// * `ε` reaches `{from}`;
+/// * a label `l` reaches the children of `from` labelled `l` (this includes
+///   attribute nodes when `l` is of the form `@name`, matching the paper's
+///   uniform treatment of attributes as labelled children);
+/// * `P/P'` composes;
+/// * `//` reaches all descendants-or-self.
+pub fn evaluate(doc: &Document, from: NodeId, expr: &PathExpr) -> Vec<NodeId> {
+    let mut current: BTreeSet<NodeId> = BTreeSet::new();
+    current.insert(from);
+    for atom in expr.atoms() {
+        let mut next = BTreeSet::new();
+        match atom {
+            Atom::Label(label) => {
+                for &n in &current {
+                    for c in doc.children_labelled(n, label) {
+                        next.insert(c);
+                    }
+                }
+            }
+            Atom::AnyPath => {
+                for &n in &current {
+                    for d in doc.descendants_or_self(n) {
+                        next.insert(d);
+                    }
+                }
+            }
+        }
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    current.into_iter().collect()
+}
+
+/// Evaluates `[[expr]]` from the document root (the paper's abbreviation
+/// `[[P]]` for `root[[P]]`).
+pub fn evaluate_from_root(doc: &Document, expr: &PathExpr) -> Vec<NodeId> {
+    evaluate(doc, doc.root(), expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlprop_xmltree::sample::fig1;
+
+    fn p(s: &str) -> PathExpr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn example_2_2_cardinalities() {
+        // Example 2.2 of the paper: [[//book]] has 2 nodes, one book's
+        // [[chapter]] has 2 nodes, [[//@number]] has 5 nodes.
+        let doc = fig1();
+        assert_eq!(evaluate_from_root(&doc, &p("//book")).len(), 2);
+        let first_book = evaluate_from_root(&doc, &p("book"))[0];
+        assert_eq!(evaluate(&doc, first_book, &p("chapter")).len(), 2);
+        assert_eq!(evaluate_from_root(&doc, &p("//@number")).len(), 5);
+    }
+
+    #[test]
+    fn epsilon_reaches_self() {
+        let doc = fig1();
+        let book = evaluate_from_root(&doc, &p("//book"))[0];
+        assert_eq!(evaluate(&doc, book, &p("ε")), vec![book]);
+    }
+
+    #[test]
+    fn attribute_steps() {
+        let doc = fig1();
+        let isbns = evaluate_from_root(&doc, &p("//book/@isbn"));
+        assert_eq!(isbns.len(), 2);
+        let values: Vec<_> = isbns.iter().map(|&n| doc.text_value(n).unwrap()).collect();
+        assert_eq!(values, vec!["123", "234"]);
+    }
+
+    #[test]
+    fn child_vs_descendant() {
+        let doc = fig1();
+        // section is never a child of book, only a descendant.
+        assert!(evaluate_from_root(&doc, &p("//book/section")).is_empty());
+        assert_eq!(evaluate_from_root(&doc, &p("//book//section")).len(), 2);
+        assert_eq!(evaluate_from_root(&doc, &p("//section")).len(), 2);
+        // name appears under chapters, sections and authors.
+        assert_eq!(evaluate_from_root(&doc, &p("//name")).len(), 6);
+        assert_eq!(evaluate_from_root(&doc, &p("//chapter/name")).len(), 3);
+    }
+
+    #[test]
+    fn results_have_no_duplicates() {
+        let doc = fig1();
+        // `////name` normalizes to `//name`; even a non-normalized pipeline
+        // with two AnyPath steps must not produce duplicates.
+        let nodes = evaluate_from_root(&doc, &PathExpr::from_atoms(vec![
+            Atom::AnyPath,
+            Atom::Label("name".to_string()),
+        ]));
+        let set: BTreeSet<_> = nodes.iter().copied().collect();
+        assert_eq!(set.len(), nodes.len());
+    }
+
+    #[test]
+    fn empty_result_for_missing_labels() {
+        let doc = fig1();
+        assert!(evaluate_from_root(&doc, &p("//magazine")).is_empty());
+        assert!(evaluate_from_root(&doc, &p("book/title/@lang")).is_empty());
+    }
+
+    #[test]
+    fn membership_consistency_with_evaluation() {
+        // Every node reached by `expr` from the root has a root path that is
+        // a member of the expression's language, and vice versa.
+        let doc = fig1();
+        for expr in ["//book", "//chapter", "//book/chapter/@number", "//name", "book//name"] {
+            let expr = p(expr);
+            let reached: BTreeSet<NodeId> = evaluate_from_root(&doc, &expr).into_iter().collect();
+            for n in doc.all_nodes() {
+                let rho = crate::Path::from_labels(doc.path_from_root(n));
+                assert_eq!(
+                    reached.contains(&n),
+                    expr.matches(&rho),
+                    "node {n} path {rho} vs expr {expr}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The path language of *"Propagating XML Constraints to Relations"*.
+//!
+//! Section 2 of the paper adopts a common fragment of regular expressions and
+//! XPath:
+//!
+//! ```text
+//! P ::= ε | l | P/P | P//P
+//! ```
+//!
+//! where `ε` is the empty path, `l` a node label, `/` concatenation (XPath
+//! *child*) and `//` XPath *descendant-or-self* (it matches any path,
+//! including the empty one).
+//!
+//! This crate provides:
+//!
+//! * [`PathExpr`] — path expressions, with parsing (`"//book/chapter"`),
+//!   display, concatenation and splitting (needed by the *target-to-context*
+//!   inference rule for XML keys);
+//! * [`Path`] — concrete paths (label sequences), with membership testing
+//!   `ρ ∈ P`;
+//! * language **containment** `P ⊑ Q` ([`PathExpr::contained_in`]), the
+//!   workhorse of XML key implication;
+//! * **evaluation** `n[[P]]` over [`xmlprop_xmltree::Document`]s
+//!   ([`evaluate`] / [`PathExpr::evaluate`]).
+//!
+//! # Example
+//!
+//! ```
+//! use xmlprop_xmlpath::{Path, PathExpr};
+//!
+//! let p: PathExpr = "//book/chapter".parse().unwrap();
+//! let q: PathExpr = "//chapter".parse().unwrap();
+//! assert!(p.contained_in(&q));
+//! assert!(!q.contained_in(&p));
+//!
+//! let rho = Path::from_labels(["book", "chapter"]);
+//! assert!(p.matches(&rho));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod containment;
+mod eval;
+mod expr;
+mod path;
+
+pub use eval::{evaluate, evaluate_from_root};
+pub use expr::{Atom, ParsePathError, PathExpr};
+pub use path::Path;

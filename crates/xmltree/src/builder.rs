@@ -1,0 +1,151 @@
+//! Fluent builder for constructing documents in code.
+
+use crate::{Document, NodeId};
+
+/// A fluent builder for an element subtree.
+///
+/// `ElementBuilder` makes hand-written documents (which tests and examples
+/// need a lot of) readable:
+///
+/// ```
+/// use xmlprop_xmltree::ElementBuilder;
+///
+/// let doc = ElementBuilder::new("db")
+///     .child(
+///         ElementBuilder::new("book")
+///             .attr("isbn", "123")
+///             .child(ElementBuilder::new("title").text("XML")),
+///     )
+///     .build();
+/// assert_eq!(doc.value(doc.root()), "(book:(@isbn:123, title:(S:XML)))");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElementBuilder {
+    label: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Child>,
+}
+
+#[derive(Debug, Clone)]
+enum Child {
+    Element(ElementBuilder),
+    Text(String),
+}
+
+impl ElementBuilder {
+    /// Starts building an element with the given tag name.
+    pub fn new(label: impl Into<String>) -> Self {
+        ElementBuilder { label: label.into(), attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// Adds an attribute to the element.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds an element child.
+    pub fn child(mut self, child: ElementBuilder) -> Self {
+        self.children.push(Child::Element(child));
+        self
+    }
+
+    /// Adds several element children at once.
+    pub fn children(mut self, children: impl IntoIterator<Item = ElementBuilder>) -> Self {
+        for c in children {
+            self.children.push(Child::Element(c));
+        }
+        self
+    }
+
+    /// Adds a text child.
+    pub fn text(mut self, value: impl Into<String>) -> Self {
+        self.children.push(Child::Text(value.into()));
+        self
+    }
+
+    /// Convenience: adds an element child that only contains text, e.g.
+    /// `.text_child("title", "XML")` for `<title>XML</title>`.
+    pub fn text_child(self, label: impl Into<String>, value: impl Into<String>) -> Self {
+        self.child(ElementBuilder::new(label).text(value))
+    }
+
+    /// Finishes the builder, producing a document whose root is this element.
+    pub fn build(self) -> Document {
+        let mut doc = Document::new(self.label.clone());
+        let root = doc.root();
+        self.fill(&mut doc, root);
+        doc
+    }
+
+    /// Appends this subtree under `parent` in an existing document and returns
+    /// the id of the newly created element.
+    pub fn attach(self, doc: &mut Document, parent: NodeId) -> NodeId {
+        let id = doc.add_element(parent, self.label.clone());
+        self.fill(doc, id);
+        id
+    }
+
+    fn fill(self, doc: &mut Document, id: NodeId) {
+        for (name, value) in self.attrs {
+            doc.add_attribute(id, name, value);
+        }
+        for child in self.children {
+            match child {
+                Child::Element(b) => {
+                    b.attach(doc, id);
+                }
+                Child::Text(t) => {
+                    doc.add_text(id, t);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_structure() {
+        let doc = ElementBuilder::new("db")
+            .child(
+                ElementBuilder::new("book")
+                    .attr("isbn", "123")
+                    .text_child("title", "XML")
+                    .child(
+                        ElementBuilder::new("chapter")
+                            .attr("number", "1")
+                            .text_child("name", "Introduction"),
+                    ),
+            )
+            .build();
+        let root = doc.root();
+        assert_eq!(doc.label(root), "db");
+        let book = doc.element_children(root).next().unwrap();
+        assert_eq!(doc.attribute(book, "isbn"), Some("123"));
+        let chapter = doc.children_labelled(book, "chapter").next().unwrap();
+        assert_eq!(doc.attribute(chapter, "number"), Some("1"));
+        let name = doc.children_labelled(chapter, "name").next().unwrap();
+        assert_eq!(doc.string_value(name), "Introduction");
+    }
+
+    #[test]
+    fn attach_into_existing_document() {
+        let mut doc = Document::new("db");
+        let root = doc.root();
+        let first = ElementBuilder::new("book").attr("isbn", "1").attach(&mut doc, root);
+        let second = ElementBuilder::new("book").attr("isbn", "2").attach(&mut doc, root);
+        assert_ne!(first, second);
+        assert_eq!(doc.element_children(root).count(), 2);
+    }
+
+    #[test]
+    fn children_helper_adds_all() {
+        let doc = ElementBuilder::new("r")
+            .children((0..3).map(|i| ElementBuilder::new("item").attr("id", i.to_string())))
+            .build();
+        assert_eq!(doc.element_children(doc.root()).count(), 3);
+    }
+}

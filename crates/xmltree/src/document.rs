@@ -1,0 +1,426 @@
+//! The arena-backed XML document.
+
+use crate::node::{NodeData, NodeId, NodeKind};
+use crate::ParseError;
+use std::fmt;
+
+/// An XML document stored as an arena of nodes.
+///
+/// The document always has a single root element.  Nodes are addressed by
+/// [`NodeId`]; the arena never removes nodes, so identifiers stay valid for
+/// the lifetime of the document.
+///
+/// Construction paths:
+///
+/// * [`Document::new`] + mutation methods ([`Document::add_element`],
+///   [`Document::add_attribute`], [`Document::add_text`]);
+/// * the fluent [`crate::ElementBuilder`];
+/// * [`Document::parse_str`] for textual XML.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<NodeData>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Creates a document with a single root element labelled `root_label`.
+    pub fn new(root_label: impl Into<String>) -> Self {
+        let root_data = NodeData::element(root_label, None);
+        Document { nodes: vec![root_data], root: NodeId(0) }
+    }
+
+    /// Parses a document from XML text.  See [`crate::parse`].
+    pub fn parse_str(input: &str) -> Result<Self, ParseError> {
+        crate::parse(input)
+    }
+
+    /// The root element of the document.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The number of nodes in the document (elements, attributes and text).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the document contains only the root element.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    fn data(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
+    }
+
+    fn data_mut(&mut self, id: NodeId) -> &mut NodeData {
+        &mut self.nodes[id.index()]
+    }
+
+    /// The kind of node `id`.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.data(id).kind
+    }
+
+    /// The label of node `id`: tag name for elements, `@name` for attributes,
+    /// `S` for text nodes (following Fig. 1 of the paper).
+    #[inline]
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.data(id).label
+    }
+
+    /// The text carried by an attribute or text node, `None` for elements.
+    pub fn text_value(&self, id: NodeId) -> Option<&str> {
+        match self.data(id).kind {
+            NodeKind::Element => None,
+            NodeKind::Attribute | NodeKind::Text => Some(self.data(id).text.as_str()),
+        }
+    }
+
+    /// The parent of `id`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).parent
+    }
+
+    /// Iterator over the children of `id` in document order (attributes first,
+    /// in insertion order, then elements/text in insertion order — matching
+    /// the order in which they were added or parsed).
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.data(id).children.iter().copied()
+    }
+
+    /// Children of `id` carrying a particular label (e.g. `"chapter"` or
+    /// `"@isbn"`).
+    pub fn children_labelled<'a>(
+        &'a self,
+        id: NodeId,
+        label: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.children(id).filter(move |&c| self.label(c) == label)
+    }
+
+    /// All element children of `id`.
+    pub fn element_children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id).filter(|&c| self.kind(c).is_element())
+    }
+
+    /// The attribute node named `name` (with or without the leading `@`)
+    /// attached to element `id`, if any.  When the element carries several
+    /// attribute nodes with the same name (which the paper's model permits,
+    /// even though well-formed XML does not) the first one is returned.
+    pub fn attribute_node(&self, id: NodeId, name: &str) -> Option<NodeId> {
+        let want = if name.starts_with('@') { name.to_string() } else { format!("@{name}") };
+        self.children(id).find(|&c| self.kind(c).is_attribute() && self.label(c) == want)
+    }
+
+    /// The string value of attribute `name` on element `id`, if present.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attribute_node(id, name).and_then(|n| self.text_value(n))
+    }
+
+    /// Concatenated text content of all text-node descendants of `id`
+    /// (the usual "string value" of an element).  For attribute and text
+    /// nodes this is just their own text.
+    pub fn string_value(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match self.kind(id) {
+            NodeKind::Text | NodeKind::Attribute => out.push_str(&self.data(id).text),
+            NodeKind::Element => {
+                for c in self.children(id) {
+                    if !self.kind(c).is_attribute() {
+                        self.collect_text(c, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pre-order traversal of the subtree rooted at `id`, including `id`.
+    pub fn descendants_or_self(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            // Push children in reverse so they pop in document order.
+            for &c in self.data(n).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Proper descendants of `id` in document order.
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut all = self.descendants_or_self(id);
+        all.remove(0);
+        all
+    }
+
+    /// All nodes of the document in document order.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        self.descendants_or_self(self.root)
+    }
+
+    /// Ancestors of `id` from its parent up to (and including) the root.
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.parent(id);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent(p);
+        }
+        out
+    }
+
+    /// True if `anc` is an ancestor of `id` (proper, i.e. `anc != id`).
+    pub fn is_ancestor(&self, anc: NodeId, id: NodeId) -> bool {
+        let mut cur = self.parent(id);
+        while let Some(p) = cur {
+            if p == anc {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+
+    /// The depth of node `id` (the root has depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.ancestors(id).len()
+    }
+
+    /// The maximum node depth in the document.
+    pub fn height(&self) -> usize {
+        self.all_nodes().into_iter().map(|n| self.depth(n)).max().unwrap_or(0)
+    }
+
+    /// The sequence of labels on the path from the root to `id`, excluding the
+    /// root's own label.  This is the "path of the node" used when checking
+    /// whether a node is reached by a path expression rooted at the document
+    /// root.
+    pub fn path_from_root(&self, id: NodeId) -> Vec<String> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            if n == self.root {
+                break;
+            }
+            labels.push(self.label(n).to_string());
+            cur = self.parent(n);
+        }
+        labels.reverse();
+        labels
+    }
+
+    /// The sequence of labels on the path from ancestor `from` down to `to`,
+    /// excluding `from`'s own label.  Returns `None` if `from` is not an
+    /// ancestor-or-self of `to`.
+    pub fn path_between(&self, from: NodeId, to: NodeId) -> Option<Vec<String>> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut cur = to;
+        loop {
+            if cur == from {
+                labels.reverse();
+                return Some(labels);
+            }
+            labels.push(self.label(cur).to_string());
+            cur = self.parent(cur)?;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    fn push_node(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("document too large"));
+        self.nodes.push(data);
+        id
+    }
+
+    /// Adds an element child labelled `label` under `parent` and returns its id.
+    pub fn add_element(&mut self, parent: NodeId, label: impl Into<String>) -> NodeId {
+        let id = self.push_node(NodeData::element(label, Some(parent)));
+        self.data_mut(parent).children.push(id);
+        id
+    }
+
+    /// Adds an attribute node `@name = value` under element `parent`.
+    pub fn add_attribute(
+        &mut self,
+        parent: NodeId,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) -> NodeId {
+        let id = self.push_node(NodeData::attribute(name, value, parent));
+        self.data_mut(parent).children.push(id);
+        id
+    }
+
+    /// Adds a text node under element `parent`.
+    pub fn add_text(&mut self, parent: NodeId, value: impl Into<String>) -> NodeId {
+        let id = self.push_node(NodeData::text(value, parent));
+        self.data_mut(parent).children.push(id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // value() — the paper's field-population function
+    // ------------------------------------------------------------------
+
+    /// The `value` function of the paper's transformation semantics
+    /// (Section 2, Example 2.5): a string representing the pre-order
+    /// traversal of the subtree rooted at `id`.
+    ///
+    /// * For attribute and text nodes this is simply their text content —
+    ///   which is what ends up in relational fields in all the paper's
+    ///   examples.
+    /// * For element nodes the serialization lists the node's attributes and
+    ///   children recursively, e.g. the `chapter` node 11 of Fig. 1 yields
+    ///   `(@number:1, name:(S:Introduction))`.
+    pub fn value(&self, id: NodeId) -> String {
+        match self.kind(id) {
+            NodeKind::Attribute | NodeKind::Text => self.data(id).text.clone(),
+            NodeKind::Element => {
+                let mut out = String::new();
+                self.value_children(id, &mut out);
+                out
+            }
+        }
+    }
+
+    fn value_children(&self, id: NodeId, out: &mut String) {
+        out.push('(');
+        let mut first = true;
+        for c in self.children(id) {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            match self.kind(c) {
+                NodeKind::Attribute => {
+                    out.push_str(self.label(c));
+                    out.push(':');
+                    out.push_str(&self.data(c).text);
+                }
+                NodeKind::Text => {
+                    out.push_str("S:");
+                    out.push_str(&self.data(c).text);
+                }
+                NodeKind::Element => {
+                    out.push_str(self.label(c));
+                    out.push(':');
+                    self.value_children(c, out);
+                }
+            }
+        }
+        out.push(')');
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::serialize::to_xml(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Document {
+        let mut d = Document::new("db");
+        let book = d.add_element(d.root(), "book");
+        d.add_attribute(book, "isbn", "123");
+        let title = d.add_element(book, "title");
+        d.add_text(title, "XML");
+        d
+    }
+
+    #[test]
+    fn navigation_basics() {
+        let d = tiny();
+        let root = d.root();
+        assert_eq!(d.label(root), "db");
+        assert_eq!(d.parent(root), None);
+        let book = d.element_children(root).next().unwrap();
+        assert_eq!(d.label(book), "book");
+        assert_eq!(d.parent(book), Some(root));
+        assert_eq!(d.attribute(book, "isbn"), Some("123"));
+        assert_eq!(d.attribute(book, "@isbn"), Some("123"));
+        assert_eq!(d.attribute(book, "missing"), None);
+        let title = d.children_labelled(book, "title").next().unwrap();
+        assert_eq!(d.string_value(title), "XML");
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let d = tiny();
+        let root = d.root();
+        let all = d.descendants_or_self(root);
+        assert_eq!(all.len(), d.len());
+        assert_eq!(all[0], root);
+        let title = all.iter().copied().find(|&n| d.label(n) == "title").unwrap();
+        let anc = d.ancestors(title);
+        assert_eq!(anc.len(), 2); // book, db
+        assert!(d.is_ancestor(root, title));
+        assert!(!d.is_ancestor(title, root));
+        assert_eq!(d.depth(title), 2);
+        assert_eq!(d.height(), 3); // text node under title
+    }
+
+    #[test]
+    fn paths() {
+        let d = tiny();
+        let title = d.all_nodes().into_iter().find(|&n| d.label(n) == "title").unwrap();
+        assert_eq!(d.path_from_root(title), vec!["book".to_string(), "title".to_string()]);
+        let book = d.parent(title).unwrap();
+        assert_eq!(d.path_between(book, title), Some(vec!["title".to_string()]));
+        assert_eq!(d.path_between(title, book), None);
+        assert_eq!(d.path_between(title, title), Some(vec![]));
+    }
+
+    #[test]
+    fn value_of_attribute_and_text() {
+        let d = tiny();
+        let book = d.element_children(d.root()).next().unwrap();
+        let isbn = d.attribute_node(book, "isbn").unwrap();
+        assert_eq!(d.value(isbn), "123");
+        let title = d.children_labelled(book, "title").next().unwrap();
+        let text = d.children(title).next().unwrap();
+        assert_eq!(d.value(text), "XML");
+    }
+
+    #[test]
+    fn value_of_element_is_preorder() {
+        let d = tiny();
+        let book = d.element_children(d.root()).next().unwrap();
+        assert_eq!(d.value(book), "(@isbn:123, title:(S:XML))");
+    }
+
+    #[test]
+    fn string_value_skips_attributes() {
+        let d = tiny();
+        let book = d.element_children(d.root()).next().unwrap();
+        assert_eq!(d.string_value(book), "XML");
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = Document::new("r");
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.height(), 0);
+        assert_eq!(d.value(d.root()), "()");
+    }
+}

@@ -1,0 +1,75 @@
+//! Errors produced by the XML parser.
+
+use std::fmt;
+
+/// An error encountered while parsing XML text.
+///
+/// The parser is non-validating and deliberately small (the paper ignores
+/// DTDs and schema languages), but it reports precise positions so that test
+/// fixtures and example data are easy to debug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line number of the error.
+    pub line: usize,
+    /// 1-based column (in characters) of the error.
+    pub column: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, input: &str, message: impl Into<String>) -> Self {
+        let (line, column) = position(input, offset);
+        ParseError { offset, line, column, message: message.into() }
+    }
+}
+
+/// Computes the (line, column) of a byte offset in `input`.
+fn position(input: &str, offset: usize) -> (usize, usize) {
+    let mut line = 1;
+    let mut column = 1;
+    for (i, ch) in input.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            column = 1;
+        } else {
+            column += 1;
+        }
+    }
+    (line, column)
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at line {}, column {}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_tracks_lines_and_columns() {
+        let input = "ab\ncd\nef";
+        assert_eq!(position(input, 0), (1, 1));
+        assert_eq!(position(input, 1), (1, 2));
+        assert_eq!(position(input, 3), (2, 1));
+        assert_eq!(position(input, 7), (3, 2));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::new(3, "ab\ncd", "unexpected `c`");
+        let s = e.to_string();
+        assert!(s.contains("line 2"));
+        assert!(s.contains("unexpected `c`"));
+    }
+}

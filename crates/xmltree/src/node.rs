@@ -1,0 +1,165 @@
+//! Node identifiers and node kinds.
+
+use std::fmt;
+
+/// Identifier of a node within a [`crate::Document`].
+///
+/// Node identifiers are dense indices into the document arena.  They are only
+/// meaningful together with the document that produced them; comparing
+/// identifiers across documents is a logic error (but is memory-safe).
+///
+/// The paper's semantics of XML keys (Definition 2.1) is defined in terms of
+/// node identity — two nodes with equal values are still distinct nodes — so
+/// `NodeId` implements `Eq`/`Hash`/`Ord` and is used wherever the paper talks
+/// about "the set of nodes reached by a path expression".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw index of this node in the document arena.
+    ///
+    /// Useful for diagnostics (the paper labels the nodes of Fig. 1 with small
+    /// integers) and for building side tables indexed by node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a raw index.
+    ///
+    /// Intended for tests and for tools that rebuild node references from
+    /// serialized diagnostics; passing an out-of-range index yields a value
+    /// that any `Document` accessor will panic on, it never causes UB.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The kind of a node in an XML tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// An element node (`<book>...</book>`), labelled with its tag name.
+    Element,
+    /// An attribute node (`isbn="123"`), labelled `@isbn` in the paper's
+    /// notation and carrying a string value.
+    Attribute,
+    /// A text node carrying character data (labelled `S` in Fig. 1).
+    Text,
+}
+
+impl NodeKind {
+    /// True if the node is an element.
+    #[inline]
+    pub fn is_element(self) -> bool {
+        matches!(self, NodeKind::Element)
+    }
+
+    /// True if the node is an attribute.
+    #[inline]
+    pub fn is_attribute(self) -> bool {
+        matches!(self, NodeKind::Attribute)
+    }
+
+    /// True if the node is a text node.
+    #[inline]
+    pub fn is_text(self) -> bool {
+        matches!(self, NodeKind::Text)
+    }
+}
+
+/// Internal arena record for one node.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeData {
+    pub(crate) kind: NodeKind,
+    /// Element tag name, or attribute name **including** the leading `@`.
+    /// Text nodes use the conventional label `S` (as in Fig. 1 of the paper).
+    pub(crate) label: String,
+    /// Text content for attribute and text nodes; unused for elements.
+    pub(crate) text: String,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+}
+
+impl NodeData {
+    pub(crate) fn element(label: impl Into<String>, parent: Option<NodeId>) -> Self {
+        NodeData {
+            kind: NodeKind::Element,
+            label: label.into(),
+            text: String::new(),
+            parent,
+            children: Vec::new(),
+        }
+    }
+
+    pub(crate) fn attribute(
+        name: impl Into<String>,
+        value: impl Into<String>,
+        parent: NodeId,
+    ) -> Self {
+        let raw = name.into();
+        let label = if raw.starts_with('@') { raw } else { format!("@{raw}") };
+        NodeData {
+            kind: NodeKind::Attribute,
+            label,
+            text: value.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+        }
+    }
+
+    pub(crate) fn text(value: impl Into<String>, parent: NodeId) -> Self {
+        NodeData {
+            kind: NodeKind::Text,
+            label: "S".to_string(),
+            text: value.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn node_kind_predicates() {
+        assert!(NodeKind::Element.is_element());
+        assert!(!NodeKind::Element.is_attribute());
+        assert!(NodeKind::Attribute.is_attribute());
+        assert!(!NodeKind::Attribute.is_text());
+        assert!(NodeKind::Text.is_text());
+        assert!(!NodeKind::Text.is_element());
+    }
+
+    #[test]
+    fn attribute_label_gets_at_prefix() {
+        let root = NodeId(0);
+        let with = NodeData::attribute("@isbn", "123", root);
+        let without = NodeData::attribute("isbn", "123", root);
+        assert_eq!(with.label, "@isbn");
+        assert_eq!(without.label, "@isbn");
+    }
+
+    #[test]
+    fn text_nodes_are_labelled_s() {
+        let root = NodeId(0);
+        let t = NodeData::text("hello", root);
+        assert_eq!(t.label, "S");
+        assert_eq!(t.text, "hello");
+    }
+}

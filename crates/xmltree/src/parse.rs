@@ -1,0 +1,422 @@
+//! A small, non-validating XML parser.
+//!
+//! Supports the subset of XML needed to load realistic data-exchange
+//! documents: elements, attributes, character data, CDATA sections,
+//! comments, processing instructions, the XML declaration, the five
+//! predefined entities and numeric character references.  DOCTYPE
+//! declarations are recognised and skipped (the paper explicitly treats key
+//! constraints as orthogonal to DTDs, so no DTD content model is needed).
+
+use crate::error::ParseError;
+use crate::{Document, NodeId};
+
+/// Parses an XML document from text.
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    Parser::new(input).parse_document()
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos, self.input, message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with(s) {
+            self.bump(s.len());
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Document, ParseError> {
+        self.skip_prolog()?;
+        self.skip_whitespace();
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected root element"));
+        }
+        let mut doc = None;
+        self.parse_element(&mut doc, None)?;
+        let doc = doc.expect("parse_element populates the document for the root");
+        // Trailing misc (comments / whitespace / PIs).
+        loop {
+            self.skip_whitespace();
+            if self.pos >= self.bytes.len() {
+                break;
+            }
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else {
+                return Err(self.err("unexpected content after root element"));
+            }
+        }
+        Ok(doc)
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_pi(&mut self) -> Result<(), ParseError> {
+        self.expect("<?")?;
+        match self.input[self.pos..].find("?>") {
+            Some(end) => {
+                self.bump(end + 2);
+                Ok(())
+            }
+            None => Err(self.err("unterminated processing instruction")),
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<(), ParseError> {
+        self.expect("<!--")?;
+        match self.input[self.pos..].find("-->") {
+            Some(end) => {
+                self.bump(end + 3);
+                Ok(())
+            }
+            None => Err(self.err("unterminated comment")),
+        }
+    }
+
+    /// Skips a DOCTYPE declaration, including an internal subset if present.
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        self.expect("<!DOCTYPE")?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek() {
+                Some(b'<') => {
+                    depth += 1;
+                    self.bump(1);
+                }
+                Some(b'>') => {
+                    depth -= 1;
+                    self.bump(1);
+                }
+                Some(_) => self.bump(1),
+                None => return Err(self.err("unterminated DOCTYPE declaration")),
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let c = b as char;
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    /// Parses an element.  On the first call `doc` is `None` and a new
+    /// document rooted at this element is created; recursive calls attach to
+    /// `parent`.
+    fn parse_element(
+        &mut self,
+        doc: &mut Option<Document>,
+        parent: Option<NodeId>,
+    ) -> Result<NodeId, ParseError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let id = match (doc.as_mut(), parent) {
+            (None, _) => {
+                *doc = Some(Document::new(name));
+                doc.as_ref().expect("just created").root()
+            }
+            (Some(d), Some(p)) => d.add_element(p, name),
+            (Some(_), None) => unreachable!("nested element without a parent"),
+        };
+
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    return Ok(id);
+                }
+                Some(b'>') => {
+                    self.bump(1);
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_whitespace();
+                    self.expect("=")?;
+                    self.skip_whitespace();
+                    let value = self.parse_attr_value()?;
+                    doc.as_mut().expect("document exists").add_attribute(id, attr_name, value);
+                }
+                None => return Err(self.err("unexpected end of input inside element tag")),
+            }
+        }
+
+        // Content.
+        loop {
+            if self.starts_with("</") {
+                self.expect("</")?;
+                let close = self.parse_name()?;
+                let open = doc.as_ref().expect("document exists").label(id).to_string();
+                if close != open {
+                    return Err(self.err(format!(
+                        "mismatched end tag: expected `</{open}>`, found `</{close}>`"
+                    )));
+                }
+                self.skip_whitespace();
+                self.expect(">")?;
+                return Ok(id);
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<![CDATA[") {
+                let text = self.parse_cdata()?;
+                if !text.is_empty() {
+                    doc.as_mut().expect("document exists").add_text(id, text);
+                }
+            } else if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.peek() == Some(b'<') {
+                self.parse_element(doc, Some(id))?;
+            } else if self.peek().is_some() {
+                let text = self.parse_char_data()?;
+                // Whitespace-only runs between tags are formatting, not data;
+                // anything else is kept verbatim so mixed content survives.
+                if !text.trim().is_empty() {
+                    doc.as_mut().expect("document exists").add_text(id, text);
+                }
+            } else {
+                return Err(self.err("unexpected end of input inside element content"));
+            }
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.bump(1);
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = &self.input[start..self.pos];
+                self.bump(1);
+                return decode_entities(raw).map_err(|m| ParseError::new(start, self.input, m));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    fn parse_char_data(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        decode_entities(&self.input[start..self.pos])
+            .map_err(|m| ParseError::new(start, self.input, m))
+    }
+
+    fn parse_cdata(&mut self) -> Result<String, ParseError> {
+        self.expect("<![CDATA[")?;
+        match self.input[self.pos..].find("]]>") {
+            Some(end) => {
+                let text = self.input[self.pos..self.pos + end].to_string();
+                self.bump(end + 3);
+                Ok(text)
+            }
+            None => Err(self.err("unterminated CDATA section")),
+        }
+    }
+}
+
+/// Decodes the predefined entities and numeric character references.
+fn decode_entities(raw: &str) -> Result<String, String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest.find(';').ok_or_else(|| "unterminated entity reference".to_string())?;
+        let entity = &rest[1..semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| format!("invalid character reference `&{entity};`"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid code point in `&{entity};`"))?,
+                );
+            }
+            _ if entity.starts_with('#') => {
+                let code = entity[1..]
+                    .parse::<u32>()
+                    .map_err(|_| format!("invalid character reference `&{entity};`"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid code point in `&{entity};`"))?,
+                );
+            }
+            _ => return Err(format!("unknown entity `&{entity};`")),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = parse(r#"<db><book isbn="123"><title>XML</title></book></db>"#).unwrap();
+        let root = doc.root();
+        assert_eq!(doc.label(root), "db");
+        let book = doc.element_children(root).next().unwrap();
+        assert_eq!(doc.attribute(book, "isbn"), Some("123"));
+        let title = doc.children_labelled(book, "title").next().unwrap();
+        assert_eq!(doc.string_value(title), "XML");
+    }
+
+    #[test]
+    fn parses_self_closing_and_single_quotes() {
+        let doc = parse(r#"<r><item id='7'/><item id="8"/></r>"#).unwrap();
+        let items: Vec<_> = doc.children_labelled(doc.root(), "item").collect();
+        assert_eq!(items.len(), 2);
+        assert_eq!(doc.attribute(items[0], "id"), Some("7"));
+        assert_eq!(doc.attribute(items[1], "id"), Some("8"));
+    }
+
+    #[test]
+    fn skips_prolog_comments_and_doctype() {
+        let doc = parse(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE db [<!ELEMENT db (book*)>]>\n<!-- a comment -->\n<db><book/></db>\n<!-- trailing -->",
+        )
+        .unwrap();
+        assert_eq!(doc.label(doc.root()), "db");
+        assert_eq!(doc.element_children(doc.root()).count(), 1);
+    }
+
+    #[test]
+    fn decodes_entities_and_char_refs() {
+        let doc = parse(r#"<r a="&lt;x&gt;">A &amp; B &#65;&#x42;</r>"#).unwrap();
+        assert_eq!(doc.attribute(doc.root(), "a"), Some("<x>"));
+        assert_eq!(doc.string_value(doc.root()), "A & B AB");
+    }
+
+    #[test]
+    fn parses_cdata() {
+        let doc = parse("<r><![CDATA[<not> & parsed]]></r>").unwrap();
+        assert_eq!(doc.string_value(doc.root()), "<not> & parsed");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let doc = parse("<r>\n  <a/>\n  <b/>\n</r>").unwrap();
+        let kinds: Vec<NodeKind> = doc.children(doc.root()).map(|c| doc.kind(c)).collect();
+        assert_eq!(kinds, vec![NodeKind::Element, NodeKind::Element]);
+    }
+
+    #[test]
+    fn mixed_content_is_preserved() {
+        let doc = parse("<p>hello <b>world</b> again</p>").unwrap();
+        assert_eq!(doc.children(doc.root()).count(), 3);
+        assert_eq!(doc.string_value(doc.root()), "hello world again");
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched end tag"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_garbage_after_root() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_constructs() {
+        assert!(parse("<a").is_err());
+        assert!(parse("<a attr=>").is_err());
+        assert!(parse("<!-- never closed").is_err());
+        assert!(parse("<a>&unknown;</a>").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("<db>\n  <book><title></book>\n</db>").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.column > 1);
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let original = parse(r#"<db><book isbn="1&amp;2"><title>X &lt; Y</title></book></db>"#).unwrap();
+        let text = original.to_string();
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(original.value(original.root()), reparsed.value(reparsed.root()));
+    }
+}

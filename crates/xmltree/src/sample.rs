@@ -1,0 +1,167 @@
+//! Sample documents used throughout the workspace.
+//!
+//! [`fig1`] reproduces the running example of the paper (Fig. 1): a document
+//! with two `book` elements that share the title "XML" but differ on
+//! `@isbn`, the configuration that makes `(bookTitle, chapterNum)` a bad
+//! relational key and `(isbn, chapterNum)` a good one (Example 1.1).
+
+use crate::{Document, ElementBuilder};
+
+/// The XML tree of Fig. 1 of the paper.
+///
+/// ```text
+/// r
+/// ├── book  @isbn=123
+/// │   ├── title  "XML"
+/// │   ├── author ── name "Tim Bray", contact "tbray@example.org"
+/// │   ├── chapter @number=1  ── name "Introduction"
+/// │   └── chapter @number=10 ── name "Conclusion"
+/// └── book  @isbn=234
+///     ├── title  "XML"
+///     └── chapter @number=1 ── name "Getting Acquainted"
+///         ├── section @number=1 ── name "Fundamentals"
+///         └── section @number=2 ── name "Attributes"
+/// ```
+///
+/// The document satisfies all seven sample keys K1–K7 of Example 2.1.
+pub fn fig1() -> Document {
+    ElementBuilder::new("r")
+        .child(
+            ElementBuilder::new("book")
+                .attr("isbn", "123")
+                .child(
+                    ElementBuilder::new("author")
+                        .text_child("name", "Tim Bray")
+                        .text_child("contact", "tbray@example.org"),
+                )
+                .text_child("title", "XML")
+                .child(
+                    ElementBuilder::new("chapter")
+                        .attr("number", "1")
+                        .text_child("name", "Introduction"),
+                )
+                .child(
+                    ElementBuilder::new("chapter")
+                        .attr("number", "10")
+                        .text_child("name", "Conclusion"),
+                ),
+        )
+        .child(
+            ElementBuilder::new("book")
+                .attr("isbn", "234")
+                .text_child("title", "XML")
+                .child(
+                    ElementBuilder::new("chapter")
+                        .attr("number", "1")
+                        .text_child("name", "Getting Acquainted")
+                        .child(
+                            ElementBuilder::new("section")
+                                .attr("number", "1")
+                                .text_child("name", "Fundamentals"),
+                        )
+                        .child(
+                            ElementBuilder::new("section")
+                                .attr("number", "2")
+                                .text_child("name", "Attributes"),
+                        ),
+                ),
+        )
+        .build()
+}
+
+/// A variant of [`fig1`] that violates key `K1` (two distinct books carry the
+/// same `@isbn`).  Useful for exercising violation reporting.
+pub fn fig1_duplicate_isbn() -> Document {
+    let mut doc = fig1();
+    let root = doc.root();
+    ElementBuilder::new("book")
+        .attr("isbn", "123")
+        .text_child("title", "Duplicate")
+        .attach(&mut doc, root);
+    doc
+}
+
+/// A larger, regular library document: `books` books, each with `chapters`
+/// chapters, each with `sections` sections.  ISBNs, chapter numbers and
+/// section numbers are generated so that all keys K1–K7 hold.  Used by
+/// integration tests and examples that need more than the six tuples of the
+/// Fig. 1 data.
+pub fn library(books: usize, chapters: usize, sections: usize) -> Document {
+    let mut root = ElementBuilder::new("r");
+    for b in 0..books {
+        let mut book = ElementBuilder::new("book")
+            .attr("isbn", format!("isbn-{b}"))
+            .text_child("title", format!("Book {b}"))
+            .child(
+                ElementBuilder::new("author")
+                    .text_child("name", format!("Author {b}"))
+                    .text_child("contact", format!("author{b}@example.org")),
+            );
+        for c in 0..chapters {
+            let mut chapter = ElementBuilder::new("chapter")
+                .attr("number", (c + 1).to_string())
+                .text_child("name", format!("Chapter {c} of book {b}"));
+            for s in 0..sections {
+                chapter = chapter.child(
+                    ElementBuilder::new("section")
+                        .attr("number", (s + 1).to_string())
+                        .text_child("name", format!("Section {b}.{c}.{s}")),
+                );
+            }
+            book = book.child(chapter);
+        }
+        root = root.child(book);
+    }
+    root.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape() {
+        let doc = fig1();
+        let root = doc.root();
+        assert_eq!(doc.label(root), "r");
+        let books: Vec<_> = doc.children_labelled(root, "book").collect();
+        assert_eq!(books.len(), 2);
+        assert_eq!(doc.attribute(books[0], "isbn"), Some("123"));
+        assert_eq!(doc.attribute(books[1], "isbn"), Some("234"));
+        // Both books titled "XML" — the crux of Example 1.1.
+        for &b in &books {
+            let title = doc.children_labelled(b, "title").next().unwrap();
+            assert_eq!(doc.string_value(title), "XML");
+        }
+        let chapters1: Vec<_> = doc.children_labelled(books[0], "chapter").collect();
+        assert_eq!(chapters1.len(), 2);
+        let chapters2: Vec<_> = doc.children_labelled(books[1], "chapter").collect();
+        assert_eq!(chapters2.len(), 1);
+        let sections: Vec<_> = doc.children_labelled(chapters2[0], "section").collect();
+        assert_eq!(sections.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_isbn_adds_conflicting_book() {
+        let doc = fig1_duplicate_isbn();
+        let isbns: Vec<_> = doc
+            .children_labelled(doc.root(), "book")
+            .filter_map(|b| doc.attribute(b, "isbn").map(str::to_string))
+            .collect();
+        assert_eq!(isbns.iter().filter(|s| s.as_str() == "123").count(), 2);
+    }
+
+    #[test]
+    fn library_counts() {
+        let doc = library(3, 2, 4);
+        let books: Vec<_> = doc.children_labelled(doc.root(), "book").collect();
+        assert_eq!(books.len(), 3);
+        for &b in &books {
+            let chapters: Vec<_> = doc.children_labelled(b, "chapter").collect();
+            assert_eq!(chapters.len(), 2);
+            for &c in &chapters {
+                assert_eq!(doc.children_labelled(c, "section").count(), 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Serialization of documents back to XML text.
+
+use crate::{Document, NodeId, NodeKind};
+use std::fmt::Write as _;
+
+/// Serializes a document to XML text (single line, no indentation).
+pub fn to_xml(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node(doc, doc.root(), &mut out);
+    out
+}
+
+/// Serializes a document to XML text with two-space indentation, which is
+/// easier to read in example output.
+pub fn to_pretty_xml(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node_pretty(doc, doc.root(), 0, &mut out);
+    out
+}
+
+fn escape_text(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+fn write_open_tag(doc: &Document, id: NodeId, out: &mut String) -> bool {
+    out.push('<');
+    out.push_str(doc.label(id));
+    let mut has_content_children = false;
+    for c in doc.children(id) {
+        match doc.kind(c) {
+            NodeKind::Attribute => {
+                let name = doc.label(c).trim_start_matches('@');
+                let _ = write!(out, " {name}=\"");
+                escape_attr(doc.text_value(c).unwrap_or(""), out);
+                out.push('"');
+            }
+            _ => has_content_children = true,
+        }
+    }
+    if has_content_children {
+        out.push('>');
+    } else {
+        out.push_str("/>");
+    }
+    has_content_children
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String) {
+    match doc.kind(id) {
+        NodeKind::Text => escape_text(doc.text_value(id).unwrap_or(""), out),
+        NodeKind::Attribute => {
+            // Attributes are emitted by their parent element.
+        }
+        NodeKind::Element => {
+            let has_children = write_open_tag(doc, id, out);
+            if has_children {
+                for c in doc.children(id) {
+                    if !doc.kind(c).is_attribute() {
+                        write_node(doc, c, out);
+                    }
+                }
+                let _ = write!(out, "</{}>", doc.label(id));
+            }
+        }
+    }
+}
+
+fn write_node_pretty(doc: &Document, id: NodeId, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match doc.kind(id) {
+        NodeKind::Text => {
+            out.push_str(&pad);
+            escape_text(doc.text_value(id).unwrap_or(""), out);
+            out.push('\n');
+        }
+        NodeKind::Attribute => {}
+        NodeKind::Element => {
+            out.push_str(&pad);
+            let has_children = write_open_tag(doc, id, out);
+            if !has_children {
+                out.push('\n');
+                return;
+            }
+            // If the only non-attribute child is a single text node, keep it inline.
+            let content: Vec<NodeId> =
+                doc.children(id).filter(|&c| !doc.kind(c).is_attribute()).collect();
+            if content.len() == 1 && doc.kind(content[0]).is_text() {
+                escape_text(doc.text_value(content[0]).unwrap_or(""), out);
+                let _ = write!(out, "</{}>", doc.label(id));
+                out.push('\n');
+                return;
+            }
+            out.push('\n');
+            for c in content {
+                write_node_pretty(doc, c, indent + 1, out);
+            }
+            out.push_str(&pad);
+            let _ = write!(out, "</{}>", doc.label(id));
+            out.push('\n');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ElementBuilder;
+
+    fn sample() -> Document {
+        ElementBuilder::new("db")
+            .child(
+                ElementBuilder::new("book")
+                    .attr("isbn", "123")
+                    .text_child("title", "X < Y & Z")
+                    .child(ElementBuilder::new("empty")),
+            )
+            .build()
+    }
+
+    #[test]
+    fn serializes_and_escapes() {
+        let xml = to_xml(&sample());
+        assert_eq!(
+            xml,
+            r#"<db><book isbn="123"><title>X &lt; Y &amp; Z</title><empty/></book></db>"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let doc = sample();
+        let pretty = to_pretty_xml(&doc);
+        assert!(pretty.contains('\n'));
+        let reparsed = crate::parse(&pretty).unwrap();
+        assert_eq!(doc.value(doc.root()), reparsed.value(reparsed.root()));
+    }
+
+    #[test]
+    fn attribute_values_are_escaped() {
+        let doc = ElementBuilder::new("r").attr("q", "a\"b<c").build();
+        let xml = to_xml(&doc);
+        assert_eq!(xml, r#"<r q="a&quot;b&lt;c"/>"#);
+        let reparsed = crate::parse(&xml).unwrap();
+        assert_eq!(reparsed.attribute(reparsed.root(), "q"), Some("a\"b<c"));
+    }
+}

@@ -1,0 +1,163 @@
+//! A data-exchange scenario outside the paper's book example: a supplier
+//! publishes purchase orders as XML together with an XML Schema whose
+//! identity constraints describe the keys; the consumer imports the keys,
+//! validates a shipment, checks its predefined warehouse schema, and lets the
+//! library propose a normalized design for a reporting table.
+//!
+//! Run with `cargo run --example data_exchange`.
+
+use xmlprop::core::{check_declared_keys, propagation, refine};
+use xmlprop::prelude::*;
+use xmlprop::xmlkeys::{import_xsd_keys, satisfies_all};
+
+const ORDERS_XSD: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="orders">
+    <xs:key name="customerId">
+      <xs:selector xpath=".//customer"/>
+      <xs:field xpath="@cid"/>
+    </xs:key>
+  </xs:element>
+  <xs:element name="customer">
+    <xs:key name="orderNumber">
+      <xs:selector xpath="order"/>
+      <xs:field xpath="@ono"/>
+    </xs:key>
+    <xs:unique name="oneName">
+      <xs:selector xpath="name"/>
+      <xs:field xpath="@text"/>
+    </xs:unique>
+  </xs:element>
+  <xs:element name="order">
+    <xs:key name="lineNumber">
+      <xs:selector xpath="line"/>
+      <xs:field xpath="@no"/>
+    </xs:key>
+    <xs:unique name="lineSku">
+      <xs:selector xpath="line"/>
+      <xs:field xpath="@sku"/>
+    </xs:unique>
+    <xs:unique name="lineQty">
+      <xs:selector xpath="line"/>
+      <xs:field xpath="@qty"/>
+    </xs:unique>
+    <xs:keyref name="lineToProduct" refer="productSku">
+      <xs:selector xpath="line"/>
+      <xs:field xpath="@sku"/>
+    </xs:keyref>
+  </xs:element>
+</xs:schema>"#;
+
+const SHIPMENT: &str = r#"
+<feed>
+<orders>
+  <customer cid="c1">
+    <name text="Acme Corp"/>
+    <order ono="1">
+      <line no="1" sku="widget" qty="10"/>
+      <line no="2" sku="sprocket" qty="5"/>
+    </order>
+    <order ono="2">
+      <line no="1" sku="widget" qty="3"/>
+    </order>
+  </customer>
+  <customer cid="c2">
+    <name text="Globex"/>
+    <order ono="1">
+      <line no="1" sku="gizmo" qty="7"/>
+    </order>
+  </customer>
+</orders>
+</feed>"#;
+
+fn main() {
+    // 1. Import the keys from the provider's XSD.  Foreign keys (keyref) are
+    //    refused with a pointer to the paper's undecidability result.
+    let import = import_xsd_keys(ORDERS_XSD).expect("well-formed schema");
+    println!("Imported XML keys:");
+    for key in import.keys.iter() {
+        println!("  {key}");
+    }
+    for skipped in &import.skipped {
+        println!("  (skipped) {skipped}");
+    }
+    // XSD identity constraints are scoped to the element declaration they are
+    // attached to (`//orders`), so the consumer adds one absolute fact it
+    // knows about its feed documents: they contain a single <orders> element.
+    let mut sigma = import.keys;
+    sigma.add(XmlKey::parse("root: (ε, (//orders, {}))").expect("valid key"));
+
+    // 2. Validate the shipment against the keys before loading it.
+    let doc = Document::parse_str(SHIPMENT).expect("well-formed shipment");
+    assert!(satisfies_all(&doc, &sigma), "shipment violates the published keys");
+    println!("\nShipment satisfies all imported keys.");
+
+    // 3. The consumer's existing warehouse schema.
+    let warehouse = Transformation::parse(
+        "rule order_line(customer, order_no, line_no, sku, qty) {
+            top := xr/orders;
+            c := top/customer;
+            ci := c/@cid;
+            o := c/order;
+            oi := o/@ono;
+            l := o/line;
+            li := l/@no;
+            sk := l/@sku;
+            q := l/@qty;
+            customer := value(ci);
+            order_no := value(oi);
+            line_no := value(li);
+            sku := value(sk);
+            qty := value(q);
+        }",
+    )
+    .expect("well-formed transformation");
+
+    println!("\nShredded order_line instance:");
+    println!("{}", warehouse.rule("order_line").unwrap().shred(&doc));
+
+    // 4. Is the declared primary key (customer, order_no, line_no) guaranteed?
+    let report = check_declared_keys(
+        &sigma,
+        &warehouse,
+        [("order_line", ["customer", "order_no", "line_no"])],
+    );
+    print!("{report}");
+    // A tempting shortcut — keying lines by (order_no, line_no) only — is
+    // rejected, because order numbers repeat across customers.
+    let shortcut: Fd = "order_no, line_no -> sku".parse().unwrap();
+    println!(
+        "(order_no, line_no) alone determines sku: {}",
+        propagation(&sigma, warehouse.rule("order_line").unwrap(), &shortcut)
+    );
+
+    // 5. Design a reporting table from scratch: universal relation + refine.
+    let universal = xmlprop::xmltransform::parse_single_rule(
+        "rule report(customer, custName, order_no, line_no, sku, qty) {
+            top := xr/orders;
+            c := top/customer;
+            ci := c/@cid;
+            nm := c/name;
+            nt := nm/@text;
+            o := c/order;
+            oi := o/@ono;
+            l := o/line;
+            li := l/@no;
+            sk := l/@sku;
+            q := l/@qty;
+            customer := value(ci);
+            custName := value(nt);
+            order_no := value(oi);
+            line_no := value(li);
+            sku := value(sk);
+            qty := value(q);
+        }",
+    )
+    .expect("well-formed universal relation");
+    let design = refine(&sigma, &universal);
+    println!("\nPropagated minimum cover for the reporting table:");
+    for fd in &design.cover {
+        println!("  {fd}");
+    }
+    println!("\nProposed BCNF design:\n{}", design.bcnf_sql());
+}

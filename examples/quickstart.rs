@@ -1,0 +1,102 @@
+//! Quickstart: from an XML document and its keys to guaranteed relational
+//! dependencies.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use xmlprop::prelude::*;
+use xmlprop::xmlkeys::satisfies_all;
+
+fn main() {
+    // 1. An XML document being exchanged (the paper's Fig. 1 data, inline).
+    let doc = Document::parse_str(
+        r#"<r>
+             <book isbn="123">
+               <title>XML</title>
+               <author><name>Tim Bray</name><contact>tbray@example.org</contact></author>
+               <chapter number="1"><name>Introduction</name></chapter>
+               <chapter number="10"><name>Conclusion</name></chapter>
+             </book>
+             <book isbn="234">
+               <title>XML</title>
+               <chapter number="1">
+                 <name>Getting Acquainted</name>
+                 <section number="1"><name>Fundamentals</name></section>
+                 <section number="2"><name>Attributes</name></section>
+               </chapter>
+             </book>
+           </r>"#,
+    )
+    .expect("well-formed XML");
+
+    // 2. The XML keys the data provider publishes (Example 2.1 of the paper).
+    let sigma: KeySet = [
+        "K1: (ε, (//book, {@isbn}))",
+        "K2: (//book, (chapter, {@number}))",
+        "K3: (//book, (title, {}))",
+        "K4: (//book/chapter, (name, {}))",
+        "K5: (//book/chapter/section, (name, {}))",
+        "K6: (//book/chapter, (section, {@number}))",
+        "K7: (//book, (author/contact, {}))",
+    ]
+    .into_iter()
+    .map(|s| XmlKey::parse(s).expect("valid key"))
+    .collect();
+    assert!(satisfies_all(&doc, &sigma), "the sample data satisfies its keys");
+
+    // 3. The consumer's transformation: shred books and chapters into tables.
+    let transformation = Transformation::parse(
+        "rule book(isbn, title, contact) {
+            b := xr//book;
+            i := b/@isbn;
+            t := b/title;
+            a := b/author;
+            c := a/contact;
+            isbn := value(i);
+            title := value(t);
+            contact := value(c);
+        }
+        rule chapter(inBook, number, name) {
+            b := xr//book;
+            i := b/@isbn;
+            c := b/chapter;
+            n := c/@number;
+            m := c/name;
+            inBook := value(i);
+            number := value(n);
+            name := value(m);
+        }",
+    )
+    .expect("well-formed transformation");
+
+    // 4. Shred the document and show the instances.
+    let db = transformation.shred(&doc);
+    for relation in db.relations() {
+        println!("{relation}");
+    }
+
+    // 5. Ask which dependencies are *guaranteed* for every future document
+    //    that satisfies the keys — not just this one.
+    let questions = [
+        ("book", "isbn -> title"),
+        ("book", "title -> isbn"),
+        ("chapter", "inBook, number -> name"),
+        ("chapter", "number -> name"),
+    ];
+    println!("Propagation of relational dependencies from the XML keys:");
+    for (relation, fd_text) in questions {
+        let fd: Fd = fd_text.parse().expect("valid FD");
+        let rule = transformation.rule(relation).expect("relation exists");
+        let verdict = xmlprop::core::propagation(&sigma, rule, &fd);
+        println!(
+            "  {relation}: {fd_text:<28} {}",
+            if verdict { "GUARANTEED" } else { "not guaranteed" }
+        );
+    }
+
+    // 6. And compute the full minimum cover for the chapter relation.
+    let cover = xmlprop::core::minimum_cover(&sigma, transformation.rule("chapter").unwrap());
+    println!("\nMinimum cover of all FDs propagated onto chapter:");
+    for fd in &cover {
+        println!("  {fd}");
+    }
+}

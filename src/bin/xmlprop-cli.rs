@@ -1,0 +1,218 @@
+//! `xmlprop-cli` — command-line front end for the library.
+//!
+//! ```text
+//! xmlprop-cli validate  <document.xml> <keys.txt>
+//! xmlprop-cli propagate <keys.txt> <rules.txt> <relation> "<X -> A>"
+//! xmlprop-cli cover     <keys.txt> <rules.txt> <relation>
+//! xmlprop-cli refine    <keys.txt> <rules.txt> <relation>
+//! xmlprop-cli shred     <document.xml> <rules.txt> [relation]
+//! xmlprop-cli import-xsd <schema.xsd>
+//! ```
+//!
+//! *Keys files* contain one key per line in the paper's syntax
+//! (`K2: (//book, (chapter, {@number}))`); `#` starts a comment.
+//! *Rules files* use the transformation syntax of `xmlprop-xmltransform`
+//! (`rule chapter(inBook, number, name) { … }`).
+
+use std::fs;
+use std::process::ExitCode;
+use xmlprop::core::{minimum_cover, propagation_explained, refine};
+use xmlprop::prelude::*;
+use xmlprop::xmlkeys::{import_xsd_keys, violations};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("propagate") => cmd_propagate(&args[1..]),
+        Some("cover") => cmd_cover(&args[1..]),
+        Some("refine") => cmd_refine(&args[1..]),
+        Some("shred") => cmd_shred(&args[1..]),
+        Some("import-xsd") => cmd_import_xsd(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(true)
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`; try `xmlprop-cli help`")),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "xmlprop-cli — XML key propagation to relations (ICDE 2003)\n\n\
+         USAGE:\n  \
+           xmlprop-cli validate   <document.xml> <keys.txt>\n  \
+           xmlprop-cli propagate  <keys.txt> <rules.txt> <relation> \"X -> A\"\n  \
+           xmlprop-cli cover      <keys.txt> <rules.txt> <relation>\n  \
+           xmlprop-cli refine     <keys.txt> <rules.txt> <relation>\n  \
+           xmlprop-cli shred      <document.xml> <rules.txt> [relation]\n  \
+           xmlprop-cli import-xsd <schema.xsd>"
+    );
+}
+
+fn read(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn load_keys(path: &str) -> Result<KeySet, String> {
+    let text = read(path)?;
+    let mut keys = KeySet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let key = XmlKey::parse(line)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        keys.add(key);
+    }
+    if keys.is_empty() {
+        return Err(format!("`{path}` contains no keys"));
+    }
+    Ok(keys)
+}
+
+fn load_transformation(path: &str) -> Result<Transformation, String> {
+    Transformation::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_rule<'t>(t: &'t Transformation, relation: &str) -> Result<&'t TableRule, String> {
+    t.rule(relation).ok_or_else(|| {
+        let known: Vec<&str> = t.rules().iter().map(|r| r.schema().name()).collect();
+        format!("no rule for relation `{relation}` (known: {})", known.join(", "))
+    })
+}
+
+fn cmd_validate(args: &[String]) -> Result<bool, String> {
+    let [doc_path, keys_path] = args else {
+        return Err("usage: validate <document.xml> <keys.txt>".to_string());
+    };
+    let doc = Document::parse_str(&read(doc_path)?).map_err(|e| format!("{doc_path}: {e}"))?;
+    let keys = load_keys(keys_path)?;
+    let mut ok = true;
+    for key in keys.iter() {
+        let broken = violations(&doc, key);
+        if broken.is_empty() {
+            println!("[ok]   {key}");
+        } else {
+            ok = false;
+            println!("[FAIL] {key}");
+            for v in broken {
+                println!("         {v}");
+            }
+        }
+    }
+    Ok(ok)
+}
+
+fn cmd_propagate(args: &[String]) -> Result<bool, String> {
+    let [keys_path, rules_path, relation, fd_text] = args else {
+        return Err("usage: propagate <keys.txt> <rules.txt> <relation> \"X -> A\"".to_string());
+    };
+    let sigma = load_keys(keys_path)?;
+    let t = load_transformation(rules_path)?;
+    let rule = load_rule(&t, relation)?;
+    let fd: Fd = fd_text.parse().map_err(|e| format!("invalid FD `{fd_text}`: {e}"))?;
+    let outcomes = propagation_explained(&sigma, rule, &fd);
+    let mut all = true;
+    for o in &outcomes {
+        if o.propagated {
+            println!(
+                "GUARANTEED: every field `{}` value is determined (keyed ancestor variable: {})",
+                o.field,
+                o.keyed_ancestor.as_deref().unwrap_or("-"),
+            );
+        } else {
+            all = false;
+            println!("NOT GUARANTEED for field `{}`:", o.field);
+            if o.keyed_ancestor.is_none() {
+                println!("  - no ancestor of the field's variable is transitively keyed by the LHS");
+            }
+            if !o.unresolved_fields.is_empty() {
+                let fields: Vec<&str> =
+                    o.unresolved_fields.iter().map(String::as_str).collect();
+                println!(
+                    "  - LHS field(s) {} are not guaranteed non-null whenever `{}` is non-null",
+                    fields.join(", "),
+                    o.field
+                );
+            }
+        }
+    }
+    Ok(all)
+}
+
+fn cmd_cover(args: &[String]) -> Result<bool, String> {
+    let [keys_path, rules_path, relation] = args else {
+        return Err("usage: cover <keys.txt> <rules.txt> <relation>".to_string());
+    };
+    let sigma = load_keys(keys_path)?;
+    let t = load_transformation(rules_path)?;
+    let rule = load_rule(&t, relation)?;
+    let cover = minimum_cover(&sigma, rule);
+    if cover.is_empty() {
+        println!("(no non-trivial dependencies are propagated)");
+    }
+    for fd in cover {
+        println!("{fd}");
+    }
+    Ok(true)
+}
+
+fn cmd_refine(args: &[String]) -> Result<bool, String> {
+    let [keys_path, rules_path, relation] = args else {
+        return Err("usage: refine <keys.txt> <rules.txt> <relation>".to_string());
+    };
+    let sigma = load_keys(keys_path)?;
+    let t = load_transformation(rules_path)?;
+    let rule = load_rule(&t, relation)?;
+    let design = refine(&sigma, rule);
+    println!("-- minimum cover of the propagated dependencies");
+    for fd in &design.cover {
+        println!("--   {fd}");
+    }
+    println!("\n-- BCNF decomposition\n{}", design.bcnf_sql());
+    println!("\n-- 3NF synthesis\n{}", design.third_normal_form_sql());
+    Ok(true)
+}
+
+fn cmd_shred(args: &[String]) -> Result<bool, String> {
+    let (doc_path, rules_path, relation) = match args {
+        [d, r] => (d, r, None),
+        [d, r, rel] => (d, r, Some(rel.as_str())),
+        _ => return Err("usage: shred <document.xml> <rules.txt> [relation]".to_string()),
+    };
+    let doc = Document::parse_str(&read(doc_path)?).map_err(|e| format!("{doc_path}: {e}"))?;
+    let t = load_transformation(rules_path)?;
+    match relation {
+        Some(rel) => println!("{}", load_rule(&t, rel)?.shred(&doc)),
+        None => {
+            for relation in t.shred(&doc).relations() {
+                println!("{relation}");
+            }
+        }
+    }
+    Ok(true)
+}
+
+fn cmd_import_xsd(args: &[String]) -> Result<bool, String> {
+    let [xsd_path] = args else {
+        return Err("usage: import-xsd <schema.xsd>".to_string());
+    };
+    let import = import_xsd_keys(&read(xsd_path)?).map_err(|e| e.to_string())?;
+    for key in import.keys.iter() {
+        println!("{key}");
+    }
+    for skipped in &import.skipped {
+        eprintln!("skipped: {skipped}");
+    }
+    Ok(import.skipped.is_empty() || !import.keys.is_empty())
+}

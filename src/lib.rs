@@ -1,0 +1,47 @@
+//! # xmlprop — Propagating XML Constraints to Relations
+//!
+//! A Rust reproduction of *"Propagating XML Constraints to Relations"*
+//! (Davidson, Fan, Hara, Qin — ICDE 2003).
+//!
+//! This facade crate re-exports the public API of the workspace crates so
+//! that applications can depend on a single crate:
+//!
+//! * [`xmltree`] — XML data model, parser, serializer, `value()`;
+//! * [`xmlpath`] — the path language `ε | l | P/P | P//P`, evaluation and
+//!   containment;
+//! * [`xmlkeys`] — XML keys (class `K^A`), satisfaction and implication;
+//! * [`reldb`] — relational schemas, instances, functional dependencies,
+//!   covers and normalization;
+//! * [`xmltransform`] — the XML-to-relations transformation language of the
+//!   paper, table trees and shredding semantics;
+//! * [`core`] — the paper's algorithms: `propagation`, `naive_minimum_cover`,
+//!   `minimum_cover`, `GminimumCover`, and the end-to-end schema refinement
+//!   pipeline;
+//! * [`workload`] — synthetic generators reproducing the experimental setup
+//!   of Section 6.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `EXPERIMENTS.md` for the reproduction of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+
+pub use xmlprop_core as core;
+pub use xmlprop_reldb as reldb;
+pub use xmlprop_workload as workload;
+pub use xmlprop_xmlkeys as xmlkeys;
+pub use xmlprop_xmlpath as xmlpath;
+pub use xmlprop_xmltransform as xmltransform;
+pub use xmlprop_xmltree as xmltree;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use xmlprop_core::{
+        minimum_cover, naive_minimum_cover, propagation, GMinimumCover, PropagationOutcome,
+        RefinedDesign,
+    };
+    pub use xmlprop_reldb::{Fd, Relation, RelationSchema, Value};
+    pub use xmlprop_xmlkeys::{KeySet, XmlKey};
+    pub use xmlprop_xmlpath::{Path, PathExpr};
+    pub use xmlprop_xmltransform::{TableRule, TableTree, Transformation};
+    pub use xmlprop_xmltree::{Document, ElementBuilder, NodeId, NodeKind};
+}

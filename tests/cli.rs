@@ -1,0 +1,113 @@
+//! Smoke tests for the `xmlprop-cli` binary over the sample data files in
+//! `examples/data/`.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xmlprop-cli"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to launch xmlprop-cli")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).to_string()
+}
+
+#[test]
+fn validate_reports_all_keys_ok() {
+    let out = run(&["validate", "examples/data/fig1.xml", "examples/data/book_keys.txt"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert_eq!(text.matches("[ok]").count(), 7);
+    assert!(!text.contains("[FAIL]"));
+}
+
+#[test]
+fn propagate_answers_both_ways() {
+    let positive = run(&[
+        "propagate",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "chapter",
+        "inBook, number -> name",
+    ]);
+    assert!(positive.status.success());
+    assert!(stdout(&positive).contains("GUARANTEED"));
+
+    let negative = run(&[
+        "propagate",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "chapter",
+        "number -> name",
+    ]);
+    assert!(!negative.status.success(), "non-propagated FD must exit non-zero");
+    assert!(stdout(&negative).contains("NOT GUARANTEED"));
+}
+
+#[test]
+fn cover_prints_the_example_3_1_cover() {
+    let out = run(&["cover", "examples/data/book_keys.txt", "examples/data/book_rules.txt", "U"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), 4);
+    assert!(text.contains("bookIsbn -> bookTitle"));
+    assert!(text.contains("bookIsbn, chapNum, secNum -> secName"));
+}
+
+#[test]
+fn refine_emits_sql() {
+    let out = run(&["refine", "examples/data/book_keys.txt", "examples/data/book_rules.txt", "U"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("CREATE TABLE"));
+    assert!(text.contains("PRIMARY KEY"));
+    assert!(text.contains("-- BCNF decomposition"));
+    assert!(text.contains("-- 3NF synthesis"));
+}
+
+#[test]
+fn shred_prints_the_chapter_instance() {
+    let out = run(&[
+        "shred",
+        "examples/data/fig1.xml",
+        "examples/data/book_rules.txt",
+        "chapter",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("Getting Acquainted"));
+    assert!(text.contains("inBook"));
+}
+
+#[test]
+fn import_xsd_converts_keys() {
+    let out = run(&["import-xsd", "examples/data/book_schema.xsd"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("bookIsbn"));
+    assert!(text.contains("@isbn"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_guidance() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = run(&["validate", "no/such/file.xml", "examples/data/book_keys.txt"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}

@@ -1,0 +1,117 @@
+//! The central correctness claim of Section 5, checked on families of
+//! synthetic workloads: the polynomial `minimumCover` algorithm produces a
+//! cover equivalent (under Armstrong's axioms) to the exponential `naive`
+//! baseline, and everything either algorithm derives is sound with respect
+//! to actual shredded instances.
+
+use xmlprop::core::{minimum_cover, naive_minimum_cover, propagation, GMinimumCover};
+use xmlprop::reldb::{covers_equivalent, is_nonredundant};
+use xmlprop::workload::{generate, generate_document, random_fd, target_fd, DocConfig, WorkloadConfig};
+
+/// Small grid where the exponential baseline is still tractable
+/// (2^fields × fields propagation checks per workload).
+fn small_configs() -> Vec<WorkloadConfig> {
+    let mut out = Vec::new();
+    for fields in [4usize, 5, 6, 7] {
+        for depth in 1..=fields.min(4) {
+            for keys in [depth, depth + 2, depth + 5] {
+                for seed in [11u64, 29] {
+                    out.push(
+                        WorkloadConfig { element_field_ratio: 0.4, ..WorkloadConfig::new(fields, depth, keys) }
+                            .with_seed(seed),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn minimum_cover_agrees_with_naive_on_synthetic_workloads() {
+    for config in small_configs() {
+        let w = generate(&config);
+        let fast = minimum_cover(&w.sigma, &w.universal);
+        let slow = naive_minimum_cover(&w.sigma, &w.universal);
+        assert!(
+            covers_equivalent(&fast, &slow),
+            "cover mismatch for {config:?}:\n fast = {fast:?}\n slow = {slow:?}\n keys = {}",
+            w.sigma
+        );
+        assert!(is_nonredundant(&fast), "redundant cover for {config:?}: {fast:?}");
+    }
+}
+
+#[test]
+fn gminimumcover_agrees_with_propagation_on_random_probes() {
+    use rand::SeedableRng;
+    for config in [
+        WorkloadConfig::new(8, 3, 6).with_seed(5),
+        WorkloadConfig::new(12, 4, 10).with_seed(6),
+        WorkloadConfig::new(15, 5, 12).with_seed(7),
+    ] {
+        let w = generate(&config);
+        let checker = GMinimumCover::new(w.sigma.clone(), w.universal.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let mut probes = vec![target_fd(&w)];
+        for i in 0..40 {
+            probes.push(random_fd(&w, &mut rng, 1 + i % 4));
+        }
+        for probe in probes {
+            assert_eq!(
+                propagation(&w.sigma, &w.universal, &probe),
+                checker.check(&probe),
+                "disagreement on {probe} for {config:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn everything_derived_is_sound_on_generated_documents() {
+    for config in [
+        WorkloadConfig::new(6, 2, 5).with_seed(1),
+        WorkloadConfig::new(10, 3, 8).with_seed(2),
+        WorkloadConfig::new(14, 4, 12).with_seed(3),
+        WorkloadConfig::new(18, 5, 20).with_seed(4),
+    ] {
+        let w = generate(&config);
+        let cover = minimum_cover(&w.sigma, &w.universal);
+        for doc_seed in 0..3u64 {
+            let doc = generate_document(
+                &w,
+                &DocConfig { seed: doc_seed, branching: 3, omission_probability: 0.3 },
+            );
+            assert!(
+                xmlprop::xmlkeys::satisfies_all(&doc, &w.sigma),
+                "generator must respect its own keys ({config:?})"
+            );
+            let instance = w.universal.shred(&doc);
+            for fd in &cover {
+                assert!(
+                    instance.satisfies_fd_paper(fd),
+                    "unsound FD {fd} for {config:?}, document seed {doc_seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn propagation_accepts_every_cover_fd() {
+    // The FDs in the computed minimum cover are themselves propagated
+    // dependencies, so Algorithm propagation must accept each of them.
+    for config in [
+        WorkloadConfig::new(8, 3, 8).with_seed(21),
+        WorkloadConfig::new(12, 4, 14).with_seed(22),
+        WorkloadConfig::new(20, 6, 18).with_seed(23),
+    ] {
+        let w = generate(&config);
+        for fd in minimum_cover(&w.sigma, &w.universal) {
+            assert!(
+                propagation(&w.sigma, &w.universal, &fd),
+                "cover FD {fd} rejected by propagation for {config:?}"
+            );
+        }
+    }
+}
