@@ -27,7 +27,11 @@ fn bench_naive(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_secs(1));
     for fields in [5usize, 8, 10, 12] {
-        let w = generate(&WorkloadConfig::new(fields, FIG7A_DEPTH.min(fields), FIG7A_KEYS));
+        let w = generate(&WorkloadConfig::new(
+            fields,
+            FIG7A_DEPTH.min(fields),
+            FIG7A_KEYS,
+        ));
         group.bench_with_input(BenchmarkId::from_parameter(fields), &w, |b, w| {
             b.iter(|| naive_minimum_cover(&w.sigma, &w.universal));
         });

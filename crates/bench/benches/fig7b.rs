@@ -38,7 +38,10 @@ fn bench_depth(c: &mut Criterion) {
         g_group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
             b.iter(|| {
                 let checker = GMinimumCover::new(w.sigma.clone(), w.universal.clone());
-                probes.iter().map(|fd| checker.check(fd)).collect::<Vec<_>>()
+                probes
+                    .iter()
+                    .map(|fd| checker.check(fd))
+                    .collect::<Vec<_>>()
             });
         });
     }

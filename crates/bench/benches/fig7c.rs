@@ -36,7 +36,10 @@ fn bench_keys(c: &mut Criterion) {
         g_group.bench_with_input(BenchmarkId::from_parameter(keys), &keys, |b, _| {
             b.iter(|| {
                 let checker = GMinimumCover::new(w.sigma.clone(), w.universal.clone());
-                probes.iter().map(|fd| checker.check(fd)).collect::<Vec<_>>()
+                probes
+                    .iter()
+                    .map(|fd| checker.check(fd))
+                    .collect::<Vec<_>>()
             });
         });
     }

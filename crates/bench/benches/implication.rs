@@ -7,9 +7,9 @@
 //! isolates that inner loop so the explanation can be checked directly.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlprop_workload::{generate, WorkloadConfig};
 use xmlprop_xmlkeys::{implies, XmlKey};
 use xmlprop_xmlpath::PathExpr;
-use xmlprop_workload::{generate, WorkloadConfig};
 
 /// A probe key representative of what Algorithm `propagation` asks: is the
 /// deepest entity level keyed (relative to the level above) by its id?

@@ -54,21 +54,29 @@ fn run_fig7a(quick: bool) {
                 p.fields.to_string(),
                 format!("{:.3}", p.minimum_cover_ms),
                 p.cover_size.to_string(),
-                p.naive_ms.map(|ms| format!("{ms:.3}")).unwrap_or_else(|| "-".to_string()),
+                p.naive_ms
+                    .map(|ms| format!("{ms:.3}"))
+                    .unwrap_or_else(|| "-".to_string()),
             ]
         })
         .collect();
     println!(
         "{}",
-        render_table(&["fields", "minimumCover (ms)", "cover size", "naive (ms)"], &rows)
+        render_table(
+            &["fields", "minimumCover (ms)", "cover size", "naive (ms)"],
+            &rows
+        )
     );
     write_json("fig7a", &points);
 }
 
 fn run_fig7b(quick: bool) {
     println!("== Fig. 7(b): effect of table-tree depth (fields = 15, keys = 10) ==\n");
-    let depths: Vec<usize> =
-        if quick { vec![2, 5, 10, 15] } else { vec![2, 4, 6, 8, 10, 12, 14, 16, 18, 20] };
+    let depths: Vec<usize> = if quick {
+        vec![2, 5, 10, 15]
+    } else {
+        vec![2, 4, 6, 8, 10, 12, 14, 16, 18, 20]
+    };
     let points = fig7b(&depths);
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -89,8 +97,11 @@ fn run_fig7b(quick: bool) {
 
 fn run_fig7c(quick: bool) {
     println!("== Fig. 7(c): effect of the number of XML keys (fields = 15, depth = 10) ==\n");
-    let keys: Vec<usize> =
-        if quick { vec![10, 25, 50] } else { vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100] };
+    let keys: Vec<usize> = if quick {
+        vec![10, 25, 50]
+    } else {
+        vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    };
     let points = fig7c(&keys);
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -123,7 +134,10 @@ fn run_large() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["algorithm", "fields", "keys", "elapsed (ms)"], &rows));
+    println!(
+        "{}",
+        render_table(&["algorithm", "fields", "keys", "elapsed (ms)"], &rows)
+    );
     write_json("large_scale", &points);
 }
 

@@ -72,11 +72,20 @@ pub fn fig7a(field_counts: &[usize], naive_max_fields: usize) -> Vec<Fig7aPoint>
     field_counts
         .iter()
         .map(|&fields| {
-            let w = generate(&WorkloadConfig::new(fields, FIG7A_DEPTH.min(fields), FIG7A_KEYS));
+            let w = generate(&WorkloadConfig::new(
+                fields,
+                FIG7A_DEPTH.min(fields),
+                FIG7A_KEYS,
+            ));
             let (minimum_cover_ms, cover) = time(|| minimum_cover(&w.sigma, &w.universal));
             let naive_ms = (fields <= naive_max_fields)
                 .then(|| time(|| naive_minimum_cover(&w.sigma, &w.universal)).0);
-            Fig7aPoint { fields, minimum_cover_ms, cover_size: cover.len(), naive_ms }
+            Fig7aPoint {
+                fields,
+                minimum_cover_ms,
+                cover_size: cover.len(),
+                naive_ms,
+            }
         })
         .collect()
 }
@@ -112,13 +121,22 @@ pub fn probe_fds(workload: &Workload, extra: usize) -> Vec<Fd> {
 fn propagation_point(parameter: usize, w: &Workload) -> PropagationPoint {
     let probes = probe_fds(w, 4);
     let (propagation_ms, results) = time(|| {
-        probes.iter().map(|fd| propagation(&w.sigma, &w.universal, fd)).collect::<Vec<_>>()
+        probes
+            .iter()
+            .map(|fd| propagation(&w.sigma, &w.universal, fd))
+            .collect::<Vec<_>>()
     });
     let (g_minimum_cover_ms, g_results) = time(|| {
         let checker = GMinimumCover::new(w.sigma.clone(), w.universal.clone());
-        probes.iter().map(|fd| checker.check(fd)).collect::<Vec<_>>()
+        probes
+            .iter()
+            .map(|fd| checker.check(fd))
+            .collect::<Vec<_>>()
     });
-    assert_eq!(results, g_results, "propagation and GminimumCover disagree on {probes:?}");
+    assert_eq!(
+        results, g_results,
+        "propagation and GminimumCover disagree on {probes:?}"
+    );
     PropagationPoint {
         parameter,
         propagation_ms,
@@ -175,13 +193,23 @@ pub fn large_scale() -> Vec<LargeScalePoint> {
             let checker = GMinimumCover::new(w.sigma.clone(), w.universal.clone());
             checker.check(&probe)
         });
-        out.push(LargeScalePoint { algorithm: "GminimumCover", fields, keys, elapsed_ms });
+        out.push(LargeScalePoint {
+            algorithm: "GminimumCover",
+            fields,
+            keys,
+            elapsed_ms,
+        });
     }
     for keys in [50usize, 100] {
         let w = generate(&WorkloadConfig::new(1000, 10, keys));
         let probe = target_fd(&w);
         let (elapsed_ms, _) = time(|| propagation(&w.sigma, &w.universal, &probe));
-        out.push(LargeScalePoint { algorithm: "propagation", fields: 1000, keys, elapsed_ms });
+        out.push(LargeScalePoint {
+            algorithm: "propagation",
+            fields: 1000,
+            keys,
+            elapsed_ms,
+        });
     }
     out
 }
@@ -244,7 +272,10 @@ mod tests {
     fn table_rendering_is_aligned() {
         let table = render_table(
             &["fields", "ms"],
-            &[vec!["5".into(), "0.1".into()], vec!["500".into(), "123.4".into()]],
+            &[
+                vec!["5".into(), "0.1".into()],
+                vec!["500".into(), "123.4".into()],
+            ],
         );
         assert!(table.contains("fields"));
         assert_eq!(table.lines().count(), 4);

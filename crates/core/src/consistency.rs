@@ -60,7 +60,12 @@ impl std::fmt::Display for ConsistencyReport {
         for check in &self.checks {
             let key: Vec<&str> = check.key.iter().map(String::as_str).collect();
             if check.guaranteed() {
-                writeln!(f, "[ok]   {}({}) is guaranteed by the XML keys", check.relation, key.join(", "))?;
+                writeln!(
+                    f,
+                    "[ok]   {}({}) is guaranteed by the XML keys",
+                    check.relation,
+                    key.join(", ")
+                )?;
             } else {
                 writeln!(
                     f,
@@ -187,7 +192,10 @@ mod tests {
         let verdicts: Vec<bool> = report.checks.iter().map(KeyCheck::guaranteed).collect();
         assert_eq!(verdicts, vec![false, true, false]);
         let book = &report.checks[0];
-        assert_eq!(book.unsupported_fds, vec![Fd::parse("isbn -> author").unwrap()]);
+        assert_eq!(
+            book.unsupported_fds,
+            vec![Fd::parse("isbn -> author").unwrap()]
+        );
     }
 
     #[test]

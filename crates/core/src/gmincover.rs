@@ -49,19 +49,28 @@ impl GMinimumCover {
 
     fn check_single(&self, x_fields: &BTreeSet<String>, a_field: &str) -> bool {
         // Relational implication against the cover (trivial FDs included).
-        let single = Fd::new(x_fields.clone(), std::iter::once(a_field.to_string()).collect());
+        let single = Fd::new(
+            x_fields.clone(),
+            std::iter::once(a_field.to_string()).collect(),
+        );
         if !x_fields.contains(a_field) && !fd_implies(&self.cover, &single) {
             return false;
         }
         // Non-null analysis, mirroring the Ycheck bookkeeping of Fig. 5.
         let tree = self.rule.table_tree();
-        let Some(a_var) = self.rule.field_var(a_field) else { return false };
+        let Some(a_var) = self.rule.field_var(a_field) else {
+            return false;
+        };
         for field in x_fields {
             if field == a_field {
                 continue;
             }
-            let Some(var) = self.rule.field_var(field) else { return false };
-            let Some(parent) = tree.parent(var) else { return false };
+            let Some(var) = self.rule.field_var(field) else {
+                return false;
+            };
+            let Some(parent) = tree.parent(var) else {
+                return false;
+            };
             // The field's variable must hang off an ancestor of A's variable
             // through an attribute edge whose existence is assured by Σ.
             if !tree.is_ancestor_or_self(parent, a_var) {

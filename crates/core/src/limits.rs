@@ -93,8 +93,11 @@ mod tests {
         let back = rule.shred(&doc);
         assert_eq!(back.schema().attributes(), schema.attributes());
         assert_eq!(back.len(), 2);
-        let names: Vec<String> =
-            back.rows().iter().map(|r| back.value(r, "name").to_string()).collect();
+        let names: Vec<String> = back
+            .rows()
+            .iter()
+            .map(|r| back.value(r, "name").to_string())
+            .collect();
         assert_eq!(names, vec!["ada", "bob"]);
     }
 
@@ -102,7 +105,10 @@ mod tests {
     fn nulls_are_skipped_in_the_encoding_and_restored_by_shredding() {
         let schema = RelationSchema::new("t", ["a", "b"]);
         let mut relation = Relation::new(schema.clone());
-        relation.insert(xmlprop_reldb::Tuple::new(vec![Value::text("x"), Value::Null]));
+        relation.insert(xmlprop_reldb::Tuple::new(vec![
+            Value::text("x"),
+            Value::Null,
+        ]));
         let doc = encode_relation_as_xml(&relation);
         let back = identity_rule(&schema).shred(&doc);
         assert_eq!(back.len(), 1);
@@ -115,7 +121,11 @@ mod tests {
         let schema = RelationSchema::new("r", ["a", "b", "c"]);
         let rule = identity_rule(&schema);
         let tree = rule.table_tree();
-        for var in tree.variables().iter().filter(|v| *v != "xr" && *v != "row") {
+        for var in tree
+            .variables()
+            .iter()
+            .filter(|v| *v != "xr" && *v != "row")
+        {
             assert_eq!(tree.edge_path(var).unwrap().len(), 1);
             assert_eq!(tree.parent(var), Some("row"));
         }

@@ -83,7 +83,9 @@ pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, C
         let mut candidates: Vec<BTreeSet<String>> = Vec::new();
         let ancestors = tree.ancestors_from_root(var);
         for u in &ancestors[..ancestors.len() - 1] {
-            let Some(k_u) = canonical.get(u.as_str()).cloned() else { continue };
+            let Some(k_u) = canonical.get(u.as_str()).cloned() else {
+                continue;
+            };
             let u_position = tree.path_from_root(u);
             let relative = tree.path_between(u, var).expect("u is an ancestor of var");
 
@@ -132,10 +134,16 @@ pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, C
         // alternative keys remain derivable from the cover.
         for alt in &candidates[1..] {
             for field in alt.difference(&chosen) {
-                fds.push(Fd::new(chosen.clone(), std::iter::once(field.clone()).collect()));
+                fds.push(Fd::new(
+                    chosen.clone(),
+                    std::iter::once(field.clone()).collect(),
+                ));
             }
             for field in chosen.difference(alt) {
-                fds.push(Fd::new(alt.clone(), std::iter::once(field.clone()).collect()));
+                fds.push(Fd::new(
+                    alt.clone(),
+                    std::iter::once(field.clone()).collect(),
+                ));
             }
         }
 
@@ -159,7 +167,10 @@ pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, C
             let to_w = tree.path_between(var, w).expect("w is in v's subtree");
             stats.implication_calls += 1;
             if node_unique_under(sigma, &v_position, &to_w) {
-                let fd = Fd::new(key_fields.clone(), std::iter::once((*field).to_string()).collect());
+                let fd = Fd::new(
+                    key_fields.clone(),
+                    std::iter::once((*field).to_string()).collect(),
+                );
                 if !fds.contains(&fd) {
                     fds.push(fd);
                 }
@@ -176,18 +187,18 @@ pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, C
 /// The attribute-mapped fields of `var`: a map from attribute label (with
 /// `@`) to the universal-relation field it populates, considering only field
 /// variables that are children of `var` through a single-attribute path.
-fn attribute_fields_of(
-    rule: &TableRule,
-    tree: &TableTree,
-    var: &str,
-) -> BTreeMap<String, String> {
+fn attribute_fields_of(rule: &TableRule, tree: &TableTree, var: &str) -> BTreeMap<String, String> {
     let mut out = BTreeMap::new();
     for fr in rule.field_rules() {
-        let Some(parent) = tree.parent(&fr.var) else { continue };
+        let Some(parent) = tree.parent(&fr.var) else {
+            continue;
+        };
         if parent != var {
             continue;
         }
-        let path = tree.edge_path(&fr.var).expect("non-root variable has an edge");
+        let path = tree
+            .edge_path(&fr.var)
+            .expect("non-root variable has an edge");
         if let [xmlprop_xmlpath::Atom::Label(label)] = path.atoms() {
             if label.starts_with('@') {
                 out.insert(label.clone(), fr.field.clone());
@@ -264,8 +275,10 @@ mod tests {
         )
         .unwrap();
         let cover = minimum_cover(&sigma, &rule);
-        let expected =
-            vec![fd("isbn -> bookTitle"), fd("isbn, chapterNum -> chapterName")];
+        let expected = vec![
+            fd("isbn -> bookTitle"),
+            fd("isbn, chapterNum -> chapterName"),
+        ];
         assert!(covers_equivalent(&cover, &expected), "got {cover:?}");
         // isbn -> author must NOT be derivable (books have several authors).
         assert!(!xmlprop_reldb::implies(&cover, &fd("isbn -> author")));
@@ -335,7 +348,10 @@ mod tests {
         assert!(xmlprop_reldb::implies(&cover, &fd("isbn -> title")));
         // And it agrees with the exponential baseline.
         let slow = naive_minimum_cover(&sigma, &rule);
-        assert!(covers_equivalent(&cover, &slow), "fast={cover:?} slow={slow:?}");
+        assert!(
+            covers_equivalent(&cover, &slow),
+            "fast={cover:?} slow={slow:?}"
+        );
     }
 
     #[test]
@@ -374,9 +390,15 @@ mod tests {
             &fd("isbn, chapNum, secNum, secPart -> secName")
         ));
         // The smaller LHS without secPart must not be derivable.
-        assert!(!xmlprop_reldb::implies(&cover, &fd("isbn, chapNum, secNum -> secName")));
+        assert!(!xmlprop_reldb::implies(
+            &cover,
+            &fd("isbn, chapNum, secNum -> secName")
+        ));
         let slow = naive_minimum_cover(&sigma, &rule);
-        assert!(covers_equivalent(&cover, &slow), "fast={cover:?} slow={slow:?}");
+        assert!(
+            covers_equivalent(&cover, &slow),
+            "fast={cover:?} slow={slow:?}"
+        );
     }
 
     #[test]
@@ -407,6 +429,9 @@ mod tests {
         let cover = minimum_cover(&sigma, rule);
         let expected = vec![fd("cust, ord -> total")];
         assert!(covers_equivalent(&cover, &expected), "got {cover:?}");
-        assert!(covers_equivalent(&cover, &naive_minimum_cover(&sigma, rule)));
+        assert!(covers_equivalent(
+            &cover,
+            &naive_minimum_cover(&sigma, rule)
+        ));
     }
 }

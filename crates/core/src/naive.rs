@@ -18,7 +18,10 @@ use xmlprop_xmltransform::TableRule;
 pub fn naive_propagated_fds(sigma: &KeySet, rule: &TableRule) -> Vec<Fd> {
     let attrs: Vec<&String> = rule.schema().attributes().iter().collect();
     let n = attrs.len();
-    assert!(n < 64, "naive enumeration over {n} fields would overflow; use minimum_cover");
+    assert!(
+        n < 64,
+        "naive enumeration over {n} fields would overflow; use minimum_cover"
+    );
     let mut out = Vec::new();
     for a in &attrs {
         for mask in 0u64..(1u64 << n) {

@@ -43,13 +43,18 @@ impl PropagationOutcome {
 /// Fields that do not belong to the rule's schema make the FD
 /// non-propagated (rather than panicking), so callers can probe freely.
 pub fn propagation(sigma: &KeySet, rule: &TableRule, fd: &Fd) -> bool {
-    fd.rhs().iter().all(|a| propagation_single(sigma, rule, fd.lhs(), a).propagated)
+    fd.rhs()
+        .iter()
+        .all(|a| propagation_single(sigma, rule, fd.lhs(), a).propagated)
 }
 
 /// Like [`propagation`] but returns one [`PropagationOutcome`] per
 /// right-hand-side attribute, for diagnostics and examples.
 pub fn propagation_explained(sigma: &KeySet, rule: &TableRule, fd: &Fd) -> Vec<PropagationOutcome> {
-    fd.rhs().iter().map(|a| propagation_single(sigma, rule, fd.lhs(), a)).collect()
+    fd.rhs()
+        .iter()
+        .map(|a| propagation_single(sigma, rule, fd.lhs(), a))
+        .collect()
 }
 
 /// The Fig. 5 algorithm for a single FD `X → A`.
@@ -82,12 +87,19 @@ fn propagation_single(
     let ancestors = tree.ancestors_from_root(x_var);
 
     // Line 6: fields of X that still need an existence guarantee.
-    let mut ycheck: BTreeSet<String> =
-        x_fields.iter().filter(|f| f.as_str() != a_field).cloned().collect();
+    let mut ycheck: BTreeSet<String> = x_fields
+        .iter()
+        .filter(|f| f.as_str() != a_field)
+        .cloned()
+        .collect();
 
     // Lines 7–9: a trivial FD (A ∈ X) needs no key.
     let mut key_found = x_fields.contains(a_field);
-    let mut keyed_ancestor = if key_found { Some(x_var.to_string()) } else { None };
+    let mut keyed_ancestor = if key_found {
+        Some(x_var.to_string())
+    } else {
+        None
+    };
 
     // Line 10.
     let mut context = tree.root().to_string();
@@ -150,12 +162,18 @@ fn attributes_of_target_in_x(
 ) -> Vec<(String, String)> {
     let mut out = Vec::new();
     for field in x_fields {
-        let Some(var) = rule.field_var(field) else { continue };
-        let Some(parent) = tree.parent(var) else { continue };
+        let Some(var) = rule.field_var(field) else {
+            continue;
+        };
+        let Some(parent) = tree.parent(var) else {
+            continue;
+        };
         if parent != target {
             continue;
         }
-        let path = tree.edge_path(var).expect("non-root variable has an edge path");
+        let path = tree
+            .edge_path(var)
+            .expect("non-root variable has an edge path");
         if let [xmlprop_xmlpath::Atom::Label(label)] = path.atoms() {
             if label.starts_with('@') {
                 out.push((label.clone(), field.clone()));
@@ -216,9 +234,17 @@ mod tests {
         // design is not.
         let sigma = example_2_1_keys();
         let refined = example_1_1_refined_chapter();
-        assert!(propagation(&sigma, &refined, &fd("isbn, chapterNum -> chapterName")));
+        assert!(propagation(
+            &sigma,
+            &refined,
+            &fd("isbn, chapterNum -> chapterName")
+        ));
         let initial = example_1_1_initial_chapter();
-        assert!(!propagation(&sigma, &initial, &fd("bookTitle, chapterNum -> chapterName")));
+        assert!(!propagation(
+            &sigma,
+            &initial,
+            &fd("bookTitle, chapterNum -> chapterName")
+        ));
     }
 
     #[test]
@@ -291,7 +317,10 @@ mod tests {
             "bookIsbn, chapNum -> chapName",
             "bookIsbn, chapNum, secNum -> secName",
         ] {
-            assert!(propagation(&sigma, &u, &fd(good)), "{good} should be propagated");
+            assert!(
+                propagation(&sigma, &u, &fd(good)),
+                "{good} should be propagated"
+            );
         }
         for bad in [
             "bookIsbn -> bookAuthor",
@@ -301,7 +330,10 @@ mod tests {
             "bookTitle -> bookIsbn",
             "bookIsbn, chapNum -> secName",
         ] {
-            assert!(!propagation(&sigma, &u, &fd(bad)), "{bad} should NOT be propagated");
+            assert!(
+                !propagation(&sigma, &u, &fd(bad)),
+                "{bad} should NOT be propagated"
+            );
         }
     }
 
@@ -320,10 +352,12 @@ mod tests {
     fn constant_fields_under_a_unique_root_path() {
         // A field bound to a node unique in the whole document is determined
         // by the empty set of attributes.
-        let sigma: KeySet =
-            [XmlKey::parse("(ε, (library, {}))").unwrap(), XmlKey::parse("(library, (name, {}))").unwrap()]
-                .into_iter()
-                .collect();
+        let sigma: KeySet = [
+            XmlKey::parse("(ε, (library, {}))").unwrap(),
+            XmlKey::parse("(library, (name, {}))").unwrap(),
+        ]
+        .into_iter()
+        .collect();
         let t = Transformation::parse(
             "rule meta(libname) {
                 l := xr/library;

@@ -45,7 +45,12 @@ pub fn refine(sigma: &KeySet, rule: &TableRule) -> RefinedDesign {
     let universal_keys = candidate_keys(&attrs, &cover);
     let bcnf = bcnf_decompose(rule.schema().name(), &attrs, &cover);
     let third_normal_form = synthesize_3nf(rule.schema().name(), &attrs, &cover);
-    RefinedDesign { cover, universal_keys, bcnf, third_normal_form }
+    RefinedDesign {
+        cover,
+        universal_keys,
+        bcnf,
+        third_normal_form,
+    }
 }
 
 /// Convenience wrapper: refine and also return a [`GMinimumCover`] checker
@@ -83,7 +88,10 @@ mod tests {
             "missing book fragment in {sets:?}"
         );
         // chapter(bookIsbn, chapNum, chapName)
-        assert!(sets.contains(&attrs(["bookIsbn", "chapNum", "chapName"])), "{sets:?}");
+        assert!(
+            sets.contains(&attrs(["bookIsbn", "chapNum", "chapName"])),
+            "{sets:?}"
+        );
         // section(bookIsbn, chapNum, secNum, secName)
         assert!(
             sets.contains(&attrs(["bookIsbn", "chapNum", "secNum", "secName"])),
@@ -96,7 +104,10 @@ mod tests {
         // Every fragment is in BCNF w.r.t. the cover, and the decomposition
         // is lossless (verified by the chase).
         for r in &design.bcnf.relations {
-            assert!(xmlprop_reldb::is_bcnf(&r.schema.attribute_set(), &design.cover));
+            assert!(xmlprop_reldb::is_bcnf(
+                &r.schema.attribute_set(),
+                &design.cover
+            ));
         }
         assert!(xmlprop_reldb::decomposition_is_lossless(
             &u.schema().attribute_set(),

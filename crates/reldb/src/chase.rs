@@ -37,8 +37,11 @@ pub fn is_lossless_join(
         return false;
     }
     let columns: Vec<&String> = universe.iter().collect();
-    let col_index: BTreeMap<&str, usize> =
-        columns.iter().enumerate().map(|(i, a)| (a.as_str(), i)).collect();
+    let col_index: BTreeMap<&str, usize> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.as_str(), i))
+        .collect();
 
     // Initial tableau.
     let mut tableau: Vec<Vec<Symbol>> = fragments
@@ -65,13 +68,19 @@ pub fn is_lossless_join(
     while changed {
         changed = false;
         for fd in fds {
-            let lhs_cols: Vec<usize> =
-                fd.lhs().iter().filter_map(|a| col_index.get(a.as_str()).copied()).collect();
+            let lhs_cols: Vec<usize> = fd
+                .lhs()
+                .iter()
+                .filter_map(|a| col_index.get(a.as_str()).copied())
+                .collect();
             if lhs_cols.len() != fd.lhs().len() {
                 continue; // FD mentions attributes outside the universe
             }
-            let rhs_cols: Vec<usize> =
-                fd.rhs().iter().filter_map(|a| col_index.get(a.as_str()).copied()).collect();
+            let rhs_cols: Vec<usize> = fd
+                .rhs()
+                .iter()
+                .filter_map(|a| col_index.get(a.as_str()).copied())
+                .collect();
             for i in 0..tableau.len() {
                 for j in (i + 1)..tableau.len() {
                     if lhs_cols.iter().all(|&c| tableau[i][c] == tableau[j][c]) {
@@ -103,9 +112,11 @@ pub fn is_lossless_join(
         }
     }
 
-    tableau
-        .iter()
-        .any(|row| row.iter().enumerate().all(|(c, s)| *s == Symbol::Distinguished(c)))
+    tableau.iter().any(|row| {
+        row.iter()
+            .enumerate()
+            .all(|(c, s)| *s == Symbol::Distinguished(c))
+    })
 }
 
 /// Convenience overload for [`crate::Decomposition`] results.
@@ -114,17 +125,17 @@ pub fn decomposition_is_lossless(
     decomposition: &crate::Decomposition,
     fds: &[Fd],
 ) -> bool {
-    let fragments: Vec<BTreeSet<String>> =
-        decomposition.relations.iter().map(|r| r.schema.attribute_set()).collect();
+    let fragments: Vec<BTreeSet<String>> = decomposition
+        .relations
+        .iter()
+        .map(|r| r.schema.attribute_set())
+        .collect();
     is_lossless_join(universe, &fragments, fds)
 }
 
 /// True if the decomposition is dependency preserving: the union of the FDs
 /// projected onto the fragments is equivalent to the original set.
-pub fn is_dependency_preserving(
-    fragments: &[BTreeSet<String>],
-    fds: &[Fd],
-) -> bool {
+pub fn is_dependency_preserving(fragments: &[BTreeSet<String>], fds: &[Fd]) -> bool {
     let mut projected: Vec<Fd> = Vec::new();
     for fragment in fragments {
         projected.extend(crate::project_fds(fds, fragment));
@@ -146,11 +157,27 @@ mod tests {
         let universe = attrs(["a", "b", "c"]);
         let fds = vec![fd("a -> b")];
         // {a,b}, {a,c} is lossless (a -> b); {a,b}, {b,c} is lossy.
-        assert!(is_lossless_join(&universe, &[attrs(["a", "b"]), attrs(["a", "c"])], &fds));
-        assert!(!is_lossless_join(&universe, &[attrs(["a", "b"]), attrs(["b", "c"])], &fds));
+        assert!(is_lossless_join(
+            &universe,
+            &[attrs(["a", "b"]), attrs(["a", "c"])],
+            &fds
+        ));
+        assert!(!is_lossless_join(
+            &universe,
+            &[attrs(["a", "b"]), attrs(["b", "c"])],
+            &fds
+        ));
         // Without any FDs only a fragment equal to the universe is lossless.
-        assert!(!is_lossless_join(&universe, &[attrs(["a", "b"]), attrs(["a", "c"])], &[]));
-        assert!(is_lossless_join(&universe, std::slice::from_ref(&universe), &[]));
+        assert!(!is_lossless_join(
+            &universe,
+            &[attrs(["a", "b"]), attrs(["a", "c"])],
+            &[]
+        ));
+        assert!(is_lossless_join(
+            &universe,
+            std::slice::from_ref(&universe),
+            &[]
+        ));
     }
 
     #[test]
@@ -163,7 +190,10 @@ mod tests {
     fn bcnf_decomposition_of_the_paper_examples_is_lossless() {
         // Example 1.2.
         let universe = attrs(["isbn", "bookTitle", "author", "chapterNum", "chapterName"]);
-        let fds = vec![fd("isbn -> bookTitle"), fd("isbn, chapterNum -> chapterName")];
+        let fds = vec![
+            fd("isbn -> bookTitle"),
+            fd("isbn, chapterNum -> chapterName"),
+        ];
         let dec = bcnf_decompose("Chapter", &universe, &fds);
         assert!(decomposition_is_lossless(&universe, &dec, &fds));
 
@@ -194,8 +224,11 @@ mod tests {
         let fds = vec![fd("a -> b"), fd("b -> c"), fd("a, d -> e")];
         let dec = synthesize_3nf("r", &universe, &fds);
         assert!(decomposition_is_lossless(&universe, &dec, &fds));
-        let fragments: Vec<BTreeSet<String>> =
-            dec.relations.iter().map(|r| r.schema.attribute_set()).collect();
+        let fragments: Vec<BTreeSet<String>> = dec
+            .relations
+            .iter()
+            .map(|r| r.schema.attribute_set())
+            .collect();
         assert!(is_dependency_preserving(&fragments, &fds));
     }
 
@@ -207,6 +240,10 @@ mod tests {
         let fragments = vec![attrs(["zip", "city"]), attrs(["street", "zip"])];
         assert!(!is_dependency_preserving(&fragments, &fds));
         // ...but it is still lossless.
-        assert!(is_lossless_join(&attrs(["street", "city", "zip"]), &fragments, &fds));
+        assert!(is_lossless_join(
+            &attrs(["street", "city", "zip"]),
+            &fragments,
+            &fds
+        ));
     }
 }

@@ -57,7 +57,10 @@ mod tests {
     fn closure_basic() {
         let fds = vec![fd("a -> b"), fd("b -> c"), fd("c, d -> e")];
         assert_eq!(closure(&attrs(["a"]), &fds), attrs(["a", "b", "c"]));
-        assert_eq!(closure(&attrs(["a", "d"]), &fds), attrs(["a", "b", "c", "d", "e"]));
+        assert_eq!(
+            closure(&attrs(["a", "d"]), &fds),
+            attrs(["a", "b", "c", "d", "e"])
+        );
         assert_eq!(closure(&attrs(["d"]), &fds), attrs(["d"]));
         assert_eq!(closure(&BTreeSet::new(), &fds), BTreeSet::new());
     }
@@ -95,8 +98,14 @@ mod tests {
         // Example 1.2: from the minimum cover {isbn -> bookTitle,
         // (isbn, chapterNum) -> chapterName}, isbn alone does not determine
         // chapterName but (isbn, chapterNum) does.
-        let cover = vec![fd("isbn -> bookTitle"), fd("isbn, chapterNum -> chapterName")];
-        assert!(implies(&cover, &fd("isbn, chapterNum -> bookTitle, chapterName")));
+        let cover = vec![
+            fd("isbn -> bookTitle"),
+            fd("isbn, chapterNum -> chapterName"),
+        ];
+        assert!(implies(
+            &cover,
+            &fd("isbn, chapterNum -> bookTitle, chapterName")
+        ));
         assert!(!implies(&cover, &fd("isbn -> chapterName")));
         assert!(!implies(&cover, &fd("isbn -> author")));
     }

@@ -69,14 +69,20 @@ impl Fd {
     pub fn split_rhs(&self) -> Vec<Fd> {
         self.rhs
             .iter()
-            .map(|a| Fd { lhs: self.lhs.clone(), rhs: std::iter::once(a.clone()).collect() })
+            .map(|a| Fd {
+                lhs: self.lhs.clone(),
+                rhs: std::iter::once(a.clone()).collect(),
+            })
             .collect()
     }
 
     /// A copy of the FD with a different left-hand side (used when removing
     /// extraneous attributes).
     pub fn with_lhs(&self, lhs: BTreeSet<String>) -> Fd {
-        Fd { lhs, rhs: self.rhs.clone() }
+        Fd {
+            lhs,
+            rhs: self.rhs.clone(),
+        }
     }
 }
 
@@ -109,10 +115,16 @@ impl FromStr for Fd {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let normalized = s.replace('→', "->");
         let mut parts = normalized.split("->");
-        let lhs = parts.next().ok_or_else(|| ParseFdError { message: "missing `->`".into() })?;
-        let rhs = parts.next().ok_or_else(|| ParseFdError { message: "missing `->`".into() })?;
+        let lhs = parts.next().ok_or_else(|| ParseFdError {
+            message: "missing `->`".into(),
+        })?;
+        let rhs = parts.next().ok_or_else(|| ParseFdError {
+            message: "missing `->`".into(),
+        })?;
         if parts.next().is_some() {
-            return Err(ParseFdError { message: "more than one `->`".into() });
+            return Err(ParseFdError {
+                message: "more than one `->`".into(),
+            });
         }
         let split = |side: &str| -> BTreeSet<String> {
             side.split(',')
@@ -123,9 +135,14 @@ impl FromStr for Fd {
         };
         let rhs_set = split(rhs);
         if rhs_set.is_empty() {
-            return Err(ParseFdError { message: "empty right-hand side".into() });
+            return Err(ParseFdError {
+                message: "empty right-hand side".into(),
+            });
         }
-        Ok(Fd { lhs: split(lhs), rhs: rhs_set })
+        Ok(Fd {
+            lhs: split(lhs),
+            rhs: rhs_set,
+        })
     }
 }
 

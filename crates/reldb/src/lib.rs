@@ -55,8 +55,8 @@ pub use closure::{closure, covers_equivalent, implies};
 pub use cover::{is_nonredundant, minimize, minimum_cover, remove_trivial};
 pub use fd::{Fd, ParseFdError};
 pub use normalize::{
-    bcnf_decompose, candidate_keys, is_bcnf, is_3nf, project_fds, synthesize_3nf, Decomposition,
-    DecomposedRelation,
+    bcnf_decompose, candidate_keys, is_3nf, is_bcnf, project_fds, synthesize_3nf,
+    DecomposedRelation, Decomposition,
 };
 pub use relation::{Database, Relation, Tuple};
 pub use schema::RelationSchema;

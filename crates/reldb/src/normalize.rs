@@ -49,13 +49,20 @@ pub struct Decomposition {
 impl Decomposition {
     /// Renders the whole decomposition as SQL DDL.
     pub fn to_sql(&self) -> String {
-        self.relations.iter().map(DecomposedRelation::to_sql).collect::<Vec<_>>().join("\n\n")
+        self.relations
+            .iter()
+            .map(DecomposedRelation::to_sql)
+            .collect::<Vec<_>>()
+            .join("\n\n")
     }
 
     /// The set of attribute sets (useful in tests, where fragment order and
     /// names are irrelevant).
     pub fn attribute_sets(&self) -> BTreeSet<BTreeSet<String>> {
-        self.relations.iter().map(|r| r.schema.attribute_set()).collect()
+        self.relations
+            .iter()
+            .map(|r| r.schema.attribute_set())
+            .collect()
     }
 }
 
@@ -199,9 +206,9 @@ pub fn bcnf_decompose(name: &str, attrs: &BTreeSet<String>, fds: &[Fd]) -> Decom
 
     while let Some(current) = fragments.pop() {
         let local = project_fds(fds, &current);
-        let violating = local.iter().find(|fd| {
-            !fd.is_trivial() && !closure(fd.lhs(), &local).is_superset(&current)
-        });
+        let violating = local
+            .iter()
+            .find(|fd| !fd.is_trivial() && !closure(fd.lhs(), &local).is_superset(&current));
         match violating {
             None => finished.push(current),
             Some(fd) => {
@@ -269,8 +276,10 @@ pub fn synthesize_3nf(name: &str, attrs: &BTreeSet<String>, fds: &[Fd]) -> Decom
         schemas.push((all, lhs));
     }
     // Attributes not mentioned in any FD must still be stored somewhere.
-    let mentioned: BTreeSet<String> =
-        cover.iter().flat_map(|fd| fd.attributes().into_iter()).collect();
+    let mentioned: BTreeSet<String> = cover
+        .iter()
+        .flat_map(|fd| fd.attributes().into_iter())
+        .collect();
     let unmentioned: BTreeSet<String> = attrs.difference(&mentioned).cloned().collect();
     if !unmentioned.is_empty() {
         // They are determined by nothing, so they join a key fragment below
@@ -285,7 +294,10 @@ pub fn synthesize_3nf(name: &str, attrs: &BTreeSet<String>, fds: &[Fd]) -> Decom
     if !has_key_fragment {
         let mut keys_sorted = keys.clone();
         keys_sorted.sort_by_key(|k| (k.len(), k.iter().cloned().collect::<Vec<_>>()));
-        let key = keys_sorted.into_iter().next().unwrap_or_else(|| attrs.clone());
+        let key = keys_sorted
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| attrs.clone());
         schemas.push((key.clone(), key));
     }
     // Drop fragments contained in others.
@@ -361,19 +373,28 @@ mod tests {
         // Example 1.2: Chapter(isbn, bookTitle, author, chapterNum, chapterName)
         // with isbn -> bookTitle and (isbn, chapterNum) -> chapterName.
         let a = attrs(["isbn", "bookTitle", "author", "chapterNum", "chapterName"]);
-        let fds = vec![fd("isbn -> bookTitle"), fd("isbn, chapterNum -> chapterName")];
+        let fds = vec![
+            fd("isbn -> bookTitle"),
+            fd("isbn, chapterNum -> chapterName"),
+        ];
         let dec = bcnf_decompose("Chapter", &a, &fds);
         let sets = dec.attribute_sets();
         // The paper's result: Book(isbn, bookTitle), Chapter(isbn, chapterNum,
         // chapterName), Author(isbn, author).
         assert!(sets.contains(&attrs(["isbn", "bookTitle"])));
         assert!(sets.contains(&attrs(["isbn", "chapterNum", "chapterName"])));
-        assert!(sets.contains(&attrs(["isbn", "author", "chapterNum"]))
-            || sets.contains(&attrs(["isbn", "author"])),
-            "author must end up keyed by isbn (possibly with chapterNum), got {sets:?}");
+        assert!(
+            sets.contains(&attrs(["isbn", "author", "chapterNum"]))
+                || sets.contains(&attrs(["isbn", "author"])),
+            "author must end up keyed by isbn (possibly with chapterNum), got {sets:?}"
+        );
         // Every fragment must be in BCNF.
         for r in &dec.relations {
-            assert!(is_bcnf(&r.schema.attribute_set(), &fds), "fragment {} not BCNF", r.schema);
+            assert!(
+                is_bcnf(&r.schema.attribute_set(), &fds),
+                "fragment {} not BCNF",
+                r.schema
+            );
         }
     }
 
@@ -397,11 +418,18 @@ mod tests {
         ];
         let dec = bcnf_decompose("U", &a, &fds);
         for r in &dec.relations {
-            assert!(is_bcnf(&r.schema.attribute_set(), &fds), "fragment {} not BCNF", r.schema);
+            assert!(
+                is_bcnf(&r.schema.attribute_set(), &fds),
+                "fragment {} not BCNF",
+                r.schema
+            );
         }
         // The decomposition keeps all attributes.
-        let union: BTreeSet<String> =
-            dec.relations.iter().flat_map(|r| r.schema.attribute_set()).collect();
+        let union: BTreeSet<String> = dec
+            .relations
+            .iter()
+            .flat_map(|r| r.schema.attribute_set())
+            .collect();
         assert_eq!(union, a);
     }
 
@@ -418,7 +446,11 @@ mod tests {
         assert!(sets.iter().any(|s| s.contains("d")));
         assert!(sets.iter().any(|s| s.is_superset(&attrs(["a", "d"]))));
         for r in &dec.relations {
-            assert!(is_3nf(&r.schema.attribute_set(), &fds), "fragment {} not 3NF", r.schema);
+            assert!(
+                is_3nf(&r.schema.attribute_set(), &fds),
+                "fragment {} not 3NF",
+                r.schema
+            );
         }
     }
 
@@ -438,6 +470,8 @@ mod tests {
         let projected = project_fds(&fds, &attrs(["a", "c"]));
         // a -> c is implied and survives projection; b is gone.
         assert!(crate::implies(&projected, &fd("a -> c")));
-        assert!(projected.iter().all(|f| f.attributes().is_subset(&attrs(["a", "c"]))));
+        assert!(projected
+            .iter()
+            .all(|f| f.attributes().is_subset(&attrs(["a", "c"]))));
     }
 }

@@ -61,7 +61,10 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty instance of the given schema.
     pub fn new(schema: RelationSchema) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// The schema of the relation.
@@ -139,8 +142,15 @@ impl Relation {
 
     /// Projection of a row onto a set of attributes (in iteration order of
     /// the given names).
-    pub fn project<'a>(&self, row: &Tuple, attributes: impl IntoIterator<Item = &'a String>) -> Vec<Value> {
-        attributes.into_iter().map(|a| self.value(row, a).clone()).collect()
+    pub fn project<'a>(
+        &self,
+        row: &Tuple,
+        attributes: impl IntoIterator<Item = &'a String>,
+    ) -> Vec<Value> {
+        attributes
+            .into_iter()
+            .map(|a| self.value(row, a).clone())
+            .collect()
     }
 
     /// Classical FD satisfaction, ignoring the null subtleties: any two rows
@@ -203,8 +213,7 @@ impl Relation {
 
     /// Renders the instance as an aligned text table (Fig. 2 style).
     pub fn to_table_string(&self) -> String {
-        let mut widths: Vec<usize> =
-            self.schema.attributes().iter().map(|a| a.len()).collect();
+        let mut widths: Vec<usize> = self.schema.attributes().iter().map(|a| a.len()).collect();
         for row in &self.rows {
             for (i, v) in row.values().iter().enumerate() {
                 widths[i] = widths[i].max(v.to_string().len());
@@ -254,7 +263,8 @@ impl Database {
 
     /// Adds (or replaces) a relation instance.
     pub fn insert(&mut self, relation: Relation) {
-        self.relations.insert(relation.schema().name().to_string(), relation);
+        self.relations
+            .insert(relation.schema().name().to_string(), relation);
     }
 
     /// Looks up a relation by name.
@@ -335,8 +345,16 @@ mod tests {
         let mut r = Relation::new(schema);
         // Two tuples agree on a but disagree on b; one of them has a null c,
         // so it is exempt from condition (2).
-        r.insert(Tuple::new(vec![Value::text("1"), Value::text("x"), Value::Null]));
-        r.insert(Tuple::new(vec![Value::text("1"), Value::text("y"), Value::text("z")]));
+        r.insert(Tuple::new(vec![
+            Value::text("1"),
+            Value::text("x"),
+            Value::Null,
+        ]));
+        r.insert(Tuple::new(vec![
+            Value::text("1"),
+            Value::text("y"),
+            Value::text("z"),
+        ]));
         let fd = Fd::new(attrs(["a"]), attrs(["b"]));
         assert!(r.satisfies_fd_paper(&fd));
         assert!(!r.satisfies_fd_classical(&fd));

@@ -25,9 +25,15 @@ impl RelationSchema {
         let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
         let mut seen = std::collections::BTreeSet::new();
         for a in &attributes {
-            assert!(seen.insert(a.clone()), "duplicate attribute `{a}` in relation schema");
+            assert!(
+                seen.insert(a.clone()),
+                "duplicate attribute `{a}` in relation schema"
+            );
         }
-        RelationSchema { name: name.into(), attributes }
+        RelationSchema {
+            name: name.into(),
+            attributes,
+        }
     }
 
     /// The relation name.

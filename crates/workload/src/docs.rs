@@ -26,7 +26,11 @@ pub struct DocConfig {
 
 impl Default for DocConfig {
     fn default() -> Self {
-        DocConfig { branching: 3, omission_probability: 0.2, seed: 7 }
+        DocConfig {
+            branching: 3,
+            omission_probability: 0.2,
+            seed: 7,
+        }
     }
 }
 
@@ -65,7 +69,11 @@ fn grow(
         // different parents may or may not collide.
         for field in workload.attr_fields_per_level[level].iter().skip(1) {
             let collide: u8 = rng.gen_range(0..3);
-            doc.add_attribute(node, format!("@{field}"), format!("{field}-{sibling}-{collide}"));
+            doc.add_attribute(
+                node,
+                format!("@{field}"),
+                format!("{field}-{sibling}-{collide}"),
+            );
         }
         // Element fields: at most one occurrence (uniqueness keys demand at
         // most one), possibly omitted to exercise nulls.
@@ -91,7 +99,13 @@ mod tests {
     fn generated_documents_satisfy_sigma() {
         for seed in 0..5 {
             let w = generate(&WorkloadConfig::new(14, 4, 12).with_seed(seed));
-            let doc = generate_document(&w, &DocConfig { seed, ..DocConfig::default() });
+            let doc = generate_document(
+                &w,
+                &DocConfig {
+                    seed,
+                    ..DocConfig::default()
+                },
+            );
             assert!(
                 satisfies_all(&doc, w.sigma.iter()),
                 "seed {seed}: generated document violates its own key set"
@@ -102,8 +116,20 @@ mod tests {
     #[test]
     fn document_size_scales_with_branching() {
         let w = generate(&WorkloadConfig::new(10, 3, 6));
-        let small = generate_document(&w, &DocConfig { branching: 2, ..DocConfig::default() });
-        let large = generate_document(&w, &DocConfig { branching: 4, ..DocConfig::default() });
+        let small = generate_document(
+            &w,
+            &DocConfig {
+                branching: 2,
+                ..DocConfig::default()
+            },
+        );
+        let large = generate_document(
+            &w,
+            &DocConfig {
+                branching: 4,
+                ..DocConfig::default()
+            },
+        );
         assert!(large.len() > small.len());
     }
 
@@ -115,7 +141,11 @@ mod tests {
         let w = generate(&WorkloadConfig::new(8, 3, 6));
         let doc = generate_document(
             &w,
-            &DocConfig { branching: 2, omission_probability: 0.0, seed: 1 },
+            &DocConfig {
+                branching: 2,
+                omission_probability: 0.0,
+                seed: 1,
+            },
         );
         let rel = w.universal.shred(&doc);
         assert_eq!(rel.len(), 8); // 2^3
@@ -126,14 +156,20 @@ mod tests {
         let w = generate(&WorkloadConfig::new(16, 3, 12).with_seed(3));
         let doc = generate_document(
             &w,
-            &DocConfig { branching: 2, omission_probability: 0.9, seed: 3 },
+            &DocConfig {
+                branching: 2,
+                omission_probability: 0.9,
+                seed: 3,
+            },
         );
         let rel = w.universal.shred(&doc);
         let has_null = rel.rows().iter().any(|r| r.has_null());
         // With 90% omission of element fields nulls are effectively certain
         // as long as the workload has any element field.
-        let any_element_field =
-            w.element_fields_per_level.iter().any(|fields| !fields.is_empty());
+        let any_element_field = w
+            .element_fields_per_level
+            .iter()
+            .any(|fields| !fields.is_empty());
         if any_element_field {
             assert!(has_null);
         }
@@ -147,7 +183,13 @@ mod tests {
         for seed in 0..4 {
             let w = generate(&WorkloadConfig::new(12, 3, 10).with_seed(seed));
             let cover = xmlprop_core::minimum_cover(&w.sigma, &w.universal);
-            let doc = generate_document(&w, &DocConfig { seed: seed + 100, ..DocConfig::default() });
+            let doc = generate_document(
+                &w,
+                &DocConfig {
+                    seed: seed + 100,
+                    ..DocConfig::default()
+                },
+            );
             let rel = w.universal.shred(&doc);
             for fd in &cover {
                 assert!(

@@ -31,7 +31,13 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { fields: 15, depth: 5, keys: 10, element_field_ratio: 0.3, seed: 42 }
+        WorkloadConfig {
+            fields: 15,
+            depth: 5,
+            keys: 10,
+            element_field_ratio: 0.3,
+            seed: 42,
+        }
     }
 }
 
@@ -39,7 +45,12 @@ impl WorkloadConfig {
     /// A convenience constructor for the three experiment parameters, with
     /// defaults for the rest.
     pub fn new(fields: usize, depth: usize, keys: usize) -> Self {
-        WorkloadConfig { fields, depth, keys, ..WorkloadConfig::default() }
+        WorkloadConfig {
+            fields,
+            depth,
+            keys,
+            ..WorkloadConfig::default()
+        }
     }
 
     /// Sets the RNG seed.
@@ -155,10 +166,13 @@ pub fn generate(config: &WorkloadConfig) -> Workload {
         } else {
             PathExpr::label(&level_labels[level])
         };
-        let context = if level == 0 { PathExpr::epsilon() } else { context };
+        let context = if level == 0 {
+            PathExpr::epsilon()
+        } else {
+            context
+        };
         sigma.add(
-            XmlKey::new(context, target, [format!("@id{level}")])
-                .named(format!("chain{level}")),
+            XmlKey::new(context, target, [format!("@id{level}")]).named(format!("chain{level}")),
         );
     }
 
@@ -178,8 +192,12 @@ pub fn generate(config: &WorkloadConfig) -> Workload {
             .get(1 + extra_index / config.depth)
             .cloned();
         let key = if let Some(field) = element_choice {
-            XmlKey::new(position, PathExpr::label(format!("{field}_el")), Vec::<String>::new())
-                .named(format!("uniq_{field}"))
+            XmlKey::new(
+                position,
+                PathExpr::label(format!("{field}_el")),
+                Vec::<String>::new(),
+            )
+            .named(format!("uniq_{field}"))
         } else if let Some(field) = attr_choice {
             let context = level_path(&level_labels, level);
             let target = if level == 0 {
@@ -187,7 +205,11 @@ pub fn generate(config: &WorkloadConfig) -> Workload {
             } else {
                 PathExpr::label(&level_labels[level])
             };
-            let context = if level == 0 { PathExpr::epsilon() } else { context };
+            let context = if level == 0 {
+                PathExpr::epsilon()
+            } else {
+                context
+            };
             XmlKey::new(context, target, [format!("@{field}")]).named(format!("alt_{field}"))
         } else {
             // Fallback when the level has no spare field: a (derivable but
@@ -245,13 +267,19 @@ pub fn target_fd(workload: &Workload) -> Fd {
     // FD.  This keeps the probe a *positive* case at every workload size,
     // matching the paper's use of a representative propagated FD.
     let has_key = |prefix: &str, field: &str| {
-        workload.sigma.iter().any(|k| k.name() == Some(&format!("{prefix}{field}")))
+        workload
+            .sigma
+            .iter()
+            .any(|k| k.name() == Some(&format!("{prefix}{field}")))
     };
     let rhs = workload.element_fields_per_level[deepest]
         .iter()
         .find(|f| has_key("uniq_", f))
         .or_else(|| {
-            workload.attr_fields_per_level[deepest].iter().skip(1).find(|f| has_key("alt_", f))
+            workload.attr_fields_per_level[deepest]
+                .iter()
+                .skip(1)
+                .find(|f| has_key("alt_", f))
         })
         .cloned()
         .unwrap_or_else(|| workload.id_field(deepest).to_string());
@@ -265,8 +293,11 @@ pub fn random_fd(workload: &Workload, rng: &mut StdRng, lhs_size: usize) -> Fd {
     let fields: Vec<&String> = workload.universal.schema().attributes().iter().collect();
     let mut shuffled = fields.clone();
     shuffled.shuffle(rng);
-    let lhs: BTreeSet<String> =
-        shuffled.iter().take(lhs_size.min(fields.len().saturating_sub(1))).map(|s| (*s).clone()).collect();
+    let lhs: BTreeSet<String> = shuffled
+        .iter()
+        .take(lhs_size.min(fields.len().saturating_sub(1)))
+        .map(|s| (*s).clone())
+        .collect();
     let rhs = shuffled
         .iter()
         .skip(lhs_size)
@@ -291,7 +322,10 @@ mod tests {
         assert_eq!(w.level_labels.len(), 4);
         assert!(w.sigma.len() >= 4, "chain keys present");
         assert!(w.sigma.len() <= 12);
-        assert!(w.sigma.is_transitive(), "generated key set must be transitive");
+        assert!(
+            w.sigma.is_transitive(),
+            "generated key set must be transitive"
+        );
     }
 
     #[test]

@@ -42,7 +42,12 @@ impl GeneralKey {
         target: PathExpr,
         key_paths: impl IntoIterator<Item = PathExpr>,
     ) -> Self {
-        GeneralKey { name: None, context, target, key_paths: key_paths.into_iter().collect() }
+        GeneralKey {
+            name: None,
+            context,
+            target,
+            key_paths: key_paths.into_iter().collect(),
+        }
     }
 
     /// Attaches a name to the key.
@@ -57,15 +62,21 @@ impl GeneralKey {
     pub fn parse(s: &str) -> Result<Self, crate::ParseKeyError> {
         // Reuse the XmlKey parser layout by extracting the brace content
         // manually: the only difference is the key-path syntax.
-        let err = |m: &str| crate::ParseKeyError { message: m.to_string() };
+        let err = |m: &str| crate::ParseKeyError {
+            message: m.to_string(),
+        };
         let s = s.trim();
         let (name, rest) = match (s.find(':'), s.find('(')) {
             (Some(c), Some(p)) if c < p => (Some(s[..c].trim().to_string()), s[c + 1..].trim()),
             _ => (None, s),
         };
         let rest = rest.strip_prefix('(').ok_or_else(|| err("expected `(`"))?;
-        let rest = rest.strip_suffix(')').ok_or_else(|| err("expected trailing `)`"))?;
-        let inner_open = rest.find('(').ok_or_else(|| err("expected `(Q', {...})`"))?;
+        let rest = rest
+            .strip_suffix(')')
+            .ok_or_else(|| err("expected trailing `)`"))?;
+        let inner_open = rest
+            .find('(')
+            .ok_or_else(|| err("expected `(Q', {...})`"))?;
         let context: PathExpr = rest[..inner_open]
             .trim()
             .trim_end_matches(',')
@@ -91,7 +102,10 @@ impl GeneralKey {
             if part.is_empty() {
                 continue;
             }
-            key_paths.push(part.parse().map_err(|e| err(&format!("key path `{part}`: {e}")))?);
+            key_paths.push(
+                part.parse()
+                    .map_err(|e| err(&format!("key path `{part}`: {e}")))?,
+            );
         }
         let mut key = GeneralKey::new(context, target, key_paths);
         if let Some(name) = name {
@@ -201,7 +215,13 @@ impl fmt::Display for GeneralKey {
             write!(f, "{name}: ")?;
         }
         let paths: Vec<String> = self.key_paths.iter().map(|p| p.to_string()).collect();
-        write!(f, "({}, ({}, {{{}}}))", self.context, self.target, paths.join(", "))
+        write!(
+            f,
+            "({}, ({}, {{{}}}))",
+            self.context,
+            self.target,
+            paths.join(", ")
+        )
     }
 }
 

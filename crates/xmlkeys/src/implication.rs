@@ -18,7 +18,11 @@ use xmlprop_xmlpath::PathExpr;
 /// forces, by condition (1) of Definition 2.1, every node of `[[Q/Q']]` to
 /// have a unique `@attr`; if `position ⊑ Q/Q'` the guarantee transfers.
 pub fn attribute_assured(sigma: &KeySet, position: &PathExpr, attr: &str) -> bool {
-    let attr = if attr.starts_with('@') { attr.to_string() } else { format!("@{attr}") };
+    let attr = if attr.starts_with('@') {
+        attr.to_string()
+    } else {
+        format!("@{attr}")
+    };
     sigma.iter().any(|k| {
         k.key_attrs().iter().any(|a| a == &attr) && position.contained_in(&k.absolute_target())
     })
@@ -31,7 +35,9 @@ pub fn attributes_assured<'a>(
     position: &PathExpr,
     attrs: impl IntoIterator<Item = &'a str>,
 ) -> bool {
-    attrs.into_iter().all(|a| attribute_assured(sigma, position, a))
+    attrs
+        .into_iter()
+        .all(|a| attribute_assured(sigma, position, a))
 }
 
 /// Key implication `Σ ⊨ φ`.
@@ -64,7 +70,10 @@ pub fn implies(sigma: &KeySet, phi: &XmlKey) -> bool {
     if let [xmlprop_xmlpath::Atom::Label(label)] = phi.target().atoms() {
         if label.starts_with('@')
             && attribute_assured(sigma, phi.context(), label)
-            && phi.key_attrs().iter().all(|a| attribute_assured(sigma, &phi_position, a))
+            && phi
+                .key_attrs()
+                .iter()
+                .all(|a| attribute_assured(sigma, &phi_position, a))
         {
             return true;
         }
@@ -104,7 +113,14 @@ pub fn node_unique_under(
     context_position: &PathExpr,
     target_path: &PathExpr,
 ) -> bool {
-    implies(sigma, &XmlKey::new(context_position.clone(), target_path.clone(), Vec::<String>::new()))
+    implies(
+        sigma,
+        &XmlKey::new(
+            context_position.clone(),
+            target_path.clone(),
+            Vec::<String>::new(),
+        ),
+    )
 }
 
 #[cfg(test)]
@@ -172,7 +188,10 @@ mod tests {
         // A chapter is NOT globally identified by its number.
         assert!(!implies(&sigma, &key("(ε, (//book/chapter, {@number}))")));
         // A section is NOT globally identified by its number either.
-        assert!(!implies(&sigma, &key("(ε, (//book/chapter/section, {@number}))")));
+        assert!(!implies(
+            &sigma,
+            &key("(ε, (//book/chapter/section, {@number}))")
+        ));
         // A book does not have a unique chapter name at the book level.
         assert!(!implies(&sigma, &key("(//book, (chapter/name, {}))")));
         // Books are not keyed by title.
@@ -192,8 +211,14 @@ mod tests {
         // the positive case.
         let mut sigma2 = sigma.clone();
         sigma2.add(key("(//book/chapter, (ε, {@pages}))"));
-        assert!(implies(&sigma2, &key("(//book, (chapter, {@number, @pages}))")));
-        assert!(!implies(&sigma, &key("(//book, (chapter, {@number, @pages}))")));
+        assert!(implies(
+            &sigma2,
+            &key("(//book, (chapter, {@number, @pages}))")
+        ));
+        assert!(!implies(
+            &sigma,
+            &key("(//book, (chapter, {@number, @pages}))")
+        ));
     }
 
     #[test]
@@ -205,7 +230,11 @@ mod tests {
         // Chapter numbers are assured on //book/chapter (from K2).
         assert!(attribute_assured(&sigma, &p("//book/chapter"), "@number"));
         // Section numbers on //book/chapter/section (from K6).
-        assert!(attribute_assured(&sigma, &p("//book/chapter/section"), "@number"));
+        assert!(attribute_assured(
+            &sigma,
+            &p("//book/chapter/section"),
+            "@number"
+        ));
         // Nothing assures @isbn on arbitrary nodes or @number on books.
         assert!(!attribute_assured(&sigma, &p("//"), "@isbn"));
         assert!(!attribute_assured(&sigma, &p("//book"), "@number"));
@@ -215,7 +244,11 @@ mod tests {
     fn node_unique_under_helper() {
         let sigma = example_2_1_keys();
         assert!(node_unique_under(&sigma, &p("//book"), &p("title")));
-        assert!(node_unique_under(&sigma, &p("//book"), &p("author/contact")));
+        assert!(node_unique_under(
+            &sigma,
+            &p("//book"),
+            &p("author/contact")
+        ));
         assert!(!node_unique_under(&sigma, &p("//book"), &p("chapter")));
         assert!(!node_unique_under(&sigma, &p("ε"), &p("//book")));
         assert!(node_unique_under(&sigma, &p("//book/chapter"), &p("name")));
@@ -251,8 +284,22 @@ mod tests {
         // satisfies Σ.
         let sigma = example_2_1_keys();
         let doc = fig1();
-        let contexts = ["ε", "//book", "//book/chapter", "//book/chapter/section", "//"];
-        let targets = ["ε", "title", "name", "chapter", "section", "author/contact", "//book"];
+        let contexts = [
+            "ε",
+            "//book",
+            "//book/chapter",
+            "//book/chapter/section",
+            "//",
+        ];
+        let targets = [
+            "ε",
+            "title",
+            "name",
+            "chapter",
+            "section",
+            "author/contact",
+            "//book",
+        ];
         let attr_sets: [&[&str]; 4] = [&[], &["@isbn"], &["@number"], &["@isbn", "@number"]];
         for c in contexts {
             for t in targets {

@@ -35,7 +35,12 @@ impl XmlKey {
             .collect();
         attrs.sort();
         attrs.dedup();
-        XmlKey { name: None, context, target, key_attrs: attrs }
+        XmlKey {
+            name: None,
+            context,
+            target,
+            key_attrs: attrs,
+        }
     }
 
     /// Attaches a name (e.g. `"K2"`) to the key.
@@ -100,7 +105,13 @@ impl fmt::Display for XmlKey {
         if let Some(name) = &self.name {
             write!(f, "{name}: ")?;
         }
-        write!(f, "({}, ({}, {{{}}}))", self.context, self.target, self.key_attrs.join(", "))
+        write!(
+            f,
+            "({}, ({}, {{{}}}))",
+            self.context,
+            self.target,
+            self.key_attrs.join(", ")
+        )
     }
 }
 
@@ -123,7 +134,9 @@ impl FromStr for XmlKey {
     type Err = ParseKeyError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = |m: &str| ParseKeyError { message: m.to_string() };
+        let err = |m: &str| ParseKeyError {
+            message: m.to_string(),
+        };
         let s = s.trim();
         // Optional "NAME:" prefix (only if the colon comes before the first
         // parenthesis).
@@ -132,27 +145,37 @@ impl FromStr for XmlKey {
             _ => (None, s),
         };
         let rest = rest.strip_prefix('(').ok_or_else(|| err("expected `(`"))?;
-        let rest = rest.strip_suffix(')').ok_or_else(|| err("expected trailing `)`"))?;
+        let rest = rest
+            .strip_suffix(')')
+            .ok_or_else(|| err("expected trailing `)`"))?;
         // rest = "Q, (Q', {attrs})"
-        let inner_open = rest.find('(').ok_or_else(|| err("expected `(Q', {...})`"))?;
+        let inner_open = rest
+            .find('(')
+            .ok_or_else(|| err("expected `(Q', {...})`"))?;
         let context_part = rest[..inner_open].trim().trim_end_matches(',').trim();
         let inner = rest[inner_open..].trim();
         let inner = inner
             .strip_prefix('(')
             .and_then(|t| t.strip_suffix(')'))
             .ok_or_else(|| err("expected `(Q', {...})`"))?;
-        let brace_open = inner.find('{').ok_or_else(|| err("expected `{...}` key paths"))?;
-        let brace_close = inner.rfind('}').ok_or_else(|| err("expected closing `}`"))?;
+        let brace_open = inner
+            .find('{')
+            .ok_or_else(|| err("expected `{...}` key paths"))?;
+        let brace_close = inner
+            .rfind('}')
+            .ok_or_else(|| err("expected closing `}`"))?;
         if brace_close < brace_open {
             return Err(err("mismatched braces"));
         }
         let target_part = inner[..brace_open].trim().trim_end_matches(',').trim();
         let attrs_part = inner[brace_open + 1..brace_close].trim();
 
-        let context: PathExpr =
-            context_part.parse().map_err(|e| err(&format!("context path: {e}")))?;
-        let target: PathExpr =
-            target_part.parse().map_err(|e| err(&format!("target path: {e}")))?;
+        let context: PathExpr = context_part
+            .parse()
+            .map_err(|e| err(&format!("context path: {e}")))?;
+        let target: PathExpr = target_part
+            .parse()
+            .map_err(|e| err(&format!("target path: {e}")))?;
         let attrs: Vec<String> = attrs_part
             .split(',')
             .map(str::trim)
@@ -200,8 +223,16 @@ mod tests {
 
     #[test]
     fn attribute_names_are_normalized() {
-        let a = XmlKey::new("//book".parse().unwrap(), "chapter".parse().unwrap(), ["number"]);
-        let b = XmlKey::new("//book".parse().unwrap(), "chapter".parse().unwrap(), ["@number"]);
+        let a = XmlKey::new(
+            "//book".parse().unwrap(),
+            "chapter".parse().unwrap(),
+            ["number"],
+        );
+        let b = XmlKey::new(
+            "//book".parse().unwrap(),
+            "chapter".parse().unwrap(),
+            ["@number"],
+        );
         assert_eq!(a, b);
         assert_eq!(a.key_attrs(), ["@number"]);
     }

@@ -77,7 +77,9 @@ impl KeySet {
     /// target node can be identified all the way up from the root
     /// (Section 4, Example 4.1).
     pub fn is_transitive(&self) -> bool {
-        self.keys.iter().all(|k| self.key_reachable_from_absolute(k))
+        self.keys
+            .iter()
+            .all(|k| self.key_reachable_from_absolute(k))
     }
 
     /// True if this particular key is reachable (via the precedes relation)
@@ -184,8 +186,11 @@ mod tests {
         let keys = example_2_1_keys();
         assert!(keys.is_transitive());
         // Dropping K1 breaks the chains for every relative key.
-        let without_k1: KeySet =
-            keys.iter().filter(|k| k.name() != Some("K1")).cloned().collect();
+        let without_k1: KeySet = keys
+            .iter()
+            .filter(|k| k.name() != Some("K1"))
+            .cloned()
+            .collect();
         assert!(!without_k1.is_transitive());
     }
 

@@ -43,15 +43,28 @@ pub enum Violation {
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Violation::MissingAttribute { context, target, attribute } => write!(
+            Violation::MissingAttribute {
+                context,
+                target,
+                attribute,
+            } => write!(
                 f,
                 "target node {target} (context {context}) is missing key attribute {attribute}"
             ),
-            Violation::DuplicateAttribute { context, target, attribute } => write!(
+            Violation::DuplicateAttribute {
+                context,
+                target,
+                attribute,
+            } => write!(
                 f,
                 "target node {target} (context {context}) has more than one {attribute} attribute"
             ),
-            Violation::DuplicateKeyValue { context, first, second, values } => write!(
+            Violation::DuplicateKeyValue {
+                context,
+                first,
+                second,
+                values,
+            } => write!(
                 f,
                 "target nodes {first} and {second} under context {context} share key value ({})",
                 values.join(", ")
@@ -157,7 +170,9 @@ mod tests {
         let k1 = keys.get("K1").unwrap();
         let v = violations(&doc, k1);
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], Violation::DuplicateKeyValue { ref values, .. } if values == &vec!["123".to_string()]));
+        assert!(
+            matches!(v[0], Violation::DuplicateKeyValue { ref values, .. } if values == &vec!["123".to_string()])
+        );
         // The other keys still hold.
         for key in keys.iter().filter(|k| k.name() != Some("K1")) {
             assert!(satisfies(&doc, key), "{key} unexpectedly violated");
@@ -173,14 +188,18 @@ mod tests {
         let keys = example_2_1_keys();
         let v = violations(&doc, keys.get("K1").unwrap());
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], Violation::MissingAttribute { ref attribute, .. } if attribute == "@isbn"));
+        assert!(
+            matches!(v[0], Violation::MissingAttribute { ref attribute, .. } if attribute == "@isbn")
+        );
     }
 
     #[test]
     fn duplicate_attribute_is_a_violation() {
         // The paper's model allows a node to carry two @isbn children; the
         // key then fails condition (1).
-        let mut doc = ElementBuilder::new("r").child(ElementBuilder::new("book")).build();
+        let mut doc = ElementBuilder::new("r")
+            .child(ElementBuilder::new("book"))
+            .build();
         let book = doc.element_children(doc.root()).next().unwrap();
         doc.add_attribute(book, "isbn", "1");
         doc.add_attribute(book, "isbn", "2");

@@ -114,7 +114,10 @@ fn collect(doc: &Document, node: NodeId, out: &mut XsdImport) {
                 Err(e) => out.skipped.push(e),
             },
             "keyref" => out.skipped.push(XsdImportError::ForeignKeyUnsupported {
-                name: doc.attribute(child, "name").unwrap_or("<unnamed>").to_string(),
+                name: doc
+                    .attribute(child, "name")
+                    .unwrap_or("<unnamed>")
+                    .to_string(),
             }),
             _ => collect(doc, child, out),
         }
@@ -123,7 +126,10 @@ fn collect(doc: &Document, node: NodeId, out: &mut XsdImport) {
 
 /// Converts one `xs:key` / `xs:unique` element into an [`XmlKey`].
 fn convert_constraint(doc: &Document, node: NodeId) -> Result<XmlKey, XsdImportError> {
-    let name = doc.attribute(node, "name").unwrap_or("<unnamed>").to_string();
+    let name = doc
+        .attribute(node, "name")
+        .unwrap_or("<unnamed>")
+        .to_string();
 
     // The context is the element declaration the constraint is attached to:
     // the nearest enclosing xs:element's name, reached from anywhere in the
@@ -153,7 +159,10 @@ fn convert_constraint(doc: &Document, node: NodeId) -> Result<XmlKey, XsdImportE
 
     // Fields.
     let mut attrs = Vec::new();
-    for field in doc.element_children(node).filter(|&c| local_name(doc.label(c)) == "field") {
+    for field in doc
+        .element_children(node)
+        .filter(|&c| local_name(doc.label(c)) == "field")
+    {
         let xpath = doc
             .attribute(field, "xpath")
             .ok_or_else(|| XsdImportError::Malformed {
@@ -164,7 +173,10 @@ fn convert_constraint(doc: &Document, node: NodeId) -> Result<XmlKey, XsdImportE
         match xpath.strip_prefix('@') {
             Some(attr) if !attr.is_empty() && !attr.contains('/') => attrs.push(format!("@{attr}")),
             _ => {
-                return Err(XsdImportError::NonAttributeField { constraint: name, xpath });
+                return Err(XsdImportError::NonAttributeField {
+                    constraint: name,
+                    xpath,
+                });
             }
         }
     }
@@ -204,9 +216,13 @@ fn convert_selector_path(constraint: &str, xpath: &str) -> Result<PathExpr, XsdI
     } else {
         xpath.to_string()
     };
-    let normalized = normalized.replace("child::", "").replace("descendant-or-self::node()/", "//");
+    let normalized = normalized
+        .replace("child::", "")
+        .replace("descendant-or-self::node()/", "//");
     if normalized.contains("::") {
-        return Err(unsupported("only the child and // axes are in the fragment"));
+        return Err(unsupported(
+            "only the child and // axes are in the fragment",
+        ));
     }
     normalized
         .parse::<PathExpr>()
@@ -261,7 +277,10 @@ mod tests {
         let import = import_xsd_keys(xsd).unwrap();
         assert!(import.keys.is_empty());
         assert_eq!(import.skipped.len(), 1);
-        assert!(matches!(import.skipped[0], XsdImportError::ForeignKeyUnsupported { .. }));
+        assert!(matches!(
+            import.skipped[0],
+            XsdImportError::ForeignKeyUnsupported { .. }
+        ));
         assert!(import.skipped[0].to_string().contains("Theorem 3.2"));
     }
 
@@ -278,7 +297,10 @@ mod tests {
           </xs:schema>"#;
         let import = import_xsd_keys(xsd).unwrap();
         assert!(import.keys.is_empty());
-        assert!(matches!(import.skipped[0], XsdImportError::NonAttributeField { .. }));
+        assert!(matches!(
+            import.skipped[0],
+            XsdImportError::NonAttributeField { .. }
+        ));
     }
 
     #[test]
@@ -299,7 +321,10 @@ mod tests {
             let import = import_xsd_keys(&xsd).unwrap();
             assert!(import.keys.is_empty(), "{xpath} should not import");
             let msg = import.skipped[0].to_string();
-            assert!(msg.contains(fragment) || msg.contains("unsupported"), "{msg}");
+            assert!(
+                msg.contains(fragment) || msg.contains("unsupported"),
+                "{msg}"
+            );
         }
     }
 
@@ -327,7 +352,10 @@ mod tests {
             <xs:element name="db"><xs:key name="nosel"><xs:field xpath="@a"/></xs:key></xs:element>
           </xs:schema>"#;
         let import = import_xsd_keys(xsd).unwrap();
-        assert!(matches!(import.skipped[0], XsdImportError::Malformed { .. }));
+        assert!(matches!(
+            import.skipped[0],
+            XsdImportError::Malformed { .. }
+        ));
     }
 
     #[test]

@@ -156,7 +156,11 @@ mod tests {
 
     #[track_caller]
     fn assert_cont(a: &str, b: &str, expect: bool) {
-        assert_eq!(contained_in(&p(a), &p(b)), expect, "{a} ⊑ {b} should be {expect}");
+        assert_eq!(
+            contained_in(&p(a), &p(b)),
+            expect,
+            "{a} ⊑ {b} should be {expect}"
+        );
     }
 
     #[test]

@@ -103,10 +103,10 @@ mod tests {
         let doc = fig1();
         // `////name` normalizes to `//name`; even a non-normalized pipeline
         // with two AnyPath steps must not produce duplicates.
-        let nodes = evaluate_from_root(&doc, &PathExpr::from_atoms(vec![
-            Atom::AnyPath,
-            Atom::Label("name".to_string()),
-        ]));
+        let nodes = evaluate_from_root(
+            &doc,
+            &PathExpr::from_atoms(vec![Atom::AnyPath, Atom::Label("name".to_string())]),
+        );
         let set: BTreeSet<_> = nodes.iter().copied().collect();
         assert_eq!(set.len(), nodes.len());
     }
@@ -123,7 +123,13 @@ mod tests {
         // Every node reached by `expr` from the root has a root path that is
         // a member of the expression's language, and vice versa.
         let doc = fig1();
-        for expr in ["//book", "//chapter", "//book/chapter/@number", "//name", "book//name"] {
+        for expr in [
+            "//book",
+            "//chapter",
+            "//book/chapter/@number",
+            "//name",
+            "book//name",
+        ] {
             let expr = p(expr);
             let reached: BTreeSet<NodeId> = evaluate_from_root(&doc, &expr).into_iter().collect();
             for n in doc.all_nodes() {

@@ -51,12 +51,16 @@ impl PathExpr {
 
     /// A single-label path.
     pub fn label(l: impl Into<String>) -> Self {
-        PathExpr { atoms: vec![Atom::Label(l.into())] }
+        PathExpr {
+            atoms: vec![Atom::Label(l.into())],
+        }
     }
 
     /// The bare `//` expression (any path).
     pub fn any() -> Self {
-        PathExpr { atoms: vec![Atom::AnyPath] }
+        PathExpr {
+            atoms: vec![Atom::AnyPath],
+        }
     }
 
     /// Builds an expression from a sequence of atoms, normalizing `//` runs.
@@ -77,7 +81,9 @@ impl PathExpr {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        PathExpr { atoms: labels.into_iter().map(|l| Atom::Label(l.into())).collect() }
+        PathExpr {
+            atoms: labels.into_iter().map(|l| Atom::Label(l.into())).collect(),
+        }
     }
 
     /// The atoms of this expression, in order.
@@ -115,7 +121,12 @@ impl PathExpr {
 
     /// Concatenation `self / other`.
     pub fn concat(&self, other: &PathExpr) -> PathExpr {
-        PathExpr::from_atoms(self.atoms.iter().cloned().chain(other.atoms.iter().cloned()))
+        PathExpr::from_atoms(
+            self.atoms
+                .iter()
+                .cloned()
+                .chain(other.atoms.iter().cloned()),
+        )
     }
 
     /// Appends a single child step.
@@ -125,7 +136,8 @@ impl PathExpr {
 
     /// Appends a `//` step followed by a label (`self//label`).
     pub fn descendant(&self, label: impl Into<String>) -> PathExpr {
-        self.concat(&PathExpr::any()).concat(&PathExpr::label(label))
+        self.concat(&PathExpr::any())
+            .concat(&PathExpr::label(label))
     }
 
     /// The last atom, if any.
@@ -288,7 +300,14 @@ mod tests {
 
     #[test]
     fn parse_and_display_roundtrip() {
-        for s in ["ε", "//book", "book/chapter", "//book/chapter/@number", "a//b//c", "//"] {
+        for s in [
+            "ε",
+            "//book",
+            "book/chapter",
+            "//book/chapter/@number",
+            "a//b//c",
+            "//",
+        ] {
             let expr = p(s);
             assert_eq!(expr.to_string(), s, "display of parse of {s}");
             assert_eq!(p(&expr.to_string()), expr);
@@ -329,7 +348,10 @@ mod tests {
 
     #[test]
     fn concat_and_builders() {
-        let q = PathExpr::epsilon().descendant("book").child("chapter").child("@number");
+        let q = PathExpr::epsilon()
+            .descendant("book")
+            .child("chapter")
+            .child("@number");
         assert_eq!(q, p("//book/chapter/@number"));
         assert_eq!(p("a/b").concat(&p("c")), p("a/b/c"));
         assert_eq!(p("a//").concat(&p("//b")), p("a//b"));
@@ -362,7 +384,10 @@ mod tests {
 
     #[test]
     fn splits_of_epsilon() {
-        assert_eq!(PathExpr::epsilon().splits(), vec![(PathExpr::epsilon(), PathExpr::epsilon())]);
+        assert_eq!(
+            PathExpr::epsilon().splits(),
+            vec![(PathExpr::epsilon(), PathExpr::epsilon())]
+        );
     }
 
     #[test]

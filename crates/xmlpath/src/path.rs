@@ -23,7 +23,9 @@ impl Path {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Path { labels: labels.into_iter().map(Into::into).collect() }
+        Path {
+            labels: labels.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// The labels of the path.
@@ -50,7 +52,14 @@ impl Path {
 
     /// Concatenates two concrete paths.
     pub fn concat(&self, other: &Path) -> Path {
-        Path { labels: self.labels.iter().cloned().chain(other.labels.iter().cloned()).collect() }
+        Path {
+            labels: self
+                .labels
+                .iter()
+                .cloned()
+                .chain(other.labels.iter().cloned())
+                .collect(),
+        }
     }
 
     /// Membership `self ∈ expr`.

@@ -32,7 +32,9 @@ pub struct ParseRuleError {
 
 impl ParseRuleError {
     fn new(message: impl Into<String>) -> Self {
-        ParseRuleError { message: message.into() }
+        ParseRuleError {
+            message: message.into(),
+        }
     }
 }
 
@@ -103,7 +105,9 @@ fn parse_rule(header: &str, body: &str) -> Result<TableRule, ParseRuleError> {
         .map(str::to_string)
         .collect();
     if fields.is_empty() {
-        return Err(ParseRuleError::new(format!("rule `{name}` declares no fields")));
+        return Err(ParseRuleError::new(format!(
+            "rule `{name}` declares no fields"
+        )));
     }
 
     let mut mappings = Vec::new();
@@ -123,18 +127,30 @@ fn parse_rule(header: &str, body: &str) -> Result<TableRule, ParseRuleError> {
                 .strip_suffix(')')
                 .ok_or_else(|| ParseRuleError::new(format!("unterminated value() in `{stmt}`")))?
                 .trim();
-            field_rules.push(FieldRule { field: lhs.to_string(), var: var.to_string() });
+            field_rules.push(FieldRule {
+                field: lhs.to_string(),
+                var: var.to_string(),
+            });
         } else {
             let (parent, path) = split_parent_path(rhs);
             let path = path
                 .parse()
                 .map_err(|e| ParseRuleError::new(format!("in `{stmt}`: {e}")))?;
-            mappings.push(VarMapping { var: lhs.to_string(), parent: parent.to_string(), path });
+            mappings.push(VarMapping {
+                var: lhs.to_string(),
+                parent: parent.to_string(),
+                path,
+            });
         }
     }
 
     // Put field rules into schema order for a stable display.
-    field_rules.sort_by_key(|fr| fields.iter().position(|f| f == &fr.field).unwrap_or(usize::MAX));
+    field_rules.sort_by_key(|fr| {
+        fields
+            .iter()
+            .position(|f| f == &fr.field)
+            .unwrap_or(usize::MAX)
+    });
 
     TableRule::new(RelationSchema::new(name, fields), mappings, field_rules)
         .map_err(|e| ParseRuleError::new(format!("rule `{name}`: {e}")))
@@ -155,7 +171,9 @@ pub fn parse_single_rule(text: &str) -> Result<TableRule, ParseRuleError> {
     let t = parse_transformation(text)?;
     match t.rules().len() {
         1 => Ok(t.rules()[0].clone()),
-        n => Err(ParseRuleError::new(format!("expected exactly one rule, found {n}"))),
+        n => Err(ParseRuleError::new(format!(
+            "expected exactly one rule, found {n}"
+        ))),
     }
 }
 
@@ -210,10 +228,9 @@ mod tests {
 
     #[test]
     fn empty_path_mapping_is_the_identity() {
-        let rule = parse_single_rule(
-            "rule r(v) { a := xr//item; b := a; c := b/@id; v := value(c); }",
-        )
-        .unwrap();
+        let rule =
+            parse_single_rule("rule r(v) { a := xr//item; b := a; c := b/@id; v := value(c); }")
+                .unwrap();
         assert!(rule.mapping_of("b").unwrap().path.is_epsilon());
     }
 
@@ -226,10 +243,8 @@ mod tests {
         assert!(parse_transformation("rule r() { x := xr//a; }").is_err()); // no fields
         assert!(parse_transformation("rule r(a) { a := value(unknown); }").is_err());
         // Definition 2.2 violations surface as parse errors with context.
-        let err = parse_transformation(
-            "rule r(a) { x := xr//p; y := x//deep; a := value(y); }",
-        )
-        .unwrap_err();
+        let err = parse_transformation("rule r(a) { x := xr//p; y := x//deep; a := value(y); }")
+            .unwrap_err();
         assert!(err.to_string().contains("non-simple path"), "{err}");
     }
 

@@ -130,7 +130,11 @@ impl TableRule {
         mappings: Vec<VarMapping>,
         fields: Vec<FieldRule>,
     ) -> Result<Self, RuleError> {
-        let rule = TableRule { schema, mappings, fields };
+        let rule = TableRule {
+            schema,
+            mappings,
+            fields,
+        };
         rule.validate()?;
         Ok(rule)
     }
@@ -153,8 +157,11 @@ impl TableRule {
             }
         }
         // Connectivity to the root (this also rejects cycles).
-        let parent_of: BTreeMap<&str, &str> =
-            self.mappings.iter().map(|m| (m.var.as_str(), m.parent.as_str())).collect();
+        let parent_of: BTreeMap<&str, &str> = self
+            .mappings
+            .iter()
+            .map(|m| (m.var.as_str(), m.parent.as_str()))
+            .collect();
         for m in &self.mappings {
             let mut cur = m.var.as_str();
             let mut steps = 0usize;
@@ -200,7 +207,9 @@ impl TableRule {
                 });
             }
             if !seen_vars.insert(fr.var.as_str()) {
-                return Err(RuleError::SharedFieldVariable { var: fr.var.clone() });
+                return Err(RuleError::SharedFieldVariable {
+                    var: fr.var.clone(),
+                });
             }
         }
         // Every schema attribute must be populated.
@@ -354,11 +363,18 @@ mod tests {
     use super::*;
 
     fn mapping(var: &str, parent: &str, path: &str) -> VarMapping {
-        VarMapping { var: var.into(), parent: parent.into(), path: path.parse().unwrap() }
+        VarMapping {
+            var: var.into(),
+            parent: parent.into(),
+            path: path.parse().unwrap(),
+        }
     }
 
     fn field(field: &str, var: &str) -> FieldRule {
-        FieldRule { field: field.into(), var: var.into() }
+        FieldRule {
+            field: field.into(),
+            var: var.into(),
+        }
     }
 
     fn book_rule() -> Result<TableRule, RuleError> {
@@ -486,7 +502,10 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let err = RuleError::NonSimplePath { var: "z".into(), path: "//a".into() };
+        let err = RuleError::NonSimplePath {
+            var: "z".into(),
+            path: "//a".into(),
+        };
         assert!(err.to_string().contains("non-simple path"));
         let err = RuleError::MissingField("f".into());
         assert!(err.to_string().contains("no field rule"));

@@ -141,7 +141,10 @@ mod tests {
         let tree = u.table_tree();
         // xr -> xb -> yc -> zs -> z2 (secName): four edges.
         assert_eq!(tree.depth(), 4);
-        assert_eq!(tree.path_from_root("z2").to_string(), "//book/chapter/section/name");
+        assert_eq!(
+            tree.path_from_root("z2").to_string(),
+            "//book/chapter/section/name"
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub fn shred_rule(rule: &TableRule, doc: &Document) -> Relation {
     // Variables in parent-before-child order, skipping the root.
     for var in tree.variables().iter().skip(1) {
         let parent = tree.parent(var).expect("non-root variable has a parent");
-        let path = tree.edge_path(var).expect("non-root variable has an edge path");
+        let path = tree
+            .edge_path(var)
+            .expect("non-root variable has an edge path");
         let mut next: Vec<Binding> = Vec::with_capacity(bindings.len());
         for binding in &bindings {
             match binding.get(parent).copied().flatten() {
@@ -69,7 +71,9 @@ pub fn shred_rule(rule: &TableRule, doc: &Document) -> Relation {
             .attributes()
             .iter()
             .map(|field| {
-                let var = rule.field_var(field).expect("validated rule covers every field");
+                let var = rule
+                    .field_var(field)
+                    .expect("validated rule covers every field");
                 match binding.get(var).copied().flatten() {
                     Some(node) => Value::Text(field_value(doc, node)),
                     None => Value::Null,
@@ -117,7 +121,10 @@ pub fn count_bindings(tree: &TableTree, doc: &Document) -> usize {
             let child_count: usize = if nodes.is_empty() {
                 rec(tree, doc, child, None)
             } else {
-                nodes.into_iter().map(|n| rec(tree, doc, child, Some(n))).sum()
+                nodes
+                    .into_iter()
+                    .map(|n| rec(tree, doc, child, Some(n)))
+                    .sum()
             };
             total *= child_count.max(1);
         }
@@ -208,7 +215,12 @@ mod tests {
         // Two real sections plus two null-padded rows for sectionless chapters.
         assert_eq!(db.get("section").unwrap().len(), 4);
         assert_eq!(
-            db.get("section").unwrap().rows().iter().filter(|r| !r.has_null()).count(),
+            db.get("section")
+                .unwrap()
+                .rows()
+                .iter()
+                .filter(|r| !r.has_null())
+                .count(),
             2
         );
     }
@@ -223,9 +235,10 @@ mod tests {
                     .attr("isbn", "1")
                     .child(ElementBuilder::new("author").text_child("name", "A"))
                     .child(ElementBuilder::new("author").text_child("name", "B"))
-                    .children((1..=3).map(|i| {
-                        ElementBuilder::new("chapter").attr("number", i.to_string())
-                    })),
+                    .children(
+                        (1..=3)
+                            .map(|i| ElementBuilder::new("chapter").attr("number", i.to_string())),
+                    ),
             )
             .build();
         let t = crate::Transformation::parse(
@@ -261,11 +274,17 @@ mod tests {
         // sections → 2 rows; book 234 (no author) × chapter 1 × sections
         // {1, 2} → 2 rows.
         assert_eq!(rel.len(), 4);
-        let null_sections =
-            rel.rows().iter().filter(|r| rel.value(r, "secNum").is_null()).count();
+        let null_sections = rel
+            .rows()
+            .iter()
+            .filter(|r| rel.value(r, "secNum").is_null())
+            .count();
         assert_eq!(null_sections, 2);
-        let null_authors =
-            rel.rows().iter().filter(|r| rel.value(r, "bookAuthor").is_null()).count();
+        let null_authors = rel
+            .rows()
+            .iter()
+            .filter(|r| rel.value(r, "bookAuthor").is_null())
+            .count();
         assert_eq!(null_authors, 2);
     }
 

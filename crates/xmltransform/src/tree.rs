@@ -33,14 +33,16 @@ impl TableTree {
         for m in rule.mappings() {
             parent.insert(m.var.clone(), m.parent.clone());
             edge.insert(m.var.clone(), m.path.clone());
-            children.entry(m.parent.clone()).or_default().push(m.var.clone());
+            children
+                .entry(m.parent.clone())
+                .or_default()
+                .push(m.var.clone());
             children.entry(m.var.clone()).or_default();
         }
         // Topological order: repeatedly emit variables whose parent has been
         // emitted.  Validation guarantees connectivity, so this terminates.
         let mut order = vec![ROOT_VAR.to_string()];
-        let mut emitted: std::collections::BTreeSet<&str> =
-            std::iter::once(ROOT_VAR).collect();
+        let mut emitted: std::collections::BTreeSet<&str> = std::iter::once(ROOT_VAR).collect();
         let mut remaining: Vec<&str> = rule.mappings().iter().map(|m| m.var.as_str()).collect();
         while !remaining.is_empty() {
             let mut next_round = Vec::with_capacity(remaining.len());
@@ -54,7 +56,12 @@ impl TableTree {
             }
             remaining = next_round;
         }
-        TableTree { parent, edge, children, order }
+        TableTree {
+            parent,
+            edge,
+            children,
+            order,
+        }
     }
 
     /// The root variable name (`xr`).
@@ -166,7 +173,8 @@ impl TableTree {
 
     /// `path(xr, var)`: the position of `var` relative to the document root.
     pub fn path_from_root(&self, var: &str) -> PathExpr {
-        self.path_between(ROOT_VAR, var).expect("every variable is connected to the root")
+        self.path_between(ROOT_VAR, var)
+            .expect("every variable is connected to the root")
     }
 
     /// The depth of a variable (the root has depth 0).
@@ -177,7 +185,11 @@ impl TableTree {
     /// The depth of the tree: the maximum variable depth.  This is the
     /// experimental parameter "depth of the table tree" of Fig. 7(b).
     pub fn depth(&self) -> usize {
-        self.order.iter().map(|v| self.depth_of(v)).max().unwrap_or(0)
+        self.order
+            .iter()
+            .map(|v| self.depth_of(v))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -195,8 +207,14 @@ mod tests {
         assert_eq!(tree.parent("zs"), Some("zc"));
         assert_eq!(tree.parent("z2"), Some("zs"));
         assert_eq!(tree.edge_path("zc").unwrap().to_string(), "//book/chapter");
-        assert_eq!(tree.path_from_root("z1").to_string(), "//book/chapter/@number");
-        assert_eq!(tree.path_from_root("z3").to_string(), "//book/chapter/section/name");
+        assert_eq!(
+            tree.path_from_root("z1").to_string(),
+            "//book/chapter/@number"
+        );
+        assert_eq!(
+            tree.path_from_root("z3").to_string(),
+            "//book/chapter/section/name"
+        );
         assert_eq!(tree.path_between("zs", "z3").unwrap().to_string(), "name");
         assert_eq!(tree.path_between("z3", "zs"), None);
         assert_eq!(tree.depth_of("z3"), 3);
@@ -224,8 +242,12 @@ mod tests {
     fn variables_are_in_topological_order() {
         let t = sample::example_3_1_universal();
         let tree = t.table_tree();
-        let pos: std::collections::HashMap<&str, usize> =
-            tree.variables().iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+        let pos: std::collections::HashMap<&str, usize> = tree
+            .variables()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
         for v in tree.variables() {
             if let Some(p) = tree.parent(v) {
                 assert!(pos[p] < pos[v.as_str()], "{p} must come before {v}");

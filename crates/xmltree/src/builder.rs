@@ -35,7 +35,11 @@ enum Child {
 impl ElementBuilder {
     /// Starts building an element with the given tag name.
     pub fn new(label: impl Into<String>) -> Self {
-        ElementBuilder { label: label.into(), attrs: Vec::new(), children: Vec::new() }
+        ElementBuilder {
+            label: label.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Adds an attribute to the element.
@@ -135,8 +139,12 @@ mod tests {
     fn attach_into_existing_document() {
         let mut doc = Document::new("db");
         let root = doc.root();
-        let first = ElementBuilder::new("book").attr("isbn", "1").attach(&mut doc, root);
-        let second = ElementBuilder::new("book").attr("isbn", "2").attach(&mut doc, root);
+        let first = ElementBuilder::new("book")
+            .attr("isbn", "1")
+            .attach(&mut doc, root);
+        let second = ElementBuilder::new("book")
+            .attr("isbn", "2")
+            .attach(&mut doc, root);
         assert_ne!(first, second);
         assert_eq!(doc.element_children(root).count(), 2);
     }

@@ -26,7 +26,10 @@ impl Document {
     /// Creates a document with a single root element labelled `root_label`.
     pub fn new(root_label: impl Into<String>) -> Self {
         let root_data = NodeData::element(root_label, None);
-        Document { nodes: vec![root_data], root: NodeId(0) }
+        Document {
+            nodes: vec![root_data],
+            root: NodeId(0),
+        }
     }
 
     /// Parses a document from XML text.  See [`crate::parse`].
@@ -114,13 +117,19 @@ impl Document {
     /// attribute nodes with the same name (which the paper's model permits,
     /// even though well-formed XML does not) the first one is returned.
     pub fn attribute_node(&self, id: NodeId, name: &str) -> Option<NodeId> {
-        let want = if name.starts_with('@') { name.to_string() } else { format!("@{name}") };
-        self.children(id).find(|&c| self.kind(c).is_attribute() && self.label(c) == want)
+        let want = if name.starts_with('@') {
+            name.to_string()
+        } else {
+            format!("@{name}")
+        };
+        self.children(id)
+            .find(|&c| self.kind(c).is_attribute() && self.label(c) == want)
     }
 
     /// The string value of attribute `name` on element `id`, if present.
     pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
-        self.attribute_node(id, name).and_then(|n| self.text_value(n))
+        self.attribute_node(id, name)
+            .and_then(|n| self.text_value(n))
     }
 
     /// Concatenated text content of all text-node descendants of `id`
@@ -201,7 +210,11 @@ impl Document {
 
     /// The maximum node depth in the document.
     pub fn height(&self) -> usize {
-        self.all_nodes().into_iter().map(|n| self.depth(n)).max().unwrap_or(0)
+        self.all_nodes()
+            .into_iter()
+            .map(|n| self.depth(n))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The sequence of labels on the path from the root to `id`, excluding the
@@ -370,7 +383,11 @@ mod tests {
         let all = d.descendants_or_self(root);
         assert_eq!(all.len(), d.len());
         assert_eq!(all[0], root);
-        let title = all.iter().copied().find(|&n| d.label(n) == "title").unwrap();
+        let title = all
+            .iter()
+            .copied()
+            .find(|&n| d.label(n) == "title")
+            .unwrap();
         let anc = d.ancestors(title);
         assert_eq!(anc.len(), 2); // book, db
         assert!(d.is_ancestor(root, title));
@@ -382,8 +399,15 @@ mod tests {
     #[test]
     fn paths() {
         let d = tiny();
-        let title = d.all_nodes().into_iter().find(|&n| d.label(n) == "title").unwrap();
-        assert_eq!(d.path_from_root(title), vec!["book".to_string(), "title".to_string()]);
+        let title = d
+            .all_nodes()
+            .into_iter()
+            .find(|&n| d.label(n) == "title")
+            .unwrap();
+        assert_eq!(
+            d.path_from_root(title),
+            vec!["book".to_string(), "title".to_string()]
+        );
         let book = d.parent(title).unwrap();
         assert_eq!(d.path_between(book, title), Some(vec!["title".to_string()]));
         assert_eq!(d.path_between(title, book), None);

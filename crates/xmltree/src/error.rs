@@ -22,7 +22,12 @@ pub struct ParseError {
 impl ParseError {
     pub(crate) fn new(offset: usize, input: &str, message: impl Into<String>) -> Self {
         let (line, column) = position(input, offset);
-        ParseError { offset, line, column, message: message.into() }
+        ParseError {
+            offset,
+            line,
+            column,
+            message: message.into(),
+        }
     }
 }
 
@@ -46,7 +51,11 @@ fn position(input: &str, offset: usize) -> (usize, usize) {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at line {}, column {}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "XML parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 

@@ -104,7 +104,11 @@ impl NodeData {
         parent: NodeId,
     ) -> Self {
         let raw = name.into();
-        let label = if raw.starts_with('@') { raw } else { format!("@{raw}") };
+        let label = if raw.starts_with('@') {
+            raw
+        } else {
+            format!("@{raw}")
+        };
         NodeData {
             kind: NodeKind::Attribute,
             label,

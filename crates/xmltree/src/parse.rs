@@ -23,7 +23,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { input, bytes: input.as_bytes(), pos: 0 }
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
@@ -194,7 +198,9 @@ impl<'a> Parser<'a> {
                     self.expect("=")?;
                     self.skip_whitespace();
                     let value = self.parse_attr_value()?;
-                    doc.as_mut().expect("document exists").add_attribute(id, attr_name, value);
+                    doc.as_mut()
+                        .expect("document exists")
+                        .add_attribute(id, attr_name, value);
                 }
                 None => return Err(self.err("unexpected end of input inside element tag")),
             }
@@ -291,7 +297,9 @@ fn decode_entities(raw: &str) -> Result<String, String> {
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
         rest = &rest[amp..];
-        let semi = rest.find(';').ok_or_else(|| "unterminated entity reference".to_string())?;
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity reference".to_string())?;
         let entity = &rest[1..semi];
         match entity {
             "lt" => out.push('<'),
@@ -389,7 +397,11 @@ mod tests {
     #[test]
     fn rejects_mismatched_tags() {
         let err = parse("<a><b></a></b>").unwrap_err();
-        assert!(err.message.contains("mismatched end tag"), "{}", err.message);
+        assert!(
+            err.message.contains("mismatched end tag"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]
@@ -414,9 +426,13 @@ mod tests {
 
     #[test]
     fn roundtrip_through_display() {
-        let original = parse(r#"<db><book isbn="1&amp;2"><title>X &lt; Y</title></book></db>"#).unwrap();
+        let original =
+            parse(r#"<db><book isbn="1&amp;2"><title>X &lt; Y</title></book></db>"#).unwrap();
         let text = original.to_string();
         let reparsed = parse(&text).unwrap();
-        assert_eq!(original.value(original.root()), reparsed.value(reparsed.root()));
+        assert_eq!(
+            original.value(original.root()),
+            reparsed.value(reparsed.root())
+        );
     }
 }

@@ -101,8 +101,10 @@ fn write_node_pretty(doc: &Document, id: NodeId, indent: usize, out: &mut String
                 return;
             }
             // If the only non-attribute child is a single text node, keep it inline.
-            let content: Vec<NodeId> =
-                doc.children(id).filter(|&c| !doc.kind(c).is_attribute()).collect();
+            let content: Vec<NodeId> = doc
+                .children(id)
+                .filter(|&c| !doc.kind(c).is_attribute())
+                .collect();
             if content.len() == 1 && doc.kind(content[0]).is_text() {
                 escape_text(doc.text_value(content[0]).unwrap_or(""), out);
                 let _ = write!(out, "</{}>", doc.label(id));

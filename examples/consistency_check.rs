@@ -30,7 +30,10 @@ fn main() {
         instance.satisfies_fd_paper(&declared_key)
     );
     let report = check_declared_keys(&sigma, &initial, [("Chapter", ["bookTitle", "chapterNum"])]);
-    println!("Guaranteed by the XML keys for every import: {}\n", report.all_guaranteed());
+    println!(
+        "Guaranteed by the XML keys for every import: {}\n",
+        report.all_guaranteed()
+    );
     print!("{report}");
 
     // --- The refined design -------------------------------------------------
@@ -39,7 +42,10 @@ fn main() {
     println!("\nRefined design Chapter(isbn, chapterNum, chapterName):\n");
     println!("{}", instance.to_table_string());
     let report = check_declared_keys(&sigma, &refined, [("Chapter", ["isbn", "chapterNum"])]);
-    println!("Guaranteed by the XML keys for every import: {}\n", report.all_guaranteed());
+    println!(
+        "Guaranteed by the XML keys for every import: {}\n",
+        report.all_guaranteed()
+    );
     print!("{report}");
 
     // --- Import-time validation of the XML keys themselves ------------------

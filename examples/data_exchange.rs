@@ -89,7 +89,10 @@ fn main() {
 
     // 2. Validate the shipment against the keys before loading it.
     let doc = Document::parse_str(SHIPMENT).expect("well-formed shipment");
-    assert!(satisfies_all(&doc, &sigma), "shipment violates the published keys");
+    assert!(
+        satisfies_all(&doc, &sigma),
+        "shipment violates the published keys"
+    );
     println!("\nShipment satisfies all imported keys.");
 
     // 3. The consumer's existing warehouse schema.

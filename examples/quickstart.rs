@@ -41,7 +41,10 @@ fn main() {
     .into_iter()
     .map(|s| XmlKey::parse(s).expect("valid key"))
     .collect();
-    assert!(satisfies_all(&doc, &sigma), "the sample data satisfies its keys");
+    assert!(
+        satisfies_all(&doc, &sigma),
+        "the sample data satisfies its keys"
+    );
 
     // 3. The consumer's transformation: shred books and chapters into tables.
     let transformation = Transformation::parse(
@@ -89,7 +92,11 @@ fn main() {
         let verdict = xmlprop::core::propagation(&sigma, rule, &fd);
         println!(
             "  {relation}: {fd_text:<28} {}",
-            if verdict { "GUARANTEED" } else { "not guaranteed" }
+            if verdict {
+                "GUARANTEED"
+            } else {
+                "not guaranteed"
+            }
         );
     }
 

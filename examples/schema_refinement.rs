@@ -48,7 +48,11 @@ fn main() {
         let fd: Fd = probe.parse().unwrap();
         println!(
             "check {probe:<32} => {}",
-            if checker.check(&fd) { "guaranteed" } else { "not guaranteed" }
+            if checker.check(&fd) {
+                "guaranteed"
+            } else {
+                "not guaranteed"
+            }
         );
     }
 }

@@ -57,7 +57,13 @@ fn main() {
     // Validate the cover against a few random documents that satisfy Σ.
     println!("\nValidating the cover against generated documents:");
     for seed in 0..3u64 {
-        let doc = generate_document(&workload, &DocConfig { seed, ..DocConfig::default() });
+        let doc = generate_document(
+            &workload,
+            &DocConfig {
+                seed,
+                ..DocConfig::default()
+            },
+        );
         let instance = workload.universal.shred(&doc);
         let all_hold = cover.iter().all(|fd| instance.satisfies_fd_paper(fd));
         println!(

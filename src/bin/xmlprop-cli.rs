@@ -33,7 +33,9 @@ fn main() -> ExitCode {
             print_usage();
             Ok(true)
         }
-        Some(other) => Err(format!("unknown subcommand `{other}`; try `xmlprop-cli help`")),
+        Some(other) => Err(format!(
+            "unknown subcommand `{other}`; try `xmlprop-cli help`"
+        )),
     };
     match result {
         Ok(true) => ExitCode::SUCCESS,
@@ -70,8 +72,7 @@ fn load_keys(path: &str) -> Result<KeySet, String> {
         if line.is_empty() {
             continue;
         }
-        let key = XmlKey::parse(line)
-            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let key = XmlKey::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
         keys.add(key);
     }
     if keys.is_empty() {
@@ -87,7 +88,10 @@ fn load_transformation(path: &str) -> Result<Transformation, String> {
 fn load_rule<'t>(t: &'t Transformation, relation: &str) -> Result<&'t TableRule, String> {
     t.rule(relation).ok_or_else(|| {
         let known: Vec<&str> = t.rules().iter().map(|r| r.schema().name()).collect();
-        format!("no rule for relation `{relation}` (known: {})", known.join(", "))
+        format!(
+            "no rule for relation `{relation}` (known: {})",
+            known.join(", ")
+        )
     })
 }
 
@@ -120,7 +124,9 @@ fn cmd_propagate(args: &[String]) -> Result<bool, String> {
     let sigma = load_keys(keys_path)?;
     let t = load_transformation(rules_path)?;
     let rule = load_rule(&t, relation)?;
-    let fd: Fd = fd_text.parse().map_err(|e| format!("invalid FD `{fd_text}`: {e}"))?;
+    let fd: Fd = fd_text
+        .parse()
+        .map_err(|e| format!("invalid FD `{fd_text}`: {e}"))?;
     let outcomes = propagation_explained(&sigma, rule, &fd);
     let mut all = true;
     for o in &outcomes {
@@ -134,11 +140,12 @@ fn cmd_propagate(args: &[String]) -> Result<bool, String> {
             all = false;
             println!("NOT GUARANTEED for field `{}`:", o.field);
             if o.keyed_ancestor.is_none() {
-                println!("  - no ancestor of the field's variable is transitively keyed by the LHS");
+                println!(
+                    "  - no ancestor of the field's variable is transitively keyed by the LHS"
+                );
             }
             if !o.unresolved_fields.is_empty() {
-                let fields: Vec<&str> =
-                    o.unresolved_fields.iter().map(String::as_str).collect();
+                let fields: Vec<&str> = o.unresolved_fields.iter().map(String::as_str).collect();
                 println!(
                     "  - LHS field(s) {} are not guaranteed non-null whenever `{}` is non-null",
                     fields.join(", "),

@@ -17,7 +17,11 @@ fn stdout(output: &Output) -> String {
 
 #[test]
 fn validate_reports_all_keys_ok() {
-    let out = run(&["validate", "examples/data/fig1.xml", "examples/data/book_keys.txt"]);
+    let out = run(&[
+        "validate",
+        "examples/data/fig1.xml",
+        "examples/data/book_keys.txt",
+    ]);
     assert!(out.status.success());
     let text = stdout(&out);
     assert_eq!(text.matches("[ok]").count(), 7);
@@ -43,13 +47,21 @@ fn propagate_answers_both_ways() {
         "chapter",
         "number -> name",
     ]);
-    assert!(!negative.status.success(), "non-propagated FD must exit non-zero");
+    assert!(
+        !negative.status.success(),
+        "non-propagated FD must exit non-zero"
+    );
     assert!(stdout(&negative).contains("NOT GUARANTEED"));
 }
 
 #[test]
 fn cover_prints_the_example_3_1_cover() {
-    let out = run(&["cover", "examples/data/book_keys.txt", "examples/data/book_rules.txt", "U"]);
+    let out = run(&[
+        "cover",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "U",
+    ]);
     assert!(out.status.success());
     let text = stdout(&out);
     assert_eq!(text.lines().count(), 4);
@@ -59,7 +71,12 @@ fn cover_prints_the_example_3_1_cover() {
 
 #[test]
 fn refine_emits_sql() {
-    let out = run(&["refine", "examples/data/book_keys.txt", "examples/data/book_rules.txt", "U"]);
+    let out = run(&[
+        "refine",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "U",
+    ]);
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("CREATE TABLE"));
@@ -100,7 +117,11 @@ fn unknown_subcommand_fails_with_guidance() {
 
 #[test]
 fn missing_file_is_a_clean_error() {
-    let out = run(&["validate", "no/such/file.xml", "examples/data/book_keys.txt"]);
+    let out = run(&[
+        "validate",
+        "no/such/file.xml",
+        "examples/data/book_keys.txt",
+    ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }

@@ -6,7 +6,9 @@
 
 use xmlprop::core::{minimum_cover, naive_minimum_cover, propagation, GMinimumCover};
 use xmlprop::reldb::{covers_equivalent, is_nonredundant};
-use xmlprop::workload::{generate, generate_document, random_fd, target_fd, DocConfig, WorkloadConfig};
+use xmlprop::workload::{
+    generate, generate_document, random_fd, target_fd, DocConfig, WorkloadConfig,
+};
 
 /// Small grid where the exponential baseline is still tractable
 /// (2^fields × fields propagation checks per workload).
@@ -17,8 +19,11 @@ fn small_configs() -> Vec<WorkloadConfig> {
             for keys in [depth, depth + 2, depth + 5] {
                 for seed in [11u64, 29] {
                     out.push(
-                        WorkloadConfig { element_field_ratio: 0.4, ..WorkloadConfig::new(fields, depth, keys) }
-                            .with_seed(seed),
+                        WorkloadConfig {
+                            element_field_ratio: 0.4,
+                            ..WorkloadConfig::new(fields, depth, keys)
+                        }
+                        .with_seed(seed),
                     );
                 }
             }
@@ -38,7 +43,10 @@ fn minimum_cover_agrees_with_naive_on_synthetic_workloads() {
             "cover mismatch for {config:?}:\n fast = {fast:?}\n slow = {slow:?}\n keys = {}",
             w.sigma
         );
-        assert!(is_nonredundant(&fast), "redundant cover for {config:?}: {fast:?}");
+        assert!(
+            is_nonredundant(&fast),
+            "redundant cover for {config:?}: {fast:?}"
+        );
     }
 }
 
@@ -80,7 +88,11 @@ fn everything_derived_is_sound_on_generated_documents() {
         for doc_seed in 0..3u64 {
             let doc = generate_document(
                 &w,
-                &DocConfig { seed: doc_seed, branching: 3, omission_probability: 0.3 },
+                &DocConfig {
+                    seed: doc_seed,
+                    branching: 3,
+                    omission_probability: 0.3,
+                },
             );
             assert!(
                 xmlprop::xmlkeys::satisfies_all(&doc, &w.sigma),

@@ -71,8 +71,15 @@ fn example_1_2_refinement() {
     )
     .unwrap();
     let design = refine(&sigma, &rule);
-    let expected = vec![fd("isbn -> bookTitle"), fd("isbn, chapterNum -> chapterName")];
-    assert!(covers_equivalent(&design.cover, &expected), "{:?}", design.cover);
+    let expected = vec![
+        fd("isbn -> bookTitle"),
+        fd("isbn, chapterNum -> chapterName"),
+    ];
+    assert!(
+        covers_equivalent(&design.cover, &expected),
+        "{:?}",
+        design.cover
+    );
 
     // The printed BCNF decomposition: Book(isbn, bookTitle),
     // Chapter(isbn, chapterNum, chapterName), Author(isbn, author) — the
@@ -81,12 +88,18 @@ fn example_1_2_refinement() {
     // and the book/chapter fragments must match exactly.
     let sets = design.bcnf.attribute_sets();
     assert!(sets.contains(&attrs(["isbn", "bookTitle"])), "{sets:?}");
-    assert!(sets.contains(&attrs(["isbn", "chapterNum", "chapterName"])), "{sets:?}");
+    assert!(
+        sets.contains(&attrs(["isbn", "chapterNum", "chapterName"])),
+        "{sets:?}"
+    );
     for fragment in &design.bcnf.relations {
         assert!(is_bcnf(&fragment.schema.attribute_set(), &design.cover));
     }
     // isbn -> author must not be derivable (a book may have several authors).
-    assert!(!xmlprop::reldb::implies(&design.cover, &fd("isbn -> author")));
+    assert!(!xmlprop::reldb::implies(
+        &design.cover,
+        &fd("isbn -> author")
+    ));
 }
 
 /// Example 2.2 / 2.3: path evaluation cardinalities and key satisfaction on
@@ -143,8 +156,16 @@ fn example_4_1_transitive_sets() {
 fn example_4_2_propagation() {
     let sigma = example_2_1_keys();
     let t = tsample::example_2_4_transformation();
-    assert!(propagation(&sigma, t.rule("book").unwrap(), &fd("isbn -> contact")));
-    assert!(!propagation(&sigma, t.rule("section").unwrap(), &fd("inChapt, number -> name")));
+    assert!(propagation(
+        &sigma,
+        t.rule("book").unwrap(),
+        &fd("isbn -> contact")
+    ));
+    assert!(!propagation(
+        &sigma,
+        t.rule("section").unwrap(),
+        &fd("inChapt, number -> name")
+    ));
 }
 
 /// Example 3.1 / 5.1: the universal-relation minimum cover, its agreement
@@ -178,8 +199,14 @@ fn example_3_1_and_5_1_minimum_cover() {
     // The decomposition of Example 3.1.
     let design = refine(&sigma, &u);
     let sets = design.bcnf.attribute_sets();
-    assert!(sets.contains(&attrs(["bookIsbn", "chapNum", "chapName"])), "{sets:?}");
-    assert!(sets.contains(&attrs(["bookIsbn", "chapNum", "secNum", "secName"])), "{sets:?}");
+    assert!(
+        sets.contains(&attrs(["bookIsbn", "chapNum", "chapName"])),
+        "{sets:?}"
+    );
+    assert!(
+        sets.contains(&attrs(["bookIsbn", "chapNum", "secNum", "secName"])),
+        "{sets:?}"
+    );
 }
 
 /// The propagated FDs hold on the actual shredded instance of Fig. 1 under
@@ -191,7 +218,10 @@ fn propagated_fds_hold_on_fig1_universal_instance() {
     let u = tsample::example_3_1_universal();
     let instance = u.shred(&fig1());
     for fd in minimum_cover(&sigma, &u) {
-        assert!(instance.satisfies_fd_paper(&fd), "{fd} violated on the Fig. 1 instance");
+        assert!(
+            instance.satisfies_fd_paper(&fd),
+            "{fd} violated on the Fig. 1 instance"
+        );
     }
     // And a non-propagated FD is indeed violated by this very instance under
     // classical FD semantics (both books are titled "XML" but have different

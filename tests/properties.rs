@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use std::collections::BTreeSet;
 use xmlprop::prelude::*;
 use xmlprop::reldb::{
-    bcnf_decompose, closure, covers_equivalent, decomposition_is_lossless, is_bcnf,
-    is_dependency_preserving, is_nonredundant, is_3nf, minimize, synthesize_3nf,
+    bcnf_decompose, closure, covers_equivalent, decomposition_is_lossless, is_3nf, is_bcnf,
+    is_dependency_preserving, is_nonredundant, minimize, synthesize_3nf,
 };
 use xmlprop::workload::{generate, generate_document, DocConfig, WorkloadConfig};
 use xmlprop::xmlkeys::{implies, satisfies, satisfies_all};
@@ -35,7 +35,11 @@ fn path_expr_strategy() -> impl Strategy<Value = PathExpr> {
 /// Random concrete words over the same alphabet.
 fn word_strategy() -> impl Strategy<Value = Vec<String>> {
     prop::collection::vec(
-        prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("c".to_string())],
+        prop_oneof![
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just("c".to_string())
+        ],
         0..6,
     )
 }

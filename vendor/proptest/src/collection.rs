@@ -1,0 +1,85 @@
+//! Collection strategies: random-length vectors and sets.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A strategy for `Vec`s whose length is sampled from `size` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for `BTreeSet`s with *up to* `size.end - 1` elements (duplicate
+/// samples collapse, as in upstream proptest the size is a best effort).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let len = rng.rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_rng;
+    use crate::Just;
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let mut rng = new_rng("vec_lengths_stay_in_range");
+        let strategy = vec(0u8..5, 2..6);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn btree_set_collapses_duplicates() {
+        let mut rng = new_rng("btree_set_collapses_duplicates");
+        let strategy = btree_set(Just("only"), 0..4);
+        for _ in 0..50 {
+            assert!(strategy.generate(&mut rng).len() <= 1);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Property tests written against the upstream macro/strategy surface run
+//! here as straightforward randomized tests: every `proptest!` test samples
+//! its strategies `ProptestConfig::cases` times from a deterministic seed
+//! and executes the body; `prop_assert*!` failures panic with the offending
+//! message (there is **no shrinking** — the failing case is reported as
+//! sampled).  Seeds and case counts can be overridden with the
+//! `PROPTEST_SEED` / `PROPTEST_CASES` environment variables.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::TestRng;
+
+/// Per-test configuration, compatible with upstream's struct-update idiom
+/// (`ProptestConfig { cases: 64, ..ProptestConfig::default() }`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.  `prop_assume!` rejections do
+    /// not count: a rejected case is regenerated, like upstream.
+    pub cases: u32,
+    /// Maximum total `prop_assume!` rejections per test before it fails as
+    /// over-constrained.
+    pub max_global_rejects: u32,
+    /// Accepted for upstream compatibility; the stub never shrinks, so this
+    /// is never consulted.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 1024,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// Everything a property test module needs, mirroring upstream's prelude.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }` item
+/// becomes a `#[test]` function that samples the strategies and runs the
+/// body for every case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __proptest_config: $crate::ProptestConfig = $config;
+                let mut __proptest_rng = $crate::test_runner::new_rng(stringify!($name));
+                let mut __proptest_done: u32 = 0;
+                let mut __proptest_attempts: u32 = 0;
+                while __proptest_done < __proptest_config.cases {
+                    // A `prop_assume!` rejection `continue`s straight past
+                    // the `__proptest_done` increment below, so the case is
+                    // regenerated rather than counted — only bodies that run
+                    // to completion count toward `cases`.  The attempts/done
+                    // deficit is then exactly the cumulative rejection count.
+                    assert!(
+                        __proptest_attempts - __proptest_done
+                            <= __proptest_config.max_global_rejects,
+                        "property test over-constrained: {} prop_assume! rejections \
+                         with only {} of {} cases completed",
+                        __proptest_attempts - __proptest_done,
+                        __proptest_done,
+                        __proptest_config.cases,
+                    );
+                    __proptest_attempts += 1;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)*
+                    $body
+                    __proptest_done += 1;
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; the stub
+/// does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Skips the current case when its sampled inputs don't meet a premise.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static COMPLETED: AtomicU32 = AtomicU32::new(0);
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+        // Deliberately not #[test]: driven by the counting wrapper below so
+        // the shared counter is only touched from one test thread.
+        fn assume_heavy_body(n in 0u32..100) {
+            prop_assume!(n % 3 == 0);
+            COMPLETED.fetch_add(1, Ordering::Relaxed);
+            prop_assert!(n % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn assume_rejections_regenerate_instead_of_consuming_cases() {
+        COMPLETED.store(0, Ordering::Relaxed);
+        assume_heavy_body();
+        // ~2/3 of samples are rejected; every rejection must be replaced by
+        // a fresh sample so exactly `cases` bodies run to completion.
+        assert_eq!(COMPLETED.load(Ordering::Relaxed), 20);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 4, max_global_rejects: 8, ..ProptestConfig::default() })]
+        #[test]
+        #[should_panic(expected = "over-constrained")]
+        fn impossible_assume_fails_loudly(n in 0u32..100) {
+            prop_assume!(n > 100);
+            prop_assert!(n > 100); // unreachable
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRng;
+use rand::{Rng, RngCore};
+
+/// Max attempts for retrying combinators (`prop_filter_map`, `prop_filter`)
+/// before the test errors out as over-constrained.
+const MAX_REJECTS: usize = 1000;
+
+/// A generator of random values of one type.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy is just a function from an RNG to a value.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, map: f }
+    }
+
+    /// Maps generated values through `f`, retrying while it returns `None`.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            base: self,
+            map: f,
+            reason,
+        }
+    }
+
+    /// Retries generation while `f` rejects the value.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            keep: f,
+            reason,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        std::rc::Rc::new(self)
+    }
+}
+
+/// A type-erased strategy.  Reference-counted (upstream uses an owned box)
+/// so that every strategy in this stub, `prop_oneof!` unions included, can
+/// be cheaply cloned.
+pub type BoxedStrategy<T> = std::rc::Rc<dyn Strategy<Value = T>>;
+
+/// Boxes a strategy; used by [`crate::prop_oneof!`] to unify arm types.
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+    std::rc::Rc::new(strategy)
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    base: S,
+    map: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        for _ in 0..MAX_REJECTS {
+            if let Some(value) = (self.map)(self.base.generate(rng)) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter_map rejected {MAX_REJECTS} candidates in a row: {}",
+            self.reason
+        );
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    base: S,
+    keep: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_REJECTS {
+            let value = self.base.generate(rng);
+            if (self.keep)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter rejected {MAX_REJECTS} candidates in a row: {}",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice between strategies of one value type; built by
+/// [`crate::prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Creates a union; panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.rng.gen_range(0..self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($wide:ty; $($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range strategy");
+                // Widen so `end - start + 1` cannot overflow, even for the
+                // type's full domain (`T::MIN..=T::MAX`).
+                let span = (end as $wide - start as $wide + 1) as u128;
+                (start as $wide + (rng.rng.next_u64() as u128 % span) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u128; u8, u16, u32, u64, usize);
+impl_range_strategy!(i128; i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $index:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$index.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let mut rng = new_rng("ranges_and_maps_compose");
+        let strategy = (0usize..10).prop_map(|n| n * 2);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn filter_map_retries() {
+        let mut rng = new_rng("filter_map_retries");
+        let strategy = (0usize..100).prop_filter_map("even only", |n| (n % 2 == 0).then_some(n));
+        for _ in 0..50 {
+            assert_eq!(strategy.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut rng = new_rng("union_hits_every_arm");
+        let strategy = Union::new(vec![boxed(Just(1u8)), boxed(Just(2u8)), boxed(Just(3u8))]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strategy.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn inclusive_ranges_reach_both_endpoints() {
+        let mut rng = new_rng("inclusive_ranges_reach_both_endpoints");
+        let full = u8::MIN..=u8::MAX;
+        let (mut saw_min, mut saw_max) = (false, false);
+        for _ in 0..10_000 {
+            match full.generate(&mut rng) {
+                u8::MIN => saw_min = true,
+                u8::MAX => saw_max = true,
+                _ => {}
+            }
+        }
+        assert!(
+            saw_min && saw_max,
+            "full-domain inclusive range misses an endpoint"
+        );
+        // Single-value range at the type boundary must not panic.
+        assert_eq!((u8::MAX..=u8::MAX).generate(&mut rng), u8::MAX);
+        assert_eq!((i32::MIN..=i32::MIN).generate(&mut rng), i32::MIN);
+        for _ in 0..1000 {
+            let v = (-3i8..=3).generate(&mut rng);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = new_rng("tuples_generate_componentwise");
+        let strategy = (0usize..4, Just("x"));
+        for _ in 0..20 {
+            let (n, s) = strategy.generate(&mut rng);
+            assert!(n < 4);
+            assert_eq!(s, "x");
+        }
+    }
+}

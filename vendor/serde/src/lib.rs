@@ -1,0 +1,144 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Serialization here goes through one concrete data model, [`Json`]:
+//! [`Serialize`] renders a value into a `Json` tree, and `serde_json`
+//! renders that tree to text.  That is all this workspace needs; the
+//! `Serializer`-generic architecture of upstream serde is intentionally not
+//! reproduced.
+
+#![forbid(unsafe_code)]
+
+// Lets the `serde::…` paths emitted by the derive macro resolve even inside
+// this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A JSON value: the single serialization data model of the stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (rendered via `f64`; integers keep exact values up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered fields.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Types that can render themselves as a [`Json`] value.
+pub trait Serialize {
+    /// Renders `self` as a JSON tree.
+    fn to_json(&self) -> Json;
+}
+
+macro_rules! impl_serialize_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(3usize.to_json(), Json::Num(3.0));
+        assert_eq!((-2i32).to_json(), Json::Num(-2.0));
+        assert_eq!(true.to_json(), Json::Bool(true));
+        assert_eq!("hi".to_json(), Json::Str("hi".into()));
+        assert_eq!(None::<f64>.to_json(), Json::Null);
+        assert_eq!(Some(1.5f64).to_json(), Json::Num(1.5));
+        assert_eq!(
+            vec![1u8, 2].to_json(),
+            Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])
+        );
+    }
+
+    #[test]
+    fn derive_builds_objects() {
+        #[derive(Serialize)]
+        struct Point {
+            x: usize,
+            label: &'static str,
+            maybe: Option<f64>,
+        }
+        let json = Point {
+            x: 4,
+            label: "p",
+            maybe: None,
+        }
+        .to_json();
+        assert_eq!(
+            json,
+            Json::Obj(vec![
+                ("x".into(), Json::Num(4.0)),
+                ("label".into(), Json::Str("p".into())),
+                ("maybe".into(), Json::Null),
+            ])
+        );
+    }
+}

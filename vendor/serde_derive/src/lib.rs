@@ -1,0 +1,120 @@
+//! `#[derive(Serialize)]` for the vendored serde stand-in.
+//!
+//! Supports what the workspace derives on: plain `struct`s with named
+//! fields and no generic parameters.  The macro hand-parses the token
+//! stream (no `syn`/`quote`, which are unavailable offline) and emits an
+//! `impl serde::Serialize` that renders the struct as a JSON object in
+//! field order.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a plain named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, body) = match parse_struct(&tokens) {
+        Ok(parts) => parts,
+        Err(message) => {
+            return format!("compile_error!({message:?});")
+                .parse()
+                .expect("valid error tokens")
+        }
+    };
+    let fields = parse_field_names(body);
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_json(&self.{f})),"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> serde::Json {{\n\
+                 serde::Json::Obj(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Finds `struct <Name> { … }` in the (attribute-stripped) derive input and
+/// returns the name plus the brace-group tokens.
+fn parse_struct(tokens: &[TokenTree]) -> Result<(String, Vec<TokenTree>), String> {
+    let mut iter = tokens.iter().peekable();
+    while let Some(tree) = iter.next() {
+        let TokenTree::Ident(ident) = tree else {
+            continue;
+        };
+        if ident.to_string() != "struct" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            return Err("expected a struct name after `struct`".to_string());
+        };
+        for rest in iter {
+            match rest {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    return Ok((name.to_string(), g.stream().into_iter().collect()));
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    return Err(format!(
+                        "serde stub: cannot derive Serialize for generic struct `{name}`"
+                    ));
+                }
+                TokenTree::Punct(p) if p.as_char() == ';' => {
+                    return Err(format!(
+                        "serde stub: cannot derive Serialize for unit/tuple struct `{name}`"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        return Err(format!(
+            "serde stub: no field block found for struct `{name}`"
+        ));
+    }
+    Err("serde stub: derive input is not a struct".to_string())
+}
+
+/// Extracts the field names from a named-field struct body: within each
+/// top-level comma chunk (angle-bracket depth tracked so `Map<K, V>` types
+/// don't split), the name is the identifier directly before the first `:`,
+/// skipping `#[…]` attributes and visibility modifiers.
+fn parse_field_names(body: Vec<TokenTree>) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0usize;
+    let mut seen_colon = false;
+    let mut pending: Option<String> = None;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tree) = iter.next() {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                seen_colon = false;
+                pending = None;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && angle_depth == 0 && !seen_colon => {
+                seen_colon = true;
+                if let Some(name) = pending.take() {
+                    fields.push(name);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' && !seen_colon => {
+                // Skip the attribute group that follows.
+                iter.next();
+            }
+            TokenTree::Ident(ident) if !seen_colon => {
+                let text = ident.to_string();
+                if text != "pub" {
+                    pending = Some(text);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}

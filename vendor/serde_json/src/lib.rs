@@ -1,0 +1,162 @@
+//! Offline stand-in for the `serde_json` crate (see `vendor/README.md`):
+//! renders the stub `serde::Json` data model to text.
+
+#![forbid(unsafe_code)]
+
+use serde::{Json, Serialize};
+use std::fmt;
+
+/// Serialization error.  The stub data model is always serializable, so this
+/// only exists to keep upstream-shaped signatures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Renders a value as human-readable, two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(value: &Json, indent: Option<usize>, level: usize, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => write_number(*n, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => write_seq(
+            items.iter(),
+            |item, lvl, out| {
+                write_value(item, indent, lvl, out);
+            },
+            '[',
+            ']',
+            indent,
+            level,
+            out,
+        ),
+        Json::Obj(entries) => write_seq(
+            entries.iter(),
+            |(key, item), lvl, out| {
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, indent, lvl, out);
+            },
+            '{',
+            '}',
+            indent,
+            level,
+            out,
+        ),
+    }
+}
+
+fn write_seq<T>(
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(T, usize, &mut String),
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    level: usize,
+    out: &mut String,
+) {
+    out.push(open);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        write_item(item, level + 1, out);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(close);
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Infinity
+    } else if n == n.trunc() && n.abs() < 9_007_199_254_740_992.0 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let value = Json::Obj(vec![
+            ("a".into(), Json::Num(1.0)),
+            (
+                "b".into(),
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Str("x\"y".into())]),
+            ),
+        ]);
+        assert_eq!(
+            to_string(&value).unwrap(),
+            r#"{"a":1,"b":[null,true,"x\"y"]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let value = Json::Obj(vec![("n".into(), Json::Num(1.5))]);
+        assert_eq!(to_string_pretty(&value).unwrap(), "{\n  \"n\": 1.5\n}");
+        assert_eq!(to_string_pretty(&Json::Arr(vec![])).unwrap(), "[]");
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(to_string(&Json::Num(200.0)).unwrap(), "200");
+        assert_eq!(to_string(&Json::Num(0.125)).unwrap(), "0.125");
+        assert_eq!(to_string(&Json::Num(f64::NAN)).unwrap(), "null");
+    }
+}
