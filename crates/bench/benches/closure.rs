@@ -1,0 +1,75 @@
+//! FD-engine bench: attribute closure and `minimum_cover` at the
+//! 10³–10⁴-FD scale.
+//!
+//! The paper leans on FD implication being "checked in linear time using the
+//! Armstrong's Axioms"; this bench pins that claim on the interned engine of
+//! `xmlprop-reldb`:
+//!
+//! * `closure_indexed` — one closure query over a prepared [`FdIndex`]
+//!   (counters already built): the pure linear-time inner loop;
+//! * `closure` — the `String` facade, including interning the FD set, as
+//!   the examples and the CLI call it;
+//! * `minimum_cover` — the quadratic cover minimization whose inner
+//!   implication tests dominate the Fig. 7(a) curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlprop_reldb::intern::{AttrUniverse, FdIndex};
+use xmlprop_reldb::{closure, minimum_cover};
+use xmlprop_workload::{closure_seed, generate_fds, FdSetConfig};
+
+const SIZES: [usize; 3] = [1_000, 5_000, 10_000];
+
+fn bench_closure_indexed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure_indexed");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for n in SIZES {
+        let config = FdSetConfig::sized(n);
+        let fds = generate_fds(&config);
+        let mut u = AttrUniverse::from_fds(&fds);
+        let interned: Vec<_> = fds.iter().map(|fd| u.intern_fd(fd)).collect();
+        let index = FdIndex::new(u.len(), &interned);
+        let seed = u.lookup_set(&closure_seed(&config, 3));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| index.closure(&seed));
+        });
+    }
+    group.finish();
+}
+
+fn bench_closure_facade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for n in SIZES {
+        let config = FdSetConfig::sized(n);
+        let fds = generate_fds(&config);
+        let seed = closure_seed(&config, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| closure(&seed, &fds));
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimum_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimum_cover");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for n in SIZES {
+        let fds = generate_fds(&FdSetConfig::sized(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| minimum_cover(&fds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    fd_engine,
+    bench_closure_indexed,
+    bench_closure_facade,
+    bench_minimum_cover
+);
+criterion_main!(fd_engine);

@@ -14,12 +14,24 @@
 
 use std::fs;
 use std::path::PathBuf;
-use xmlprop_bench::{fig7a, fig7b, fig7c, large_scale, render_table};
+use xmlprop_bench::{
+    fig7a, fig7a_rows, fig7b, fig7c, large_scale, large_scale_rows, propagation_rows, render_table,
+    Fig7Row,
+};
 
 fn out_dir() -> PathBuf {
     let dir = PathBuf::from("target/paper_experiments");
     let _ = fs::create_dir_all(&dir);
     dir
+}
+
+/// `BENCH_fig7.json` lives at the repository root (two levels above this
+/// crate's manifest), independent of the working directory the binary was
+/// started from, so successive PRs overwrite the same tracked file.
+fn bench_json_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_fig7.json")
 }
 
 fn write_json<T: serde::Serialize>(name: &str, value: &T) {
@@ -34,7 +46,7 @@ fn write_json<T: serde::Serialize>(name: &str, value: &T) {
     }
 }
 
-fn run_fig7a(quick: bool) {
+fn run_fig7a(quick: bool) -> Vec<Fig7Row> {
     println!("== Fig. 7(a): minimum-cover computation time vs. number of fields ==");
     println!("   (depth = 5, keys = 10; naive is the exponential baseline)\n");
     let fields: Vec<usize> = if quick {
@@ -68,9 +80,10 @@ fn run_fig7a(quick: bool) {
         )
     );
     write_json("fig7a", &points);
+    fig7a_rows(&points)
 }
 
-fn run_fig7b(quick: bool) {
+fn run_fig7b(quick: bool) -> Vec<Fig7Row> {
     println!("== Fig. 7(b): effect of table-tree depth (fields = 15, keys = 10) ==\n");
     let depths: Vec<usize> = if quick {
         vec![2, 5, 10, 15]
@@ -93,9 +106,10 @@ fn run_fig7b(quick: bool) {
         render_table(&["depth", "propagation (ms)", "GminimumCover (ms)"], &rows)
     );
     write_json("fig7b", &points);
+    propagation_rows("fig7b", &points)
 }
 
-fn run_fig7c(quick: bool) {
+fn run_fig7c(quick: bool) -> Vec<Fig7Row> {
     println!("== Fig. 7(c): effect of the number of XML keys (fields = 15, depth = 10) ==\n");
     let keys: Vec<usize> = if quick {
         vec![10, 25, 50]
@@ -118,9 +132,10 @@ fn run_fig7c(quick: bool) {
         render_table(&["keys", "propagation (ms)", "GminimumCover (ms)"], &rows)
     );
     write_json("fig7c", &points);
+    propagation_rows("fig7c", &points)
 }
 
-fn run_large() {
+fn run_large() -> Vec<Fig7Row> {
     println!("== Section 6 in-text large-scale spot checks ==\n");
     let points = large_scale();
     let rows: Vec<Vec<String>> = points
@@ -139,6 +154,7 @@ fn run_large() {
         render_table(&["algorithm", "fields", "keys", "elapsed (ms)"], &rows)
     );
     write_json("large_scale", &points);
+    large_scale_rows(&points)
 }
 
 fn main() {
@@ -151,17 +167,32 @@ fn main() {
         .collect();
     let run_all = wanted.is_empty();
 
+    let mut rows: Vec<Fig7Row> = Vec::new();
     if run_all || wanted.contains(&"fig7a") {
-        run_fig7a(quick);
+        rows.extend(run_fig7a(quick));
     }
     if run_all || wanted.contains(&"fig7b") {
-        run_fig7b(quick);
+        rows.extend(run_fig7b(quick));
     }
     if run_all || wanted.contains(&"fig7c") {
-        run_fig7c(quick);
+        rows.extend(run_fig7c(quick));
     }
     if run_all || wanted.contains(&"large") {
-        run_large();
+        rows.extend(run_large());
     }
     println!("JSON copies written to {}", out_dir().display());
+    // The consolidated tracking file is only refreshed by a full run: a
+    // figure-filtered invocation would silently drop the other figures' rows
+    // from the cross-PR record, and a `quick` run (what CI's bench-smoke
+    // does) would truncate the full grids down to the reduced ones.
+    if run_all && !quick && !rows.is_empty() {
+        let path = bench_json_path();
+        match serde_json::to_string_pretty(&rows) {
+            Ok(json) => match fs::write(&path, json + "\n") {
+                Ok(()) => println!("Consolidated rows written to {}", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            },
+            Err(e) => eprintln!("warning: could not serialize consolidated rows: {e}"),
+        }
+    }
 }

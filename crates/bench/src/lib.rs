@@ -214,6 +214,79 @@ pub fn large_scale() -> Vec<LargeScalePoint> {
     out
 }
 
+/// One consolidated benchmark row, as archived in `BENCH_fig7.json` at the
+/// repository root so the performance trajectory is comparable across PRs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig7Row {
+    /// Benchmark identifier, e.g. `fig7a_minimum_cover`.
+    pub bench: String,
+    /// The varied parameter (fields, depth or keys, per figure).
+    pub n: usize,
+    /// Elapsed wall-clock time in seconds.
+    pub seconds: f64,
+}
+
+impl Fig7Row {
+    fn new(bench: &str, n: usize, ms: f64) -> Self {
+        Fig7Row {
+            bench: bench.to_string(),
+            n,
+            seconds: ms / 1e3,
+        }
+    }
+}
+
+/// Consolidates Fig. 7(a) points into [`Fig7Row`]s (the exponential `naive`
+/// baseline contributes rows only where it was measured).
+pub fn fig7a_rows(points: &[Fig7aPoint]) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for p in points {
+        rows.push(Fig7Row::new(
+            "fig7a_minimum_cover",
+            p.fields,
+            p.minimum_cover_ms,
+        ));
+        if let Some(naive_ms) = p.naive_ms {
+            rows.push(Fig7Row::new("fig7a_naive", p.fields, naive_ms));
+        }
+    }
+    rows
+}
+
+/// Consolidates Fig. 7(b)/(c) points into [`Fig7Row`]s, two per point
+/// (`<figure>_propagation` and `<figure>_gminimumcover`).
+pub fn propagation_rows(figure: &str, points: &[PropagationPoint]) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for p in points {
+        rows.push(Fig7Row::new(
+            &format!("{figure}_propagation"),
+            p.parameter,
+            p.propagation_ms,
+        ));
+        rows.push(Fig7Row::new(
+            &format!("{figure}_gminimumcover"),
+            p.parameter,
+            p.g_minimum_cover_ms,
+        ));
+    }
+    rows
+}
+
+/// Consolidates the in-text large-scale spot checks into [`Fig7Row`]s,
+/// keyed by algorithm and field count, with `n` the key count.
+pub fn large_scale_rows(points: &[LargeScalePoint]) -> Vec<Fig7Row> {
+    points
+        .iter()
+        .map(|p| {
+            Fig7Row::new(
+                &format!("large_{}_{}f", p.algorithm.to_lowercase(), p.fields),
+                p.keys,
+                p.elapsed_ms,
+            )
+        })
+        .collect()
+}
+
 /// Renders a series of labelled rows as an aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -266,6 +339,35 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert!(b[0].probe_propagated);
         assert!(c[0].probe_propagated);
+    }
+
+    #[test]
+    fn consolidated_rows_cover_every_measurement() {
+        let a = fig7a(&[6, 8], 6);
+        let rows = fig7a_rows(&a);
+        // One minimum-cover row per point, one naive row for fields <= 6.
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.seconds >= 0.0));
+        assert_eq!(rows[0].bench, "fig7a_minimum_cover");
+        assert_eq!(rows[0].n, 6);
+        assert_eq!(rows[1].bench, "fig7a_naive");
+
+        let b = fig7b(&[2]);
+        let rows = propagation_rows("fig7b", &b);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].bench, "fig7b_propagation");
+        assert_eq!(rows[1].bench, "fig7b_gminimumcover");
+        assert_eq!(rows[0].n, 2);
+
+        let rows = large_scale_rows(&[LargeScalePoint {
+            algorithm: "propagation",
+            fields: 1000,
+            keys: 50,
+            elapsed_ms: 12.0,
+        }]);
+        assert_eq!(rows[0].bench, "large_propagation_1000f");
+        assert_eq!(rows[0].n, 50);
+        assert!((rows[0].seconds - 0.012).abs() < 1e-12);
     }
 
     #[test]

@@ -8,16 +8,23 @@
 //! `propagation` performs with its `Ycheck` set.
 
 use std::collections::BTreeSet;
-use xmlprop_reldb::{implies as fd_implies, Fd};
+use xmlprop_reldb::{AttrUniverse, Fd, FdIndex};
 use xmlprop_xmlkeys::{attribute_assured, KeySet};
 use xmlprop_xmltransform::TableRule;
 
 /// A prepared `GminimumCover` checker for one universal relation.
+///
+/// The cover is interned once at construction; every [`GMinimumCover::check`]
+/// then answers the relational-implication half of the question with one
+/// linear-time counter-based closure over the prepared [`FdIndex`] instead
+/// of a fixpoint loop over string sets.
 #[derive(Debug, Clone)]
 pub struct GMinimumCover {
     sigma: KeySet,
     rule: TableRule,
     cover: Vec<Fd>,
+    universe: AttrUniverse,
+    index: FdIndex,
 }
 
 impl GMinimumCover {
@@ -25,7 +32,16 @@ impl GMinimumCover {
     /// checker that can answer propagation questions against it.
     pub fn new(sigma: KeySet, rule: TableRule) -> Self {
         let cover = crate::minimum_cover(&sigma, &rule);
-        GMinimumCover { sigma, rule, cover }
+        let mut universe = AttrUniverse::from_fds(&cover);
+        let interned: Vec<_> = cover.iter().map(|fd| universe.intern_fd(fd)).collect();
+        let index = FdIndex::new(universe.len(), &interned);
+        GMinimumCover {
+            sigma,
+            rule,
+            cover,
+            universe,
+            index,
+        }
     }
 
     /// The minimum cover backing this checker.
@@ -48,13 +64,17 @@ impl GMinimumCover {
     }
 
     fn check_single(&self, x_fields: &BTreeSet<String>, a_field: &str) -> bool {
-        // Relational implication against the cover (trivial FDs included).
-        let single = Fd::new(
-            x_fields.clone(),
-            std::iter::once(a_field.to_string()).collect(),
-        );
-        if !x_fields.contains(a_field) && !fd_implies(&self.cover, &single) {
-            return false;
+        // Relational implication against the interned cover (trivial FDs
+        // short-circuit).  Left-hand-side fields outside the cover's
+        // attribute universe can contribute nothing to the closure and are
+        // dropped; a right-hand side outside it can only be derived
+        // trivially.
+        if !x_fields.contains(a_field) {
+            let lhs = self.universe.lookup_set(x_fields);
+            match self.universe.lookup(a_field) {
+                Some(a) if self.index.closure(&lhs).contains(a) => {}
+                _ => return false,
+            }
         }
         // Non-null analysis, mirroring the Ycheck bookkeeping of Fig. 5.
         let tree = self.rule.table_tree();

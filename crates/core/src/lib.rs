@@ -19,8 +19,8 @@
 //!   answers single-FD questions through the minimum cover;
 //! * [`refine`] — the end-to-end design-refinement pipeline of Examples 1.2
 //!   and 3.1 (cover → BCNF / 3NF schema);
-//! * [`consistency`] — checking a *predefined* relational schema against the
-//!   XML keys (the Example 1.1 scenario);
+//! * [`check_declared_keys`] — checking a *predefined* relational schema
+//!   against the XML keys (the Example 1.1 scenario);
 //! * [`limits`] — a documentation module for the undecidability results
 //!   (Theorems 3.1 and 3.2) that motivate the restrictions of the framework.
 //!

@@ -26,8 +26,9 @@
 //! [`crate::naive_minimum_cover`] — is asserted by integration and property
 //! tests across the workspace.
 
-use std::collections::{BTreeMap, BTreeSet};
-use xmlprop_reldb::{minimize, Fd};
+use std::collections::BTreeMap;
+use xmlprop_reldb::intern::minimize_interned;
+use xmlprop_reldb::{AttrSet, AttrUniverse, Fd, IFd};
 use xmlprop_xmlkeys::{implies, node_unique_under, KeySet, XmlKey};
 use xmlprop_xmltransform::{TableRule, TableTree};
 
@@ -56,12 +57,27 @@ pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, C
     let tree = rule.table_tree();
     let mut stats = CoverStats::default();
 
+    // Intern the universal relation's fields once (sorted, so canonical-key
+    // tie-breaking below matches the historical string-set ordering); all
+    // transitive-key bookkeeping then runs on `AttrSet` bitsets instead of
+    // cloned `BTreeSet<String>`s.  Field-rule fields are included alongside
+    // the schema's attributes so a rule mapping a field the schema does not
+    // declare still gets an id (such FDs are minimized away, not panicked
+    // over).
+    let universe = AttrUniverse::from_names(
+        rule.schema()
+            .attributes()
+            .iter()
+            .map(String::as_str)
+            .chain(rule.field_rules().iter().map(|fr| fr.field.as_str())),
+    );
+
     // Canonical transitive key of each keyed variable (the root is keyed by
     // the empty field set).
-    let mut canonical: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    canonical.insert(tree.root().to_string(), BTreeSet::new());
+    let mut canonical: BTreeMap<String, AttrSet> = BTreeMap::new();
+    canonical.insert(tree.root().to_string(), AttrSet::new());
 
-    let mut fds: Vec<Fd> = Vec::new();
+    let mut fds: Vec<IFd> = Vec::new();
 
     // Fields grouped by the variable that populates them (field, attribute
     // edge or not is irrelevant here — only attribute-mapped fields can enter
@@ -80,7 +96,7 @@ pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, C
         // Candidate transitive keys of `var`: for every already-keyed
         // ancestor `u` and every usable key of Σ (or the empty-attribute
         // "unique under" step), K(u) ∪ fields(S).
-        let mut candidates: Vec<BTreeSet<String>> = Vec::new();
+        let mut candidates: Vec<AttrSet> = Vec::new();
         let ancestors = tree.ancestors_from_root(var);
         for u in &ancestors[..ancestors.len() - 1] {
             let Some(k_u) = canonical.get(u.as_str()).cloned() else {
@@ -105,7 +121,8 @@ pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, C
                 if key.key_attrs().is_empty() {
                     continue; // covered by the unique-under step
                 }
-                let Some(fields) = fields_for_attrs(&attr_fields, key.key_attrs()) else {
+                let Some(fields) = fields_for_attrs(&universe, &attr_fields, key.key_attrs())
+                else {
                     continue;
                 };
                 stats.implication_calls += 1;
@@ -116,7 +133,7 @@ pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, C
                 );
                 if implies(sigma, &probe) {
                     let mut k_v = k_u.clone();
-                    k_v.extend(fields);
+                    k_v.union_with(&fields);
                     candidates.push(k_v);
                 }
             }
@@ -125,7 +142,7 @@ pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, C
         if candidates.is_empty() {
             continue;
         }
-        candidates.sort_by_key(|k| (k.len(), k.iter().cloned().collect::<Vec<_>>()));
+        candidates.sort_by_cached_key(|k| universe.names_key(k));
         candidates.dedup();
         let chosen = candidates[0].clone();
 
@@ -133,17 +150,11 @@ pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, C
         // in both directions, so that FDs whose left-hand sides use
         // alternative keys remain derivable from the cover.
         for alt in &candidates[1..] {
-            for field in alt.difference(&chosen) {
-                fds.push(Fd::new(
-                    chosen.clone(),
-                    std::iter::once(field.clone()).collect(),
-                ));
+            for field in alt.difference(&chosen).iter() {
+                fds.push(IFd::new(chosen.clone(), std::iter::once(field).collect()));
             }
-            for field in chosen.difference(alt) {
-                fds.push(Fd::new(
-                    alt.clone(),
-                    std::iter::once(field.clone()).collect(),
-                ));
+            for field in chosen.difference(alt).iter() {
+                fds.push(IFd::new(alt.clone(), std::iter::once(field).collect()));
             }
         }
 
@@ -161,16 +172,16 @@ pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, C
             if !tree.is_ancestor_or_self(var, w) {
                 continue;
             }
-            if key_fields.contains(*field) {
+            let field_id = universe
+                .lookup(field)
+                .expect("every rule field is interned");
+            if key_fields.contains(field_id) {
                 continue; // trivial
             }
             let to_w = tree.path_between(var, w).expect("w is in v's subtree");
             stats.implication_calls += 1;
             if node_unique_under(sigma, &v_position, &to_w) {
-                let fd = Fd::new(
-                    key_fields.clone(),
-                    std::iter::once((*field).to_string()).collect(),
-                );
+                let fd = IFd::new(key_fields.clone(), std::iter::once(field_id).collect());
                 if !fds.contains(&fd) {
                     fds.push(fd);
                 }
@@ -179,7 +190,10 @@ pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, C
     }
 
     stats.generated_fds = fds.len();
-    let cover = minimize(&fds);
+    let cover: Vec<Fd> = minimize_interned(universe.len(), &fds)
+        .iter()
+        .map(|fd| universe.extern_fd(fd))
+        .collect();
     stats.cover_size = cover.len();
     (cover, stats)
 }
@@ -208,14 +222,19 @@ fn attribute_fields_of(rule: &TableRule, tree: &TableTree, var: &str) -> BTreeMa
     out
 }
 
-/// Maps every attribute of `attrs` to its field on this variable; `None` if
-/// some attribute is not mapped to a field (the key is then unusable at this
-/// level because the FD's left-hand side could not be expressed).
+/// Maps every attribute of `attrs` to its (interned) field on this variable;
+/// `None` if some attribute is not mapped to a field (the key is then
+/// unusable at this level because the FD's left-hand side could not be
+/// expressed).
 fn fields_for_attrs(
+    universe: &AttrUniverse,
     attr_fields: &BTreeMap<String, String>,
     attrs: &[String],
-) -> Option<BTreeSet<String>> {
-    attrs.iter().map(|a| attr_fields.get(a).cloned()).collect()
+) -> Option<AttrSet> {
+    attrs
+        .iter()
+        .map(|a| attr_fields.get(a).and_then(|field| universe.lookup(field)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -309,6 +328,54 @@ mod tests {
         let sigma = KeySet::new();
         let u = example_3_1_universal();
         assert!(minimum_cover(&sigma, &u).is_empty());
+    }
+
+    #[test]
+    fn field_rules_outside_the_schema_do_not_panic() {
+        // `TableRule::validate` requires every schema attribute to be
+        // populated but not the converse, so a rule may map a field the
+        // schema never declares; the cover computation must intern it
+        // rather than panic on the lookup.
+        use xmlprop_xmlpath::PathExpr;
+        use xmlprop_xmltransform::{FieldRule, VarMapping};
+        let rule = xmlprop_xmltransform::TableRule::new(
+            xmlprop_reldb::RelationSchema::new("r", ["isbn"]),
+            vec![
+                VarMapping {
+                    var: "b".into(),
+                    parent: "xr".into(),
+                    path: PathExpr::epsilon().descendant("book"),
+                },
+                VarMapping {
+                    var: "i".into(),
+                    parent: "b".into(),
+                    path: PathExpr::label("@isbn"),
+                },
+                VarMapping {
+                    var: "t".into(),
+                    parent: "b".into(),
+                    path: PathExpr::label("title"),
+                },
+            ],
+            vec![
+                FieldRule {
+                    field: "isbn".into(),
+                    var: "i".into(),
+                },
+                FieldRule {
+                    field: "ghost".into(),
+                    var: "t".into(),
+                },
+            ],
+        )
+        .unwrap();
+        let sigma = example_2_1_keys();
+        let cover = minimum_cover(&sigma, &rule);
+        // K3 makes //book/title unique, so the undeclared field is even
+        // derivable from the book key — the point is that nothing panics.
+        assert!(cover
+            .iter()
+            .all(|fd| fd.attributes().iter().all(|a| a == "isbn" || a == "ghost")));
     }
 
     #[test]

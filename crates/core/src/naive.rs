@@ -6,7 +6,7 @@
 //! `minimize` function.  The paper uses it both to explain why a smarter
 //! algorithm is needed and as the baseline of Fig. 7(a).
 
-use crate::propagation::propagation;
+use crate::propagation::propagation_fields;
 use xmlprop_reldb::{minimize, Fd};
 use xmlprop_xmlkeys::KeySet;
 use xmlprop_xmltransform::TableRule;
@@ -15,28 +15,42 @@ use xmlprop_xmltransform::TableRule;
 /// `sigma` — the set `Σ_F` of the paper.  Exponential in the number of
 /// fields (every subset of the attributes is tried as a left-hand side), so
 /// only call this on small schemas; the benchmarks cap it accordingly.
+///
+/// Left-hand sides are enumerated as borrowed field slices; a string-based
+/// [`Fd`] is only materialized for the (few) probes that turn out to be
+/// propagated.
 pub fn naive_propagated_fds(sigma: &KeySet, rule: &TableRule) -> Vec<Fd> {
-    let attrs: Vec<&String> = rule.schema().attributes().iter().collect();
+    // Sorted, so each enumerated slice is in the order `propagation_fields`
+    // expects (and the output matches the historical BTreeSet-based order).
+    let mut attrs: Vec<&str> = rule
+        .schema()
+        .attributes()
+        .iter()
+        .map(String::as_str)
+        .collect();
+    attrs.sort_unstable();
     let n = attrs.len();
     assert!(
         n < 64,
         "naive enumeration over {n} fields would overflow; use minimum_cover"
     );
     let mut out = Vec::new();
-    for a in &attrs {
+    let mut lhs: Vec<&str> = Vec::with_capacity(n);
+    for a in rule.schema().attributes() {
         for mask in 0u64..(1u64 << n) {
-            let lhs: std::collections::BTreeSet<String> = attrs
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| mask & (1 << i) != 0)
-                .map(|(_, s)| (*s).clone())
-                .collect();
-            if lhs.contains(a.as_str()) {
+            lhs.clear();
+            lhs.extend(
+                attrs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, s)| *s),
+            );
+            if lhs.contains(&a.as_str()) {
                 continue; // trivial
             }
-            let fd = Fd::new(lhs, std::iter::once((*a).clone()).collect());
-            if propagation(sigma, rule, &fd) {
-                out.push(fd);
+            if propagation_fields(sigma, rule, &lhs, a) {
+                out.push(Fd::to_attr(lhs.iter().copied(), a.clone()));
             }
         }
     }

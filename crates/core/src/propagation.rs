@@ -23,12 +23,12 @@ pub struct PropagationOutcome {
 }
 
 impl PropagationOutcome {
-    fn rejected(field: &str, x_fields: &BTreeSet<String>) -> Self {
+    fn rejected(field: &str, x_fields: &[&str]) -> Self {
         PropagationOutcome {
             field: field.to_string(),
             propagated: false,
             keyed_ancestor: None,
-            unresolved_fields: x_fields.clone(),
+            unresolved_fields: x_fields.iter().map(|f| f.to_string()).collect(),
         }
     }
 }
@@ -43,18 +43,33 @@ impl PropagationOutcome {
 /// Fields that do not belong to the rule's schema make the FD
 /// non-propagated (rather than panicking), so callers can probe freely.
 pub fn propagation(sigma: &KeySet, rule: &TableRule, fd: &Fd) -> bool {
+    let x_fields: Vec<&str> = fd.lhs().iter().map(String::as_str).collect();
     fd.rhs()
         .iter()
-        .all(|a| propagation_single(sigma, rule, fd.lhs(), a).propagated)
+        .all(|a| propagation_single(sigma, rule, &x_fields, a).propagated)
 }
 
 /// Like [`propagation`] but returns one [`PropagationOutcome`] per
 /// right-hand-side attribute, for diagnostics and examples.
 pub fn propagation_explained(sigma: &KeySet, rule: &TableRule, fd: &Fd) -> Vec<PropagationOutcome> {
+    let x_fields: Vec<&str> = fd.lhs().iter().map(String::as_str).collect();
     fd.rhs()
         .iter()
-        .map(|a| propagation_single(sigma, rule, fd.lhs(), a))
+        .map(|a| propagation_single(sigma, rule, &x_fields, a))
         .collect()
+}
+
+/// Crate-internal entry for callers that already hold the left-hand side as
+/// a field slice (the `naive` enumeration, the consistency checker): avoids
+/// materializing a `BTreeSet<String>` per probe.  `x_fields` must be sorted
+/// and duplicate-free (both callers derive it from ordered sets).
+pub(crate) fn propagation_fields(
+    sigma: &KeySet,
+    rule: &TableRule,
+    x_fields: &[&str],
+    a_field: &str,
+) -> bool {
+    propagation_single(sigma, rule, x_fields, a_field).propagated
 }
 
 /// The Fig. 5 algorithm for a single FD `X → A`.
@@ -69,9 +84,15 @@ pub fn propagation_explained(sigma: &KeySet, rule: &TableRule, fd: &Fd) -> Vec<P
 fn propagation_single(
     sigma: &KeySet,
     rule: &TableRule,
-    x_fields: &BTreeSet<String>,
+    x_fields: &[&str],
     a_field: &str,
 ) -> PropagationOutcome {
+    // The Ycheck bookkeeping below binary-searches `x_fields`; an unsorted
+    // slice would silently mark propagated FDs as unresolved.
+    debug_assert!(
+        x_fields.windows(2).all(|w| w[0] < w[1]),
+        "x_fields must be sorted and duplicate-free"
+    );
     let tree = rule.table_tree();
 
     // Every mentioned field must exist in the schema.
@@ -86,15 +107,15 @@ fn propagation_single(
     // walks the proper ancestors only.
     let ancestors = tree.ancestors_from_root(x_var);
 
-    // Line 6: fields of X that still need an existence guarantee.
-    let mut ycheck: BTreeSet<String> = x_fields
-        .iter()
-        .filter(|f| f.as_str() != a_field)
-        .cloned()
-        .collect();
+    // Line 6: fields of X that still need an existence guarantee.  The set
+    // only ever shrinks, so a bool mask parallel to the (sorted) `x_fields`
+    // slice is all the bookkeeping needs — no per-probe allocation beyond
+    // the mask itself.
+    let mut ycheck_pending: Vec<bool> = x_fields.iter().map(|f| *f != a_field).collect();
+    let mut ycheck_len = ycheck_pending.iter().filter(|p| **p).count();
 
     // Lines 7–9: a trivial FD (A ∈ X) needs no key.
-    let mut key_found = x_fields.contains(a_field);
+    let mut key_found = x_fields.contains(&a_field);
     let mut keyed_ancestor = if key_found {
         Some(x_var.to_string())
     } else {
@@ -138,7 +159,12 @@ fn propagation_single(
             let target_position = tree.path_from_root(target);
             if attributes_assured(sigma, &target_position, beta_attrs.iter().copied()) {
                 for (_, field) in &beta {
-                    ycheck.remove(field);
+                    if let Ok(i) = x_fields.binary_search(field) {
+                        if ycheck_pending[i] {
+                            ycheck_pending[i] = false;
+                            ycheck_len -= 1;
+                        }
+                    }
                 }
             }
         }
@@ -146,22 +172,27 @@ fn propagation_single(
 
     PropagationOutcome {
         field: a_field.to_string(),
-        propagated: key_found && ycheck.is_empty(),
+        propagated: key_found && ycheck_len == 0,
         keyed_ancestor,
-        unresolved_fields: ycheck,
+        unresolved_fields: x_fields
+            .iter()
+            .zip(&ycheck_pending)
+            .filter(|(_, pending)| **pending)
+            .map(|(f, _)| f.to_string())
+            .collect(),
     }
 }
 
 /// The `(attribute, field)` pairs such that `field ∈ X` is populated by a
 /// variable mapped as `v := target/@attribute`.
-fn attributes_of_target_in_x(
+fn attributes_of_target_in_x<'a>(
     rule: &TableRule,
     tree: &TableTree,
     target: &str,
-    x_fields: &BTreeSet<String>,
-) -> Vec<(String, String)> {
+    x_fields: &[&'a str],
+) -> Vec<(String, &'a str)> {
     let mut out = Vec::new();
-    for field in x_fields {
+    for &field in x_fields {
         let Some(var) = rule.field_var(field) else {
             continue;
         };
@@ -176,7 +207,7 @@ fn attributes_of_target_in_x(
             .expect("non-root variable has an edge path");
         if let [xmlprop_xmlpath::Atom::Label(label)] = path.atoms() {
             if label.starts_with('@') {
-                out.push((label.clone(), field.clone()));
+                out.push((label.clone(), field));
             }
         }
     }

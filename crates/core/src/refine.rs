@@ -7,11 +7,18 @@
 //! schema that provably respects the semantics of the XML source.
 
 use crate::{minimum_cover, GMinimumCover};
-use xmlprop_reldb::{bcnf_decompose, candidate_keys, synthesize_3nf, Decomposition, Fd};
+use xmlprop_reldb::{
+    bcnf_decompose, candidate_keys, synthesize_3nf, AttrUniverse, Decomposition, Fd, FdIndex,
+};
 use xmlprop_xmlkeys::KeySet;
 use xmlprop_xmltransform::TableRule;
 
 /// The result of refining a universal relation design.
+///
+/// Alongside the printable artifacts, the design keeps the propagated cover
+/// interned (an [`AttrUniverse`] plus a prepared [`FdIndex`]) so that
+/// [`RefinedDesign::implies`] can validate additional FDs against the cover
+/// with a single linear-time closure, without re-running propagation.
 #[derive(Debug, Clone)]
 pub struct RefinedDesign {
     /// The minimum cover of the propagated FDs.
@@ -22,6 +29,10 @@ pub struct RefinedDesign {
     pub bcnf: Decomposition,
     /// A dependency-preserving 3NF synthesis guided by the cover.
     pub third_normal_form: Decomposition,
+    /// The cover's attribute universe.
+    universe: AttrUniverse,
+    /// The cover, prepared for linear-time closure queries.
+    index: FdIndex,
 }
 
 impl RefinedDesign {
@@ -34,6 +45,22 @@ impl RefinedDesign {
     pub fn third_normal_form_sql(&self) -> String {
         self.third_normal_form.to_sql()
     }
+
+    /// True if `fd` follows from the propagated cover under Armstrong's
+    /// axioms (purely relational implication — for the paper's null-aware
+    /// propagation question use [`GMinimumCover::check`] or
+    /// [`crate::propagation`]).
+    pub fn implies(&self, fd: &Fd) -> bool {
+        let lhs = self.universe.lookup_set(fd.lhs());
+        let closure = self.index.closure(&lhs);
+        fd.rhs().iter().all(|a| {
+            fd.lhs().contains(a)
+                || self
+                    .universe
+                    .lookup(a)
+                    .is_some_and(|id| closure.contains(id))
+        })
+    }
 }
 
 /// Refines the design of the universal relation defined by `rule`, given the
@@ -45,11 +72,16 @@ pub fn refine(sigma: &KeySet, rule: &TableRule) -> RefinedDesign {
     let universal_keys = candidate_keys(&attrs, &cover);
     let bcnf = bcnf_decompose(rule.schema().name(), &attrs, &cover);
     let third_normal_form = synthesize_3nf(rule.schema().name(), &attrs, &cover);
+    let mut universe = AttrUniverse::from_fds(&cover);
+    let interned: Vec<_> = cover.iter().map(|fd| universe.intern_fd(fd)).collect();
+    let index = FdIndex::new(universe.len(), &interned);
     RefinedDesign {
         cover,
         universal_keys,
         bcnf,
         third_normal_form,
+        universe,
+        index,
     }
 }
 
@@ -161,5 +193,28 @@ mod tests {
         let (design, checker) = refine_with_checker(&sigma, &u);
         assert_eq!(design.cover.len(), checker.cover().len());
         assert!(checker.check(&Fd::parse("bookIsbn -> bookTitle").unwrap()));
+    }
+
+    #[test]
+    fn design_answers_implication_against_the_cover() {
+        let sigma = example_2_1_keys();
+        let u = example_3_1_universal();
+        let design = refine(&sigma, &u);
+        // Agreement with the string-based facade on a grid of probes.
+        let attrs: Vec<String> = u.schema().attributes().to_vec();
+        for a in &attrs {
+            for x in &attrs {
+                let probe = Fd::to_attr([x.clone()], a.clone());
+                assert_eq!(
+                    design.implies(&probe),
+                    xmlprop_reldb::implies(&design.cover, &probe),
+                    "disagreement on {probe}"
+                );
+            }
+        }
+        // Unknown attributes are only derivable reflexively.
+        assert!(design.implies(&Fd::parse("nosuch -> nosuch").unwrap()));
+        assert!(!design.implies(&Fd::parse("bookIsbn -> nosuch").unwrap()));
+        assert!(design.implies(&Fd::parse("bookIsbn, chapNum -> chapName").unwrap()));
     }
 }

@@ -9,8 +9,9 @@
 //! so that the normalization algorithms can be checked (and property-tested)
 //! rather than trusted.
 
+use crate::intern::{AttrId, AttrSet, AttrUniverse};
 use crate::Fd;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// A tableau cell: either the distinguished symbol `a_j` for column `j`, or
 /// a non-distinguished symbol `b_{i,j}` for row `i`, column `j`.
@@ -36,23 +37,32 @@ pub fn is_lossless_join(
     if fragments.iter().any(|f| !f.is_subset(universe)) {
         return false;
     }
-    let columns: Vec<&String> = universe.iter().collect();
-    let col_index: BTreeMap<&str, usize> = columns
-        .iter()
-        .enumerate()
-        .map(|(i, a)| (a.as_str(), i))
-        .collect();
+    // Columns are interned attributes: the column of an attribute is its
+    // `AttrId`, assigned in sorted order so the tableau layout matches the
+    // historical `BTreeSet` column order.
+    let mut attrs = AttrUniverse::new();
+    let columns = universe.len();
+    let fragment_sets: Vec<AttrSet> = {
+        let mut sets = vec![AttrSet::new(); fragments.len()];
+        for a in universe {
+            let id = attrs.intern(a);
+            for (row, fragment) in fragments.iter().enumerate() {
+                if fragment.contains(a) {
+                    sets[row].insert(id);
+                }
+            }
+        }
+        sets
+    };
 
     // Initial tableau.
-    let mut tableau: Vec<Vec<Symbol>> = fragments
+    let mut tableau: Vec<Vec<Symbol>> = fragment_sets
         .iter()
         .enumerate()
         .map(|(row, fragment)| {
-            columns
-                .iter()
-                .enumerate()
-                .map(|(col, attr)| {
-                    if fragment.contains(*attr) {
+            (0..columns)
+                .map(|col| {
+                    if fragment.contains(AttrId(col as u32)) {
                         Symbol::Distinguished(col)
                     } else {
                         Symbol::NonDistinguished(row, col)
@@ -62,29 +72,35 @@ pub fn is_lossless_join(
         })
         .collect();
 
+    // FDs with every attribute inside the universe, as column lists (an FD
+    // mentioning an attribute outside the universe never applies).
+    let applicable: Vec<(Vec<usize>, Vec<usize>)> = fds
+        .iter()
+        .filter_map(|fd| {
+            let lhs_cols: Vec<usize> = fd
+                .lhs()
+                .iter()
+                .map(|a| attrs.lookup(a).map(AttrId::index))
+                .collect::<Option<_>>()?;
+            let rhs_cols: Vec<usize> = fd
+                .rhs()
+                .iter()
+                .filter_map(|a| attrs.lookup(a).map(AttrId::index))
+                .collect();
+            Some((lhs_cols, rhs_cols))
+        })
+        .collect();
+
     // Chase to fixpoint.  Each application only ever replaces symbols by
     // "smaller" ones (distinguished preferred), so this terminates.
     let mut changed = true;
     while changed {
         changed = false;
-        for fd in fds {
-            let lhs_cols: Vec<usize> = fd
-                .lhs()
-                .iter()
-                .filter_map(|a| col_index.get(a.as_str()).copied())
-                .collect();
-            if lhs_cols.len() != fd.lhs().len() {
-                continue; // FD mentions attributes outside the universe
-            }
-            let rhs_cols: Vec<usize> = fd
-                .rhs()
-                .iter()
-                .filter_map(|a| col_index.get(a.as_str()).copied())
-                .collect();
+        for (lhs_cols, rhs_cols) in &applicable {
             for i in 0..tableau.len() {
                 for j in (i + 1)..tableau.len() {
                     if lhs_cols.iter().all(|&c| tableau[i][c] == tableau[j][c]) {
-                        for &c in &rhs_cols {
+                        for &c in rhs_cols {
                             let (si, sj) = (tableau[i][c], tableau[j][c]);
                             if si == sj {
                                 continue;

@@ -1,47 +1,86 @@
 //! Armstrong reasoning: attribute closure, implication, cover equivalence.
+//!
+//! These functions are the `String`-facing facade over the interned engine
+//! of [`crate::intern`]: they intern their arguments into a throwaway
+//! [`AttrUniverse`], run the counter-based linear-time Beeri–Bernstein
+//! closure ([`FdIndex`]), and convert the answer back.  Callers that reason
+//! over the same FD set repeatedly should intern once and query the
+//! [`FdIndex`] directly instead.
 
+use crate::intern::{AttrUniverse, FdIndex};
 use crate::Fd;
 use std::collections::BTreeSet;
 
 /// The closure `X⁺` of an attribute set under a set of FDs: all attributes
 /// functionally determined by `X`.
 ///
-/// Standard fixpoint computation; linear in the total size of `fds` per
-/// round, with at most `|fds|` rounds (the classical O(n·|F|) bound, which is
-/// all the paper needs — FD implication is described there as "checked in
-/// linear time using the Armstrong's Axioms").
+/// Runs in time linear in the total size of `fds` (plus the interning of the
+/// arguments) — the Beeri–Bernstein counter algorithm behind the paper's
+/// claim that FD implication is "checked in linear time using the
+/// Armstrong's Axioms".
 pub fn closure(attrs: &BTreeSet<String>, fds: &[Fd]) -> BTreeSet<String> {
-    let mut result = attrs.clone();
-    let mut changed = true;
-    let mut applied = vec![false; fds.len()];
-    while changed {
-        changed = false;
-        for (i, fd) in fds.iter().enumerate() {
-            if applied[i] {
-                continue;
-            }
-            if fd.lhs().is_subset(&result) {
-                applied[i] = true;
-                for a in fd.rhs() {
-                    if result.insert(a.clone()) {
-                        changed = true;
-                    }
-                }
-            }
-        }
-    }
-    result
+    let mut u = AttrUniverse::from_fds(fds);
+    let seed = u.intern_set(attrs);
+    let ifds: Vec<_> = fds.iter().map(|fd| u.intern_fd(fd)).collect();
+    let index = FdIndex::new(u.len(), &ifds);
+    u.extern_set(&index.closure(&seed))
 }
 
 /// True if `fds ⊨ fd` (the FD is derivable by Armstrong's axioms).
 pub fn implies(fds: &[Fd], fd: &Fd) -> bool {
-    let cl = closure(fd.lhs(), fds);
-    fd.rhs().is_subset(&cl)
+    let mut u = AttrUniverse::from_fds(fds);
+    let probe_lhs = u.intern_set(fd.lhs());
+    let probe_rhs = u.intern_set(fd.rhs());
+    let ifds: Vec<_> = fds.iter().map(|f| u.intern_fd(f)).collect();
+    let index = FdIndex::new(u.len(), &ifds);
+    probe_rhs.is_subset(&index.closure(&probe_lhs))
 }
 
 /// True if two FD sets are equivalent (each implies every FD of the other).
 pub fn covers_equivalent(a: &[Fd], b: &[Fd]) -> bool {
-    a.iter().all(|fd| implies(b, fd)) && b.iter().all(|fd| implies(a, fd))
+    let mut u = AttrUniverse::from_fds(a.iter().chain(b));
+    let ia: Vec<_> = a.iter().map(|fd| u.intern_fd(fd)).collect();
+    let ib: Vec<_> = b.iter().map(|fd| u.intern_fd(fd)).collect();
+    let index_a = FdIndex::new(u.len(), &ia);
+    let index_b = FdIndex::new(u.len(), &ib);
+    ia.iter().all(|fd| index_b.implies(fd)) && ib.iter().all(|fd| index_a.implies(fd))
+}
+
+/// The original fixpoint implementations, kept as reference oracles for the
+/// property tests that pin the linear-time engine to them.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::*;
+
+    /// `closure` as the classical fixpoint loop over string sets (the
+    /// pre-interning implementation, O(n·|F|)).
+    pub fn closure_fixpoint(attrs: &BTreeSet<String>, fds: &[Fd]) -> BTreeSet<String> {
+        let mut result = attrs.clone();
+        let mut changed = true;
+        let mut applied = vec![false; fds.len()];
+        while changed {
+            changed = false;
+            for (i, fd) in fds.iter().enumerate() {
+                if applied[i] {
+                    continue;
+                }
+                if fd.lhs().is_subset(&result) {
+                    applied[i] = true;
+                    for a in fd.rhs() {
+                        if result.insert(a.clone()) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// `implies` through the fixpoint closure.
+    pub fn implies_fixpoint(fds: &[Fd], fd: &Fd) -> bool {
+        fd.rhs().is_subset(&closure_fixpoint(fd.lhs(), fds))
+    }
 }
 
 #[cfg(test)]
@@ -69,6 +108,15 @@ mod tests {
     fn closure_with_empty_lhs_fd() {
         let fds = vec![fd("-> k"), fd("k -> v")];
         assert_eq!(closure(&BTreeSet::new(), &fds), attrs(["k", "v"]));
+    }
+
+    #[test]
+    fn closure_keeps_attributes_no_fd_mentions() {
+        let fds = vec![fd("a -> b")];
+        assert_eq!(
+            closure(&attrs(["a", "zzz"]), &fds),
+            attrs(["a", "b", "zzz"])
+        );
     }
 
     #[test]
@@ -108,5 +156,56 @@ mod tests {
         ));
         assert!(!implies(&cover, &fd("isbn -> chapterName")));
         assert!(!implies(&cover, &fd("isbn -> author")));
+    }
+
+    mod properties {
+        use super::super::oracle::{closure_fixpoint, implies_fixpoint};
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random FDs over a tiny attribute universe (small enough that
+        /// random sets frequently interact).
+        fn fd_strategy() -> impl Strategy<Value = Fd> {
+            let attr = prop_oneof![Just("p"), Just("q"), Just("r"), Just("s"), Just("t")];
+            (
+                prop::collection::btree_set(attr.clone(), 0..4),
+                prop::collection::btree_set(attr, 1..3),
+            )
+                .prop_map(|(lhs, rhs)| {
+                    Fd::new(
+                        lhs.into_iter().map(str::to_string).collect(),
+                        rhs.into_iter().map(str::to_string).collect(),
+                    )
+                })
+        }
+
+        fn seed_strategy() -> impl Strategy<Value = BTreeSet<String>> {
+            prop::collection::btree_set(
+                prop_oneof![Just("p"), Just("q"), Just("r"), Just("s"), Just("t")],
+                0..4,
+            )
+            .prop_map(|s| s.into_iter().map(str::to_string).collect())
+        }
+
+        proptest! {
+            /// The linear-time closure agrees with the fixpoint oracle on
+            /// random FD sets and seeds.
+            #[test]
+            fn linear_closure_matches_fixpoint(
+                fds in prop::collection::vec(fd_strategy(), 0..10),
+                seed in seed_strategy(),
+            ) {
+                prop_assert_eq!(closure(&seed, &fds), closure_fixpoint(&seed, &fds));
+            }
+
+            /// The linear-time implication agrees with the fixpoint oracle.
+            #[test]
+            fn linear_implies_matches_fixpoint(
+                fds in prop::collection::vec(fd_strategy(), 0..10),
+                probe in fd_strategy(),
+            ) {
+                prop_assert_eq!(implies(&fds, &probe), implies_fixpoint(&fds, &probe));
+            }
+        }
     }
 }

@@ -193,4 +193,65 @@ mod tests {
         let reduced = fd.with_lhs(attrs(["a"]));
         assert_eq!(reduced, Fd::parse("a -> c").unwrap());
     }
+
+    #[test]
+    fn parse_collapses_duplicate_attributes() {
+        // Sides are sets: repeating an attribute changes nothing.
+        let fd = Fd::parse("a, a, b -> c, c").unwrap();
+        assert_eq!(fd.lhs(), &attrs(["a", "b"]));
+        assert_eq!(fd.rhs(), &attrs(["c"]));
+        assert_eq!(fd, Fd::parse("a, b -> c").unwrap());
+    }
+
+    #[test]
+    fn parse_unicode_arrow_matches_ascii() {
+        for (unicode, ascii) in [
+            ("a → b", "a -> b"),
+            ("a, b → c", "a, b -> c"),
+            (" → k", " -> k"),
+        ] {
+            assert_eq!(Fd::parse(unicode).unwrap(), Fd::parse(ascii).unwrap());
+        }
+        // A mixed arrow soup still has more than one separator.
+        assert!(Fd::parse("a → b -> c").is_err());
+    }
+
+    #[test]
+    fn parse_trims_surrounding_whitespace() {
+        let fd = Fd::parse("  a ,\tb  ->\t c  ").unwrap();
+        assert_eq!(fd.lhs(), &attrs(["a", "b"]));
+        assert_eq!(fd.rhs(), &attrs(["c"]));
+        // Stray empty items between commas are dropped, not kept as "".
+        let fd = Fd::parse("a, , b -> c").unwrap();
+        assert_eq!(fd.lhs(), &attrs(["a", "b"]));
+    }
+
+    #[test]
+    fn parse_empty_sides() {
+        // Empty LHS is meaningful (a constant field)…
+        let constant = Fd::parse("-> a").unwrap();
+        assert!(constant.lhs().is_empty());
+        assert_eq!(constant.rhs(), &attrs(["a"]));
+        // …but an empty RHS (or one that trims to empty) is rejected.
+        assert!(Fd::parse("a ->").is_err());
+        assert!(Fd::parse("a -> ,").is_err());
+        assert!(Fd::parse("a -> , ,").is_err());
+        let err = Fd::parse("a ->").unwrap_err();
+        assert!(err.to_string().contains("empty right-hand side"));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for text in [
+            "a -> b",
+            "a, b -> c",
+            "chapNum, isbn -> chapName",
+            "-> constant",
+            "x -> x, y",
+        ] {
+            let fd = Fd::parse(text).unwrap();
+            let reparsed = Fd::parse(&fd.to_string()).unwrap();
+            assert_eq!(fd, reparsed, "round-trip failed for {text}");
+        }
+    }
 }

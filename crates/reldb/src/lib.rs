@@ -12,7 +12,9 @@
 //!   classical, and the paper's null-aware semantics of Section 3
 //!   ([`Relation::satisfies_fd_paper`]);
 //! * Armstrong reasoning: attribute [`closure`], [`implies`],
-//!   [`covers_equivalent`];
+//!   [`covers_equivalent`] — thin facades over the [`intern`] module's
+//!   linear-time counter-based engine ([`AttrUniverse`], [`AttrSet`],
+//!   [`IFd`], [`FdIndex`]), which hot paths use directly;
 //! * cover computation: [`minimize`] (the paper's `minimize` function of
 //!   Section 5 — removes extraneous attributes and redundant FDs) and
 //!   [`minimum_cover`];
@@ -45,6 +47,7 @@ mod chase;
 mod closure;
 mod cover;
 mod fd;
+pub mod intern;
 mod normalize;
 mod relation;
 mod schema;
@@ -54,6 +57,7 @@ pub use chase::{decomposition_is_lossless, is_dependency_preserving, is_lossless
 pub use closure::{closure, covers_equivalent, implies};
 pub use cover::{is_nonredundant, minimize, minimum_cover, remove_trivial};
 pub use fd::{Fd, ParseFdError};
+pub use intern::{AttrId, AttrSet, AttrUniverse, FdIndex, IFd};
 pub use normalize::{
     bcnf_decompose, candidate_keys, is_3nf, is_bcnf, project_fds, synthesize_3nf,
     DecomposedRelation, Decomposition,

@@ -4,8 +4,17 @@
 //! FDs is to "decompose the universal relation into a normal form (such as
 //! BCNF or 3NF)" guided by those FDs (Examples 1.2 and 3.1).  This module
 //! provides the classical algorithms needed for that last step.
+//!
+//! Internally everything runs on the interned representation of
+//! [`crate::intern`]: each entry point interns the attribute universe once
+//! (in sorted name order, for deterministic output), keeps fragments as
+//! [`AttrSet`] bitsets, and drives all reasoning through a linear-time
+//! [`FdIndex`] — the subset enumerations of `project_fds` and
+//! `candidate_keys` reuse one prepared index instead of re-scanning string
+//! sets per closure.
 
-use crate::{closure, minimize, Fd, RelationSchema};
+use crate::intern::{minimize_interned, AttrId, AttrSet, AttrUniverse, FdIndex, IFd};
+use crate::{Fd, RelationSchema};
 use std::collections::BTreeSet;
 
 /// One relation produced by a decomposition, together with the keys that
@@ -66,61 +75,98 @@ impl Decomposition {
     }
 }
 
-/// Projects a set of FDs onto a subset of attributes: all FDs `X → A` with
-/// `X ∪ {A} ⊆ attrs` implied by `fds`.  Exponential in `|attrs|` in the worst
-/// case (this is the classical embedded-FD problem the paper cites [16]); we
-/// only call it on decomposition fragments, which are small.
-pub fn project_fds(fds: &[Fd], attrs: &BTreeSet<String>) -> Vec<Fd> {
-    let attr_vec: Vec<&String> = attrs.iter().collect();
-    let mut out = Vec::new();
-    for mask in 0u64..(1u64 << attr_vec.len().min(63)) {
-        let lhs: BTreeSet<String> = attr_vec
+/// The interned context every entry point works in: a sorted universe over
+/// the FDs and the relation's attributes, the interned FDs, and a prepared
+/// closure index over them.
+struct Ctx {
+    u: AttrUniverse,
+    fds: Vec<IFd>,
+    index: FdIndex,
+}
+
+impl Ctx {
+    fn new(fds: &[Fd], attrs: &BTreeSet<String>) -> Self {
+        let mut u = AttrUniverse::from_fds_and_attrs(fds, attrs);
+        let ifds: Vec<IFd> = fds.iter().map(|fd| u.intern_fd(fd)).collect();
+        let index = FdIndex::new(u.len(), &ifds);
+        Ctx {
+            u,
+            fds: ifds,
+            index,
+        }
+    }
+
+    fn intern(&self, attrs: &BTreeSet<String>) -> AttrSet {
+        self.u.lookup_set(attrs)
+    }
+}
+
+/// All FDs `X → A` with `X ∪ {A}` inside the fragment `attr_ids` implied by
+/// the indexed FD set, minimized.  The exponential subset enumeration over
+/// the fragment is inherent (the embedded-FD problem the paper cites \[16\]);
+/// every closure inside is one linear pass over the prepared index.
+fn project_fds_core(ctx: &Ctx, attr_ids: &[AttrId]) -> Vec<IFd> {
+    let mut out: Vec<IFd> = Vec::new();
+    for mask in 0u64..(1u64 << attr_ids.len().min(63)) {
+        let lhs: AttrSet = attr_ids
             .iter()
             .enumerate()
             .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, a)| (*a).clone())
+            .map(|(_, &id)| id)
             .collect();
-        let cl = closure(&lhs, fds);
-        for a in attrs {
+        let cl = ctx.index.closure(&lhs);
+        for &a in attr_ids {
             if !lhs.contains(a) && cl.contains(a) {
-                out.push(Fd::to_attr(lhs.iter().cloned(), a.clone()));
+                out.push(IFd::new(lhs.clone(), std::iter::once(a).collect()));
             }
         }
     }
-    minimize(&out)
+    minimize_interned(ctx.u.len(), &out)
 }
 
-/// All candidate keys of a relation with attribute set `attrs` under `fds`.
-///
-/// Uses the standard observation that attributes never appearing on any
-/// right-hand side must be part of every key, then searches supersets in
-/// increasing size.  Exponential in the worst case (inherent), fine for the
-/// schema sizes normalization is used on.
-pub fn candidate_keys(attrs: &BTreeSet<String>, fds: &[Fd]) -> Vec<BTreeSet<String>> {
-    let mut must: BTreeSet<String> = attrs.clone();
+/// Projects a set of FDs onto a subset of attributes: all FDs `X → A` with
+/// `X ∪ {A} ⊆ attrs` implied by `fds`.  Exponential in `|attrs|` in the worst
+/// case (this is the classical embedded-FD problem the paper cites \[16\]); we
+/// only call it on decomposition fragments, which are small.
+pub fn project_fds(fds: &[Fd], attrs: &BTreeSet<String>) -> Vec<Fd> {
+    let ctx = Ctx::new(fds, attrs);
+    let attr_ids: Vec<AttrId> = ctx.intern(attrs).iter().collect();
+    project_fds_core(&ctx, &attr_ids)
+        .iter()
+        .map(|fd| ctx.u.extern_fd(fd))
+        .collect()
+}
+
+/// Candidate keys over the interned context: attributes never on a
+/// right-hand side seed every key; supersets are searched in increasing
+/// size so only minimal keys are recorded.
+fn candidate_keys_core(index: &FdIndex, fds: &[IFd], attrs: &AttrSet) -> Vec<AttrSet> {
+    let mut must = attrs.clone();
     for fd in fds {
-        for a in fd.rhs() {
-            if !fd.lhs().contains(a) {
+        for a in fd.rhs.iter() {
+            if !fd.lhs.contains(a) {
                 must.remove(a);
             }
         }
     }
-    if closure(&must, fds).is_superset(attrs) {
+    if index.closure(&must).is_superset(attrs) {
         return vec![must];
     }
-    let optional: Vec<&String> = attrs.iter().filter(|a| !must.contains(*a)).collect();
-    let mut keys: Vec<BTreeSet<String>> = Vec::new();
+    let optional: Vec<AttrId> = attrs.iter().filter(|a| !must.contains(*a)).collect();
+    let mut keys: Vec<AttrSet> = Vec::new();
     // Enumerate subsets of the optional attributes by increasing size so that
     // only minimal keys are recorded.
     for size in 1..=optional.len() {
         let mut found_at_this_size = Vec::new();
         for combo in combinations(&optional, size) {
             let mut candidate = must.clone();
-            candidate.extend(combo.iter().map(|a| (*a).clone()));
+            for id in combo {
+                candidate.insert(id);
+            }
             if keys.iter().any(|k| k.is_subset(&candidate)) {
                 continue;
             }
-            if closure(&candidate, fds).is_superset(attrs) {
+            if index.closure(&candidate).is_superset(attrs) {
                 found_at_this_size.push(candidate);
             }
         }
@@ -133,15 +179,30 @@ pub fn candidate_keys(attrs: &BTreeSet<String>, fds: &[Fd]) -> Vec<BTreeSet<Stri
     keys
 }
 
-fn combinations<'a>(items: &[&'a String], size: usize) -> Vec<Vec<&'a String>> {
+/// All candidate keys of a relation with attribute set `attrs` under `fds`.
+///
+/// Uses the standard observation that attributes never appearing on any
+/// right-hand side must be part of every key, then searches supersets in
+/// increasing size.  Exponential in the worst case (inherent), fine for the
+/// schema sizes normalization is used on.
+pub fn candidate_keys(attrs: &BTreeSet<String>, fds: &[Fd]) -> Vec<BTreeSet<String>> {
+    let ctx = Ctx::new(fds, attrs);
+    let attr_set = ctx.intern(attrs);
+    candidate_keys_core(&ctx.index, &ctx.fds, &attr_set)
+        .iter()
+        .map(|k| ctx.u.extern_set(k))
+        .collect()
+}
+
+fn combinations(items: &[AttrId], size: usize) -> Vec<Vec<AttrId>> {
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(size);
-    fn rec<'a>(
-        items: &[&'a String],
+    fn rec(
+        items: &[AttrId],
         size: usize,
         start: usize,
-        current: &mut Vec<&'a String>,
-        out: &mut Vec<Vec<&'a String>>,
+        current: &mut Vec<AttrId>,
+        out: &mut Vec<Vec<AttrId>>,
     ) {
         if current.len() == size {
             out.push(current.clone());
@@ -160,11 +221,14 @@ fn combinations<'a>(items: &[&'a String], size: usize) -> Vec<Vec<&'a String>> {
 /// True if every non-trivial FD of `fds` (projected onto `attrs`) has a
 /// superkey left-hand side — i.e. the fragment is in BCNF.
 pub fn is_bcnf(attrs: &BTreeSet<String>, fds: &[Fd]) -> bool {
-    for fd in project_fds(fds, attrs) {
+    let ctx = Ctx::new(fds, attrs);
+    let attr_set = ctx.intern(attrs);
+    let attr_ids: Vec<AttrId> = attr_set.iter().collect();
+    for fd in project_fds_core(&ctx, &attr_ids) {
         if fd.is_trivial() {
             continue;
         }
-        if !closure(fd.lhs(), fds).is_superset(attrs) {
+        if !ctx.index.closure(&fd.lhs).is_superset(&attr_set) {
             return false;
         }
     }
@@ -175,18 +239,24 @@ pub fn is_bcnf(attrs: &BTreeSet<String>, fds: &[Fd]) -> bool {
 /// `X → A`, either `X` is a superkey or `A` is a prime attribute (member of
 /// some candidate key of the fragment).
 pub fn is_3nf(attrs: &BTreeSet<String>, fds: &[Fd]) -> bool {
-    let local = project_fds(fds, attrs);
-    let keys = candidate_keys(attrs, &local);
-    let prime: BTreeSet<String> = keys.iter().flatten().cloned().collect();
+    let ctx = Ctx::new(fds, attrs);
+    let attr_set = ctx.intern(attrs);
+    let attr_ids: Vec<AttrId> = attr_set.iter().collect();
+    let local = project_fds_core(&ctx, &attr_ids);
+    let local_index = FdIndex::new(ctx.u.len(), &local);
+    let keys = candidate_keys_core(&local_index, &local, &attr_set);
+    let mut prime = AttrSet::new();
+    for key in &keys {
+        prime.union_with(key);
+    }
     for fd in &local {
         if fd.is_trivial() {
             continue;
         }
-        let is_superkey = closure(fd.lhs(), &local).is_superset(attrs);
-        if is_superkey {
+        if local_index.closure(&fd.lhs).is_superset(&attr_set) {
             continue;
         }
-        if !fd.rhs().iter().all(|a| prime.contains(a)) {
+        if !fd.rhs.is_subset(&prime) {
             return false;
         }
     }
@@ -201,25 +271,24 @@ pub fn is_3nf(attrs: &BTreeSet<String>, fds: &[Fd]) -> bool {
 /// names are derived from `name` with a numeric suffix unless a violating
 /// FD's attributes suggest nothing better.
 pub fn bcnf_decompose(name: &str, attrs: &BTreeSet<String>, fds: &[Fd]) -> Decomposition {
-    let mut fragments: Vec<BTreeSet<String>> = vec![attrs.clone()];
-    let mut finished: Vec<BTreeSet<String>> = Vec::new();
+    let ctx = Ctx::new(fds, attrs);
+    let mut fragments: Vec<AttrSet> = vec![ctx.intern(attrs)];
+    let mut finished: Vec<AttrSet> = Vec::new();
 
     while let Some(current) = fragments.pop() {
-        let local = project_fds(fds, &current);
+        let attr_ids: Vec<AttrId> = current.iter().collect();
+        let local = project_fds_core(&ctx, &attr_ids);
+        let local_index = FdIndex::new(ctx.u.len(), &local);
         let violating = local
             .iter()
-            .find(|fd| !fd.is_trivial() && !closure(fd.lhs(), &local).is_superset(&current));
+            .find(|fd| !fd.is_trivial() && !local_index.closure(&fd.lhs).is_superset(&current));
         match violating {
             None => finished.push(current),
             Some(fd) => {
-                let cl: BTreeSet<String> = closure(fd.lhs(), &local)
-                    .intersection(&current)
-                    .cloned()
-                    .collect();
+                let cl = local_index.closure(&fd.lhs).intersection(&current);
                 // Fragment 1: X⁺ ∩ current; Fragment 2: X ∪ (current \ X⁺).
                 let frag1 = cl.clone();
-                let mut frag2: BTreeSet<String> = fd.lhs().clone();
-                frag2.extend(current.difference(&cl).cloned());
+                let frag2 = fd.lhs.union(&current.difference(&cl));
                 // A violating FD guarantees both fragments are strictly
                 // smaller than `current`, so this terminates.
                 fragments.push(frag1);
@@ -231,7 +300,7 @@ pub fn bcnf_decompose(name: &str, attrs: &BTreeSet<String>, fds: &[Fd]) -> Decom
     // Drop fragments that are subsets of other fragments (they carry no
     // information), then name them.
     finished.sort_by_key(|f| std::cmp::Reverse(f.len()));
-    let mut kept: Vec<BTreeSet<String>> = Vec::new();
+    let mut kept: Vec<AttrSet> = Vec::new();
     for f in finished {
         if !kept.iter().any(|k| f.is_subset(k)) {
             kept.push(f);
@@ -242,13 +311,15 @@ pub fn bcnf_decompose(name: &str, attrs: &BTreeSet<String>, fds: &[Fd]) -> Decom
         .into_iter()
         .enumerate()
         .map(|(i, f)| {
-            let local = project_fds(fds, &f);
-            let mut keys = candidate_keys(&f, &local);
-            keys.sort_by_key(|k| (k.len(), k.iter().cloned().collect::<Vec<_>>()));
+            let attr_ids: Vec<AttrId> = f.iter().collect();
+            let local = project_fds_core(&ctx, &attr_ids);
+            let local_index = FdIndex::new(ctx.u.len(), &local);
+            let mut keys = candidate_keys_core(&local_index, &local, &f);
+            keys.sort_by_cached_key(|k| ctx.u.names_key(k));
             let key = keys.into_iter().next().unwrap_or_else(|| f.clone());
             DecomposedRelation {
-                schema: RelationSchema::new(format!("{name}_{}", i + 1), f.iter().cloned()),
-                key,
+                schema: RelationSchema::new(format!("{name}_{}", i + 1), ctx.u.extern_set(&f)),
+                key: ctx.u.extern_set(&key),
             }
         })
         .collect();
@@ -260,49 +331,52 @@ pub fn bcnf_decompose(name: &str, attrs: &BTreeSet<String>, fds: &[Fd]) -> Decom
 /// a candidate key of the universal schema.  Dependency-preserving and
 /// lossless.
 pub fn synthesize_3nf(name: &str, attrs: &BTreeSet<String>, fds: &[Fd]) -> Decomposition {
-    let cover = minimize(fds);
+    let ctx = Ctx::new(fds, attrs);
+    let attr_set = ctx.intern(attrs);
+    let cover = minimize_interned(ctx.u.len(), &ctx.fds);
+    let cover_index = FdIndex::new(ctx.u.len(), &cover);
     // Group by LHS.
-    let mut groups: Vec<(BTreeSet<String>, BTreeSet<String>)> = Vec::new();
+    let mut groups: Vec<(AttrSet, AttrSet)> = Vec::new();
     for fd in &cover {
-        match groups.iter_mut().find(|(lhs, _)| lhs == fd.lhs()) {
-            Some((_, rhs)) => rhs.extend(fd.rhs().iter().cloned()),
-            None => groups.push((fd.lhs().clone(), fd.rhs().clone())),
+        match groups.iter_mut().find(|(lhs, _)| lhs == &fd.lhs) {
+            Some((_, rhs)) => rhs.union_with(&fd.rhs),
+            None => groups.push((fd.lhs.clone(), fd.rhs.clone())),
         }
     }
-    let mut schemas: Vec<(BTreeSet<String>, BTreeSet<String>)> = Vec::new();
+    let mut schemas: Vec<(AttrSet, AttrSet)> = Vec::new();
     for (lhs, rhs) in groups {
-        let mut all = lhs.clone();
-        all.extend(rhs.iter().cloned());
+        let all = lhs.union(&rhs);
         schemas.push((all, lhs));
     }
     // Attributes not mentioned in any FD must still be stored somewhere.
-    let mentioned: BTreeSet<String> = cover
-        .iter()
-        .flat_map(|fd| fd.attributes().into_iter())
-        .collect();
-    let unmentioned: BTreeSet<String> = attrs.difference(&mentioned).cloned().collect();
+    let mut mentioned = AttrSet::new();
+    for fd in &cover {
+        mentioned.union_with(&fd.lhs);
+        mentioned.union_with(&fd.rhs);
+    }
+    let unmentioned = attr_set.difference(&mentioned);
     if !unmentioned.is_empty() {
         // They are determined by nothing, so they join a key fragment below
         // (standard treatment: they become part of the key of the relation).
         schemas.push((unmentioned.clone(), unmentioned));
     }
     // Ensure some fragment contains a candidate key of the whole schema.
-    let keys = candidate_keys(attrs, &cover);
+    let keys = candidate_keys_core(&cover_index, &cover, &attr_set);
     let has_key_fragment = schemas
         .iter()
         .any(|(all, _)| keys.iter().any(|k| k.is_subset(all)));
     if !has_key_fragment {
         let mut keys_sorted = keys.clone();
-        keys_sorted.sort_by_key(|k| (k.len(), k.iter().cloned().collect::<Vec<_>>()));
+        keys_sorted.sort_by_cached_key(|k| ctx.u.names_key(k));
         let key = keys_sorted
             .into_iter()
             .next()
-            .unwrap_or_else(|| attrs.clone());
+            .unwrap_or_else(|| attr_set.clone());
         schemas.push((key.clone(), key));
     }
     // Drop fragments contained in others.
     schemas.sort_by_key(|(all, _)| std::cmp::Reverse(all.len()));
-    let mut kept: Vec<(BTreeSet<String>, BTreeSet<String>)> = Vec::new();
+    let mut kept: Vec<(AttrSet, AttrSet)> = Vec::new();
     for (all, key) in schemas {
         if !kept.iter().any(|(k_all, _)| all.is_subset(k_all)) {
             kept.push((all, key));
@@ -312,8 +386,8 @@ pub fn synthesize_3nf(name: &str, attrs: &BTreeSet<String>, fds: &[Fd]) -> Decom
         .into_iter()
         .enumerate()
         .map(|(i, (all, key))| DecomposedRelation {
-            schema: RelationSchema::new(format!("{name}_{}", i + 1), all.iter().cloned()),
-            key,
+            schema: RelationSchema::new(format!("{name}_{}", i + 1), ctx.u.extern_set(&all)),
+            key: ctx.u.extern_set(&key),
         })
         .collect();
     Decomposition { relations }

@@ -19,13 +19,17 @@
 //!
 //! It also provides a document generator ([`generate_document`]) that
 //! produces XML trees *satisfying* the generated key set, which the property
-//! tests use to check soundness of the propagation algorithms end to end.
+//! tests use to check soundness of the propagation algorithms end to end,
+//! and a raw FD-set generator ([`generate_fds`]) producing the 10³–10⁴-FD
+//! inputs of the relational closure/minimum-cover benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod docs;
+mod fdsynth;
 mod synth;
 
 pub use docs::{generate_document, DocConfig};
+pub use fdsynth::{closure_seed, generate_fds, FdSetConfig};
 pub use synth::{generate, random_fd, target_fd, Workload, WorkloadConfig};

@@ -176,7 +176,8 @@ impl PathExpr {
     }
 
     /// Language containment `self ⊑ other`: every concrete path defined by
-    /// `self` is also defined by `other`.  See [`crate::containment`].
+    /// `self` is also defined by `other` (regular-language containment
+    /// over the path alphabet, decided without automata construction).
     pub fn contained_in(&self, other: &PathExpr) -> bool {
         crate::containment::contained_in(self, other)
     }

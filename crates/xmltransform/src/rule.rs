@@ -256,8 +256,9 @@ impl TableRule {
         TableTree::from_rule(self)
     }
 
-    /// Shreds a document into an instance of this rule's relation.  See
-    /// [`crate::shred`].
+    /// Shreds a document into an instance of this rule's relation,
+    /// following the paper's Section 2 semantics (one tuple per complete
+    /// binding, nulls for missing branches).
     pub fn shred(&self, doc: &xmlprop_xmltree::Document) -> xmlprop_reldb::Relation {
         crate::shred::shred_rule(self, doc)
     }
@@ -297,7 +298,8 @@ impl Transformation {
         Transformation { rules }
     }
 
-    /// Parses a transformation from the textual syntax.  See [`crate::parse`].
+    /// Parses a transformation from the textual syntax (see
+    /// [`parse_single_rule`](crate::parse_single_rule) for the grammar).
     pub fn parse(text: &str) -> Result<Self, crate::ParseRuleError> {
         crate::parse::parse_transformation(text)
     }
