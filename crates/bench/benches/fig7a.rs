@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xmlprop_bench::{FIG7A_DEPTH, FIG7A_KEYS};
-use xmlprop_core::{minimum_cover, naive_minimum_cover};
+use xmlprop_core::{minimum_cover, naive_minimum_cover, PropagationEngine};
 use xmlprop_workload::{generate, WorkloadConfig};
 
 fn bench_minimum_cover(c: &mut Criterion) {
@@ -16,6 +16,21 @@ fn bench_minimum_cover(c: &mut Criterion) {
         let w = generate(&WorkloadConfig::new(fields, FIG7A_DEPTH, FIG7A_KEYS));
         group.bench_with_input(BenchmarkId::from_parameter(fields), &w, |b, w| {
             b.iter(|| minimum_cover(&w.sigma, &w.universal));
+        });
+    }
+    group.finish();
+
+    // The same computation from a prepared engine: isolates the cover
+    // algorithm itself from the per-call Σ/tree preparation of the facade.
+    let mut group = c.benchmark_group("fig7a_minimum_cover_prepared");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for fields in [5usize, 10, 25, 50, 100, 200] {
+        let w = generate(&WorkloadConfig::new(fields, FIG7A_DEPTH, FIG7A_KEYS));
+        let engine = PropagationEngine::new(&w.sigma, &w.universal);
+        group.bench_with_input(BenchmarkId::from_parameter(fields), &engine, |b, engine| {
+            b.iter(|| engine.minimum_cover());
         });
     }
     group.finish();

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xmlprop_bench::{probe_fds, FIG7B_FIELDS, FIG7B_KEYS};
-use xmlprop_core::{propagation, GMinimumCover};
+use xmlprop_core::{propagation, GMinimumCover, PropagationEngine};
 use xmlprop_workload::{generate, WorkloadConfig};
 
 fn bench_depth(c: &mut Criterion) {
@@ -26,6 +26,21 @@ fn bench_depth(c: &mut Criterion) {
         });
     }
     prop_group.finish();
+
+    let mut engine_group = c.benchmark_group("fig7b_engine_by_depth");
+    engine_group.sample_size(20);
+    engine_group.measurement_time(std::time::Duration::from_secs(2));
+    engine_group.warm_up_time(std::time::Duration::from_secs(1));
+    for depth in [2usize, 5, 10, 15, 20] {
+        let fields = FIG7B_FIELDS.max(depth);
+        let w = generate(&WorkloadConfig::new(fields, depth, FIG7B_KEYS));
+        let probes = probe_fds(&w, 4);
+        let engine = PropagationEngine::new(&w.sigma, &w.universal);
+        engine_group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| engine.propagate_all(&probes));
+        });
+    }
+    engine_group.finish();
 
     let mut g_group = c.benchmark_group("fig7b_gminimumcover_by_depth");
     g_group.sample_size(10);

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xmlprop_bench::{probe_fds, FIG7C_DEPTH, FIG7C_FIELDS};
-use xmlprop_core::{propagation, GMinimumCover};
+use xmlprop_core::{propagation, GMinimumCover, PropagationEngine};
 use xmlprop_workload::{generate, WorkloadConfig};
 
 fn bench_keys(c: &mut Criterion) {
@@ -25,6 +25,20 @@ fn bench_keys(c: &mut Criterion) {
         });
     }
     prop_group.finish();
+
+    let mut engine_group = c.benchmark_group("fig7c_engine_by_keys");
+    engine_group.sample_size(20);
+    engine_group.measurement_time(std::time::Duration::from_secs(2));
+    engine_group.warm_up_time(std::time::Duration::from_secs(1));
+    for keys in [10usize, 25, 50, 75, 100] {
+        let w = generate(&WorkloadConfig::new(FIG7C_FIELDS, FIG7C_DEPTH, keys));
+        let probes = probe_fds(&w, 4);
+        let engine = PropagationEngine::new(&w.sigma, &w.universal);
+        engine_group.bench_with_input(BenchmarkId::from_parameter(keys), &keys, |b, _| {
+            b.iter(|| engine.propagate_all(&probes));
+        });
+    }
+    engine_group.finish();
 
     let mut g_group = c.benchmark_group("fig7c_gminimumcover_by_keys");
     g_group.sample_size(10);

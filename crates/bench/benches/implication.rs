@@ -5,25 +5,15 @@
 //! make: their running time is a function of the size of the XML keys, which
 //! grows with the table-tree depth and with the number of keys.  This bench
 //! isolates that inner loop so the explanation can be checked directly.
+//!
+//! Each group measures the one-shot facade ([`implies`], which rebuilds the
+//! key index per call) next to the prepared path (one
+//! [`xmlprop_xmlkeys::KeyIndex`] + one compiled probe, queried repeatedly).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlprop_bench::implication_probe;
 use xmlprop_workload::{generate, WorkloadConfig};
-use xmlprop_xmlkeys::{implies, XmlKey};
-use xmlprop_xmlpath::PathExpr;
-
-/// A probe key representative of what Algorithm `propagation` asks: is the
-/// deepest entity level keyed (relative to the level above) by its id?
-fn probe_for(depth: usize) -> XmlKey {
-    let mut context = PathExpr::epsilon().descendant("e0");
-    for level in 1..depth.saturating_sub(1) {
-        context = context.child(format!("e{level}"));
-    }
-    XmlKey::new(
-        context,
-        PathExpr::label(format!("e{}", depth - 1)),
-        [format!("@id{}", depth - 1)],
-    )
-}
+use xmlprop_xmlkeys::implies;
 
 fn bench_by_keys(c: &mut Criterion) {
     let mut group = c.benchmark_group("implication_by_keys");
@@ -31,9 +21,22 @@ fn bench_by_keys(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for keys in [10usize, 25, 50, 100] {
         let w = generate(&WorkloadConfig::new(20, 5, keys));
-        let probe = probe_for(5);
+        let probe = implication_probe(5);
         group.bench_with_input(BenchmarkId::from_parameter(keys), &keys, |b, _| {
             b.iter(|| implies(&w.sigma, &probe));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("implication_prepared_by_keys");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for keys in [10usize, 25, 50, 100] {
+        let w = generate(&WorkloadConfig::new(20, 5, keys));
+        let mut index = w.sigma.prepare();
+        let probe = index.prepare(&implication_probe(5));
+        group.bench_with_input(BenchmarkId::from_parameter(keys), &keys, |b, _| {
+            b.iter(|| index.implies(&probe));
         });
     }
     group.finish();
@@ -45,9 +48,22 @@ fn bench_by_depth(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for depth in [2usize, 5, 10, 20] {
         let w = generate(&WorkloadConfig::new(20.max(depth), depth, 10));
-        let probe = probe_for(depth);
+        let probe = implication_probe(depth);
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
             b.iter(|| implies(&w.sigma, &probe));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("implication_prepared_by_depth");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for depth in [2usize, 5, 10, 20] {
+        let w = generate(&WorkloadConfig::new(20.max(depth), depth, 10));
+        let mut index = w.sigma.prepare();
+        let probe = index.prepare(&implication_probe(depth));
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| index.implies(&probe));
         });
     }
     group.finish();

@@ -9,14 +9,18 @@
 //! cargo run --release -p xmlprop-bench --bin paper_experiments -- quick   # reduced grids
 //! ```
 //!
+//! Experiments: `fig7a`, `fig7b`, `fig7c`, `large`, and `prepared` (the
+//! prepared-engine ablation comparing one-shot facades against prepared
+//! state).
+//!
 //! Results are printed as text tables and also written as JSON files under
 //! `target/paper_experiments/` for archival (EXPERIMENTS.md quotes them).
 
 use std::fs;
 use std::path::PathBuf;
 use xmlprop_bench::{
-    fig7a, fig7a_rows, fig7b, fig7c, large_scale, large_scale_rows, propagation_rows, render_table,
-    Fig7Row,
+    fig7a, fig7a_rows, fig7b, fig7c, large_scale, large_scale_rows, prepared_rows,
+    prepared_speedups, propagation_rows, render_table, Fig7Row,
 };
 
 fn out_dir() -> PathBuf {
@@ -97,13 +101,22 @@ fn run_fig7b(quick: bool) -> Vec<Fig7Row> {
             vec![
                 p.parameter.to_string(),
                 format!("{:.3}", p.propagation_ms),
+                format!("{:.3}", p.propagation_prepared_ms),
                 format!("{:.3}", p.g_minimum_cover_ms),
             ]
         })
         .collect();
     println!(
         "{}",
-        render_table(&["depth", "propagation (ms)", "GminimumCover (ms)"], &rows)
+        render_table(
+            &[
+                "depth",
+                "propagation (ms)",
+                "prepared (ms)",
+                "GminimumCover (ms)"
+            ],
+            &rows
+        )
     );
     write_json("fig7b", &points);
     propagation_rows("fig7b", &points)
@@ -123,16 +136,52 @@ fn run_fig7c(quick: bool) -> Vec<Fig7Row> {
             vec![
                 p.parameter.to_string(),
                 format!("{:.3}", p.propagation_ms),
+                format!("{:.3}", p.propagation_prepared_ms),
                 format!("{:.3}", p.g_minimum_cover_ms),
             ]
         })
         .collect();
     println!(
         "{}",
-        render_table(&["keys", "propagation (ms)", "GminimumCover (ms)"], &rows)
+        render_table(
+            &[
+                "keys",
+                "propagation (ms)",
+                "prepared (ms)",
+                "GminimumCover (ms)"
+            ],
+            &rows
+        )
     );
     write_json("fig7c", &points);
     propagation_rows("fig7c", &points)
+}
+
+fn run_prepared(quick: bool) -> Vec<Fig7Row> {
+    println!("== Prepared-engine ablation: one-shot facades vs. prepared state ==");
+    println!("   (implication: 50/100-key Σ, repeated probes; batch: 10k candidate FDs)\n");
+    let points = prepared_speedups(quick);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.workload.to_string(),
+                p.n.to_string(),
+                format!("{:.3}", p.facade_ms),
+                format!("{:.3}", p.prepared_ms),
+                format!("{:.1}x", p.speedup()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["workload", "n", "facade (ms)", "prepared (ms)", "speedup"],
+            &rows
+        )
+    );
+    write_json("prepared", &points);
+    prepared_rows(&points)
 }
 
 fn run_large() -> Vec<Fig7Row> {
@@ -179,6 +228,9 @@ fn main() {
     }
     if run_all || wanted.contains(&"large") {
         rows.extend(run_large());
+    }
+    if run_all || wanted.contains(&"prepared") {
+        rows.extend(run_prepared(quick));
     }
     println!("JSON copies written to {}", out_dir().display());
     // The consolidated tracking file is only refreshed by a full run: a

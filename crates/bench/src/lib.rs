@@ -20,7 +20,9 @@
 
 use serde::Serialize;
 use std::time::{Duration, Instant};
-use xmlprop_core::{minimum_cover, naive_minimum_cover, propagation, GMinimumCover};
+use xmlprop_core::{
+    minimum_cover, naive_minimum_cover, propagation, GMinimumCover, PropagationEngine,
+};
 use xmlprop_reldb::Fd;
 use xmlprop_workload::{generate, target_fd, Workload, WorkloadConfig};
 
@@ -90,19 +92,24 @@ pub fn fig7a(field_counts: &[usize], naive_max_fields: usize) -> Vec<Fig7aPoint>
         .collect()
 }
 
-/// One measured point of Fig. 7(b) / Fig. 7(c): the two propagation-checking
+/// One measured point of Fig. 7(b) / Fig. 7(c): the propagation-checking
 /// algorithms on the same probe FDs.
 #[derive(Debug, Clone, Serialize)]
 pub struct PropagationPoint {
     /// The varied parameter (depth for Fig. 7(b), keys for Fig. 7(c)).
     pub parameter: usize,
-    /// Time of Algorithm `propagation` (ms) over the probe set.
+    /// Time of Algorithm `propagation` through the one-shot facade (ms)
+    /// over the probe set — each call re-prepares the `(Σ, rule)` pair.
     pub propagation_ms: f64,
+    /// Time of the same probe set against a prepared
+    /// [`PropagationEngine`] (ms); the engine is built once outside the
+    /// timed region, the measured cost is pure query time.
+    pub propagation_prepared_ms: f64,
     /// Time of `GminimumCover` (ms) for the same probes, including the
     /// minimum-cover computation it performs.
     pub g_minimum_cover_ms: f64,
     /// Whether the representative probe FD was reported propagated (sanity:
-    /// both algorithms must agree).
+    /// all algorithms must agree).
     pub probe_propagated: bool,
 }
 
@@ -126,6 +133,8 @@ fn propagation_point(parameter: usize, w: &Workload) -> PropagationPoint {
             .map(|fd| propagation(&w.sigma, &w.universal, fd))
             .collect::<Vec<_>>()
     });
+    let engine = PropagationEngine::new(&w.sigma, &w.universal);
+    let (propagation_prepared_ms, prepared_results) = time(|| engine.propagate_all(&probes));
     let (g_minimum_cover_ms, g_results) = time(|| {
         let checker = GMinimumCover::new(w.sigma.clone(), w.universal.clone());
         probes
@@ -134,12 +143,17 @@ fn propagation_point(parameter: usize, w: &Workload) -> PropagationPoint {
             .collect::<Vec<_>>()
     });
     assert_eq!(
+        results, prepared_results,
+        "facade and prepared engine disagree on {probes:?}"
+    );
+    assert_eq!(
         results, g_results,
         "propagation and GminimumCover disagree on {probes:?}"
     );
     PropagationPoint {
         parameter,
         propagation_ms,
+        propagation_prepared_ms,
         g_minimum_cover_ms,
         probe_propagated: results[0],
     }
@@ -214,6 +228,132 @@ pub fn large_scale() -> Vec<LargeScalePoint> {
     out
 }
 
+/// One measured point of the prepared-engine ablation: the same query
+/// workload answered through the one-shot facades (which re-prepare Σ and
+/// the rule per call) and through prepared state built once.
+#[derive(Debug, Clone, Serialize)]
+pub struct PreparedPoint {
+    /// Which workload was measured (`implication` or `batch_propagation`).
+    pub workload: &'static str,
+    /// The scale parameter: number of keys for `implication`, number of
+    /// candidate FDs for `batch_propagation`.
+    pub n: usize,
+    /// Facade time (ms) for the whole query set.
+    pub facade_ms: f64,
+    /// Prepared time (ms) for the same query set, *including* the one-time
+    /// preparation.
+    pub prepared_ms: f64,
+}
+
+impl PreparedPoint {
+    /// Facade-over-prepared speedup.
+    pub fn speedup(&self) -> f64 {
+        self.facade_ms / self.prepared_ms.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// A representative implication probe for a chain workload of the given
+/// depth: is the deepest entity level keyed (relative to the level above)
+/// by its id?  Shared by the `implication` Criterion bench and the
+/// prepared-engine ablation.
+pub fn implication_probe(depth: usize) -> xmlprop_xmlkeys::XmlKey {
+    use xmlprop_xmlpath::PathExpr;
+    let mut context = PathExpr::epsilon().descendant("e0");
+    for level in 1..depth.saturating_sub(1) {
+        context = context.child(format!("e{level}"));
+    }
+    xmlprop_xmlkeys::XmlKey::new(
+        context,
+        PathExpr::label(format!("e{}", depth - 1)),
+        [format!("@id{}", depth - 1)],
+    )
+}
+
+/// The prepared-engine ablation behind the `prepared` experiment:
+///
+/// * **implication** — a large Σ (50/100 keys), the same probe key asked
+///   2 000 times through [`xmlprop_xmlkeys::implies`] (which rebuilds the
+///   [`xmlprop_xmlkeys::KeyIndex`] per call) versus one prepared index;
+/// * **batch_propagation** — a 10 000-FD candidate grid over a deep
+///   large-Σ workload through the [`propagation`] facade (one engine per
+///   call) versus one [`PropagationEngine::propagate_all`].
+///
+/// `quick` shrinks the grids for the CI smoke run.  Both variants must
+/// return identical verdicts; the function asserts it.
+pub fn prepared_speedups(quick: bool) -> Vec<PreparedPoint> {
+    use rand::SeedableRng;
+    let mut out = Vec::new();
+
+    let implication_reps = if quick { 200usize } else { 2_000 };
+    let key_counts: &[usize] = if quick { &[50] } else { &[50, 100] };
+    for &keys in key_counts {
+        let w = generate(&WorkloadConfig::new(20, 5, keys));
+        let probe = implication_probe(5);
+        let (facade_ms, facade_verdict) = time(|| {
+            (0..implication_reps).fold(false, |_, _| xmlprop_xmlkeys::implies(&w.sigma, &probe))
+        });
+        let (prepared_ms, prepared_verdict) = time(|| {
+            let mut index = w.sigma.prepare();
+            let prepared = index.prepare(&probe);
+            (0..implication_reps).fold(false, |_, _| index.implies(&prepared))
+        });
+        assert_eq!(facade_verdict, prepared_verdict, "implication disagreement");
+        out.push(PreparedPoint {
+            workload: "implication",
+            n: keys,
+            facade_ms,
+            prepared_ms,
+        });
+    }
+
+    let n_fds = if quick { 1_000usize } else { 10_000 };
+    let w = generate(&WorkloadConfig::new(15, 10, 100));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(w.config.seed ^ 0xba7c4);
+    let mut probes = vec![target_fd(&w)];
+    for i in 0..n_fds - 1 {
+        probes.push(xmlprop_workload::random_fd(&w, &mut rng, 1 + i % 3));
+    }
+    let (facade_ms, facade_verdicts) = time(|| {
+        probes
+            .iter()
+            .map(|fd| propagation(&w.sigma, &w.universal, fd))
+            .collect::<Vec<_>>()
+    });
+    let (prepared_ms, prepared_verdicts) =
+        time(|| PropagationEngine::new(&w.sigma, &w.universal).propagate_all(&probes));
+    assert_eq!(
+        facade_verdicts, prepared_verdicts,
+        "batch propagation disagreement"
+    );
+    out.push(PreparedPoint {
+        workload: "batch_propagation",
+        n: n_fds,
+        facade_ms,
+        prepared_ms,
+    });
+
+    out
+}
+
+/// Consolidates prepared-ablation points into two [`Fig7Row`]s per point
+/// (`<workload>_facade` and `<workload>_prepared`).
+pub fn prepared_rows(points: &[PreparedPoint]) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for p in points {
+        rows.push(Fig7Row::new(
+            &format!("{}_facade", p.workload),
+            p.n,
+            p.facade_ms,
+        ));
+        rows.push(Fig7Row::new(
+            &format!("{}_prepared", p.workload),
+            p.n,
+            p.prepared_ms,
+        ));
+    }
+    rows
+}
+
 /// One consolidated benchmark row, as archived in `BENCH_fig7.json` at the
 /// repository root so the performance trajectory is comparable across PRs.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -253,8 +393,9 @@ pub fn fig7a_rows(points: &[Fig7aPoint]) -> Vec<Fig7Row> {
     rows
 }
 
-/// Consolidates Fig. 7(b)/(c) points into [`Fig7Row`]s, two per point
-/// (`<figure>_propagation` and `<figure>_gminimumcover`).
+/// Consolidates Fig. 7(b)/(c) points into [`Fig7Row`]s, three per point
+/// (`<figure>_propagation`, `<figure>_propagation_prepared` and
+/// `<figure>_gminimumcover`).
 pub fn propagation_rows(figure: &str, points: &[PropagationPoint]) -> Vec<Fig7Row> {
     let mut rows = Vec::new();
     for p in points {
@@ -262,6 +403,11 @@ pub fn propagation_rows(figure: &str, points: &[PropagationPoint]) -> Vec<Fig7Ro
             &format!("{figure}_propagation"),
             p.parameter,
             p.propagation_ms,
+        ));
+        rows.push(Fig7Row::new(
+            &format!("{figure}_propagation_prepared"),
+            p.parameter,
+            p.propagation_prepared_ms,
         ));
         rows.push(Fig7Row::new(
             &format!("{figure}_gminimumcover"),
@@ -354,9 +500,10 @@ mod tests {
 
         let b = fig7b(&[2]);
         let rows = propagation_rows("fig7b", &b);
-        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].bench, "fig7b_propagation");
-        assert_eq!(rows[1].bench, "fig7b_gminimumcover");
+        assert_eq!(rows[1].bench, "fig7b_propagation_prepared");
+        assert_eq!(rows[2].bench, "fig7b_gminimumcover");
         assert_eq!(rows[0].n, 2);
 
         let rows = large_scale_rows(&[LargeScalePoint {
@@ -368,6 +515,24 @@ mod tests {
         assert_eq!(rows[0].bench, "large_propagation_1000f");
         assert_eq!(rows[0].n, 50);
         assert!((rows[0].seconds - 0.012).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prepared_ablation_runs_and_rows_cover_it() {
+        // The quick grids: one implication point plus the batch point; the
+        // function itself asserts facade/prepared agreement.
+        let points = prepared_speedups(true);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].workload, "implication");
+        assert_eq!(points[1].workload, "batch_propagation");
+        assert_eq!(points[1].n, 1_000);
+        assert!(points.iter().all(|p| p.speedup() > 0.0));
+        let rows = prepared_rows(&points);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].bench, "implication_facade");
+        assert_eq!(rows[1].bench, "implication_prepared");
+        assert_eq!(rows[2].bench, "batch_propagation_facade");
+        assert_eq!(rows[3].bench, "batch_propagation_prepared");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! the relational keys, which is exactly the guarantee the designers of
 //! Example 1.1 were missing.
 
-use crate::propagation::propagation_fields;
+use crate::PropagationEngine;
 use std::collections::BTreeSet;
 use xmlprop_reldb::Fd;
 use xmlprop_xmlkeys::KeySet;
@@ -111,15 +111,17 @@ where
         };
         let mut required = Vec::new();
         let mut unsupported = Vec::new();
-        // One borrowed slice of the key serves every probe; the FDs the
-        // report carries are only materialized per checked attribute.
+        // One prepared engine and one borrowed slice of the key serve every
+        // probe; the FDs the report carries are only materialized per
+        // checked attribute.
+        let engine = PropagationEngine::new(sigma, rule);
         let key_fields: Vec<&str> = key.iter().map(String::as_str).collect();
         for attr in rule.schema().attributes() {
             if key.contains(attr) {
                 continue;
             }
             let fd = Fd::new(key.clone(), std::iter::once(attr.clone()).collect());
-            if !propagation_fields(sigma, rule, &key_fields, attr) {
+            if !engine.propagation_fields(&key_fields, attr) {
                 unsupported.push(fd.clone());
             }
             required.push(fd);

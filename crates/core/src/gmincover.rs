@@ -7,40 +7,53 @@
 //! FD implication against that cover, plus the same non-null analysis that
 //! `propagation` performs with its `Ycheck` set.
 
+use crate::PropagationEngine;
 use std::collections::BTreeSet;
 use xmlprop_reldb::{AttrUniverse, Fd, FdIndex};
-use xmlprop_xmlkeys::{attribute_assured, KeySet};
+use xmlprop_xmlkeys::KeySet;
 use xmlprop_xmltransform::TableRule;
 
 /// A prepared `GminimumCover` checker for one universal relation.
 ///
-/// The cover is interned once at construction; every [`GMinimumCover::check`]
-/// then answers the relational-implication half of the question with one
-/// linear-time counter-based closure over the prepared [`FdIndex`] instead
-/// of a fixpoint loop over string sets.
+/// The cover is computed through a prepared [`PropagationEngine`] and
+/// interned once at construction; every [`GMinimumCover::check`] then
+/// answers the relational-implication half of the question with one
+/// linear-time counter-based closure over the prepared [`FdIndex`], and the
+/// non-null half against the engine's precompiled assured-attribute edges —
+/// no string-set fixpoints, no per-probe path construction.
 #[derive(Debug, Clone)]
 pub struct GMinimumCover {
-    sigma: KeySet,
-    rule: TableRule,
+    engine: PropagationEngine,
     cover: Vec<Fd>,
     universe: AttrUniverse,
     index: FdIndex,
+    /// Per variable: whether its edge is an attribute assured by Σ at the
+    /// parent position (the probe-independent non-null condition).
+    edge_assured: Vec<bool>,
 }
 
 impl GMinimumCover {
     /// Computes the minimum cover for `rule` under `sigma` and returns a
     /// checker that can answer propagation questions against it.
     pub fn new(sigma: KeySet, rule: TableRule) -> Self {
-        let cover = crate::minimum_cover(&sigma, &rule);
+        GMinimumCover::from_engine(PropagationEngine::from_owned(sigma, rule))
+    }
+
+    /// Builds the checker from an already-prepared engine, reusing its key
+    /// index and compiled tree for both the cover computation and the
+    /// per-check non-null analysis.
+    pub fn from_engine(engine: PropagationEngine) -> Self {
+        let cover = engine.minimum_cover();
         let mut universe = AttrUniverse::from_fds(&cover);
         let interned: Vec<_> = cover.iter().map(|fd| universe.intern_fd(fd)).collect();
         let index = FdIndex::new(universe.len(), &interned);
+        let edge_assured = engine.edge_attr_assured_map();
         GMinimumCover {
-            sigma,
-            rule,
+            engine,
             cover,
             universe,
             index,
+            edge_assured,
         }
     }
 
@@ -51,7 +64,7 @@ impl GMinimumCover {
 
     /// The universal-relation rule this checker was built for.
     pub fn rule(&self) -> &TableRule {
-        &self.rule
+        self.engine.rule()
     }
 
     /// Checks whether `fd` is propagated, using relational implication
@@ -76,34 +89,28 @@ impl GMinimumCover {
                 _ => return false,
             }
         }
-        // Non-null analysis, mirroring the Ycheck bookkeeping of Fig. 5.
-        let tree = self.rule.table_tree();
-        let Some(a_var) = self.rule.field_var(a_field) else {
+        // Non-null analysis, mirroring the Ycheck bookkeeping of Fig. 5:
+        // each field of X must hang off an ancestor of A's variable through
+        // an attribute edge whose existence is assured by Σ.  Both the
+        // attribute-edge shape and its assurance are precomputed on the
+        // engine; only the ancestor test depends on the probe.
+        let Some(a_var) = self.engine.field_var_index(a_field) else {
             return false;
         };
         for field in x_fields {
             if field == a_field {
                 continue;
             }
-            let Some(var) = self.rule.field_var(field) else {
+            let Some(var) = self.engine.field_var_index(field) else {
                 return false;
             };
-            let Some(parent) = tree.parent(var) else {
+            let Some(parent) = self.engine.parent_index(var) else {
                 return false;
             };
-            // The field's variable must hang off an ancestor of A's variable
-            // through an attribute edge whose existence is assured by Σ.
-            if !tree.is_ancestor_or_self(parent, a_var) {
+            if !self.engine.is_ancestor_or_self(parent, a_var) {
                 return false;
             }
-            let path = tree.edge_path(var).expect("non-root variable has an edge");
-            let assured = match path.atoms() {
-                [xmlprop_xmlpath::Atom::Label(label)] if label.starts_with('@') => {
-                    attribute_assured(&self.sigma, &tree.path_from_root(parent), label)
-                }
-                _ => false,
-            };
-            if !assured {
+            if !self.edge_assured[var] {
                 return false;
             }
         }
@@ -144,6 +151,23 @@ mod tests {
         assert!(!g.check(&fd("bookTitle -> bookIsbn")));
         assert!(!g.check(&fd("chapNum -> chapName")));
         assert!(!g.check(&fd("bookIsbn, chapNum -> secName")));
+    }
+
+    #[test]
+    fn prepared_checkers_stay_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GMinimumCover>();
+        assert_send_sync::<PropagationEngine>();
+    }
+
+    #[test]
+    fn from_engine_shares_the_prepared_state() {
+        let sigma = example_2_1_keys();
+        let u = example_3_1_universal();
+        let engine = PropagationEngine::new(&sigma, &u);
+        let g = GMinimumCover::from_engine(engine);
+        assert_eq!(g.cover().len(), 4);
+        assert!(g.check(&fd("bookIsbn -> bookTitle")));
     }
 
     #[test]

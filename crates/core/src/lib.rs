@@ -15,6 +15,10 @@
 //!
 //! On top of those it provides:
 //!
+//! * [`PropagationEngine`] — the prepared form of a `(Σ, rule)` pair: one
+//!   key index plus one compiled table tree, answering `propagation`,
+//!   `minimum_cover` and the batch [`propagate_all`] from shared state.
+//!   The free functions above are one-shot facades over it;
 //! * [`GMinimumCover`] — the `GminimumCover` variant of Section 6 that
 //!   answers single-FD questions through the minimum cover;
 //! * [`refine`] — the end-to-end design-refinement pipeline of Examples 1.2
@@ -52,6 +56,7 @@
 #![warn(missing_docs)]
 
 mod consistency;
+mod engine;
 mod gmincover;
 pub mod limits;
 mod mincover;
@@ -60,8 +65,9 @@ mod propagation;
 mod refine;
 
 pub use consistency::{check_declared_keys, ConsistencyReport, KeyCheck};
+pub use engine::PropagationEngine;
 pub use gmincover::GMinimumCover;
 pub use mincover::{minimum_cover, minimum_cover_with_stats, CoverStats};
 pub use naive::{naive_minimum_cover, naive_propagated_fds};
-pub use propagation::{propagation, propagation_explained, PropagationOutcome};
+pub use propagation::{propagate_all, propagation, propagation_explained, PropagationOutcome};
 pub use refine::{refine, refine_with_checker, RefinedDesign};

@@ -21,16 +21,20 @@
 //!   polynomial);
 //! * finally `minimize` removes redundant FDs and extraneous attributes.
 //!
-//! The defining correctness property — the result is a non-redundant cover
-//! equivalent (under Armstrong's axioms) to the output of the exponential
+//! The algorithm itself lives on [`PropagationEngine`]
+//! ([`PropagationEngine::minimum_cover_with_stats`]), where every
+//! implication probe runs against the prepared key index and compiled tree
+//! paths; the functions here are one-shot facades.  The defining
+//! correctness property — the result is a non-redundant cover equivalent
+//! (under Armstrong's axioms) to the output of the exponential
 //! [`crate::naive_minimum_cover`] — is asserted by integration and property
-//! tests across the workspace.
+//! tests across the workspace, and the pre-engine implementation is
+//! retained below as a `#[cfg(test)]` oracle.
 
-use std::collections::BTreeMap;
-use xmlprop_reldb::intern::minimize_interned;
-use xmlprop_reldb::{AttrSet, AttrUniverse, Fd, IFd};
-use xmlprop_xmlkeys::{implies, node_unique_under, KeySet, XmlKey};
-use xmlprop_xmltransform::{TableRule, TableTree};
+use crate::PropagationEngine;
+use xmlprop_reldb::Fd;
+use xmlprop_xmlkeys::KeySet;
+use xmlprop_xmltransform::TableRule;
 
 /// Statistics about a minimum-cover computation, reported by
 /// [`minimum_cover_with_stats`] and used by the benchmark harness.
@@ -49,192 +53,182 @@ pub struct CoverStats {
 /// Computes a minimum cover of all the FDs propagated from `sigma` onto the
 /// universal relation defined by `rule`.
 pub fn minimum_cover(sigma: &KeySet, rule: &TableRule) -> Vec<Fd> {
-    minimum_cover_with_stats(sigma, rule).0
+    PropagationEngine::new(sigma, rule).minimum_cover()
 }
 
 /// Like [`minimum_cover`] but also reports [`CoverStats`].
 pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, CoverStats) {
-    let tree = rule.table_tree();
-    let mut stats = CoverStats::default();
+    PropagationEngine::new(sigma, rule).minimum_cover_with_stats()
+}
 
-    // Intern the universal relation's fields once (sorted, so canonical-key
-    // tie-breaking below matches the historical string-set ordering); all
-    // transitive-key bookkeeping then runs on `AttrSet` bitsets instead of
-    // cloned `BTreeSet<String>`s.  Field-rule fields are included alongside
-    // the schema's attributes so a rule mapping a field the schema does not
-    // declare still gets an id (such FDs are minimized away, not panicked
-    // over).
-    let universe = AttrUniverse::from_names(
-        rule.schema()
-            .attributes()
+/// The pre-engine implementation (per-probe `XmlKey` construction and
+/// string-based implication), kept verbatim as the reference oracle for the
+/// agreement tests.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::CoverStats;
+    use std::collections::BTreeMap;
+    use xmlprop_reldb::intern::minimize_interned;
+    use xmlprop_reldb::{AttrSet, AttrUniverse, Fd, IFd};
+    use xmlprop_xmlkeys::{implies, node_unique_under, KeySet, XmlKey};
+    use xmlprop_xmltransform::{TableRule, TableTree};
+
+    /// `minimum_cover_with_stats` as originally written.
+    pub fn minimum_cover_with_stats(sigma: &KeySet, rule: &TableRule) -> (Vec<Fd>, CoverStats) {
+        let tree = rule.table_tree();
+        let mut stats = CoverStats::default();
+
+        let universe = AttrUniverse::from_names(
+            rule.schema()
+                .attributes()
+                .iter()
+                .map(String::as_str)
+                .chain(rule.field_rules().iter().map(|fr| fr.field.as_str())),
+        );
+
+        let mut canonical: BTreeMap<String, AttrSet> = BTreeMap::new();
+        canonical.insert(tree.root().to_string(), AttrSet::new());
+
+        let mut fds: Vec<IFd> = Vec::new();
+
+        let field_of_var: BTreeMap<&str, &str> = rule
+            .field_rules()
             .iter()
-            .map(String::as_str)
-            .chain(rule.field_rules().iter().map(|fr| fr.field.as_str())),
-    );
+            .map(|fr| (fr.var.as_str(), fr.field.as_str()))
+            .collect();
 
-    // Canonical transitive key of each keyed variable (the root is keyed by
-    // the empty field set).
-    let mut canonical: BTreeMap<String, AttrSet> = BTreeMap::new();
-    canonical.insert(tree.root().to_string(), AttrSet::new());
-
-    let mut fds: Vec<IFd> = Vec::new();
-
-    // Fields grouped by the variable that populates them (field, attribute
-    // edge or not is irrelevant here — only attribute-mapped fields can enter
-    // keys, which `attribute_fields_of` enforces below).
-    let field_of_var: BTreeMap<&str, &str> = rule
-        .field_rules()
-        .iter()
-        .map(|fr| (fr.var.as_str(), fr.field.as_str()))
-        .collect();
-
-    // Top-down traversal (parents before children).
-    for var in tree.variables().iter() {
-        if var == tree.root() {
-            continue;
-        }
-        // Candidate transitive keys of `var`: for every already-keyed
-        // ancestor `u` and every usable key of Σ (or the empty-attribute
-        // "unique under" step), K(u) ∪ fields(S).
-        let mut candidates: Vec<AttrSet> = Vec::new();
-        let ancestors = tree.ancestors_from_root(var);
-        for u in &ancestors[..ancestors.len() - 1] {
-            let Some(k_u) = canonical.get(u.as_str()).cloned() else {
-                continue;
-            };
-            let u_position = tree.path_from_root(u);
-            let relative = tree.path_between(u, var).expect("u is an ancestor of var");
-
-            // The "unique under" step: var inherits u's key outright.
-            stats.implication_calls += 1;
-            if node_unique_under(sigma, &u_position, &relative) {
-                candidates.push(k_u.clone());
-            }
-
-            // One key of Σ per level, restricted to attributes that are
-            // mapped to fields of the universal relation on `var`.
-            let attr_fields = attribute_fields_of(rule, &tree, var);
-            if attr_fields.is_empty() {
+        for var in tree.variables().iter() {
+            if var == tree.root() {
                 continue;
             }
-            for key in sigma.iter() {
-                if key.key_attrs().is_empty() {
-                    continue; // covered by the unique-under step
-                }
-                let Some(fields) = fields_for_attrs(&universe, &attr_fields, key.key_attrs())
-                else {
+            let mut candidates: Vec<AttrSet> = Vec::new();
+            let ancestors = tree.ancestors_from_root(var);
+            for u in &ancestors[..ancestors.len() - 1] {
+                let Some(k_u) = canonical.get(u.as_str()).cloned() else {
                     continue;
                 };
+                let u_position = tree.path_from_root(u);
+                let relative = tree.path_between(u, var).expect("u is an ancestor of var");
+
                 stats.implication_calls += 1;
-                let probe = XmlKey::new(
-                    u_position.clone(),
-                    relative.clone(),
-                    key.key_attrs().iter().cloned(),
-                );
-                if implies(sigma, &probe) {
-                    let mut k_v = k_u.clone();
-                    k_v.union_with(&fields);
-                    candidates.push(k_v);
+                if node_unique_under(sigma, &u_position, &relative) {
+                    candidates.push(k_u.clone());
+                }
+
+                let attr_fields = attribute_fields_of(rule, &tree, var);
+                if attr_fields.is_empty() {
+                    continue;
+                }
+                for key in sigma.iter() {
+                    if key.key_attrs().is_empty() {
+                        continue; // covered by the unique-under step
+                    }
+                    let Some(fields) = fields_for_attrs(&universe, &attr_fields, key.key_attrs())
+                    else {
+                        continue;
+                    };
+                    stats.implication_calls += 1;
+                    let probe = XmlKey::new(
+                        u_position.clone(),
+                        relative.clone(),
+                        key.key_attrs().iter().cloned(),
+                    );
+                    if implies(sigma, &probe) {
+                        let mut k_v = k_u.clone();
+                        k_v.union_with(&fields);
+                        candidates.push(k_v);
+                    }
                 }
             }
-        }
 
-        if candidates.is_empty() {
-            continue;
-        }
-        candidates.sort_by_cached_key(|k| universe.names_key(k));
-        candidates.dedup();
-        let chosen = candidates[0].clone();
-
-        // Equivalence FDs between the canonical key and every alternative,
-        // in both directions, so that FDs whose left-hand sides use
-        // alternative keys remain derivable from the cover.
-        for alt in &candidates[1..] {
-            for field in alt.difference(&chosen).iter() {
-                fds.push(IFd::new(chosen.clone(), std::iter::once(field).collect()));
-            }
-            for field in chosen.difference(alt).iter() {
-                fds.push(IFd::new(alt.clone(), std::iter::once(field).collect()));
-            }
-        }
-
-        canonical.insert(var.clone(), chosen);
-    }
-
-    stats.keyed_variables = canonical.len();
-
-    // FD generation: for each keyed variable `v` and each field `A` defined
-    // by a variable `w` in `v`'s subtree that is unique under `v`, emit
-    // K(v) → A.
-    for (var, key_fields) in &canonical {
-        let v_position = tree.path_from_root(var);
-        for (w, field) in &field_of_var {
-            if !tree.is_ancestor_or_self(var, w) {
+            if candidates.is_empty() {
                 continue;
             }
-            let field_id = universe
-                .lookup(field)
-                .expect("every rule field is interned");
-            if key_fields.contains(field_id) {
-                continue; // trivial
+            candidates.sort_by_cached_key(|k| universe.names_key(k));
+            candidates.dedup();
+            let chosen = candidates[0].clone();
+
+            for alt in &candidates[1..] {
+                for field in alt.difference(&chosen).iter() {
+                    fds.push(IFd::new(chosen.clone(), std::iter::once(field).collect()));
+                }
+                for field in chosen.difference(alt).iter() {
+                    fds.push(IFd::new(alt.clone(), std::iter::once(field).collect()));
+                }
             }
-            let to_w = tree.path_between(var, w).expect("w is in v's subtree");
-            stats.implication_calls += 1;
-            if node_unique_under(sigma, &v_position, &to_w) {
-                let fd = IFd::new(key_fields.clone(), std::iter::once(field_id).collect());
-                if !fds.contains(&fd) {
-                    fds.push(fd);
+
+            canonical.insert(var.clone(), chosen);
+        }
+
+        stats.keyed_variables = canonical.len();
+
+        for (var, key_fields) in &canonical {
+            let v_position = tree.path_from_root(var);
+            for (w, field) in &field_of_var {
+                if !tree.is_ancestor_or_self(var, w) {
+                    continue;
+                }
+                let field_id = universe
+                    .lookup(field)
+                    .expect("every rule field is interned");
+                if key_fields.contains(field_id) {
+                    continue; // trivial
+                }
+                let to_w = tree.path_between(var, w).expect("w is in v's subtree");
+                stats.implication_calls += 1;
+                if node_unique_under(sigma, &v_position, &to_w) {
+                    let fd = IFd::new(key_fields.clone(), std::iter::once(field_id).collect());
+                    if !fds.contains(&fd) {
+                        fds.push(fd);
+                    }
                 }
             }
         }
+
+        stats.generated_fds = fds.len();
+        let cover: Vec<Fd> = minimize_interned(universe.len(), &fds)
+            .iter()
+            .map(|fd| universe.extern_fd(fd))
+            .collect();
+        stats.cover_size = cover.len();
+        (cover, stats)
     }
 
-    stats.generated_fds = fds.len();
-    let cover: Vec<Fd> = minimize_interned(universe.len(), &fds)
-        .iter()
-        .map(|fd| universe.extern_fd(fd))
-        .collect();
-    stats.cover_size = cover.len();
-    (cover, stats)
-}
-
-/// The attribute-mapped fields of `var`: a map from attribute label (with
-/// `@`) to the universal-relation field it populates, considering only field
-/// variables that are children of `var` through a single-attribute path.
-fn attribute_fields_of(rule: &TableRule, tree: &TableTree, var: &str) -> BTreeMap<String, String> {
-    let mut out = BTreeMap::new();
-    for fr in rule.field_rules() {
-        let Some(parent) = tree.parent(&fr.var) else {
-            continue;
-        };
-        if parent != var {
-            continue;
-        }
-        let path = tree
-            .edge_path(&fr.var)
-            .expect("non-root variable has an edge");
-        if let [xmlprop_xmlpath::Atom::Label(label)] = path.atoms() {
-            if label.starts_with('@') {
-                out.insert(label.clone(), fr.field.clone());
+    fn attribute_fields_of(
+        rule: &TableRule,
+        tree: &TableTree,
+        var: &str,
+    ) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        for fr in rule.field_rules() {
+            let Some(parent) = tree.parent(&fr.var) else {
+                continue;
+            };
+            if parent != var {
+                continue;
+            }
+            let path = tree
+                .edge_path(&fr.var)
+                .expect("non-root variable has an edge");
+            if let [xmlprop_xmlpath::Atom::Label(label)] = path.atoms() {
+                if label.starts_with('@') {
+                    out.insert(label.clone(), fr.field.clone());
+                }
             }
         }
+        out
     }
-    out
-}
 
-/// Maps every attribute of `attrs` to its (interned) field on this variable;
-/// `None` if some attribute is not mapped to a field (the key is then
-/// unusable at this level because the FD's left-hand side could not be
-/// expressed).
-fn fields_for_attrs(
-    universe: &AttrUniverse,
-    attr_fields: &BTreeMap<String, String>,
-    attrs: &[String],
-) -> Option<AttrSet> {
-    attrs
-        .iter()
-        .map(|a| attr_fields.get(a).and_then(|field| universe.lookup(field)))
-        .collect()
+    fn fields_for_attrs(
+        universe: &AttrUniverse,
+        attr_fields: &BTreeMap<String, String>,
+        attrs: &[String],
+    ) -> Option<AttrSet> {
+        attrs
+            .iter()
+            .map(|a| attr_fields.get(a).and_then(|field| universe.lookup(field)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -242,7 +236,7 @@ mod tests {
     use super::*;
     use crate::naive_minimum_cover;
     use xmlprop_reldb::{covers_equivalent, is_nonredundant};
-    use xmlprop_xmlkeys::example_2_1_keys;
+    use xmlprop_xmlkeys::{example_2_1_keys, XmlKey};
     use xmlprop_xmltransform::sample::{
         example_1_1_refined_chapter, example_2_4_transformation, example_3_1_universal,
     };
@@ -321,6 +315,27 @@ mod tests {
             &minimum_cover(&sigma, &refined),
             &naive_minimum_cover(&sigma, &refined)
         ));
+    }
+
+    #[test]
+    fn engine_matches_oracle_bit_for_bit() {
+        // The engine and the pre-engine oracle must agree on the exact
+        // cover (same FDs, same order) and on every statistic, for every
+        // sample rule and for a Σ with alternative keys.
+        let mut sigma = example_2_1_keys();
+        let t = example_2_4_transformation();
+        let mut rules: Vec<TableRule> = t.rules().to_vec();
+        rules.push(example_3_1_universal());
+        rules.push(example_1_1_refined_chapter());
+        sigma.add(XmlKey::parse("K8: (ε, (//book, {@isbn13}))").unwrap());
+        for rule in &rules {
+            assert_eq!(
+                minimum_cover_with_stats(&sigma, rule),
+                oracle::minimum_cover_with_stats(&sigma, rule),
+                "engine/oracle mismatch on {}",
+                rule.schema().name()
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! `minimize` function.  The paper uses it both to explain why a smarter
 //! algorithm is needed and as the baseline of Fig. 7(a).
 
-use crate::propagation::propagation_fields;
+use crate::PropagationEngine;
 use xmlprop_reldb::{minimize, Fd};
 use xmlprop_xmlkeys::KeySet;
 use xmlprop_xmltransform::TableRule;
@@ -16,10 +16,11 @@ use xmlprop_xmltransform::TableRule;
 /// fields (every subset of the attributes is tried as a left-hand side), so
 /// only call this on small schemas; the benchmarks cap it accordingly.
 ///
-/// Left-hand sides are enumerated as borrowed field slices; a string-based
-/// [`Fd`] is only materialized for the (few) probes that turn out to be
-/// propagated.
+/// Left-hand sides are enumerated as borrowed field slices probed against
+/// one prepared [`PropagationEngine`]; a string-based [`Fd`] is only
+/// materialized for the (few) probes that turn out to be propagated.
 pub fn naive_propagated_fds(sigma: &KeySet, rule: &TableRule) -> Vec<Fd> {
+    let engine = PropagationEngine::new(sigma, rule);
     // Sorted, so each enumerated slice is in the order `propagation_fields`
     // expects (and the output matches the historical BTreeSet-based order).
     let mut attrs: Vec<&str> = rule
@@ -49,7 +50,7 @@ pub fn naive_propagated_fds(sigma: &KeySet, rule: &TableRule) -> Vec<Fd> {
             if lhs.contains(&a.as_str()) {
                 continue; // trivial
             }
-            if propagation_fields(sigma, rule, &lhs, a) {
+            if engine.propagation_fields(&lhs, a) {
                 out.push(Fd::to_attr(lhs.iter().copied(), a.clone()));
             }
         }

@@ -1,9 +1,17 @@
 //! Algorithm `propagation` (Fig. 5): checking XML key propagation.
+//!
+//! The free functions here are one-shot facades: each call prepares a
+//! [`PropagationEngine`] for the `(Σ, rule)` pair and runs the prepared
+//! walk.  Callers probing many FDs against the same pair should build the
+//! engine once ([`crate::PropagationEngine`]) or use the batch
+//! [`propagate_all`]; the pre-engine implementation is retained below as a
+//! `#[cfg(test)]` oracle pinned by agreement tests.
 
+use crate::PropagationEngine;
 use std::collections::BTreeSet;
 use xmlprop_reldb::Fd;
-use xmlprop_xmlkeys::{attributes_assured, implies, node_unique_under, KeySet, XmlKey};
-use xmlprop_xmltransform::{TableRule, TableTree};
+use xmlprop_xmlkeys::KeySet;
+use xmlprop_xmltransform::TableRule;
 
 /// The detailed result of a propagation check for a single FD `X → A`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,7 +31,7 @@ pub struct PropagationOutcome {
 }
 
 impl PropagationOutcome {
-    fn rejected(field: &str, x_fields: &[&str]) -> Self {
+    pub(crate) fn rejected(field: &str, x_fields: &[&str]) -> Self {
         PropagationOutcome {
             field: field.to_string(),
             propagated: false,
@@ -42,182 +50,176 @@ impl PropagationOutcome {
 ///
 /// Fields that do not belong to the rule's schema make the FD
 /// non-propagated (rather than panicking), so callers can probe freely.
+///
+/// # Reconstruction note
+///
+/// The scanned pseudocode of Fig. 5 is partly illegible; following the
+/// prose and both traces of Example 4.2 the implementation (a) walks the
+/// *proper* ancestors of `A`'s variable top-down, (b) only tests uniqueness
+/// of the variable under an ancestor once that ancestor has been shown to
+/// be keyed (context has moved to it), and (c) initializes the `Ycheck` set
+/// to `X \ {A}` so that a trivial FD does not demand an existence guarantee
+/// for its own right-hand side.
 pub fn propagation(sigma: &KeySet, rule: &TableRule, fd: &Fd) -> bool {
-    let x_fields: Vec<&str> = fd.lhs().iter().map(String::as_str).collect();
-    fd.rhs()
-        .iter()
-        .all(|a| propagation_single(sigma, rule, &x_fields, a).propagated)
+    PropagationEngine::new(sigma, rule).propagation(fd)
 }
 
 /// Like [`propagation`] but returns one [`PropagationOutcome`] per
 /// right-hand-side attribute, for diagnostics and examples.
 pub fn propagation_explained(sigma: &KeySet, rule: &TableRule, fd: &Fd) -> Vec<PropagationOutcome> {
-    let x_fields: Vec<&str> = fd.lhs().iter().map(String::as_str).collect();
-    fd.rhs()
-        .iter()
-        .map(|a| propagation_single(sigma, rule, &x_fields, a))
-        .collect()
+    PropagationEngine::new(sigma, rule).propagation_explained(fd)
 }
 
-/// Crate-internal entry for callers that already hold the left-hand side as
-/// a field slice (the `naive` enumeration, the consistency checker): avoids
-/// materializing a `BTreeSet<String>` per probe.  `x_fields` must be sorted
-/// and duplicate-free (both callers derive it from ordered sets).
-pub(crate) fn propagation_fields(
-    sigma: &KeySet,
-    rule: &TableRule,
-    x_fields: &[&str],
-    a_field: &str,
-) -> bool {
-    propagation_single(sigma, rule, x_fields, a_field).propagated
+/// Batch propagation: prepares the `(Σ, rule)` pair once and answers every
+/// FD of `fds` against the shared state — one verdict per FD, in order.
+pub fn propagate_all(sigma: &KeySet, rule: &TableRule, fds: &[Fd]) -> Vec<bool> {
+    PropagationEngine::new(sigma, rule).propagate_all(fds)
 }
 
-/// The Fig. 5 algorithm for a single FD `X → A`.
-///
-/// Reconstruction note: the scanned pseudocode is partly illegible; following
-/// the prose and both traces of Example 4.2 we (a) walk the *proper*
-/// ancestors of `A`'s variable top-down, (b) only test uniqueness of the
-/// variable under an ancestor once that ancestor has been shown to be keyed
-/// (context has moved to it), and (c) initialize the `Ycheck` set to
-/// `X \ {A}` so that a trivial FD does not demand an existence guarantee for
-/// its own right-hand side.
-fn propagation_single(
-    sigma: &KeySet,
-    rule: &TableRule,
-    x_fields: &[&str],
-    a_field: &str,
-) -> PropagationOutcome {
-    // The Ycheck bookkeeping below binary-searches `x_fields`; an unsorted
-    // slice would silently mark propagated FDs as unresolved.
-    debug_assert!(
-        x_fields.windows(2).all(|w| w[0] < w[1]),
-        "x_fields must be sorted and duplicate-free"
-    );
-    let tree = rule.table_tree();
+/// The pre-engine implementation (per-probe path construction, string-based
+/// implication), kept verbatim as the reference oracle that pins the
+/// prepared engine.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::*;
+    use xmlprop_xmlkeys::{attributes_assured, implies, node_unique_under, XmlKey};
+    use xmlprop_xmltransform::TableTree;
 
-    // Every mentioned field must exist in the schema.
-    let Some(x_var) = rule.field_var(a_field) else {
-        return PropagationOutcome::rejected(a_field, x_fields);
-    };
-    if x_fields.iter().any(|f| rule.field_var(f).is_none()) {
-        return PropagationOutcome::rejected(a_field, x_fields);
+    /// `propagation` as originally written.
+    pub fn propagation(sigma: &KeySet, rule: &TableRule, fd: &Fd) -> bool {
+        let x_fields: Vec<&str> = fd.lhs().iter().map(String::as_str).collect();
+        fd.rhs()
+            .iter()
+            .all(|a| propagation_single(sigma, rule, &x_fields, a).propagated)
     }
 
-    // Lines 1–5: ancestors of x from the root down to x itself; the loop
-    // walks the proper ancestors only.
-    let ancestors = tree.ancestors_from_root(x_var);
+    /// `propagation_explained` as originally written.
+    pub fn propagation_explained(
+        sigma: &KeySet,
+        rule: &TableRule,
+        fd: &Fd,
+    ) -> Vec<PropagationOutcome> {
+        let x_fields: Vec<&str> = fd.lhs().iter().map(String::as_str).collect();
+        fd.rhs()
+            .iter()
+            .map(|a| propagation_single(sigma, rule, &x_fields, a))
+            .collect()
+    }
 
-    // Line 6: fields of X that still need an existence guarantee.  The set
-    // only ever shrinks, so a bool mask parallel to the (sorted) `x_fields`
-    // slice is all the bookkeeping needs — no per-probe allocation beyond
-    // the mask itself.
-    let mut ycheck_pending: Vec<bool> = x_fields.iter().map(|f| *f != a_field).collect();
-    let mut ycheck_len = ycheck_pending.iter().filter(|p| **p).count();
+    fn propagation_single(
+        sigma: &KeySet,
+        rule: &TableRule,
+        x_fields: &[&str],
+        a_field: &str,
+    ) -> PropagationOutcome {
+        let tree = rule.table_tree();
 
-    // Lines 7–9: a trivial FD (A ∈ X) needs no key.
-    let mut key_found = x_fields.contains(&a_field);
-    let mut keyed_ancestor = if key_found {
-        Some(x_var.to_string())
-    } else {
-        None
-    };
-
-    // Line 10.
-    let mut context = tree.root().to_string();
-
-    // Lines 11–22: walk the proper ancestors of x top-down.
-    for target in &ancestors[..ancestors.len().saturating_sub(1)] {
-        // Line 13: the attributes of `target` that populate fields of X.
-        let beta = attributes_of_target_in_x(rule, &tree, target, x_fields);
-        let beta_attrs: Vec<&str> = beta.iter().map(|(attr, _)| attr.as_str()).collect();
-
-        if !key_found {
-            // Line 15: is `target` keyed (by β) relative to the current
-            // keyed context?
-            let context_position = tree.path_from_root(&context);
-            let relative = tree
-                .path_between(&context, target)
-                .expect("target is a descendant of every previous context");
-            let probe = XmlKey::new(context_position, relative, beta_attrs.iter().copied());
-            if implies(sigma, &probe) {
-                // Line 16: move the context down.
-                context = target.clone();
-                // Lines 17–18: is x unique under the (now keyed) target?
-                let target_position = tree.path_from_root(target);
-                let to_x = tree
-                    .path_between(target, x_var)
-                    .expect("x is a descendant of its ancestor");
-                if node_unique_under(sigma, &target_position, &to_x) {
-                    key_found = true;
-                    keyed_ancestor = Some(target.clone());
-                }
-            }
+        let Some(x_var) = rule.field_var(a_field) else {
+            return PropagationOutcome::rejected(a_field, x_fields);
+        };
+        if x_fields.iter().any(|f| rule.field_var(f).is_none()) {
+            return PropagationOutcome::rejected(a_field, x_fields);
         }
 
-        // Lines 19–21: existence analysis for the Ycheck bookkeeping.
-        if !beta.is_empty() {
-            let target_position = tree.path_from_root(target);
-            if attributes_assured(sigma, &target_position, beta_attrs.iter().copied()) {
-                for (_, field) in &beta {
-                    if let Ok(i) = x_fields.binary_search(field) {
-                        if ycheck_pending[i] {
-                            ycheck_pending[i] = false;
-                            ycheck_len -= 1;
+        let ancestors = tree.ancestors_from_root(x_var);
+
+        let mut ycheck_pending: Vec<bool> = x_fields.iter().map(|f| *f != a_field).collect();
+        let mut ycheck_len = ycheck_pending.iter().filter(|p| **p).count();
+
+        let mut key_found = x_fields.contains(&a_field);
+        let mut keyed_ancestor = if key_found {
+            Some(x_var.to_string())
+        } else {
+            None
+        };
+
+        let mut context = tree.root().to_string();
+
+        for target in &ancestors[..ancestors.len().saturating_sub(1)] {
+            let beta = attributes_of_target_in_x(rule, &tree, target, x_fields);
+            let beta_attrs: Vec<&str> = beta.iter().map(|(attr, _)| attr.as_str()).collect();
+
+            if !key_found {
+                let context_position = tree.path_from_root(&context);
+                let relative = tree
+                    .path_between(&context, target)
+                    .expect("target is a descendant of every previous context");
+                let probe = XmlKey::new(context_position, relative, beta_attrs.iter().copied());
+                if implies(sigma, &probe) {
+                    context = target.clone();
+                    let target_position = tree.path_from_root(target);
+                    let to_x = tree
+                        .path_between(target, x_var)
+                        .expect("x is a descendant of its ancestor");
+                    if node_unique_under(sigma, &target_position, &to_x) {
+                        key_found = true;
+                        keyed_ancestor = Some(target.clone());
+                    }
+                }
+            }
+
+            if !beta.is_empty() {
+                let target_position = tree.path_from_root(target);
+                if attributes_assured(sigma, &target_position, beta_attrs.iter().copied()) {
+                    for (_, field) in &beta {
+                        if let Ok(i) = x_fields.binary_search(field) {
+                            if ycheck_pending[i] {
+                                ycheck_pending[i] = false;
+                                ycheck_len -= 1;
+                            }
                         }
                     }
                 }
             }
         }
-    }
 
-    PropagationOutcome {
-        field: a_field.to_string(),
-        propagated: key_found && ycheck_len == 0,
-        keyed_ancestor,
-        unresolved_fields: x_fields
-            .iter()
-            .zip(&ycheck_pending)
-            .filter(|(_, pending)| **pending)
-            .map(|(f, _)| f.to_string())
-            .collect(),
-    }
-}
-
-/// The `(attribute, field)` pairs such that `field ∈ X` is populated by a
-/// variable mapped as `v := target/@attribute`.
-fn attributes_of_target_in_x<'a>(
-    rule: &TableRule,
-    tree: &TableTree,
-    target: &str,
-    x_fields: &[&'a str],
-) -> Vec<(String, &'a str)> {
-    let mut out = Vec::new();
-    for &field in x_fields {
-        let Some(var) = rule.field_var(field) else {
-            continue;
-        };
-        let Some(parent) = tree.parent(var) else {
-            continue;
-        };
-        if parent != target {
-            continue;
+        PropagationOutcome {
+            field: a_field.to_string(),
+            propagated: key_found && ycheck_len == 0,
+            keyed_ancestor,
+            unresolved_fields: x_fields
+                .iter()
+                .zip(&ycheck_pending)
+                .filter(|(_, pending)| **pending)
+                .map(|(f, _)| f.to_string())
+                .collect(),
         }
-        let path = tree
-            .edge_path(var)
-            .expect("non-root variable has an edge path");
-        if let [xmlprop_xmlpath::Atom::Label(label)] = path.atoms() {
-            if label.starts_with('@') {
-                out.push((label.clone(), field));
+    }
+
+    fn attributes_of_target_in_x<'a>(
+        rule: &TableRule,
+        tree: &TableTree,
+        target: &str,
+        x_fields: &[&'a str],
+    ) -> Vec<(String, &'a str)> {
+        let mut out = Vec::new();
+        for &field in x_fields {
+            let Some(var) = rule.field_var(field) else {
+                continue;
+            };
+            let Some(parent) = tree.parent(var) else {
+                continue;
+            };
+            if parent != target {
+                continue;
+            }
+            let path = tree
+                .edge_path(var)
+                .expect("non-root variable has an edge path");
+            if let [xmlprop_xmlpath::Atom::Label(label)] = path.atoms() {
+                if label.starts_with('@') {
+                    out.push((label.clone(), field));
+                }
             }
         }
+        out
     }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xmlprop_xmlkeys::example_2_1_keys;
+    use xmlprop_xmlkeys::{example_2_1_keys, XmlKey};
     use xmlprop_xmltransform::sample::{
         example_1_1_initial_chapter, example_1_1_refined_chapter, example_2_4_transformation,
         example_3_1_universal,
@@ -399,6 +401,64 @@ mod tests {
         .unwrap();
         let rule = t.rule("meta").unwrap();
         assert!(propagation(&sigma, rule, &fd(" -> libname")));
+    }
+
+    #[test]
+    fn batch_facade_matches_single_calls() {
+        let sigma = example_2_1_keys();
+        let u = example_3_1_universal();
+        let probes = vec![
+            fd("bookIsbn -> bookTitle"),
+            fd("bookIsbn -> bookAuthor"),
+            fd("bookIsbn, chapNum -> chapName"),
+        ];
+        assert_eq!(
+            propagate_all(&sigma, &u, &probes),
+            probes
+                .iter()
+                .map(|f| propagation(&sigma, &u, f))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn engine_matches_oracle_on_probe_grids() {
+        // The prepared engine and the pre-engine oracle must return
+        // identical outcomes (verdict, keyed ancestor and Ycheck residue)
+        // over an exhaustive grid of 1- and 2-field left-hand sides on
+        // every sample rule.
+        let sigma = example_2_1_keys();
+        let t = example_2_4_transformation();
+        let mut rules: Vec<TableRule> = t.rules().to_vec();
+        rules.push(example_3_1_universal());
+        rules.push(example_1_1_refined_chapter());
+        for rule in &rules {
+            let engine = PropagationEngine::new(&sigma, rule);
+            let attrs: Vec<String> = rule.schema().attributes().to_vec();
+            for a in &attrs {
+                for x in &attrs {
+                    let probe = Fd::to_attr([x.clone()], a.clone());
+                    assert_eq!(
+                        engine.propagation_explained(&probe),
+                        oracle::propagation_explained(&sigma, rule, &probe),
+                        "disagreement on {probe} over {}",
+                        rule.schema().name()
+                    );
+                    for y in &attrs {
+                        if x >= y {
+                            continue;
+                        }
+                        let probe = Fd::to_attr([x.clone(), y.clone()], a.clone());
+                        assert_eq!(
+                            engine.propagation(&probe),
+                            oracle::propagation(&sigma, rule, &probe),
+                            "disagreement on {probe} over {}",
+                            rule.schema().name()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

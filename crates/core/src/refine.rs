@@ -6,7 +6,7 @@
 //! relation into BCNF (or synthesize 3NF) — producing a consumer relational
 //! schema that provably respects the semantics of the XML source.
 
-use crate::{minimum_cover, GMinimumCover};
+use crate::{GMinimumCover, PropagationEngine};
 use xmlprop_reldb::{
     bcnf_decompose, candidate_keys, synthesize_3nf, AttrUniverse, Decomposition, Fd, FdIndex,
 };
@@ -67,7 +67,11 @@ impl RefinedDesign {
 /// XML keys `sigma`: computes the propagated minimum cover and both
 /// normal-form decompositions.
 pub fn refine(sigma: &KeySet, rule: &TableRule) -> RefinedDesign {
-    let cover = minimum_cover(sigma, rule);
+    refine_from_cover(rule, PropagationEngine::new(sigma, rule).minimum_cover())
+}
+
+/// Builds the design artifacts from an already-computed cover.
+fn refine_from_cover(rule: &TableRule, cover: Vec<Fd>) -> RefinedDesign {
     let attrs = rule.schema().attribute_set();
     let universal_keys = candidate_keys(&attrs, &cover);
     let bcnf = bcnf_decompose(rule.schema().name(), &attrs, &cover);
@@ -86,10 +90,12 @@ pub fn refine(sigma: &KeySet, rule: &TableRule) -> RefinedDesign {
 }
 
 /// Convenience wrapper: refine and also return a [`GMinimumCover`] checker
-/// over the same cover so callers can validate additional FDs cheaply.
+/// over the same cover so callers can validate additional FDs cheaply.  One
+/// [`PropagationEngine`] serves both the cover computation and the checker.
 pub fn refine_with_checker(sigma: &KeySet, rule: &TableRule) -> (RefinedDesign, GMinimumCover) {
-    let design = refine(sigma, rule);
-    let checker = GMinimumCover::new(sigma.clone(), rule.clone());
+    let engine = PropagationEngine::new(sigma, rule);
+    let design = refine_from_cover(rule, engine.minimum_cover());
+    let checker = GMinimumCover::from_engine(engine);
     (design, checker)
 }
 

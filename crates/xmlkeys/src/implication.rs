@@ -1,12 +1,21 @@
 //! Key implication `Σ ⊨ φ` and the attribute-existence analysis `exist()`.
 //!
 //! See the crate-level documentation for the rule system and its relation to
-//! the paper's (unpublished) `implication` algorithm.  The procedure below
+//! the paper's (unpublished) `implication` algorithm.  The procedure
 //! examines each key of `Σ` independently, which matches the `O(|Σ|·|φ|)`
 //! shape stated in Section 4 (with an extra polynomial factor for path
 //! containment).
+//!
+//! The functions here are thin facades over the prepared [`KeyIndex`]: they
+//! build the index for `Σ`, compile the probe, and query.  Callers that ask
+//! many questions against the same key set (the propagation algorithms, the
+//! benchmarks) should build one [`KeyIndex`] — or an
+//! `xmlprop_core::PropagationEngine` — and query it directly; the original
+//! string-walking implementations are retained below as `#[cfg(test)]`
+//! oracles pinned by property tests.
 
-use crate::{KeySet, XmlKey};
+use crate::{KeyIndex, KeySet, XmlKey};
+use std::collections::BTreeMap;
 use xmlprop_xmlpath::PathExpr;
 
 /// True if every node reachable at position `position` (a path from the
@@ -17,15 +26,17 @@ use xmlprop_xmlpath::PathExpr;
 /// generalized to a single attribute: a key `(Q, (Q', S))` with `@attr ∈ S`
 /// forces, by condition (1) of Definition 2.1, every node of `[[Q/Q']]` to
 /// have a unique `@attr`; if `position ⊑ Q/Q'` the guarantee transfers.
+///
+/// `attr` may be given with or without the leading `@` (keys store their
+/// attributes `@`-prefixed — see [`XmlKey::key_attrs`]).
 pub fn attribute_assured(sigma: &KeySet, position: &PathExpr, attr: &str) -> bool {
-    let attr = if attr.starts_with('@') {
-        attr.to_string()
-    } else {
-        format!("@{attr}")
+    let index = KeyIndex::new(sigma);
+    let Some(attr) = index.attr_id(attr) else {
+        return false; // no key of Σ mentions the attribute
     };
-    sigma.iter().any(|k| {
-        k.key_attrs().iter().any(|a| a == &attr) && position.contained_in(&k.absolute_target())
-    })
+    let mut scratch = BTreeMap::new();
+    let position = index.universe().compile_scratch(position, &mut scratch);
+    index.attribute_assured(&position, attr)
 }
 
 /// The paper's `exist(P, β)` (Fig. 5): true iff for every attribute in
@@ -35,9 +46,13 @@ pub fn attributes_assured<'a>(
     position: &PathExpr,
     attrs: impl IntoIterator<Item = &'a str>,
 ) -> bool {
-    attrs
-        .into_iter()
-        .all(|a| attribute_assured(sigma, position, a))
+    let index = KeyIndex::new(sigma);
+    let mut scratch = BTreeMap::new();
+    let position = index.universe().compile_scratch(position, &mut scratch);
+    attrs.into_iter().all(|a| match index.attr_id(a) {
+        Some(id) => index.attribute_assured(&position, id),
+        None => false,
+    })
 }
 
 /// Key implication `Σ ⊨ φ`.
@@ -52,56 +67,9 @@ pub fn attributes_assured<'a>(
 ///    (target-to-context plus context/target containment), provided every
 ///    extra attribute of `S \ Sk` is assured at position `Q/Q'`.
 pub fn implies(sigma: &KeySet, phi: &XmlKey) -> bool {
-    // Rule 1: epsilon.
-    if phi.target().is_epsilon() {
-        return phi
-            .key_attrs()
-            .iter()
-            .all(|a| attribute_assured(sigma, phi.context(), a));
-    }
-
-    let phi_position = phi.absolute_target();
-
-    // Rule 1b: attribute uniqueness.  Condition (1) of Definition 2.1 makes
-    // a key `(Qk, (Qk', S))` assert that every node of `[[Qk/Qk']]` carries a
-    // *unique* `@a` child for each `@a ∈ S`; hence `(Q, (@a, S'))` holds for
-    // any `Q ⊑ Qk/Qk'` (the target set has at most one element per context
-    // node), provided the `S'` attributes are assured on that position.
-    if let [xmlprop_xmlpath::Atom::Label(label)] = phi.target().atoms() {
-        if label.starts_with('@')
-            && attribute_assured(sigma, phi.context(), label)
-            && phi
-                .key_attrs()
-                .iter()
-                .all(|a| attribute_assured(sigma, &phi_position, a))
-        {
-            return true;
-        }
-    }
-    for k in sigma.iter() {
-        // Sk ⊆ S.
-        if !k.key_attrs().iter().all(|a| phi.key_attrs().contains(a)) {
-            continue;
-        }
-        // Extra attributes must be assured to exist (and be unique) on the
-        // target position, otherwise condition (1) of the derived key could
-        // fail even though condition (2) holds.
-        let extras_ok = phi
-            .key_attrs()
-            .iter()
-            .filter(|a| !k.key_attrs().contains(a))
-            .all(|a| attribute_assured(sigma, &phi_position, a));
-        if !extras_ok {
-            continue;
-        }
-        for (a, b) in k.target().splits() {
-            let derived_context = k.context().concat(&a);
-            if phi.context().contained_in(&derived_context) && phi.target().contained_in(&b) {
-                return true;
-            }
-        }
-    }
-    false
+    let index = KeyIndex::new(sigma);
+    let phi = index.prepare_ref(phi);
+    index.implies(&phi)
 }
 
 /// Convenience used by the propagation algorithms: true if, relative to
@@ -113,14 +81,95 @@ pub fn node_unique_under(
     context_position: &PathExpr,
     target_path: &PathExpr,
 ) -> bool {
-    implies(
-        sigma,
-        &XmlKey::new(
-            context_position.clone(),
-            target_path.clone(),
-            Vec::<String>::new(),
-        ),
-    )
+    let index = KeyIndex::new(sigma);
+    let mut scratch = BTreeMap::new();
+    let context = index
+        .universe()
+        .compile_scratch(context_position, &mut scratch);
+    let target = index.universe().compile_scratch(target_path, &mut scratch);
+    let absolute = context.concat(&target);
+    index.node_unique_under(&context, &target, &absolute)
+}
+
+/// The pre-index implementations, kept verbatim as reference oracles for
+/// the property tests that pin the prepared [`KeyIndex`] to them.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::*;
+
+    /// `attribute_assured` as originally written: rescan `Σ`, allocating the
+    /// `@`-prefixed probe name.
+    pub fn attribute_assured(sigma: &KeySet, position: &PathExpr, attr: &str) -> bool {
+        let attr = if attr.starts_with('@') {
+            attr.to_string()
+        } else {
+            format!("@{attr}")
+        };
+        sigma.iter().any(|k| {
+            k.key_attrs().iter().any(|a| a == &attr) && position.contained_in(&k.absolute_target())
+        })
+    }
+
+    /// `implies` as originally written: per-call target splits and string
+    /// containment.
+    pub fn implies(sigma: &KeySet, phi: &XmlKey) -> bool {
+        if phi.target().is_epsilon() {
+            return phi
+                .key_attrs()
+                .iter()
+                .all(|a| attribute_assured(sigma, phi.context(), a));
+        }
+
+        let phi_position = phi.absolute_target();
+
+        if let [xmlprop_xmlpath::Atom::Label(label)] = phi.target().atoms() {
+            if label.starts_with('@')
+                && attribute_assured(sigma, phi.context(), label)
+                && phi
+                    .key_attrs()
+                    .iter()
+                    .all(|a| attribute_assured(sigma, &phi_position, a))
+            {
+                return true;
+            }
+        }
+        for k in sigma.iter() {
+            if !k.key_attrs().iter().all(|a| phi.key_attrs().contains(a)) {
+                continue;
+            }
+            let extras_ok = phi
+                .key_attrs()
+                .iter()
+                .filter(|a| !k.key_attrs().contains(a))
+                .all(|a| attribute_assured(sigma, &phi_position, a));
+            if !extras_ok {
+                continue;
+            }
+            for (a, b) in k.target().splits() {
+                let derived_context = k.context().concat(&a);
+                if phi.context().contained_in(&derived_context) && phi.target().contained_in(&b) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// `node_unique_under` as originally written.
+    pub fn node_unique_under(
+        sigma: &KeySet,
+        context_position: &PathExpr,
+        target_path: &PathExpr,
+    ) -> bool {
+        implies(
+            sigma,
+            &XmlKey::new(
+                context_position.clone(),
+                target_path.clone(),
+                Vec::<String>::new(),
+            ),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +361,96 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use xmlprop_xmlpath::Atom;
+
+        /// Random path expressions over a small label alphabet.
+        fn expr_strategy() -> impl Strategy<Value = PathExpr> {
+            prop::collection::vec(
+                prop_oneof![
+                    Just(Atom::Label("a".to_string())),
+                    Just(Atom::Label("b".to_string())),
+                    Just(Atom::Label("c".to_string())),
+                    Just(Atom::AnyPath),
+                ],
+                0..4,
+            )
+            .prop_map(PathExpr::from_atoms)
+        }
+
+        /// Random attribute sets over `{@u, @v, @w}`.
+        fn attrs_strategy() -> impl Strategy<Value = Vec<String>> {
+            prop::collection::btree_set(
+                prop_oneof![
+                    Just("@u".to_string()),
+                    Just("@v".to_string()),
+                    Just("@w".to_string())
+                ],
+                0..3,
+            )
+            .prop_map(|s| s.into_iter().collect())
+        }
+
+        /// Random XML keys built from the strategies above.
+        fn key_strategy() -> impl Strategy<Value = XmlKey> {
+            (expr_strategy(), expr_strategy(), attrs_strategy())
+                .prop_map(|(c, t, a)| XmlKey::new(c, t, a))
+        }
+
+        proptest! {
+            /// The prepared index agrees with the string-walking oracle on
+            /// random key sets and probe keys — including probes whose
+            /// labels and attributes never occur in Σ.
+            #[test]
+            fn implies_matches_oracle(
+                keys in prop::collection::vec(key_strategy(), 0..6),
+                phi in key_strategy(),
+            ) {
+                let sigma = KeySet::from_keys(keys);
+                prop_assert_eq!(
+                    implies(&sigma, &phi),
+                    oracle::implies(&sigma, &phi),
+                    "disagreement on {}", phi
+                );
+            }
+
+            /// Prepared `exist()` agrees with the oracle, with and without
+            /// the `@` prefix on the probe attribute.
+            #[test]
+            fn attribute_assured_matches_oracle(
+                keys in prop::collection::vec(key_strategy(), 0..6),
+                position in expr_strategy(),
+                attr in prop_oneof![
+                    Just("@u"), Just("@v"), Just("@w"), Just("u"), Just("v"), Just("@zz")
+                ],
+            ) {
+                let sigma = KeySet::from_keys(keys);
+                prop_assert_eq!(
+                    attribute_assured(&sigma, &position, attr),
+                    oracle::attribute_assured(&sigma, &position, attr),
+                    "disagreement on {} at {}", attr, position
+                );
+            }
+
+            /// Prepared uniqueness agrees with the oracle.
+            #[test]
+            fn node_unique_under_matches_oracle(
+                keys in prop::collection::vec(key_strategy(), 0..6),
+                context in expr_strategy(),
+                target in expr_strategy(),
+            ) {
+                let sigma = KeySet::from_keys(keys);
+                prop_assert_eq!(
+                    node_unique_under(&sigma, &context, &target),
+                    oracle::node_unique_under(&sigma, &context, &target),
+                    "disagreement on ({}, ({}, {{}}))", context, target
+                );
             }
         }
     }

@@ -1,0 +1,439 @@
+//! The prepared form of a key set: compiled paths plus an assured-attribute
+//! index.
+//!
+//! The string-based entry points of this crate ([`crate::implies`],
+//! [`crate::attribute_assured`], …) re-split every path expression and
+//! re-enumerate every target split on each call.  A [`KeyIndex`] does that
+//! work once per key set Σ:
+//!
+//! * every key's context, target and absolute-target expressions are
+//!   compiled ([`xmlprop_xmlpath::CompiledExpr`]) against one shared
+//!   [`LabelUniverse`], so containment probes are allocation-free id-slice
+//!   comparisons;
+//! * the *target-to-context* split pairs `(Q/A, B)` of each key are
+//!   compiled once (lazily, on the key's first derivation probe — keys that
+//!   an implication query rejects on its attribute tests, and `exist()`
+//!   queries, never pay for them), so the single-key derivation rule of
+//!   [`crate::implies`] is a scan over ready-made expression pairs;
+//! * an attribute → keys index answers `exist()` questions
+//!   ([`KeyIndex::attribute_assured`]) without rescanning Σ for the
+//!   attribute name.
+//!
+//! Probe expressions (positions from a table tree, candidate keys) are
+//! compiled through the same universe — either by interning
+//! ([`KeyIndex::compile`], [`KeyIndex::prepare`]) or read-only with
+//! temporary scratch ids ([`KeyIndex::prepare_ref`]), which keeps `&self`
+//! query methods available to facades.
+
+use crate::{KeySet, XmlKey};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+use xmlprop_xmlpath::{CompiledAtom, CompiledExpr, LabelId, LabelUniverse, PathExpr};
+
+/// One key of Σ in compiled form.
+#[derive(Debug, Clone)]
+pub struct IndexedKey {
+    /// The key's attribute ids, sorted by id.
+    attrs: Vec<LabelId>,
+    /// The compiled context path `Q`.
+    context: CompiledExpr,
+    /// The compiled target path `Q'`.
+    target: CompiledExpr,
+    /// The compiled absolute target `Q/Q'`.
+    absolute: CompiledExpr,
+    /// For every split `Q' = A/B` of the target: the compiled derived
+    /// context `Q/A` and the compiled remainder `B` (the quantification of
+    /// the *target-to-context* rule).  Compiled on first use — entirely at
+    /// the interned-atom level, so no universe access is needed (an
+    /// `OnceLock` keeps the index `Send + Sync`).
+    splits: OnceLock<Vec<(CompiledExpr, CompiledExpr)>>,
+}
+
+impl IndexedKey {
+    /// The key's attribute ids, sorted.
+    pub fn attrs(&self) -> &[LabelId] {
+        &self.attrs
+    }
+
+    /// The compiled context path `Q`.
+    pub fn context(&self) -> &CompiledExpr {
+        &self.context
+    }
+
+    /// The compiled target path `Q'`.
+    pub fn target(&self) -> &CompiledExpr {
+        &self.target
+    }
+
+    /// The compiled absolute target `Q/Q'`.
+    pub fn absolute(&self) -> &CompiledExpr {
+        &self.absolute
+    }
+
+    /// The compiled `(Q/A, B)` split pairs, built on first use.
+    fn splits(&self) -> &[(CompiledExpr, CompiledExpr)] {
+        self.splits
+            .get_or_init(|| compiled_splits(&self.context, &self.target))
+    }
+}
+
+/// All ways of writing `target` as a concatenation `A/B`, returned as the
+/// derived-context pairs `(context ⋅ A, B)` — the compiled counterpart of
+/// [`xmlprop_xmlpath::PathExpr::splits`] followed by the context concat.
+/// Splits are taken at every atom boundary; a `//` atom may in addition be
+/// shared by both sides (`A// ⋅ //B ≡ A//B`).  Duplicates are dropped.
+fn compiled_splits(
+    context: &CompiledExpr,
+    target: &CompiledExpr,
+) -> Vec<(CompiledExpr, CompiledExpr)> {
+    let atoms = target.atoms();
+    let n = atoms.len();
+    let mut parts: Vec<(CompiledExpr, CompiledExpr)> = Vec::with_capacity(n + 2);
+    let mut push = |a: CompiledExpr, b: CompiledExpr| {
+        if !parts.iter().any(|(pa, pb)| *pa == a && *pb == b) {
+            parts.push((a, b));
+        }
+    };
+    for i in 0..=n {
+        push(
+            CompiledExpr::from_atoms(atoms[..i].iter().copied()),
+            CompiledExpr::from_atoms(atoms[i..].iter().copied()),
+        );
+    }
+    for (i, atom) in atoms.iter().enumerate() {
+        if *atom == CompiledAtom::AnyPath {
+            push(
+                CompiledExpr::from_atoms(atoms[..=i].iter().copied()),
+                CompiledExpr::from_atoms(atoms[i..].iter().copied()),
+            );
+        }
+    }
+    parts
+        .into_iter()
+        .map(|(a, b)| (context.concat(&a), b))
+        .collect()
+}
+
+/// A candidate key `φ` compiled for repeated implication queries against
+/// one [`KeyIndex`].
+#[derive(Debug, Clone)]
+pub struct PreparedKey {
+    context: CompiledExpr,
+    target: CompiledExpr,
+    absolute: CompiledExpr,
+    attrs: Vec<LabelId>,
+}
+
+/// The prepared form of a [`KeySet`]; see the module docs.
+#[derive(Debug, Clone)]
+pub struct KeyIndex {
+    universe: LabelUniverse,
+    keys: Vec<IndexedKey>,
+    /// For every attribute id: the keys of Σ whose attribute set contains
+    /// it — the assured-positions index behind `exist()`.
+    assured: Vec<Vec<u32>>,
+}
+
+impl KeyIndex {
+    /// Prepares a key set: compiles every key and builds the assured index.
+    pub fn new(sigma: &KeySet) -> Self {
+        let mut universe = LabelUniverse::new();
+        let mut keys = Vec::with_capacity(sigma.len());
+        for key in sigma.iter() {
+            let mut attrs: Vec<LabelId> =
+                key.key_attrs().iter().map(|a| universe.intern(a)).collect();
+            attrs.sort_unstable();
+            let context = universe.compile(key.context());
+            let target = universe.compile(key.target());
+            let absolute = context.concat(&target);
+            keys.push(IndexedKey {
+                attrs,
+                context,
+                target,
+                absolute,
+                splits: OnceLock::new(),
+            });
+        }
+        let mut assured = vec![Vec::new(); universe.len()];
+        for (i, key) in keys.iter().enumerate() {
+            for a in &key.attrs {
+                assured[a.index()].push(i as u32);
+            }
+        }
+        KeyIndex {
+            universe,
+            keys,
+            assured,
+        }
+    }
+
+    /// The shared label universe (element tags and attribute names alike).
+    pub fn universe(&self) -> &LabelUniverse {
+        &self.universe
+    }
+
+    /// The compiled keys, in Σ order.
+    pub fn keys(&self) -> &[IndexedKey] {
+        &self.keys
+    }
+
+    /// The number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if Σ is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Compiles a probe expression, interning any new labels it mentions.
+    pub fn compile(&mut self, expr: &PathExpr) -> CompiledExpr {
+        self.universe.compile(expr)
+    }
+
+    /// Interns a single label (element tag or `@attr` name) into the shared
+    /// universe, returning its id.
+    pub fn intern_label(&mut self, label: &str) -> LabelId {
+        self.universe.intern(label)
+    }
+
+    /// The id of an attribute name (with or without the leading `@`), if
+    /// any key of Σ or any interned probe mentions it.  The `@`-prefixed
+    /// form resolves without allocating; the bare form allocates the
+    /// prefixed name once for the lookup.
+    pub fn attr_id(&self, attr: &str) -> Option<LabelId> {
+        if attr.starts_with('@') {
+            self.universe.lookup(attr)
+        } else {
+            self.universe.lookup(&format!("@{attr}"))
+        }
+    }
+
+    /// Compiles a candidate key for repeated implication queries, interning
+    /// its labels.
+    pub fn prepare(&mut self, phi: &XmlKey) -> PreparedKey {
+        let context = self.universe.compile(phi.context());
+        let target = self.universe.compile(phi.target());
+        let absolute = context.concat(&target);
+        let mut attrs: Vec<LabelId> = phi
+            .key_attrs()
+            .iter()
+            .map(|a| self.universe.intern(a))
+            .collect();
+        attrs.sort_unstable();
+        PreparedKey {
+            context,
+            target,
+            absolute,
+            attrs,
+        }
+    }
+
+    /// Compiles a candidate key **without** interning: labels unknown to
+    /// the universe receive consistent temporary ids, which keeps the
+    /// containment and assurance answers exact (an unknown label can match
+    /// nothing of Σ).
+    pub fn prepare_ref(&self, phi: &XmlKey) -> PreparedKey {
+        let mut scratch = BTreeMap::new();
+        let context = self.universe.compile_scratch(phi.context(), &mut scratch);
+        let target = self.universe.compile_scratch(phi.target(), &mut scratch);
+        let absolute = context.concat(&target);
+        let mut attrs: Vec<LabelId> = phi
+            .key_attrs()
+            .iter()
+            .map(|a| self.universe.lookup_scratch(a, &mut scratch))
+            .collect();
+        attrs.sort_unstable();
+        PreparedKey {
+            context,
+            target,
+            absolute,
+            attrs,
+        }
+    }
+
+    /// True if some key of Σ assures a unique `@attr` on every node of
+    /// `[[position]]` — the prepared `exist()` of Fig. 5 for one attribute.
+    /// Ids outside the assured index (scratch ids, probe-only labels) are
+    /// assured nowhere.
+    pub fn attribute_assured(&self, position: &CompiledExpr, attr: LabelId) -> bool {
+        self.assured.get(attr.index()).is_some_and(|keys| {
+            keys.iter()
+                .any(|&k| position.contained_in(&self.keys[k as usize].absolute))
+        })
+    }
+
+    /// The prepared `exist(P, β)`: every attribute of `attrs` is assured at
+    /// `position`.
+    pub fn attributes_assured(&self, position: &CompiledExpr, attrs: &[LabelId]) -> bool {
+        attrs.iter().all(|&a| self.attribute_assured(position, a))
+    }
+
+    /// Key implication `Σ ⊨ φ` for a prepared candidate key.
+    pub fn implies(&self, phi: &PreparedKey) -> bool {
+        self.implies_parts(&phi.context, &phi.target, &phi.absolute, &phi.attrs)
+    }
+
+    /// Key implication `Σ ⊨ (context, (target, attrs))` from compiled
+    /// parts; `absolute` must be `context ⋅ target` (callers that walk a
+    /// table tree already hold it — e.g. the position of a descendant
+    /// variable).  `attrs` must be sorted by id and duplicate-free.
+    ///
+    /// This is the same rule system as [`crate::implies`] (epsilon,
+    /// attribute uniqueness, single-key derivation via the precompiled
+    /// splits), executed over the prepared state.
+    pub fn implies_parts(
+        &self,
+        context: &CompiledExpr,
+        target: &CompiledExpr,
+        absolute: &CompiledExpr,
+        attrs: &[LabelId],
+    ) -> bool {
+        // Rule 1: epsilon.
+        if target.is_epsilon() {
+            return self.attributes_assured(context, attrs);
+        }
+
+        // Rule 1b: attribute uniqueness.
+        if let [CompiledAtom::Label(label)] = target.atoms() {
+            if self.universe.is_attr(*label)
+                && self.attribute_assured(context, *label)
+                && self.attributes_assured(absolute, attrs)
+            {
+                return true;
+            }
+        }
+
+        // Rule 2: single-key derivation over the precompiled splits.
+        for k in &self.keys {
+            // Sk ⊆ S.
+            if !k.attrs.iter().all(|a| attrs.binary_search(a).is_ok()) {
+                continue;
+            }
+            // Extra attributes of S \ Sk must be assured on the target
+            // position.
+            let extras_ok = attrs
+                .iter()
+                .filter(|a| k.attrs.binary_search(a).is_err())
+                .all(|&a| self.attribute_assured(absolute, a));
+            if !extras_ok {
+                continue;
+            }
+            for (derived_context, b) in k.splits() {
+                if context.contained_in(derived_context) && target.contained_in(b) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The prepared form of [`crate::node_unique_under`]:
+    /// `Σ ⊨ (context, (target, {}))`, with `absolute = context ⋅ target`
+    /// supplied by the caller.
+    pub fn node_unique_under(
+        &self,
+        context: &CompiledExpr,
+        target: &CompiledExpr,
+        absolute: &CompiledExpr,
+    ) -> bool {
+        self.implies_parts(context, target, absolute, &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example_2_1_keys;
+
+    fn key(s: &str) -> XmlKey {
+        XmlKey::parse(s).unwrap()
+    }
+
+    #[test]
+    fn index_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KeyIndex>();
+        assert_send_sync::<PreparedKey>();
+    }
+
+    #[test]
+    fn index_shape() {
+        let sigma = example_2_1_keys();
+        let index = KeyIndex::new(&sigma);
+        assert_eq!(index.len(), 7);
+        assert!(!index.is_empty());
+        assert!(!index.universe().is_empty());
+        // K1 = (ε, (//book, {@isbn})): context ε, one attribute.
+        let k1 = &index.keys()[0];
+        assert!(k1.context().is_epsilon());
+        assert_eq!(k1.attrs().len(), 1);
+        assert!(!k1.target().is_epsilon());
+        assert_eq!(k1.absolute(), &k1.context().concat(k1.target()));
+        // Attribute lookups resolve with and without the `@`.
+        assert!(index.attr_id("@isbn").is_some());
+        assert_eq!(index.attr_id("isbn"), index.attr_id("@isbn"));
+        assert!(index.attr_id("nope").is_none());
+    }
+
+    #[test]
+    fn prepared_implication_matches_the_examples() {
+        let sigma = example_2_1_keys();
+        let index = KeyIndex::new(&sigma);
+        for (probe, expect) in [
+            ("(//book/author, (contact, {}))", true),
+            ("(//, (book, {@isbn}))", true),
+            ("(//book, (chapter, {@number}))", true),
+            ("(ε, (//book/chapter, {@number}))", false),
+            ("(//book, (chapter/name, {}))", false),
+            ("(//book, (@isbn, {}))", true),
+            ("(//book, (@lang, {}))", false),
+        ] {
+            let phi = index.prepare_ref(&key(probe));
+            assert_eq!(index.implies(&phi), expect, "{probe}");
+        }
+    }
+
+    #[test]
+    fn interning_and_scratch_preparation_agree() {
+        let sigma = example_2_1_keys();
+        let probes = [
+            "(//book, (title, {}))",
+            "(//unknown/label, (mystery, {@ghost}))",
+            "(ε, (ε, {@isbn}))",
+            "(//book, (chapter, {@number, @ghost}))",
+        ];
+        for probe in probes {
+            let phi = key(probe);
+            let by_ref = {
+                let index = KeyIndex::new(&sigma);
+                let p = index.prepare_ref(&phi);
+                index.implies(&p)
+            };
+            let by_intern = {
+                let mut index = KeyIndex::new(&sigma);
+                let p = index.prepare(&phi);
+                index.implies(&p)
+            };
+            assert_eq!(by_ref, by_intern, "{probe}");
+        }
+    }
+
+    #[test]
+    fn assured_index_answers_exist_queries() {
+        let sigma = example_2_1_keys();
+        let mut index = KeyIndex::new(&sigma);
+        let book = index.compile(&"//book".parse().unwrap());
+        let chapter = index.compile(&"//book/chapter".parse().unwrap());
+        let isbn = index.attr_id("@isbn").unwrap();
+        let number = index.attr_id("@number").unwrap();
+        assert!(index.attribute_assured(&book, isbn));
+        assert!(!index.attribute_assured(&book, number));
+        assert!(index.attribute_assured(&chapter, number));
+        assert!(index.attributes_assured(&chapter, &[number]));
+        assert!(!index.attributes_assured(&chapter, &[number, isbn]));
+        // Ids outside the assured index are assured nowhere.
+        assert!(!index.attribute_assured(&book, LabelId(9999)));
+    }
+}

@@ -72,7 +72,13 @@ impl XmlKey {
         &self.target
     }
 
-    /// The attribute key paths `{@a1, …, @ak}`, sorted and deduplicated.
+    /// The attribute key paths `{@a1, …, @ak}`.
+    ///
+    /// **Invariant:** every entry carries the leading `@`, and the slice is
+    /// sorted and duplicate-free.  [`XmlKey::new`] and the parser normalize
+    /// once at construction time, so consumers (the implication index, the
+    /// `exist()` analysis) compare attribute names directly instead of
+    /// re-prefixing per probe.
     pub fn key_attrs(&self) -> &[String] {
         &self.key_attrs
     }
@@ -264,6 +270,42 @@ mod tests {
         assert!(XmlKey::parse("(a, b)").is_err());
         assert!(XmlKey::parse("(a, (b, {c/d}))").is_err()); // non-attribute key path
         assert!(XmlKey::parse("(a, (b, {x y}))").is_err());
+    }
+
+    #[test]
+    fn parse_errors_cover_every_structural_failure() {
+        for (input, fragment) in [
+            ("a, (b, {x}))", "expected `(`"),
+            ("(a, (b, {x})) extra", "expected trailing `)`"),
+            ("(a, b, {x})", "expected `(Q', {...})`"),
+            ("(a, (b, x))", "expected `{...}` key paths"),
+            ("(a, (b, {x))", "expected closing `}`"),
+            ("(a b, (c, {x}))", "context path"),
+            ("(a, (b c, {x}))", "target path"),
+            ("(a, (b, {x/y}))", "not a simple attribute"),
+        ] {
+            let err = XmlKey::parse(input).unwrap_err();
+            assert!(
+                err.message.contains(fragment),
+                "parsing `{input}` should mention `{fragment}`, got: {err}"
+            );
+            assert!(err.to_string().starts_with("invalid XML key"));
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace_and_optional_pieces() {
+        // Name prefix only counts when the colon precedes the first paren.
+        let k = XmlKey::parse("  K9 :  ( //a , ( b , { @x , y } ) )  ").unwrap();
+        assert_eq!(k.name(), Some("K9"));
+        assert_eq!(k.key_attrs(), ["@x", "@y"]);
+        // A colon after the first paren is part of a label, not a name.
+        let colon = XmlKey::parse("(a:b, (c, {x}))").unwrap();
+        assert_eq!(colon.name(), None);
+        assert_eq!(colon.context().to_string(), "a:b");
+        let unnamed = XmlKey::parse("(a, (b, {}))").unwrap();
+        assert_eq!(unnamed.name(), None);
+        assert!(unnamed.key_attrs().is_empty());
     }
 
     #[test]

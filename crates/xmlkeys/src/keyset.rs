@@ -59,6 +59,14 @@ impl KeySet {
         self.keys.iter().find(|k| k.name() == Some(name))
     }
 
+    /// The prepared form of this key set: compiled paths, precomputed
+    /// target splits and an assured-attribute index (see
+    /// [`crate::KeyIndex`]).  Build it once when many implication or
+    /// `exist()` questions will be asked against the same `Σ`.
+    pub fn prepare(&self) -> crate::KeyIndex {
+        crate::KeyIndex::new(self)
+    }
+
     /// The total size `|Σ|` (sum of key sizes), the measure used in the
     /// paper's complexity statements.
     pub fn size(&self) -> usize {

@@ -27,7 +27,13 @@
 //!   **transitive set** test of Section 4;
 //! * [`implies`] — the key implication test `Σ ⊨ φ` used by the propagation
 //!   algorithms, together with [`attributes_assured`], the `exist()`
-//!   sub-procedure of Fig. 5.
+//!   sub-procedure of Fig. 5;
+//! * [`KeyIndex`] — the prepared form of a key set ([`KeySet::prepare`]):
+//!   compiled context/target/absolute-target paths, precompiled
+//!   target-to-context splits and an attribute → keys index, so repeated
+//!   implication and `exist()` queries avoid re-splitting paths and
+//!   rescanning `Σ`.  The free functions above are thin one-shot facades
+//!   over it.
 //!
 //! # Implication procedure
 //!
@@ -55,6 +61,7 @@
 
 pub mod general;
 mod implication;
+mod index;
 mod key;
 mod keyset;
 mod satisfy;
@@ -62,6 +69,7 @@ pub mod xsd;
 
 pub use general::{partition_for_propagation, GeneralKey};
 pub use implication::{attribute_assured, attributes_assured, implies, node_unique_under};
+pub use index::{IndexedKey, KeyIndex, PreparedKey};
 pub use key::{ParseKeyError, XmlKey};
 pub use keyset::KeySet;
 pub use satisfy::{satisfies, satisfies_all, violations, Violation};

@@ -1,0 +1,425 @@
+//! Compiled path expressions: interned labels plus a precomputed block
+//! decomposition.
+//!
+//! The string-based [`PathExpr`] containment test re-splits both expressions
+//! into `Vec<Vec<&str>>` blocks on every call and compares labels by string
+//! equality.  For one-shot questions that is fine; the propagation
+//! algorithms, however, ask thousands of containment questions against the
+//! *same* key set, so this module mirrors the interning approach of
+//! `xmlprop_reldb::intern` on the path layer:
+//!
+//! * [`LabelUniverse`] — a string ↔ [`LabelId`] interning table shared by
+//!   element tags and attribute names (`@isbn` interns like any label);
+//! * [`CompiledExpr`] — a path expression whose atoms are interned and whose
+//!   block decomposition (label runs between `//` gaps) is precomputed at
+//!   compile time, so [`CompiledExpr::contained_in`] and
+//!   [`CompiledExpr::matches_word`] run the generic decision procedure of
+//!   [`crate::contained_in`] over `LabelId` slices with **zero per-call
+//!   allocation**.
+//!
+//! Two compiled expressions are only comparable when they were compiled
+//! against the same universe (or one universe extended from the other —
+//! ids are append-only).  [`LabelUniverse::compile_scratch`] supports
+//! read-only compilation of probe expressions: labels absent from the
+//! universe receive consistent temporary ids past the interned range, which
+//! keeps containment exact (two distinct unknown labels never compare
+//! equal, and no unknown label equals an interned one).
+
+use crate::containment::contained_blocks;
+use crate::expr::{Atom, PathExpr};
+use std::collections::BTreeMap;
+
+/// An interned node label: an index into a [`LabelUniverse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string ↔ [`LabelId`] interning table for node labels and attribute
+/// names.
+///
+/// Ids are dense (`0..len`), assigned in first-intern order, so they can
+/// index plain vectors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LabelUniverse {
+    names: Vec<String>,
+    attrs: Vec<bool>,
+    ids: BTreeMap<String, LabelId>,
+}
+
+impl LabelUniverse {
+    /// An empty universe.
+    pub fn new() -> Self {
+        LabelUniverse::default()
+    }
+
+    /// The number of interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = LabelId(u32::try_from(self.names.len()).expect("label universe overflow"));
+        self.names.push(name.to_string());
+        self.attrs.push(name.starts_with('@'));
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The id of `name`, if it has been interned.
+    pub fn lookup(&self, name: &str) -> Option<LabelId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this universe (temporary
+    /// scratch ids from [`LabelUniverse::compile_scratch`] included).
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// All interned names, in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// True if the id names an attribute (`@`-prefixed label).  Scratch ids
+    /// beyond the interned range answer `false`.
+    pub fn is_attr(&self, id: LabelId) -> bool {
+        self.attrs.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Compiles an expression, interning every label it mentions.
+    pub fn compile(&mut self, expr: &PathExpr) -> CompiledExpr {
+        let atoms: Vec<CompiledAtom> = expr
+            .atoms()
+            .iter()
+            .map(|a| match a {
+                Atom::Label(l) => CompiledAtom::Label(self.intern(l)),
+                Atom::AnyPath => CompiledAtom::AnyPath,
+            })
+            .collect();
+        CompiledExpr::from_normalized_atoms(atoms)
+    }
+
+    /// The id of `name` without interning: an interned label keeps its id,
+    /// an unknown one receives a temporary id past the interned range,
+    /// allocated consistently through `scratch` (pass the same map for every
+    /// lookup of one query so that repeated unknown labels agree).
+    pub fn lookup_scratch(&self, name: &str, scratch: &mut BTreeMap<String, LabelId>) -> LabelId {
+        if let Some(id) = self.lookup(name) {
+            return id;
+        }
+        if let Some(&id) = scratch.get(name) {
+            return id;
+        }
+        let id = LabelId(
+            u32::try_from(self.names.len() + scratch.len()).expect("label universe overflow"),
+        );
+        scratch.insert(name.to_string(), id);
+        id
+    }
+
+    /// Compiles an expression **without** interning, resolving every label
+    /// through [`LabelUniverse::lookup_scratch`].
+    pub fn compile_scratch(
+        &self,
+        expr: &PathExpr,
+        scratch: &mut BTreeMap<String, LabelId>,
+    ) -> CompiledExpr {
+        let atoms: Vec<CompiledAtom> = expr
+            .atoms()
+            .iter()
+            .map(|a| match a {
+                Atom::Label(l) => CompiledAtom::Label(self.lookup_scratch(l, scratch)),
+                Atom::AnyPath => CompiledAtom::AnyPath,
+            })
+            .collect();
+        CompiledExpr::from_normalized_atoms(atoms)
+    }
+}
+
+/// One atom of a [`CompiledExpr`]; mirrors [`Atom`] with interned labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CompiledAtom {
+    /// An interned node label.
+    Label(LabelId),
+    /// The `//` wildcard.
+    AnyPath,
+}
+
+/// A compiled path expression: interned atoms plus the precomputed block
+/// decomposition the containment algorithm works on.
+///
+/// Blocks (maximal label runs between `//` gaps) are stored as ranges into
+/// one flat label vector; an expression with `g` gaps has exactly `g + 1`
+/// blocks (`ε` is one empty block).  Containment and word matching are
+/// id-slice comparisons over this precomputed shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompiledExpr {
+    atoms: Vec<CompiledAtom>,
+    labels: Vec<LabelId>,
+    block_ends: Vec<u32>,
+}
+
+impl CompiledExpr {
+    /// Builds a compiled expression from normalized atoms (consecutive
+    /// `AnyPath` atoms collapsed, as [`PathExpr`] guarantees).
+    fn from_normalized_atoms(atoms: Vec<CompiledAtom>) -> Self {
+        let mut labels = Vec::with_capacity(atoms.len());
+        let mut block_ends = Vec::new();
+        for atom in &atoms {
+            match atom {
+                CompiledAtom::Label(id) => labels.push(*id),
+                CompiledAtom::AnyPath => block_ends.push(labels.len() as u32),
+            }
+        }
+        block_ends.push(labels.len() as u32);
+        CompiledExpr {
+            atoms,
+            labels,
+            block_ends,
+        }
+    }
+
+    /// The empty path `ε`.
+    pub fn epsilon() -> Self {
+        CompiledExpr::from_normalized_atoms(Vec::new())
+    }
+
+    /// Builds a compiled expression from already-interned atoms,
+    /// normalizing `//` runs (the compiled counterpart of
+    /// [`PathExpr::from_atoms`]).  Callers that slice an existing
+    /// expression's atoms — the target-to-context splits of key
+    /// implication — rebuild the block decomposition through this.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = CompiledAtom>) -> Self {
+        let mut out: Vec<CompiledAtom> = Vec::new();
+        for a in atoms {
+            if a == CompiledAtom::AnyPath && out.last() == Some(&CompiledAtom::AnyPath) {
+                continue;
+            }
+            out.push(a);
+        }
+        CompiledExpr::from_normalized_atoms(out)
+    }
+
+    /// The compiled atoms, in order.
+    pub fn atoms(&self) -> &[CompiledAtom] {
+        &self.atoms
+    }
+
+    /// The number of atoms (`|P|`).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True if this is the empty path `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// True if this is the empty path `ε` (alias mirroring
+    /// [`PathExpr::is_epsilon`]).
+    pub fn is_epsilon(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The number of blocks (gaps + 1).
+    #[inline]
+    fn num_blocks(&self) -> usize {
+        self.block_ends.len()
+    }
+
+    /// The `i`-th block as a label slice.
+    #[inline]
+    fn block(&self, i: usize) -> &[LabelId] {
+        let lo = if i == 0 {
+            0
+        } else {
+            self.block_ends[i - 1] as usize
+        };
+        &self.labels[lo..self.block_ends[i] as usize]
+    }
+
+    /// Language containment `self ⊑ other`, allocation-free.  Both sides
+    /// must have been compiled against the same universe (plus, for probe
+    /// expressions, one shared scratch map).
+    pub fn contained_in(&self, other: &CompiledExpr) -> bool {
+        contained_blocks(
+            self.num_blocks(),
+            |i| self.block(i),
+            other.num_blocks(),
+            |i| other.block(i),
+        )
+    }
+
+    /// Language equivalence (containment in both directions).
+    pub fn equivalent(&self, other: &CompiledExpr) -> bool {
+        self.contained_in(other) && other.contained_in(self)
+    }
+
+    /// Membership of a concrete word (interned label sequence) in this
+    /// expression's language, allocation-free.
+    pub fn matches_word(&self, word: &[LabelId]) -> bool {
+        contained_blocks(1, |_| word, self.num_blocks(), |i| self.block(i))
+    }
+
+    /// Concatenation `self / other`, collapsing a `//` shared at the seam
+    /// (exactly like [`PathExpr::concat`]).
+    pub fn concat(&self, other: &CompiledExpr) -> CompiledExpr {
+        let mut atoms = Vec::with_capacity(self.atoms.len() + other.atoms.len());
+        atoms.extend_from_slice(&self.atoms);
+        for a in &other.atoms {
+            if *a == CompiledAtom::AnyPath && atoms.last() == Some(&CompiledAtom::AnyPath) {
+                continue;
+            }
+            atoms.push(*a);
+        }
+        CompiledExpr::from_normalized_atoms(atoms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathExpr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn interning_round_trips() {
+        let mut u = LabelUniverse::new();
+        let a = u.intern("book");
+        let b = u.intern("@isbn");
+        assert_eq!(u.intern("book"), a);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.name(a), "book");
+        assert_eq!(u.lookup("@isbn"), Some(b));
+        assert_eq!(u.lookup("nope"), None);
+        assert!(!u.is_attr(a));
+        assert!(u.is_attr(b));
+        assert!(!u.is_attr(LabelId(99)));
+        assert_eq!(u.names(), &["book", "@isbn"]);
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn compiled_containment_matches_string_containment() {
+        let exprs = [
+            "ε",
+            "a",
+            "b",
+            "a/b",
+            "//",
+            "//a",
+            "a//",
+            "//a//",
+            "a//b",
+            "//a/b",
+            "b//a",
+            "a//a",
+            "//b//a",
+            "a/b//a",
+            "//book/chapter",
+            "@x",
+            "a/@x",
+        ];
+        let mut u = LabelUniverse::new();
+        let compiled: Vec<CompiledExpr> = exprs.iter().map(|e| u.compile(&p(e))).collect();
+        for (i, pe) in exprs.iter().enumerate() {
+            for (j, qe) in exprs.iter().enumerate() {
+                assert_eq!(
+                    compiled[i].contained_in(&compiled[j]),
+                    p(pe).contained_in(&p(qe)),
+                    "{pe} ⊑ {qe}"
+                );
+            }
+            assert!(compiled[i].equivalent(&compiled[i]));
+        }
+    }
+
+    #[test]
+    fn compiled_shape_accessors() {
+        let mut u = LabelUniverse::new();
+        let e = u.compile(&p("a/b//c"));
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+        assert!(!e.is_epsilon());
+        assert_eq!(e.num_blocks(), 2);
+        assert_eq!(e.block(0).len(), 2);
+        assert_eq!(e.block(1).len(), 1);
+        let eps = u.compile(&p("ε"));
+        assert!(eps.is_epsilon());
+        assert_eq!(eps.num_blocks(), 1);
+        assert!(eps.block(0).is_empty());
+    }
+
+    #[test]
+    fn compiled_word_matching() {
+        let mut u = LabelUniverse::new();
+        let q = u.compile(&p("//book/chapter"));
+        let word = [u.intern("book"), u.intern("chapter")];
+        assert!(q.matches_word(&word));
+        let word2 = [u.intern("book")];
+        assert!(!q.matches_word(&word2));
+        assert!(u.compile(&p("//")).matches_word(&[]));
+        assert!(!u.compile(&p("a")).matches_word(&[]));
+    }
+
+    #[test]
+    fn compiled_concat_matches_string_concat() {
+        let cases = [
+            ("a//", "//b"),
+            ("a", "b"),
+            ("ε", "a//b"),
+            ("a//b", "ε"),
+            ("//", "//"),
+        ];
+        for (l, r) in cases {
+            let mut u = LabelUniverse::new();
+            let cl = u.compile(&p(l));
+            let cr = u.compile(&p(r));
+            let direct = u.compile(&p(l).concat(&p(r)));
+            assert_eq!(cl.concat(&cr), direct, "{l} ⋅ {r}");
+        }
+    }
+
+    #[test]
+    fn scratch_compilation_keeps_unknown_labels_distinct() {
+        let mut u = LabelUniverse::new();
+        let known = u.compile(&p("a/b"));
+        let mut scratch = BTreeMap::new();
+        let probe = u.compile_scratch(&p("a/x"), &mut scratch);
+        let probe2 = u.compile_scratch(&p("a/x"), &mut scratch);
+        let other = u.compile_scratch(&p("a/y"), &mut scratch);
+        // Unknown labels are consistent within one scratch map...
+        assert_eq!(probe, probe2);
+        // ...distinct from each other and from every interned label.
+        assert_ne!(probe, other);
+        assert!(!probe.contained_in(&known));
+        assert!(!known.contained_in(&probe));
+        assert_eq!(u.len(), 2, "scratch compilation must not intern");
+        // Containment against patterns still works for unknown labels.
+        let any = u.compile(&p("//"));
+        assert!(probe.contained_in(&any));
+    }
+}

@@ -340,6 +340,27 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_name_the_offending_label() {
+        let err = "x/a b".parse::<PathExpr>().unwrap_err();
+        assert!(err.message.contains("a b"), "unhelpful message: {err}");
+        assert!(err.to_string().contains("invalid path expression"));
+        // Interior whitespace anywhere in a label is rejected; surrounding
+        // whitespace on the whole expression is trimmed and fine.
+        assert!("a\tb".parse::<PathExpr>().is_err());
+        assert!("  a/b  ".parse::<PathExpr>().is_ok());
+    }
+
+    #[test]
+    fn parse_edge_cases_of_slashes() {
+        // Trailing and repeated separators normalize rather than error.
+        assert_eq!(p("a/"), p("a"));
+        assert_eq!(p("a//"), PathExpr::label("a").concat(&PathExpr::any()));
+        assert_eq!(p("///a"), p("//a")); // absolute marker + wildcard
+        assert_eq!(p("////"), p("//"));
+        assert_eq!(p("/"), PathExpr::epsilon());
+    }
+
+    #[test]
     fn simple_and_wildcard_predicates() {
         assert!(p("book/chapter").is_simple());
         assert!(!p("//book").is_simple());

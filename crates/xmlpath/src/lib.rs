@@ -20,6 +20,9 @@
 //!   `ρ ∈ P`;
 //! * language **containment** `P ⊑ Q` ([`PathExpr::contained_in`]), the
 //!   workhorse of XML key implication;
+//! * a **compiled layer** ([`LabelUniverse`], [`CompiledExpr`]) that interns
+//!   labels and precomputes the block decomposition so repeated containment
+//!   and word-membership queries are allocation-free id-slice comparisons;
 //! * **evaluation** `n[[P]]` over [`xmlprop_xmltree::Document`]s
 //!   ([`evaluate`] / [`PathExpr::evaluate`]).
 //!
@@ -40,11 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compile;
 mod containment;
 mod eval;
 mod expr;
 mod path;
 
+pub use compile::{CompiledAtom, CompiledExpr, LabelId, LabelUniverse};
+pub use containment::{contained_in, word_matches};
 pub use eval::{evaluate, evaluate_from_root};
 pub use expr::{Atom, ParsePathError, PathExpr};
 pub use path::Path;

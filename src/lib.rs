@@ -36,8 +36,8 @@ pub use xmlprop_xmltree as xmltree;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use xmlprop_core::{
-        minimum_cover, naive_minimum_cover, propagation, GMinimumCover, PropagationOutcome,
-        RefinedDesign,
+        minimum_cover, naive_minimum_cover, propagate_all, propagation, GMinimumCover,
+        PropagationEngine, PropagationOutcome, RefinedDesign,
     };
     pub use xmlprop_reldb::{Fd, Relation, RelationSchema, Value};
     pub use xmlprop_xmlkeys::{KeySet, XmlKey};

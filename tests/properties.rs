@@ -273,6 +273,50 @@ proptest! {
         }
     }
 
+    /// The prepared engine, the one-shot facades and the `GminimumCover`
+    /// checker all agree on random workloads and random probe FDs — the
+    /// facade/engine agreement contract of the compiled path/key layer.
+    #[test]
+    fn prepared_engine_agrees_with_facades_on_random_workloads(
+        fields in 4usize..10,
+        depth in 1usize..4,
+        extra_keys in 0usize..5,
+        seed in 0u64..40,
+        probe_seed in 0u64..16,
+    ) {
+        use rand::SeedableRng;
+        let depth = depth.min(fields);
+        let w = generate(&WorkloadConfig::new(fields, depth, depth + extra_keys).with_seed(seed));
+        let engine = PropagationEngine::new(&w.sigma, &w.universal);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(probe_seed);
+        let mut probes = vec![xmlprop::workload::target_fd(&w)];
+        for i in 0..8 {
+            probes.push(xmlprop::workload::random_fd(&w, &mut rng, 1 + i % 3));
+        }
+
+        // Batch and per-FD facade answers match the prepared engine.
+        let batch = engine.propagate_all(&probes);
+        for (fd, verdict) in probes.iter().zip(&batch) {
+            prop_assert_eq!(
+                propagation(&w.sigma, &w.universal, fd), *verdict,
+                "facade/engine disagreement on {}", fd
+            );
+        }
+
+        // The engine's minimum cover is the facade's minimum cover.
+        prop_assert_eq!(
+            engine.minimum_cover(),
+            minimum_cover(&w.sigma, &w.universal)
+        );
+
+        // GminimumCover (built from the same engine) agrees on every probe.
+        let g = GMinimumCover::from_engine(engine);
+        for (fd, verdict) in probes.iter().zip(&batch) {
+            prop_assert_eq!(g.check(fd), *verdict, "GminimumCover disagreement on {}", fd);
+        }
+    }
+
     /// The polynomial and exponential minimum-cover algorithms agree on
     /// random small workloads (the paper's central claim).
     #[test]
