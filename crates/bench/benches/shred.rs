@@ -1,0 +1,115 @@
+//! Document-engine bench: shredding and key validation at the 10⁴-node
+//! scale, facade versus prepared.
+//!
+//! The DOM-to-relational literature identifies the shredding pass as the
+//! throughput bottleneck of XML→relational mapping; this bench pins the
+//! compiled document engine against the string baseline on one generated
+//! workload document:
+//!
+//! * `shred_facade` — [`xmlprop_xmltransform::TableRule::shred`], the
+//!   string walk with cloned `BTreeMap` bindings;
+//! * `shred_prepared` — [`xmlprop_xmltransform::ShredPlan::shred`] over a
+//!   prebuilt [`xmlprop_xmltree::DocIndex`];
+//! * `validate_facade` — [`xmlprop_xmlkeys::satisfies_all`] string walk;
+//! * `validate_prepared` — [`xmlprop_xmlkeys::KeyIndex::satisfies`] over a
+//!   prebuilt index;
+//! * `doc_index_build` — the one-time `DocIndex` preparation the prepared
+//!   rows amortize.
+//!
+//! The wider 10⁴–10⁶-node sweep lives in the `docs` experiment of
+//! `paper_experiments` (tracked in `BENCH_fig7.json`); this Criterion bench
+//! keeps a statistically measured point inside the CI bench-smoke gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlprop_workload::{generate, generate_document_with_report, DocConfig, WorkloadConfig};
+use xmlprop_xmltree::{DocIndex, Document, LabelUniverse};
+
+/// One generated workload document of roughly 10⁴ nodes.
+fn workload_doc() -> (xmlprop_workload::Workload, Document, usize) {
+    let w = generate(&WorkloadConfig::new(15, 4, 10));
+    let (doc, report) = generate_document_with_report(
+        &w,
+        &DocConfig {
+            branching: 6,
+            omission_probability: 0.1,
+            seed: 11,
+            depth: Some(4),
+        },
+    );
+    (w, doc, report.nodes)
+}
+
+fn bench_shred_facade(c: &mut Criterion) {
+    let (w, doc, nodes) = workload_doc();
+    let mut group = c.benchmark_group("shred_facade");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+        b.iter(|| w.universal.shred(&doc));
+    });
+    group.finish();
+}
+
+fn bench_shred_prepared(c: &mut Criterion) {
+    let (w, doc, nodes) = workload_doc();
+    let mut universe = LabelUniverse::new();
+    let plan = w.universal.prepare(&mut universe);
+    let index = DocIndex::build(&doc, &mut universe);
+    let mut group = c.benchmark_group("shred_prepared");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+        b.iter(|| plan.shred(&doc, &index));
+    });
+    group.finish();
+}
+
+fn bench_validate_facade(c: &mut Criterion) {
+    let (w, doc, nodes) = workload_doc();
+    let mut group = c.benchmark_group("validate_facade");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+        b.iter(|| xmlprop_xmlkeys::satisfies_all(&doc, w.sigma.iter()));
+    });
+    group.finish();
+}
+
+fn bench_validate_prepared(c: &mut Criterion) {
+    let (w, doc, nodes) = workload_doc();
+    let mut key_index = w.sigma.prepare();
+    let doc_index = key_index.index_document(&doc);
+    let mut group = c.benchmark_group("validate_prepared");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+        b.iter(|| key_index.satisfies(&doc, &doc_index));
+    });
+    group.finish();
+}
+
+fn bench_doc_index_build(c: &mut Criterion) {
+    let (_w, doc, nodes) = workload_doc();
+    let mut group = c.benchmark_group("doc_index_build");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+        b.iter(|| {
+            let mut universe = LabelUniverse::new();
+            DocIndex::build(&doc, &mut universe)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    document_engine,
+    bench_shred_facade,
+    bench_shred_prepared,
+    bench_validate_facade,
+    bench_validate_prepared,
+    bench_doc_index_build
+);
+criterion_main!(document_engine);

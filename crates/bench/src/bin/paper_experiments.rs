@@ -9,9 +9,10 @@
 //! cargo run --release -p xmlprop-bench --bin paper_experiments -- quick   # reduced grids
 //! ```
 //!
-//! Experiments: `fig7a`, `fig7b`, `fig7c`, `large`, and `prepared` (the
+//! Experiments: `fig7a`, `fig7b`, `fig7c`, `large`, `prepared` (the
 //! prepared-engine ablation comparing one-shot facades against prepared
-//! state).
+//! state), and `docs` (the document engine: facade vs prepared shredding
+//! and key validation at 10⁴–10⁶-node documents).
 //!
 //! Results are printed as text tables and also written as JSON files under
 //! `target/paper_experiments/` for archival (EXPERIMENTS.md quotes them).
@@ -19,8 +20,8 @@
 use std::fs;
 use std::path::PathBuf;
 use xmlprop_bench::{
-    fig7a, fig7a_rows, fig7b, fig7c, large_scale, large_scale_rows, prepared_rows,
-    prepared_speedups, propagation_rows, render_table, Fig7Row,
+    docs_experiment, docs_rows, fig7a, fig7a_rows, fig7b, fig7c, large_scale, large_scale_rows,
+    prepared_rows, prepared_speedups, propagation_rows, render_table, Fig7Row,
 };
 
 fn out_dir() -> PathBuf {
@@ -184,6 +185,47 @@ fn run_prepared(quick: bool) -> Vec<Fig7Row> {
     prepared_rows(&points)
 }
 
+fn run_docs(quick: bool) -> Vec<Fig7Row> {
+    println!("== Document engine: facade vs prepared shredding / validation ==");
+    println!("   (workload documents; prepared = DocIndex + ShredPlan / KeyIndex)\n");
+    let points = docs_experiment(quick);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.nodes.to_string(),
+                p.rows.to_string(),
+                format!("{:.3}", p.index_build_ms),
+                format!("{:.3}", p.shred_facade_ms),
+                format!("{:.3}", p.shred_prepared_ms),
+                format!("{:.1}x", p.shred_speedup()),
+                format!("{:.3}", p.validate_facade_ms),
+                format!("{:.3}", p.validate_prepared_ms),
+                format!("{:.1}x", p.validate_speedup()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "nodes",
+                "tuples",
+                "index (ms)",
+                "shred facade (ms)",
+                "shred prep (ms)",
+                "speedup",
+                "validate facade (ms)",
+                "validate prep (ms)",
+                "speedup"
+            ],
+            &rows
+        )
+    );
+    write_json("docs", &points);
+    docs_rows(&points)
+}
+
 fn run_large() -> Vec<Fig7Row> {
     println!("== Section 6 in-text large-scale spot checks ==\n");
     let points = large_scale();
@@ -231,6 +273,9 @@ fn main() {
     }
     if run_all || wanted.contains(&"prepared") {
         rows.extend(run_prepared(quick));
+    }
+    if run_all || wanted.contains(&"docs") {
+        rows.extend(run_docs(quick));
     }
     println!("JSON copies written to {}", out_dir().display());
     // The consolidated tracking file is only refreshed by a full run: a

@@ -250,7 +250,7 @@ impl fmt::Display for Relation {
 }
 
 /// A database: a collection of relation instances, addressed by name.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
 }

@@ -22,6 +22,14 @@ pub struct DocConfig {
     pub omission_probability: f64,
     /// RNG seed.
     pub seed: u64,
+    /// How many entity levels to materialize: `None` grows all of the
+    /// workload's levels; `Some(d)` grows only the topmost `d`.  Together
+    /// with `branching` this dials the node count (the entity count is
+    /// `branching + branching² + … + branching^levels`, each entity carrying
+    /// its level's field nodes on top), which is how the document-engine
+    /// benches reach 10⁴–10⁶-node documents deterministically.  There is no
+    /// silent cap: asking for more levels than the workload has panics.
+    pub depth: Option<usize>,
 }
 
 impl Default for DocConfig {
@@ -30,36 +38,103 @@ impl Default for DocConfig {
             branching: 3,
             omission_probability: 0.2,
             seed: 7,
+            depth: None,
         }
     }
+}
+
+impl DocConfig {
+    /// The number of entity levels this configuration materializes for
+    /// `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit `depth` exceeds the workload's level count
+    /// (the generator refuses to silently cap the request).
+    pub fn levels(&self, workload: &Workload) -> usize {
+        match self.depth {
+            None => workload.config.depth,
+            Some(d) => {
+                assert!(
+                    d <= workload.config.depth,
+                    "DocConfig.depth = {d} exceeds the workload's {} entity levels",
+                    workload.config.depth
+                );
+                d
+            }
+        }
+    }
+}
+
+/// Size report of one generated document; see
+/// [`generate_document_with_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DocReport {
+    /// Total node count (elements, attributes and text), the scale
+    /// parameter of the document-engine benches.
+    pub nodes: usize,
+    /// Number of entity elements generated across all levels.
+    pub entities: usize,
+    /// Number of entity levels materialized.
+    pub levels: usize,
 }
 
 /// Generates a random document conforming to the workload's hierarchy and
 /// satisfying its key set.
 pub fn generate_document(workload: &Workload, config: &DocConfig) -> Document {
+    generate_document_with_report(workload, config).0
+}
+
+/// [`generate_document`] plus a [`DocReport`] stating exactly how large the
+/// document came out — benches record the node count instead of trusting
+/// the requested parameters.
+pub fn generate_document_with_report(
+    workload: &Workload,
+    config: &DocConfig,
+) -> (Document, DocReport) {
+    let levels = config.levels(workload);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut doc = Document::new("r");
     let root = doc.root();
     // An extra wrapper level exercises the `//` step of the level-0 mapping.
     let wrapper = doc.add_element(root, "collection");
-    grow(workload, config, &mut rng, &mut doc, wrapper, 0);
-    doc
+    let mut entities = 0usize;
+    grow(
+        workload,
+        config,
+        levels,
+        &mut rng,
+        &mut doc,
+        wrapper,
+        0,
+        &mut entities,
+    );
+    let report = DocReport {
+        nodes: doc.len(),
+        entities,
+        levels,
+    };
+    (doc, report)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn grow(
     workload: &Workload,
     config: &DocConfig,
+    levels: usize,
     rng: &mut StdRng,
     doc: &mut Document,
     parent: NodeId,
     level: usize,
+    entities: &mut usize,
 ) {
-    if level >= workload.config.depth {
+    if level >= levels {
         return;
     }
     let label = &workload.level_labels[level];
     for sibling in 0..config.branching.max(1) {
         let node = doc.add_element(parent, label.clone());
+        *entities += 1;
         // Identifier: unique among siblings (key condition 2) and always
         // present (key condition 1).
         doc.add_attribute(node, format!("id{level}"), format!("{label}-{sibling}"));
@@ -85,7 +160,16 @@ fn grow(
             let text: u16 = rng.gen_range(0..1000);
             doc.add_text(child, format!("{field}-text-{text}"));
         }
-        grow(workload, config, rng, doc, node, level + 1);
+        grow(
+            workload,
+            config,
+            levels,
+            rng,
+            doc,
+            node,
+            level + 1,
+            entities,
+        );
     }
 }
 
@@ -111,6 +195,70 @@ mod tests {
                 "seed {seed}: generated document violates its own key set"
             );
         }
+    }
+
+    #[test]
+    fn depth_knob_truncates_levels_and_reports_sizes() {
+        let w = generate(&WorkloadConfig::new(12, 4, 8));
+        let (full, full_report) = generate_document_with_report(
+            &w,
+            &DocConfig {
+                branching: 2,
+                omission_probability: 0.0,
+                ..DocConfig::default()
+            },
+        );
+        let (shallow, shallow_report) = generate_document_with_report(
+            &w,
+            &DocConfig {
+                branching: 2,
+                omission_probability: 0.0,
+                depth: Some(2),
+                ..DocConfig::default()
+            },
+        );
+        assert_eq!(full_report.nodes, full.len());
+        assert_eq!(shallow_report.nodes, shallow.len());
+        assert_eq!(full_report.levels, 4);
+        assert_eq!(shallow_report.levels, 2);
+        // b + b² entities for the truncated doc, b + … + b⁴ for the full one.
+        assert_eq!(shallow_report.entities, 2 + 4);
+        assert_eq!(full_report.entities, 2 + 4 + 8 + 16);
+        assert!(full.len() > shallow.len());
+        // Truncated documents still satisfy Σ (the keys constrain what
+        // exists; absent levels violate nothing).
+        assert!(satisfies_all(&shallow, w.sigma.iter()));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the workload's")]
+    fn depth_knob_refuses_to_exceed_the_workload() {
+        let w = generate(&WorkloadConfig::new(12, 4, 8));
+        generate_document(
+            &w,
+            &DocConfig {
+                depth: Some(5),
+                ..DocConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn node_counts_scale_into_the_bench_range() {
+        // The grid the `docs` experiment uses must actually reach ~10⁴
+        // nodes deterministically (larger sizes scale the same formula).
+        let w = generate(&WorkloadConfig::new(15, 4, 10));
+        let (_, report) = generate_document_with_report(
+            &w,
+            &DocConfig {
+                branching: 6,
+                omission_probability: 0.0,
+                seed: 1,
+                ..DocConfig::default()
+            },
+        );
+        assert!(report.nodes >= 5_000, "got {} nodes", report.nodes);
+        assert_eq!(report.entities, 6 + 36 + 216 + 1296);
     }
 
     #[test]
@@ -145,6 +293,7 @@ mod tests {
                 branching: 2,
                 omission_probability: 0.0,
                 seed: 1,
+                ..DocConfig::default()
             },
         );
         let rel = w.universal.shred(&doc);
@@ -160,6 +309,7 @@ mod tests {
                 branching: 2,
                 omission_probability: 0.9,
                 seed: 3,
+                ..DocConfig::default()
             },
         );
         let rel = w.universal.shred(&doc);

@@ -30,6 +30,6 @@ mod docs;
 mod fdsynth;
 mod synth;
 
-pub use docs::{generate_document, DocConfig};
+pub use docs::{generate_document, generate_document_with_report, DocConfig, DocReport};
 pub use fdsynth::{closure_seed, generate_fds, FdSetConfig};
 pub use synth::{generate, random_fd, target_fd, Workload, WorkloadConfig};

@@ -16,7 +16,7 @@
 
 use crate::{KeyIndex, KeySet, XmlKey};
 use std::collections::BTreeMap;
-use xmlprop_xmlpath::PathExpr;
+use xmlprop_xmlpath::{PathCompiler, PathExpr};
 
 /// True if every node reachable at position `position` (a path from the
 /// document root) is guaranteed, by some key of `Σ`, to carry exactly one

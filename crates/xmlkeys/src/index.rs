@@ -24,17 +24,33 @@
 //! ([`KeyIndex::compile`], [`KeyIndex::prepare`]) or read-only with
 //! temporary scratch ids ([`KeyIndex::prepare_ref`]), which keeps `&self`
 //! query methods available to facades.
+//!
+//! The index also carries the prepared side of **document validation**
+//! (Definition 2.1): [`KeyIndex::index_document`] builds a
+//! [`xmlprop_xmltree::DocIndex`] against the shared universe, and
+//! [`KeyIndex::violations`] / [`KeyIndex::satisfies`] check every key of Σ
+//! over it with compiled path evaluation and hashed interned-value key
+//! tuples — the string walkers of [`crate::satisfies`] remain the one-shot
+//! facades and differential baselines.
 
+use crate::satisfy::Violation;
 use crate::{KeySet, XmlKey};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::OnceLock;
-use xmlprop_xmlpath::{CompiledAtom, CompiledExpr, LabelId, LabelUniverse, PathExpr};
+use xmlprop_xmlpath::{
+    CompiledAtom, CompiledExpr, EvalScratch, LabelId, LabelUniverse, PathCompiler, PathExpr,
+};
+use xmlprop_xmltree::{DocIndex, Document};
 
 /// One key of Σ in compiled form.
 #[derive(Debug, Clone)]
 pub struct IndexedKey {
     /// The key's attribute ids, sorted by id.
     attrs: Vec<LabelId>,
+    /// The key's attribute ids in the key's own (lexicographic
+    /// [`XmlKey::key_attrs`]) order — the order the satisfaction semantics
+    /// and violation reports enumerate attributes in.
+    val_attrs: Vec<LabelId>,
     /// The compiled context path `Q`.
     context: CompiledExpr,
     /// The compiled target path `Q'`.
@@ -140,14 +156,16 @@ impl KeyIndex {
         let mut universe = LabelUniverse::new();
         let mut keys = Vec::with_capacity(sigma.len());
         for key in sigma.iter() {
-            let mut attrs: Vec<LabelId> =
+            let val_attrs: Vec<LabelId> =
                 key.key_attrs().iter().map(|a| universe.intern(a)).collect();
+            let mut attrs = val_attrs.clone();
             attrs.sort_unstable();
             let context = universe.compile(key.context());
             let target = universe.compile(key.target());
             let absolute = context.concat(&target);
             keys.push(IndexedKey {
                 attrs,
+                val_attrs,
                 context,
                 target,
                 absolute,
@@ -340,6 +358,187 @@ impl KeyIndex {
     ) -> bool {
         self.implies_parts(context, target, absolute, &[])
     }
+
+    // ------------------------------------------------------------------
+    // Document validation (Definition 2.1 over a prepared DocIndex)
+    // ------------------------------------------------------------------
+
+    /// Builds a [`DocIndex`] for `doc` against this index's universe, so
+    /// compiled key paths evaluate directly over it.  Ids are append-only:
+    /// indexing a document never invalidates existing compiled state, and
+    /// several documents can be indexed against one `KeyIndex` in turn.
+    pub fn index_document(&mut self, doc: &Document) -> DocIndex {
+        DocIndex::build(doc, &mut self.universe)
+    }
+
+    /// All violations of every key of Σ in `doc`, in Σ order (empty iff the
+    /// document satisfies the whole key set) — the prepared counterpart of
+    /// running [`crate::violations`] per key.  `index` must have been built
+    /// from `doc` against this universe ([`KeyIndex::index_document`]).
+    ///
+    /// All keys are validated in a single pass of prepared machinery: the
+    /// compiled context/target expressions evaluate over the `DocIndex`
+    /// (document order, no `BTreeSet`s), key tuples are compared as hashed
+    /// interned-value id vectors instead of `BTreeMap<Vec<String>, _>`
+    /// lookups, and all scratch state is reused across contexts and keys.
+    pub fn violations(&self, doc: &Document, index: &DocIndex) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut scratch = ValidateScratch::default();
+        for k in 0..self.keys.len() {
+            self.collect_violations(k, doc, index, &mut scratch, Some(&mut out));
+        }
+        out
+    }
+
+    /// The violations of the `k`-th key of Σ alone (same order as
+    /// [`crate::violations`] of that key).
+    pub fn violations_of(&self, k: usize, doc: &Document, index: &DocIndex) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut scratch = ValidateScratch::default();
+        self.collect_violations(k, doc, index, &mut scratch, Some(&mut out));
+        out
+    }
+
+    /// True if `doc ⊨ Σ` (every key of the set, Definition 2.1) — the
+    /// prepared counterpart of [`crate::satisfies_all`].  Stops at the
+    /// first violation instead of collecting them.
+    pub fn satisfies(&self, doc: &Document, index: &DocIndex) -> bool {
+        let mut scratch = ValidateScratch::default();
+        (0..self.keys.len()).all(|k| !self.collect_violations(k, doc, index, &mut scratch, None))
+    }
+
+    /// The shared validation walk: evaluates the key's contexts and targets
+    /// over the `DocIndex` and checks conditions (1) and (2) of
+    /// Definition 2.1 with interned-value tuples.  With `out = Some(..)`
+    /// every violation is reported; with `None` it stops at the first.
+    /// Returns whether any violation was found.
+    fn collect_violations(
+        &self,
+        k: usize,
+        doc: &Document,
+        index: &DocIndex,
+        scratch: &mut ValidateScratch,
+        mut out: Option<&mut Vec<Violation>>,
+    ) -> bool {
+        let key = &self.keys[k];
+        let mut found = false;
+        key.context().evaluate_positions(
+            index,
+            index.position(doc.root()),
+            &mut scratch.eval,
+            &mut scratch.contexts,
+        );
+        for &context_pos in &scratch.contexts {
+            key.target().evaluate_positions(
+                index,
+                context_pos,
+                &mut scratch.eval,
+                &mut scratch.targets,
+            );
+            scratch.seen.clear();
+            for &target_pos in &scratch.targets {
+                scratch.tuple.clear();
+                let mut complete = true;
+                for &attr in &key.val_attrs {
+                    // Count the target's attribute children named `attr`;
+                    // condition (1) demands exactly one.
+                    let mut count = 0u32;
+                    let mut value = 0u32;
+                    for child in index.children_at(target_pos) {
+                        if index.label_at(child) == attr && index.kind_at(child).is_attribute() {
+                            count += 1;
+                            value = index.value_id_at(child).unwrap_or(0);
+                        }
+                    }
+                    match count {
+                        1 => scratch.tuple.push(value),
+                        0 => {
+                            complete = false;
+                            found = true;
+                            match out.as_deref_mut() {
+                                Some(sink) => sink.push(Violation::MissingAttribute {
+                                    context: index.node_at(context_pos),
+                                    target: index.node_at(target_pos),
+                                    attribute: self.universe.name(attr).to_string(),
+                                }),
+                                None => return true,
+                            }
+                        }
+                        _ => {
+                            complete = false;
+                            found = true;
+                            match out.as_deref_mut() {
+                                Some(sink) => sink.push(Violation::DuplicateAttribute {
+                                    context: index.node_at(context_pos),
+                                    target: index.node_at(target_pos),
+                                    attribute: self.universe.name(attr).to_string(),
+                                }),
+                                None => return true,
+                            }
+                        }
+                    }
+                }
+                if !complete {
+                    continue;
+                }
+                // Condition (2): no two distinct targets under this context
+                // agree on the whole key tuple.
+                match scratch.seen.get(&scratch.tuple) {
+                    Some(&first_pos) => {
+                        found = true;
+                        match out.as_deref_mut() {
+                            Some(sink) => sink.push(Violation::DuplicateKeyValue {
+                                context: index.node_at(context_pos),
+                                first: index.node_at(first_pos),
+                                second: index.node_at(target_pos),
+                                values: self.tuple_strings(key, doc, index, target_pos),
+                            }),
+                            None => return true,
+                        }
+                    }
+                    None => {
+                        scratch.seen.insert(scratch.tuple.clone(), target_pos);
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    /// The actual key-attribute value strings of a complete target, in
+    /// key-attribute order — only materialized on the (rare) violation
+    /// reporting path.
+    fn tuple_strings(
+        &self,
+        key: &IndexedKey,
+        doc: &Document,
+        index: &DocIndex,
+        target_pos: u32,
+    ) -> Vec<String> {
+        key.val_attrs
+            .iter()
+            .map(|&attr| {
+                index
+                    .children_at(target_pos)
+                    .find(|&c| index.label_at(c) == attr && index.kind_at(c).is_attribute())
+                    .and_then(|c| doc.text_value(index.node_at(c)))
+                    .unwrap_or("")
+                    .to_string()
+            })
+            .collect()
+    }
+}
+
+/// Reusable scratch state for the validation walk: frontier vectors for
+/// context/target evaluation, the current value tuple, and the
+/// tuple → first-target hash map of condition (2).
+#[derive(Debug, Default)]
+struct ValidateScratch {
+    eval: EvalScratch,
+    contexts: Vec<u32>,
+    targets: Vec<u32>,
+    tuple: Vec<u32>,
+    seen: HashMap<Vec<u32>, u32>,
 }
 
 #[cfg(test)]
@@ -421,6 +620,78 @@ mod tests {
     }
 
     #[test]
+    fn prepared_validation_matches_the_oracle_on_the_samples() {
+        use xmlprop_xmltree::sample::{fig1, fig1_duplicate_isbn};
+        for doc in [fig1(), fig1_duplicate_isbn()] {
+            let sigma = example_2_1_keys();
+            let mut index = KeyIndex::new(&sigma);
+            let dix = index.index_document(&doc);
+            let mut oracle_all = Vec::new();
+            for (k, key) in sigma.iter().enumerate() {
+                let oracle = crate::violations(&doc, key);
+                assert_eq!(index.violations_of(k, &doc, &dix), oracle, "{key}");
+                oracle_all.extend(oracle);
+            }
+            assert_eq!(index.violations(&doc, &dix), oracle_all);
+            assert_eq!(
+                index.satisfies(&doc, &dix),
+                crate::satisfies_all(&doc, sigma.iter())
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_validation_reports_every_violation_kind() {
+        use xmlprop_xmltree::ElementBuilder;
+        // One book with no isbn, one with two, two sharing a value.
+        let mut doc = ElementBuilder::new("r")
+            .child(ElementBuilder::new("book"))
+            .child(
+                ElementBuilder::new("book")
+                    .attr("isbn", "1")
+                    .attr("isbn", "2"),
+            )
+            .child(ElementBuilder::new("book").attr("isbn", "3"))
+            .child(ElementBuilder::new("book").attr("isbn", "3"))
+            .build();
+        // Mutate out of NodeId order to exercise the DFS numbering path.
+        let first_book = doc.element_children(doc.root()).next().unwrap();
+        doc.add_element(first_book, "title");
+        assert!(!doc.ids_in_document_order());
+
+        let sigma = example_2_1_keys();
+        let mut index = KeyIndex::new(&sigma);
+        let dix = index.index_document(&doc);
+        let k1 = index.violations_of(0, &doc, &dix);
+        assert_eq!(k1, crate::violations(&doc, sigma.iter().next().unwrap()));
+        assert!(matches!(k1[0], Violation::MissingAttribute { .. }));
+        assert!(matches!(k1[1], Violation::DuplicateAttribute { .. }));
+        assert!(
+            matches!(k1[2], Violation::DuplicateKeyValue { ref values, .. } if values == &vec!["3".to_string()])
+        );
+        assert!(!index.satisfies(&doc, &dix));
+    }
+
+    #[test]
+    fn validation_scales_across_multiple_documents_per_index() {
+        use xmlprop_xmltree::ElementBuilder;
+        let sigma = example_2_1_keys();
+        let mut index = KeyIndex::new(&sigma);
+        let good = ElementBuilder::new("r")
+            .child(ElementBuilder::new("book").attr("isbn", "1"))
+            .build();
+        let bad = ElementBuilder::new("r")
+            .child(ElementBuilder::new("book").attr("isbn", "1"))
+            .child(ElementBuilder::new("book").attr("isbn", "1"))
+            .build();
+        let good_ix = index.index_document(&good);
+        let bad_ix = index.index_document(&bad);
+        assert!(index.satisfies(&good, &good_ix));
+        assert!(!index.satisfies(&bad, &bad_ix));
+        assert_eq!(index.violations(&bad, &bad_ix).len(), 1);
+    }
+
+    #[test]
     fn assured_index_answers_exist_queries() {
         let sigma = example_2_1_keys();
         let mut index = KeyIndex::new(&sigma);
@@ -435,5 +706,101 @@ mod tests {
         assert!(!index.attributes_assured(&chapter, &[number, isbn]));
         // Ids outside the assured index are assured nowhere.
         assert!(!index.attribute_assured(&book, LabelId(9999)));
+    }
+}
+
+#[cfg(test)]
+mod validation_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a document from a mutation script: each step appends an
+    /// element, attribute or text node under a pseudo-randomly chosen
+    /// earlier element — deliberately exercising out-of-NodeId-order
+    /// construction and duplicate attributes (which the paper's model
+    /// allows).
+    fn build_doc(steps: &[(u8, u8, u8)]) -> Document {
+        let mut doc = Document::new("r");
+        let mut elements = vec![doc.root()];
+        for &(parent, kind, which) in steps {
+            let parent = elements[parent as usize % elements.len()];
+            match kind % 4 {
+                0 | 1 => {
+                    let label = ["a", "b", "c"][which as usize % 3];
+                    elements.push(doc.add_element(parent, label));
+                }
+                2 => {
+                    let name = ["x", "y"][which as usize % 2];
+                    let value = ["0", "1", "2"][which as usize % 3];
+                    doc.add_attribute(parent, name, value);
+                }
+                _ => {
+                    doc.add_text(parent, ["t0", "t1"][which as usize % 2]);
+                }
+            }
+        }
+        doc
+    }
+
+    fn key_strategy() -> impl Strategy<Value = XmlKey> {
+        let seg = prop_oneof![Just("a"), Just("b"), Just("c")];
+        (
+            prop::collection::vec(seg.clone(), 0..3),
+            prop_oneof![Just(true), Just(false)],
+            prop::collection::vec(seg, 1..3),
+            prop::collection::vec(prop_oneof![Just("x"), Just("y")], 0..3),
+        )
+            .prop_map(|(ctx, ctx_desc, tgt, attrs)| {
+                let mut context = PathExpr::epsilon();
+                for (i, l) in ctx.iter().enumerate() {
+                    context = if i == 0 && ctx_desc {
+                        context.descendant(*l)
+                    } else {
+                        context.child(*l)
+                    };
+                }
+                let mut target = PathExpr::epsilon();
+                for l in &tgt {
+                    target = target.child(*l);
+                }
+                XmlKey::new(context, target, attrs)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+        /// The prepared validator agrees bit-for-bit with the string oracle
+        /// (`crate::violations`) on random documents and random key sets —
+        /// including documents whose NodeId order diverges from document
+        /// order.
+        #[test]
+        fn prepared_validation_matches_oracle_on_random_documents(
+            steps in prop::collection::vec((0u8..16, 0u8..4, 0u8..6), 0..40),
+            keys in prop::collection::vec(key_strategy(), 1..5),
+        ) {
+            let doc = build_doc(&steps);
+            let sigma = KeySet::from_keys(keys);
+            let mut index = KeyIndex::new(&sigma);
+            let dix = index.index_document(&doc);
+            let mut oracle_all = Vec::new();
+            for (k, key) in sigma.iter().enumerate() {
+                let oracle = crate::violations(&doc, key);
+                prop_assert_eq!(
+                    index.violations_of(k, &doc, &dix),
+                    oracle.clone(),
+                    "key {}", key
+                );
+                oracle_all.extend(oracle);
+            }
+            prop_assert_eq!(index.violations(&doc, &dix), oracle_all);
+            prop_assert_eq!(
+                index.satisfies(&doc, &dix),
+                crate::satisfies_all(&doc, sigma.iter())
+            );
+            // Sanity: the index numbering really is document order.
+            let order: Vec<_> = dix.nodes_in_document_order().collect();
+            prop_assert_eq!(order, doc.all_nodes());
+        }
     }
 }

@@ -33,7 +33,10 @@
 //!   target-to-context splits and an attribute → keys index, so repeated
 //!   implication and `exist()` queries avoid re-splitting paths and
 //!   rescanning `Σ`.  The free functions above are thin one-shot facades
-//!   over it.
+//!   over it.  It also validates documents at scale:
+//!   [`KeyIndex::index_document`] + [`KeyIndex::violations`] /
+//!   [`KeyIndex::satisfies`] check all keys over a prepared
+//!   [`xmlprop_xmltree::DocIndex`] with interned-value key tuples.
 //!
 //! # Implication procedure
 //!

@@ -1,4 +1,11 @@
 //! Key satisfaction (Definition 2.1) and violation reporting.
+//!
+//! These are the **string baselines**: per-key walks through the string
+//! path evaluator with `BTreeMap<Vec<String>, _>` key-tuple maps.  They
+//! remain right for one-shot questions and serve as the oracles the
+//! prepared validator ([`crate::KeyIndex::violations`] /
+//! [`crate::KeyIndex::satisfies`] over a `DocIndex`) is property-tested
+//! against; anything validating repeatedly or at scale should prepare.
 
 use crate::XmlKey;
 use std::collections::BTreeMap;

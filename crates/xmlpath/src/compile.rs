@@ -9,17 +9,22 @@
 //! `xmlprop_reldb::intern` on the path layer:
 //!
 //! * [`LabelUniverse`] — a string ↔ [`LabelId`] interning table shared by
-//!   element tags and attribute names (`@isbn` interns like any label);
+//!   element tags and attribute names (`@isbn` interns like any label).  The
+//!   table itself lives in `xmlprop_xmltree` (re-exported here), because the
+//!   document index stores a `LabelId` per node and both sides of the system
+//!   must agree on one universe; the [`PathCompiler`] extension trait adds
+//!   the expression-compilation methods on top.
 //! * [`CompiledExpr`] — a path expression whose atoms are interned and whose
 //!   block decomposition (label runs between `//` gaps) is precomputed at
 //!   compile time, so [`CompiledExpr::contained_in`] and
 //!   [`CompiledExpr::matches_word`] run the generic decision procedure of
 //!   [`crate::contained_in`] over `LabelId` slices with **zero per-call
-//!   allocation**.
+//!   allocation**.  [`CompiledExpr::evaluate`] evaluates `n[[P]]` over a
+//!   prepared [`xmlprop_xmltree::DocIndex`] (see [`crate::EvalScratch`]).
 //!
 //! Two compiled expressions are only comparable when they were compiled
 //! against the same universe (or one universe extended from the other —
-//! ids are append-only).  [`LabelUniverse::compile_scratch`] supports
+//! ids are append-only).  [`PathCompiler::compile_scratch`] supports
 //! read-only compilation of probe expressions: labels absent from the
 //! universe receive consistent temporary ids past the interned range, which
 //! keeps containment exact (two distinct unknown labels never compare
@@ -29,86 +34,31 @@ use crate::containment::contained_blocks;
 use crate::expr::{Atom, PathExpr};
 use std::collections::BTreeMap;
 
-/// An interned node label: an index into a [`LabelUniverse`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct LabelId(pub u32);
+pub use xmlprop_xmltree::{LabelId, LabelUniverse};
 
-impl LabelId {
-    /// The id as a `usize` index.
-    #[inline]
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
-
-/// A string ↔ [`LabelId`] interning table for node labels and attribute
-/// names.
+/// Expression compilation over a [`LabelUniverse`].
 ///
-/// Ids are dense (`0..len`), assigned in first-intern order, so they can
-/// index plain vectors.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct LabelUniverse {
-    names: Vec<String>,
-    attrs: Vec<bool>,
-    ids: BTreeMap<String, LabelId>,
+/// The universe type is defined in `xmlprop_xmltree` (the document index
+/// stores a `LabelId` per node); this trait adds the path-expression
+/// methods that belong to this crate.  It is implemented for
+/// [`LabelUniverse`] only and comes into scope with
+/// `use xmlprop_xmlpath::PathCompiler`.
+pub trait PathCompiler {
+    /// Compiles an expression, interning every label it mentions.
+    fn compile(&mut self, expr: &PathExpr) -> CompiledExpr;
+
+    /// Compiles an expression **without** interning, resolving every label
+    /// through [`LabelUniverse::lookup_scratch`] (unknown labels receive
+    /// consistent temporary ids past the interned range).
+    fn compile_scratch(
+        &self,
+        expr: &PathExpr,
+        scratch: &mut BTreeMap<String, LabelId>,
+    ) -> CompiledExpr;
 }
 
-impl LabelUniverse {
-    /// An empty universe.
-    pub fn new() -> Self {
-        LabelUniverse::default()
-    }
-
-    /// The number of interned labels.
-    pub fn len(&self) -> usize {
-        self.names.len()
-    }
-
-    /// True if nothing has been interned yet.
-    pub fn is_empty(&self) -> bool {
-        self.names.is_empty()
-    }
-
-    /// Interns `name`, returning its id (existing or fresh).
-    pub fn intern(&mut self, name: &str) -> LabelId {
-        if let Some(&id) = self.ids.get(name) {
-            return id;
-        }
-        let id = LabelId(u32::try_from(self.names.len()).expect("label universe overflow"));
-        self.names.push(name.to_string());
-        self.attrs.push(name.starts_with('@'));
-        self.ids.insert(name.to_string(), id);
-        id
-    }
-
-    /// The id of `name`, if it has been interned.
-    pub fn lookup(&self, name: &str) -> Option<LabelId> {
-        self.ids.get(name).copied()
-    }
-
-    /// The name behind an id.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the id does not belong to this universe (temporary
-    /// scratch ids from [`LabelUniverse::compile_scratch`] included).
-    pub fn name(&self, id: LabelId) -> &str {
-        &self.names[id.index()]
-    }
-
-    /// All interned names, in id order.
-    pub fn names(&self) -> &[String] {
-        &self.names
-    }
-
-    /// True if the id names an attribute (`@`-prefixed label).  Scratch ids
-    /// beyond the interned range answer `false`.
-    pub fn is_attr(&self, id: LabelId) -> bool {
-        self.attrs.get(id.index()).copied().unwrap_or(false)
-    }
-
-    /// Compiles an expression, interning every label it mentions.
-    pub fn compile(&mut self, expr: &PathExpr) -> CompiledExpr {
+impl PathCompiler for LabelUniverse {
+    fn compile(&mut self, expr: &PathExpr) -> CompiledExpr {
         let atoms: Vec<CompiledAtom> = expr
             .atoms()
             .iter()
@@ -120,27 +70,7 @@ impl LabelUniverse {
         CompiledExpr::from_normalized_atoms(atoms)
     }
 
-    /// The id of `name` without interning: an interned label keeps its id,
-    /// an unknown one receives a temporary id past the interned range,
-    /// allocated consistently through `scratch` (pass the same map for every
-    /// lookup of one query so that repeated unknown labels agree).
-    pub fn lookup_scratch(&self, name: &str, scratch: &mut BTreeMap<String, LabelId>) -> LabelId {
-        if let Some(id) = self.lookup(name) {
-            return id;
-        }
-        if let Some(&id) = scratch.get(name) {
-            return id;
-        }
-        let id = LabelId(
-            u32::try_from(self.names.len() + scratch.len()).expect("label universe overflow"),
-        );
-        scratch.insert(name.to_string(), id);
-        id
-    }
-
-    /// Compiles an expression **without** interning, resolving every label
-    /// through [`LabelUniverse::lookup_scratch`].
-    pub fn compile_scratch(
+    fn compile_scratch(
         &self,
         expr: &PathExpr,
         scratch: &mut BTreeMap<String, LabelId>,
@@ -303,23 +233,6 @@ mod tests {
 
     fn p(s: &str) -> PathExpr {
         s.parse().unwrap()
-    }
-
-    #[test]
-    fn interning_round_trips() {
-        let mut u = LabelUniverse::new();
-        let a = u.intern("book");
-        let b = u.intern("@isbn");
-        assert_eq!(u.intern("book"), a);
-        assert_eq!(u.len(), 2);
-        assert_eq!(u.name(a), "book");
-        assert_eq!(u.lookup("@isbn"), Some(b));
-        assert_eq!(u.lookup("nope"), None);
-        assert!(!u.is_attr(a));
-        assert!(u.is_attr(b));
-        assert!(!u.is_attr(LabelId(99)));
-        assert_eq!(u.names(), &["book", "@isbn"]);
-        assert!(!u.is_empty());
     }
 
     #[test]

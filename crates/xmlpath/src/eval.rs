@@ -1,8 +1,26 @@
 //! Evaluation of path expressions over XML documents: `n[[P]]`.
+//!
+//! Two implementations live here:
+//!
+//! * the **string facade** [`evaluate`] — walks the [`Document`] directly,
+//!   comparing labels as strings and deduplicating through `BTreeSet`s.
+//!   Right for one-shot questions; it is also the baseline the `shred`
+//!   bench and the engine-agreement property tests measure the compiled
+//!   layer against.
+//! * the **compiled engine** [`CompiledExpr::evaluate`] /
+//!   [`CompiledExpr::evaluate_positions`] — runs over a prepared
+//!   [`DocIndex`] with reusable scratch frontiers ([`EvalScratch`]): labels
+//!   compare as `LabelId`s, a `//` step is a merge of contiguous DFS
+//!   subtree ranges (duplicate-free and in document order by construction),
+//!   and a `//label` step pair is answered from the label's posting list
+//!   without materializing the intermediate descendant set.  Anything that
+//!   evaluates many paths over one document (shred plans, key validation)
+//!   should prepare a `DocIndex` once and go through this.
 
+use crate::compile::{CompiledAtom, CompiledExpr};
 use crate::expr::{Atom, PathExpr};
 use std::collections::BTreeSet;
-use xmlprop_xmltree::{Document, NodeId};
+use xmlprop_xmltree::{DocIndex, Document, NodeId};
 
 /// Evaluates `from[[expr]]`: the set of nodes reached from `from` by
 /// following the path expression, in document order and without duplicates.
@@ -15,6 +33,11 @@ use xmlprop_xmltree::{Document, NodeId};
 ///   uniform treatment of attributes as labelled children);
 /// * `P/P'` composes;
 /// * `//` reaches all descendants-or-self.
+///
+/// Results are in *document order* (DFS pre-order), which coincides with
+/// `NodeId` order only for DFS-built documents — see
+/// [`Document::ids_in_document_order`]; for mutated documents the result is
+/// ranked by DFS position explicitly.
 pub fn evaluate(doc: &Document, from: NodeId, expr: &PathExpr) -> Vec<NodeId> {
     let mut current: BTreeSet<NodeId> = BTreeSet::new();
     current.insert(from);
@@ -41,7 +64,17 @@ pub fn evaluate(doc: &Document, from: NodeId, expr: &PathExpr) -> Vec<NodeId> {
             break;
         }
     }
-    current.into_iter().collect()
+    let mut result: Vec<NodeId> = current.into_iter().collect();
+    if result.len() > 1 && !doc.ids_in_document_order() {
+        // The BTreeSet yields NodeId order; rank by DFS position when the
+        // two orders have diverged.
+        let mut rank = vec![0u32; doc.len()];
+        for (i, n) in doc.all_nodes().into_iter().enumerate() {
+            rank[n.index()] = i as u32;
+        }
+        result.sort_unstable_by_key(|n| rank[n.index()]);
+    }
+    result
 }
 
 /// Evaluates `[[expr]]` from the document root (the paper's abbreviation
@@ -50,10 +83,154 @@ pub fn evaluate_from_root(doc: &Document, expr: &PathExpr) -> Vec<NodeId> {
     evaluate(doc, doc.root(), expr)
 }
 
+/// Reusable scratch state for [`CompiledExpr::evaluate_positions`]: the two
+/// frontier vectors and the visited epoch-stamps that replace the per-atom
+/// `BTreeSet`s of the string evaluator.  One scratch serves any number of
+/// evaluations over documents of any size (the stamp table grows on
+/// demand); hold one per loop instead of allocating per call.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    current: Vec<u32>,
+    next: Vec<u32>,
+    /// Per-position epoch stamp; a position is on the frontier being built
+    /// iff its stamp equals the current epoch, so "visited" resets are O(1).
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl EvalScratch {
+    /// A fresh scratch.
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+
+    /// Starts a new dedup epoch, clearing the stamp table only on wrap.
+    fn bump_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+}
+
+impl CompiledExpr {
+    /// Evaluates `from[[self]]` over a prepared index, in document order and
+    /// without duplicates — the compiled counterpart of [`evaluate`].  The
+    /// expression must have been compiled against the universe the index
+    /// was built with (or an extension of it).
+    ///
+    /// Allocates its own [`EvalScratch`]; loops should hold one and call
+    /// [`CompiledExpr::evaluate_positions`].
+    pub fn evaluate(&self, index: &DocIndex, from: NodeId) -> Vec<NodeId> {
+        let mut scratch = EvalScratch::new();
+        let mut out = Vec::new();
+        self.evaluate_positions(index, index.position(from), &mut scratch, &mut out);
+        out.into_iter().map(|p| index.node_at(p)).collect()
+    }
+
+    /// The zero-allocation core of compiled evaluation: fills `out` with
+    /// the DFS positions of `from[[self]]`, ascending (= document order,
+    /// duplicate-free).  `from` is a DFS position ([`DocIndex::position`]).
+    ///
+    /// Per atom this does:
+    ///
+    /// * label step — scan the frontier's children comparing `LabelId`s,
+    ///   with epoch-stamp dedup;
+    /// * `//` step — sort the frontier and merge its contiguous subtree
+    ///   ranges (nested ranges collapse into their outermost cover);
+    /// * `//` immediately followed by a label — answer from the label's
+    ///   posting list restricted to the merged ranges (excluding each
+    ///   range's own root, whose parent lies outside the descendant set),
+    ///   never materializing the intermediate descendants.
+    pub fn evaluate_positions(
+        &self,
+        index: &DocIndex,
+        from: u32,
+        scratch: &mut EvalScratch,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        if scratch.stamps.len() < index.len() {
+            scratch.stamps.resize(index.len(), 0);
+        }
+        scratch.current.clear();
+        scratch.current.push(from);
+        let atoms = self.atoms();
+        let mut i = 0;
+        while i < atoms.len() {
+            if scratch.current.is_empty() {
+                break;
+            }
+            scratch.next.clear();
+            match atoms[i] {
+                CompiledAtom::Label(label) => {
+                    // The stamp check is defensive: frontiers are
+                    // duplicate-free sets of distinct positions (so distinct
+                    // parents contribute disjoint child sets), but the
+                    // epoch-bitmap keeps the step safe under any future
+                    // frontier producer.
+                    let epoch = scratch.bump_epoch();
+                    for &p in &scratch.current {
+                        for c in index.children_at(p) {
+                            if index.label_at(c) == label && scratch.stamps[c as usize] != epoch {
+                                scratch.stamps[c as usize] = epoch;
+                                scratch.next.push(c);
+                            }
+                        }
+                    }
+                }
+                CompiledAtom::AnyPath => {
+                    scratch.current.sort_unstable();
+                    let fused = match atoms.get(i + 1) {
+                        Some(CompiledAtom::Label(l)) => Some(*l),
+                        _ => None,
+                    };
+                    let mut cover = 0u32;
+                    if let Some(label) = fused {
+                        let posts = index.postings(label);
+                        for &p in &scratch.current {
+                            if p < cover {
+                                continue; // nested inside an emitted range
+                            }
+                            let end = index.subtree_end(p);
+                            let lo = posts.partition_point(|&x| x <= p);
+                            for &x in &posts[lo..] {
+                                if x >= end {
+                                    break;
+                                }
+                                scratch.next.push(x);
+                            }
+                            cover = end;
+                        }
+                        i += 1; // the label atom was consumed by the fusion
+                    } else {
+                        for &p in &scratch.current {
+                            if p < cover {
+                                continue;
+                            }
+                            let end = index.subtree_end(p);
+                            scratch.next.extend(p..end);
+                            cover = end;
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.current, &mut scratch.next);
+            i += 1;
+        }
+        out.extend_from_slice(&scratch.current);
+        out.sort_unstable();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compile::PathCompiler;
     use xmlprop_xmltree::sample::fig1;
+    use xmlprop_xmltree::LabelUniverse;
 
     fn p(s: &str) -> PathExpr {
         s.parse().unwrap()
@@ -141,5 +318,108 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Builds a document where NodeId order and document order diverge.
+    fn shuffled_doc() -> Document {
+        let mut doc = Document::new("r");
+        let a1 = doc.add_element(doc.root(), "a");
+        let a2 = doc.add_element(doc.root(), "a");
+        // Appended after a2, but sits under a1 — earlier in document order.
+        let b1 = doc.add_element(a1, "b");
+        doc.add_element(a2, "b");
+        doc.add_element(b1, "c");
+        doc.add_attribute(a1, "x", "late"); // attribute created last of all
+        doc
+    }
+
+    #[test]
+    fn results_are_in_document_order_not_node_id_order() {
+        let doc = shuffled_doc();
+        assert!(!doc.ids_in_document_order());
+        // DFS ranks via the prepared index pin the expected order.
+        let mut u = LabelUniverse::new();
+        let index = DocIndex::build(&doc, &mut u);
+        for expr in ["//b", "//", "a/b", "//@x", "a//c", "//c"] {
+            let nodes = evaluate_from_root(&doc, &p(expr));
+            let ranks: Vec<u32> = nodes.iter().map(|&n| index.position(n)).collect();
+            assert!(
+                ranks.windows(2).all(|w| w[0] < w[1]),
+                "{expr}: {nodes:?} not in document order (ranks {ranks:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_evaluation_agrees_with_the_string_facade() {
+        for doc in [fig1(), shuffled_doc()] {
+            let mut u = LabelUniverse::new();
+            let index = DocIndex::build(&doc, &mut u);
+            let mut scratch = EvalScratch::new();
+            let mut out = Vec::new();
+            for expr in [
+                "ε",
+                "//",
+                "//book",
+                "book",
+                "//book/chapter",
+                "//book//section",
+                "//name",
+                "//chapter/name",
+                "//@number",
+                "//book/@isbn",
+                "book/title/@lang",
+                "//magazine",
+                "a/b",
+                "//b",
+                "//b/c",
+                "a//c",
+                "//@x",
+                "a//",
+                "//a//",
+                "//a//b",
+            ] {
+                let expr = p(expr);
+                let compiled = u.compile(&expr);
+                // Convenience entry point...
+                assert_eq!(
+                    compiled.evaluate(&index, doc.root()),
+                    evaluate_from_root(&doc, &expr),
+                    "{expr}"
+                );
+                // ...and the scratch-reusing core, from every start node.
+                for from in doc.all_nodes() {
+                    compiled.evaluate_positions(
+                        &index,
+                        index.position(from),
+                        &mut scratch,
+                        &mut out,
+                    );
+                    let nodes: Vec<NodeId> = out.iter().map(|&pos| index.node_at(pos)).collect();
+                    assert_eq!(nodes, evaluate(&doc, from, &expr), "{expr} from {from}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_wildcard_materializes_descendants() {
+        let doc = fig1();
+        let mut u = LabelUniverse::new();
+        let index = DocIndex::build(&doc, &mut u);
+        let compiled = u.compile(&p("//book//"));
+        let nodes = compiled.evaluate(&index, doc.root());
+        assert_eq!(nodes, evaluate_from_root(&doc, &p("//book//")));
+        assert!(nodes.len() > 2);
+    }
+
+    #[test]
+    fn unknown_labels_evaluate_to_nothing() {
+        let doc = fig1();
+        let mut u = LabelUniverse::new();
+        let index = DocIndex::build(&doc, &mut u);
+        // Compiled after the index was built: the posting table has no slot.
+        let compiled = u.compile(&p("//nothere/below"));
+        assert!(compiled.evaluate(&index, doc.root()).is_empty());
     }
 }

@@ -20,11 +20,15 @@
 //!   `ρ ∈ P`;
 //! * language **containment** `P ⊑ Q` ([`PathExpr::contained_in`]), the
 //!   workhorse of XML key implication;
-//! * a **compiled layer** ([`LabelUniverse`], [`CompiledExpr`]) that interns
-//!   labels and precomputes the block decomposition so repeated containment
-//!   and word-membership queries are allocation-free id-slice comparisons;
+//! * a **compiled layer** ([`LabelUniverse`] — re-exported from
+//!   `xmlprop_xmltree`, compiled through the [`PathCompiler`] extension
+//!   trait — and [`CompiledExpr`]) that interns labels and precomputes the
+//!   block decomposition so repeated containment and word-membership
+//!   queries are allocation-free id-slice comparisons;
 //! * **evaluation** `n[[P]]` over [`xmlprop_xmltree::Document`]s
-//!   ([`evaluate`] / [`PathExpr::evaluate`]).
+//!   ([`evaluate`] / [`PathExpr::evaluate`]), plus the compiled
+//!   [`CompiledExpr::evaluate`] over a prepared
+//!   [`xmlprop_xmltree::DocIndex`] with reusable [`EvalScratch`] state.
 //!
 //! # Example
 //!
@@ -49,8 +53,8 @@ mod eval;
 mod expr;
 mod path;
 
-pub use compile::{CompiledAtom, CompiledExpr, LabelId, LabelUniverse};
+pub use compile::{CompiledAtom, CompiledExpr, LabelId, LabelUniverse, PathCompiler};
 pub use containment::{contained_in, word_matches};
-pub use eval::{evaluate, evaluate_from_root};
+pub use eval::{evaluate, evaluate_from_root, EvalScratch};
 pub use expr::{Atom, ParsePathError, PathExpr};
 pub use path::Path;

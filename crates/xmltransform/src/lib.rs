@@ -28,7 +28,12 @@
 //! * [`TableTree`] — the tree view used by all the propagation algorithms
 //!   (`parent`, ancestors, `path(y, x)`, depth);
 //! * shredding: [`TableRule::shred`] / [`Transformation::shred`] producing
-//!   [`xmlprop_reldb::Relation`]s / [`xmlprop_reldb::Database`]s;
+//!   [`xmlprop_reldb::Relation`]s / [`xmlprop_reldb::Database`]s (the
+//!   one-shot string walk), and the prepared [`ShredPlan`] /
+//!   [`TransformationPlan`] ([`TableRule::prepare`] /
+//!   [`Transformation::prepare`]) shredding over a
+//!   [`xmlprop_xmltree::DocIndex`] with dense [`VarId`] binding rows and
+//!   memoized `value()` serialization;
 //! * a concise textual syntax ([`Transformation::parse`]) used by examples,
 //!   tests and the workload generator;
 //! * the paper's running transformation (Example 2.4) and universal relation
@@ -38,12 +43,14 @@
 #![warn(missing_docs)]
 
 mod parse;
+mod plan;
 mod rule;
 pub mod sample;
 mod shred;
 mod tree;
 
 pub use parse::{parse_single_rule, ParseRuleError};
+pub use plan::{ShredPlan, ShredScratch, TransformationPlan, VarId};
 pub use rule::{FieldRule, RuleError, TableRule, Transformation, VarMapping, ROOT_VAR};
 pub use shred::count_bindings;
 pub use tree::TableTree;

@@ -259,8 +259,18 @@ impl TableRule {
     /// Shreds a document into an instance of this rule's relation,
     /// following the paper's Section 2 semantics (one tuple per complete
     /// binding, nulls for missing branches).
+    ///
+    /// This is the one-shot string walk; repeated or large-document
+    /// shredding should [`TableRule::prepare`] a [`crate::ShredPlan`] and
+    /// shred over a [`xmlprop_xmltree::DocIndex`].
     pub fn shred(&self, doc: &xmlprop_xmltree::Document) -> xmlprop_reldb::Relation {
         crate::shred::shred_rule(self, doc)
+    }
+
+    /// Compiles this rule into a [`crate::ShredPlan`] against a shared
+    /// label universe (see the plan docs for the preparation contract).
+    pub fn prepare(&self, universe: &mut xmlprop_xmlpath::LabelUniverse) -> crate::ShredPlan {
+        crate::ShredPlan::new(self, universe)
     }
 }
 
@@ -342,12 +352,24 @@ impl Transformation {
     }
 
     /// Shreds a document into a database with one instance per rule.
+    ///
+    /// One-shot string walk; see [`Transformation::prepare`] for the
+    /// prepared counterpart.
     pub fn shred(&self, doc: &xmlprop_xmltree::Document) -> xmlprop_reldb::Database {
         let mut db = xmlprop_reldb::Database::new();
         for rule in &self.rules {
             db.insert(rule.shred(doc));
         }
         db
+    }
+
+    /// Compiles every rule into a [`crate::TransformationPlan`] against a
+    /// shared label universe.
+    pub fn prepare(
+        &self,
+        universe: &mut xmlprop_xmlpath::LabelUniverse,
+    ) -> crate::TransformationPlan {
+        crate::TransformationPlan::new(self, universe)
     }
 }
 

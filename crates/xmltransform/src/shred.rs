@@ -1,4 +1,11 @@
 //! Shredding: evaluating a table rule over a document (Section 2, semantics).
+//!
+//! This is the **string baseline**: variables are resolved through cloned
+//! `BTreeMap` bindings and paths through the string evaluator.  It is what
+//! [`TableRule::shred`] runs for one-shot calls, the oracle the shred-plan
+//! property tests pin the compiled engine against, and the facade side of
+//! the `shred` bench.  Anything that shreds repeatedly — or shreds large
+//! documents — should prepare a [`crate::ShredPlan`] instead.
 
 use crate::rule::TableRule;
 use crate::tree::TableTree;
@@ -75,7 +82,7 @@ pub fn shred_rule(rule: &TableRule, doc: &Document) -> Relation {
                     .field_var(field)
                     .expect("validated rule covers every field");
                 match binding.get(var).copied().flatten() {
-                    Some(node) => Value::Text(field_value(doc, node)),
+                    Some(node) => Value::text(field_value(doc, node)),
                     None => Value::Null,
                 }
             })
@@ -92,7 +99,7 @@ pub fn shred_rule(rule: &TableRule, doc: &Document) -> Relation {
 /// for a `name` element in Example 2.5); elements with attribute or element
 /// children contribute the full pre-order `value()` serialization, as in the
 /// paper's `value(11)` illustration.
-fn field_value(doc: &Document, node: NodeId) -> String {
+pub(crate) fn field_value(doc: &Document, node: NodeId) -> String {
     use xmlprop_xmltree::NodeKind;
     match doc.kind(node) {
         NodeKind::Attribute | NodeKind::Text => doc.value(node),

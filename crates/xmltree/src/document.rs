@@ -16,10 +16,29 @@ use std::fmt;
 ///   [`Document::add_attribute`], [`Document::add_text`]);
 /// * the fluent [`crate::ElementBuilder`];
 /// * [`Document::parse_str`] for textual XML.
+///
+/// # Document order
+///
+/// *Document order* is the DFS pre-order of the tree: a node precedes its
+/// subtree, siblings follow each other in insertion order.  This is the
+/// order [`Document::descendants_or_self`], [`Document::all_nodes`] and
+/// every path-evaluation result use.  **`NodeId` order is not document
+/// order in general**: ids are handed out in creation order, and mutation
+/// may append a child to an *earlier* parent after later siblings exist
+/// (the parser and [`crate::ElementBuilder`] never do, so for documents
+/// built by them the two orders coincide —
+/// [`Document::ids_in_document_order`] reports whether that still holds).
+/// Code that needs document order must rank nodes by DFS position, e.g.
+/// through a [`crate::DocIndex`], not by `NodeId`.
 #[derive(Debug, Clone)]
 pub struct Document {
     nodes: Vec<NodeData>,
     root: NodeId,
+    /// The most recently created node.
+    last: NodeId,
+    /// True while `NodeId` order coincides with document order; see the
+    /// struct docs.
+    id_order: bool,
 }
 
 impl Document {
@@ -29,6 +48,8 @@ impl Document {
         Document {
             nodes: vec![root_data],
             root: NodeId(0),
+            last: NodeId(0),
+            id_order: true,
         }
     }
 
@@ -95,6 +116,25 @@ impl Document {
     /// the order in which they were added or parsed).
     pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         self.data(id).children.iter().copied()
+    }
+
+    /// The children of `id` as a slice (crate-internal: lets the one-pass
+    /// [`crate::DocIndex`] traversal push child frames without an iterator
+    /// per node).
+    pub(crate) fn child_slice(&self, id: NodeId) -> &[NodeId] {
+        &self.data(id).children
+    }
+
+    /// True while `NodeId` order coincides with document order — i.e. every
+    /// node so far was appended under the previously created node or one of
+    /// its ancestors, which is how the parser and [`crate::ElementBuilder`]
+    /// construct documents.  Once mutation appends a child to an earlier
+    /// parent (creating a node whose id is larger than that of a node
+    /// following it in document order) this permanently becomes `false`, and
+    /// document-order consumers must rank nodes by DFS position instead.
+    #[inline]
+    pub fn ids_in_document_order(&self) -> bool {
+        self.id_order
     }
 
     /// Children of `id` carrying a particular label (e.g. `"chapter"` or
@@ -256,8 +296,17 @@ impl Document {
     // ------------------------------------------------------------------
 
     fn push_node(&mut self, data: NodeData) -> NodeId {
+        // NodeId order tracks document order exactly while every new node
+        // goes under the previous node or one of its ancestors (a DFS-style
+        // construction).  Appending anywhere else interleaves the orders.
+        if let Some(parent) = data.parent {
+            if self.id_order && parent != self.last && !self.is_ancestor(parent, self.last) {
+                self.id_order = false;
+            }
+        }
         let id = NodeId(u32::try_from(self.nodes.len()).expect("document too large"));
         self.nodes.push(data);
+        self.last = id;
         id
     }
 
@@ -437,6 +486,27 @@ mod tests {
         let d = tiny();
         let book = d.element_children(d.root()).next().unwrap();
         assert_eq!(d.string_value(book), "XML");
+    }
+
+    #[test]
+    fn id_order_flag_tracks_out_of_order_appends() {
+        // DFS-style construction (parser, builder, straight-line mutation)
+        // keeps NodeId order equal to document order...
+        let mut doc = Document::new("r");
+        let a = doc.add_element(doc.root(), "a");
+        doc.add_attribute(a, "x", "1");
+        let b = doc.add_element(a, "b");
+        doc.add_text(b, "t");
+        doc.add_element(doc.root(), "c"); // parent is an ancestor of `last`
+        assert!(doc.ids_in_document_order());
+        // ...but appending under an earlier, non-ancestor parent splits the
+        // two orders permanently.
+        let late = doc.add_element(a, "late");
+        assert!(!doc.ids_in_document_order());
+        let order = doc.all_nodes();
+        let rank = |n: NodeId| order.iter().position(|&m| m == n).unwrap();
+        assert!(late > *order.last().unwrap());
+        assert!(rank(late) < order.len() - 1, "late precedes c in doc order");
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! `DocIndex` — the prepared form of a document.
+//!
+//! Every string-walking algorithm over a [`Document`] (path evaluation
+//! `n[[P]]`, table-rule shredding, key satisfaction) repeats the same three
+//! pieces of work on every call: comparing labels as strings, re-discovering
+//! subtree extents by stack traversal, and comparing text values as strings.
+//! A `DocIndex` does that work once, in a single DFS pass:
+//!
+//! * every node's label is interned into a shared [`LabelUniverse`] (the
+//!   same universe the compiled path/key layers use, so a compiled
+//!   expression's `LabelId`s compare directly against document nodes);
+//! * nodes are numbered in **document order** (DFS pre-order).  The subtree
+//!   of a node is the contiguous position range `pos..subtree_end(pos)`, so
+//!   *descendants-or-self* is a range scan and any position-sorted result is
+//!   duplicate-free and in document order by construction;
+//! * a label → positions **posting index** lists, in document order, every
+//!   node carrying a given label — the fast path for `//label` steps;
+//! * the text of attribute and text nodes is interned into dense value ids,
+//!   so key-tuple comparisons are integer comparisons instead of
+//!   `Vec<String>` orderings.
+//!
+//! The index borrows nothing: after construction it answers all structural
+//! questions on its own (children, subtrees, labels, value equality).  Only
+//! operations that need actual *strings* — serializing a field value,
+//! reporting a violation — go back to the `Document`, which must be the one
+//! the index was built from (node counts are asserted where cheap; handing
+//! an index a different document is a logic error).
+
+use crate::labels::{LabelId, LabelUniverse};
+use crate::node::NodeKind;
+use crate::{Document, NodeId};
+use std::collections::HashMap;
+
+/// Sentinel for "node carries no text value" (elements).
+const NO_VALUE: u32 = u32::MAX;
+
+/// The prepared form of a [`Document`]; see the module docs.
+#[derive(Debug, Clone)]
+pub struct DocIndex {
+    /// Node arena index → DFS position.
+    dfs_of: Vec<u32>,
+    /// DFS position → node arena index.
+    node_of: Vec<u32>,
+    /// DFS position → exclusive end of the node's subtree range.
+    end_at: Vec<u32>,
+    /// DFS position → interned label.
+    label_at: Vec<LabelId>,
+    /// DFS position → node kind.
+    kind_at: Vec<NodeKind>,
+    /// DFS position → interned text value ([`NO_VALUE`] for elements).
+    value_at: Vec<u32>,
+    /// Label id → DFS positions of nodes carrying it, ascending.
+    postings: Vec<Vec<u32>>,
+    /// Number of distinct text values interned.
+    distinct_values: u32,
+}
+
+impl DocIndex {
+    /// Builds the index in one DFS pass, interning every label of the
+    /// document into `universe`.
+    ///
+    /// Labels already interned (e.g. by compiling a key set or a shred plan
+    /// against the same universe first) keep their ids; ids are append-only,
+    /// so the relative order of preparation does not matter.
+    pub fn build(doc: &Document, universe: &mut LabelUniverse) -> Self {
+        let n = doc.len();
+        let mut dfs_of = vec![0u32; n];
+        let mut node_of = Vec::with_capacity(n);
+        let mut end_at = vec![0u32; n];
+        let mut label_at = Vec::with_capacity(n);
+        let mut kind_at = Vec::with_capacity(n);
+        let mut value_at = Vec::with_capacity(n);
+        let mut postings: Vec<Vec<u32>> = vec![Vec::new(); universe.len()];
+        // Text values are interned through a borrow-only map: the index
+        // stores ids, never copies of the strings.
+        let mut values: HashMap<&str, u32> = HashMap::new();
+
+        enum Frame {
+            Enter(NodeId),
+            Exit(u32),
+        }
+        let mut stack = vec![Frame::Enter(doc.root())];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(node) => {
+                    let pos = node_of.len() as u32;
+                    node_of.push(node.index() as u32);
+                    dfs_of[node.index()] = pos;
+                    let label = universe.intern(doc.label(node));
+                    if postings.len() <= label.index() {
+                        postings.resize(label.index() + 1, Vec::new());
+                    }
+                    postings[label.index()].push(pos);
+                    label_at.push(label);
+                    kind_at.push(doc.kind(node));
+                    value_at.push(match doc.text_value(node) {
+                        Some(text) => {
+                            let fresh = values.len() as u32;
+                            *values.entry(text).or_insert(fresh)
+                        }
+                        None => NO_VALUE,
+                    });
+                    stack.push(Frame::Exit(pos));
+                    for &c in doc.child_slice(node).iter().rev() {
+                        stack.push(Frame::Enter(c));
+                    }
+                }
+                Frame::Exit(pos) => end_at[pos as usize] = node_of.len() as u32,
+            }
+        }
+        // Labels interned after the document's (by later probe compilation)
+        // have empty postings; size the table for everything known now so the
+        // common case is a direct index.
+        postings.resize(universe.len(), Vec::new());
+
+        DocIndex {
+            dfs_of,
+            node_of,
+            end_at,
+            label_at,
+            kind_at,
+            value_at,
+            postings,
+            distinct_values: values.len() as u32,
+        }
+    }
+
+    /// The number of nodes (equals [`Document::len`] of the indexed
+    /// document).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// True if the indexed document contains only its root element.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_of.len() <= 1
+    }
+
+    /// The DFS position (document-order rank) of a node.  The root is
+    /// position 0.
+    #[inline]
+    pub fn position(&self, node: NodeId) -> u32 {
+        self.dfs_of[node.index()]
+    }
+
+    /// The node at a DFS position.
+    #[inline]
+    pub fn node_at(&self, pos: u32) -> NodeId {
+        NodeId::from_index(self.node_of[pos as usize] as usize)
+    }
+
+    /// The exclusive end of the subtree range of the node at `pos`: the
+    /// descendants-or-self of that node are exactly the positions
+    /// `pos..subtree_end(pos)`.
+    #[inline]
+    pub fn subtree_end(&self, pos: u32) -> u32 {
+        self.end_at[pos as usize]
+    }
+
+    /// The label of the node at `pos`.
+    #[inline]
+    pub fn label_at(&self, pos: u32) -> LabelId {
+        self.label_at[pos as usize]
+    }
+
+    /// The kind of the node at `pos`.
+    #[inline]
+    pub fn kind_at(&self, pos: u32) -> NodeKind {
+        self.kind_at[pos as usize]
+    }
+
+    /// The interned text-value id of the node at `pos` (attribute and text
+    /// nodes), or `None` for elements.  Two nodes have equal ids iff their
+    /// text values are equal strings.
+    #[inline]
+    pub fn value_id_at(&self, pos: u32) -> Option<u32> {
+        let v = self.value_at[pos as usize];
+        (v != NO_VALUE).then_some(v)
+    }
+
+    /// The number of distinct text values in the document.
+    pub fn distinct_values(&self) -> usize {
+        self.distinct_values as usize
+    }
+
+    /// The children of the node at `pos`, as DFS positions in document
+    /// order.  Derived from the subtree ranges alone: the first child sits
+    /// at `pos + 1`, each next child at the previous child's subtree end.
+    #[inline]
+    pub fn children_at(&self, pos: u32) -> ChildPositions<'_> {
+        ChildPositions {
+            index: self,
+            next: pos + 1,
+            end: self.subtree_end(pos),
+        }
+    }
+
+    /// The document-order positions of every node labelled `label`
+    /// (ascending; empty for labels the document does not use).
+    #[inline]
+    pub fn postings(&self, label: LabelId) -> &[u32] {
+        self.postings
+            .get(label.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All nodes in document order (the DFS pre-order that
+    /// [`Document::descendants_or_self`] of the root yields).
+    pub fn nodes_in_document_order(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_of.iter().map(|&n| NodeId::from_index(n as usize))
+    }
+}
+
+/// Iterator over the child positions of a node; see
+/// [`DocIndex::children_at`].
+#[derive(Debug, Clone)]
+pub struct ChildPositions<'a> {
+    index: &'a DocIndex,
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for ChildPositions<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.next < self.end {
+            let child = self.next;
+            self.next = self.index.subtree_end(child);
+            Some(child)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ElementBuilder;
+
+    fn tiny() -> Document {
+        ElementBuilder::new("db")
+            .child(
+                ElementBuilder::new("book")
+                    .attr("isbn", "123")
+                    .text_child("title", "XML"),
+            )
+            .child(ElementBuilder::new("book").attr("isbn", "234"))
+            .build()
+    }
+
+    #[test]
+    fn numbering_matches_document_order() {
+        let doc = tiny();
+        let mut u = LabelUniverse::new();
+        let index = DocIndex::build(&doc, &mut u);
+        assert_eq!(index.len(), doc.len());
+        assert!(!index.is_empty());
+        let in_order: Vec<NodeId> = index.nodes_in_document_order().collect();
+        assert_eq!(in_order, doc.all_nodes());
+        for (rank, &node) in in_order.iter().enumerate() {
+            assert_eq!(index.position(node), rank as u32);
+            assert_eq!(index.node_at(rank as u32), node);
+        }
+    }
+
+    #[test]
+    fn numbering_follows_document_order_not_node_ids() {
+        // Mutation can append to an *earlier* parent, splitting NodeId order
+        // from document order; the index must follow document order.
+        let mut doc = Document::new("r");
+        let a = doc.add_element(doc.root(), "a");
+        let b = doc.add_element(doc.root(), "b");
+        let c = doc.add_element(a, "c"); // id 3, but precedes b in doc order
+        let mut u = LabelUniverse::new();
+        let index = DocIndex::build(&doc, &mut u);
+        assert!(index.position(c) < index.position(b));
+        let in_order: Vec<NodeId> = index.nodes_in_document_order().collect();
+        assert_eq!(in_order, vec![doc.root(), a, c, b]);
+        assert_eq!(in_order, doc.all_nodes());
+    }
+
+    #[test]
+    fn subtree_ranges_cover_descendants_or_self() {
+        let doc = tiny();
+        let mut u = LabelUniverse::new();
+        let index = DocIndex::build(&doc, &mut u);
+        for node in doc.all_nodes() {
+            let pos = index.position(node);
+            let range: Vec<NodeId> = (pos..index.subtree_end(pos))
+                .map(|p| index.node_at(p))
+                .collect();
+            assert_eq!(range, doc.descendants_or_self(node), "subtree of {node}");
+        }
+    }
+
+    #[test]
+    fn children_iterate_in_document_order() {
+        let doc = tiny();
+        let mut u = LabelUniverse::new();
+        let index = DocIndex::build(&doc, &mut u);
+        for node in doc.all_nodes() {
+            let pos = index.position(node);
+            let children: Vec<NodeId> = index.children_at(pos).map(|p| index.node_at(p)).collect();
+            let expected: Vec<NodeId> = doc.children(node).collect();
+            assert_eq!(children, expected, "children of {node}");
+        }
+    }
+
+    #[test]
+    fn postings_list_label_occurrences_in_order() {
+        let doc = tiny();
+        let mut u = LabelUniverse::new();
+        let index = DocIndex::build(&doc, &mut u);
+        let book = u.lookup("book").unwrap();
+        let posts = index.postings(book);
+        assert_eq!(posts.len(), 2);
+        assert!(posts.windows(2).all(|w| w[0] < w[1]));
+        for &p in posts {
+            assert_eq!(index.label_at(p), book);
+            assert_eq!(doc.label(index.node_at(p)), "book");
+        }
+        assert!(index.postings(LabelId(9999)).is_empty());
+    }
+
+    #[test]
+    fn value_ids_agree_with_string_equality() {
+        let mut doc = Document::new("r");
+        let a = doc.add_element(doc.root(), "a");
+        doc.add_attribute(a, "x", "same");
+        doc.add_attribute(a, "y", "same");
+        doc.add_attribute(a, "z", "other");
+        doc.add_text(a, "same");
+        let mut u = LabelUniverse::new();
+        let index = DocIndex::build(&doc, &mut u);
+        let ids: Vec<Option<u32>> = doc
+            .all_nodes()
+            .into_iter()
+            .map(|n| index.value_id_at(index.position(n)))
+            .collect();
+        // r, a are elements; @x, @y, @z, text follow in document order.
+        assert_eq!(ids[0], None);
+        assert_eq!(ids[1], None);
+        assert_eq!(ids[2], ids[3], "equal values share an id");
+        assert_ne!(ids[2], ids[4], "distinct values get distinct ids");
+        assert_eq!(ids[2], ids[5], "text and attribute values share the pool");
+        assert_eq!(index.distinct_values(), 2);
+    }
+
+    #[test]
+    fn kinds_are_recorded() {
+        let doc = tiny();
+        let mut u = LabelUniverse::new();
+        let index = DocIndex::build(&doc, &mut u);
+        for node in doc.all_nodes() {
+            assert_eq!(index.kind_at(index.position(node)), doc.kind(node));
+        }
+    }
+
+    #[test]
+    fn prior_interning_is_respected_and_extended() {
+        let doc = tiny();
+        let mut u = LabelUniverse::new();
+        let early = u.intern("book");
+        let probe_only = u.intern("magazine");
+        let index = DocIndex::build(&doc, &mut u);
+        assert_eq!(u.lookup("book"), Some(early));
+        assert_eq!(index.postings(early).len(), 2);
+        assert!(index.postings(probe_only).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Interned node labels: the string ↔ [`LabelId`] table shared by the whole
+//! document pipeline.
+//!
+//! Element tags and attribute names (`@isbn` interns like any label) are
+//! mapped to dense `u32` ids so that every layer above — compiled path
+//! expressions in `xmlprop-xmlpath`, the prepared key index in
+//! `xmlprop-xmlkeys`, shred plans in `xmlprop-xmltransform` — can compare
+//! labels with an integer comparison and index plain vectors.  The table
+//! lives in this crate (rather than the path crate where the compiled
+//! expression layer sits) because [`crate::DocIndex`] stores a `LabelId` per
+//! document node: the document side and the constraint side of the system
+//! must agree on one universe.
+//!
+//! Ids are **append-only**: extending a universe (interning a document after
+//! compiling a key set, or vice versa) never invalidates previously issued
+//! ids, so prepared state built against a prefix of the universe stays
+//! valid.
+
+use std::collections::BTreeMap;
+
+/// An interned node label: an index into a [`LabelUniverse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string ↔ [`LabelId`] interning table for node labels and attribute
+/// names.
+///
+/// Ids are dense (`0..len`), assigned in first-intern order, so they can
+/// index plain vectors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LabelUniverse {
+    names: Vec<String>,
+    attrs: Vec<bool>,
+    ids: BTreeMap<String, LabelId>,
+}
+
+impl LabelUniverse {
+    /// An empty universe.
+    pub fn new() -> Self {
+        LabelUniverse::default()
+    }
+
+    /// The number of interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = LabelId(u32::try_from(self.names.len()).expect("label universe overflow"));
+        self.names.push(name.to_string());
+        self.attrs.push(name.starts_with('@'));
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The id of `name`, if it has been interned.
+    pub fn lookup(&self, name: &str) -> Option<LabelId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this universe (temporary
+    /// scratch ids from [`LabelUniverse::lookup_scratch`] included).
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// All interned names, in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// True if the id names an attribute (`@`-prefixed label).  Scratch ids
+    /// beyond the interned range answer `false`.
+    pub fn is_attr(&self, id: LabelId) -> bool {
+        self.attrs.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// The id of `name` without interning: an interned label keeps its id,
+    /// an unknown one receives a temporary id past the interned range,
+    /// allocated consistently through `scratch` (pass the same map for every
+    /// lookup of one query so that repeated unknown labels agree).
+    pub fn lookup_scratch(&self, name: &str, scratch: &mut BTreeMap<String, LabelId>) -> LabelId {
+        if let Some(id) = self.lookup(name) {
+            return id;
+        }
+        if let Some(&id) = scratch.get(name) {
+            return id;
+        }
+        let id = LabelId(
+            u32::try_from(self.names.len() + scratch.len()).expect("label universe overflow"),
+        );
+        scratch.insert(name.to_string(), id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_round_trips() {
+        let mut u = LabelUniverse::new();
+        let a = u.intern("book");
+        let b = u.intern("@isbn");
+        assert_eq!(u.intern("book"), a);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.name(a), "book");
+        assert_eq!(u.lookup("@isbn"), Some(b));
+        assert_eq!(u.lookup("nope"), None);
+        assert!(!u.is_attr(a));
+        assert!(u.is_attr(b));
+        assert!(!u.is_attr(LabelId(99)));
+        assert_eq!(u.names(), &["book", "@isbn"]);
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn scratch_lookups_are_consistent_and_non_interning() {
+        let mut u = LabelUniverse::new();
+        let known = u.intern("a");
+        let mut scratch = BTreeMap::new();
+        let x1 = u.lookup_scratch("x", &mut scratch);
+        let x2 = u.lookup_scratch("x", &mut scratch);
+        let y = u.lookup_scratch("y", &mut scratch);
+        assert_eq!(u.lookup_scratch("a", &mut scratch), known);
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+        assert!(x1.index() >= u.len() && y.index() >= u.len());
+        assert_eq!(u.len(), 1, "scratch lookups must not intern");
+    }
+}

@@ -23,6 +23,11 @@
 //! * the [`Document::value`] function: the pre-order traversal serialization
 //!   of a subtree that the paper's transformation language uses to populate
 //!   relational fields (Example 2.5);
+//! * the **compiled document engine** substrate: [`LabelUniverse`] (the
+//!   string ↔ [`LabelId`] interning table shared with the compiled path/key
+//!   layers) and [`DocIndex`] (per-node label ids, DFS document-order
+//!   numbering with contiguous subtree ranges, label → nodes postings and
+//!   interned text values, all built in one DFS pass);
 //! * the running example of the paper (Fig. 1) as [`sample::fig1`].
 //!
 //! # Example
@@ -48,6 +53,8 @@
 mod builder;
 mod document;
 mod error;
+mod index;
+mod labels;
 mod node;
 mod parse;
 pub mod sample;
@@ -56,6 +63,8 @@ mod serialize;
 pub use builder::ElementBuilder;
 pub use document::Document;
 pub use error::ParseError;
+pub use index::{ChildPositions, DocIndex};
+pub use labels::{LabelId, LabelUniverse};
 pub use node::{NodeId, NodeKind};
 pub use parse::parse;
 pub use serialize::{to_pretty_xml, to_xml};

@@ -418,6 +418,59 @@ mod tests {
     }
 
     #[test]
+    fn rejects_empty_and_prolog_only_input() {
+        for input in ["", "   \n\t ", "<?xml version=\"1.0\"?>", "<!-- only -->"] {
+            let err = parse(input).unwrap_err();
+            assert!(
+                err.message.contains("expected root element"),
+                "{input:?}: {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unterminated_cdata_pi_and_doctype() {
+        assert!(parse("<r><![CDATA[never closed</r>").is_err());
+        assert!(parse("<?xml never closed").is_err());
+        assert!(parse("<!DOCTYPE db [<!ELEMENT db (x)>").is_err());
+        assert!(parse("<r><?pi never closed</r>").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_attributes() {
+        // Unquoted, missing `=`, unterminated value, bad entity in value.
+        assert!(parse("<r a=1/>").is_err());
+        assert!(parse("<r a \"1\"/>").is_err());
+        assert!(parse("<r a=\"1/>").is_err());
+        assert!(parse("<r a=\"&nope;\"/>").is_err());
+        assert!(parse("<r a=\"&lt\"/>").is_err(), "entity missing semicolon");
+    }
+
+    #[test]
+    fn rejects_bad_character_references() {
+        assert!(parse("<r>&#xZZ;</r>").is_err());
+        assert!(parse("<r>&#abc;</r>").is_err());
+        // 0xD800 is a surrogate, not a valid code point.
+        assert!(parse("<r>&#xD800;</r>").is_err());
+        assert!(parse("<r>&#4294967296;</r>").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_or_broken_names() {
+        assert!(parse("< r/>").is_err(), "space before the name");
+        assert!(parse("<r></>").is_err(), "empty closing name");
+        assert!(parse("<>x</>").is_err(), "empty opening name");
+    }
+
+    #[test]
+    fn rejects_truncated_documents() {
+        for input in ["<a><b></b>", "<a", "<a x", "<a></a", "<a></"] {
+            assert!(parse(input).is_err(), "{input:?} should fail");
+        }
+    }
+
+    #[test]
     fn error_positions_are_reported() {
         let err = parse("<db>\n  <book><title></book>\n</db>").unwrap_err();
         assert_eq!(err.line, 2);

@@ -18,7 +18,8 @@ use std::fs;
 use std::process::ExitCode;
 use xmlprop::core::{minimum_cover, propagation_explained, refine};
 use xmlprop::prelude::*;
-use xmlprop::xmlkeys::{import_xsd_keys, violations};
+use xmlprop::xmlkeys::import_xsd_keys;
+use xmlprop::xmlpath::LabelUniverse;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -101,9 +102,12 @@ fn cmd_validate(args: &[String]) -> Result<bool, String> {
     };
     let doc = Document::parse_str(&read(doc_path)?).map_err(|e| format!("{doc_path}: {e}"))?;
     let keys = load_keys(keys_path)?;
+    // All keys validate against one prepared document index.
+    let mut index = keys.prepare();
+    let doc_index = index.index_document(&doc);
     let mut ok = true;
-    for key in keys.iter() {
-        let broken = violations(&doc, key);
+    for (k, key) in keys.iter().enumerate() {
+        let broken = index.violations_of(k, &doc, &doc_index);
         if broken.is_empty() {
             println!("[ok]   {key}");
         } else {
@@ -199,10 +203,18 @@ fn cmd_shred(args: &[String]) -> Result<bool, String> {
     };
     let doc = Document::parse_str(&read(doc_path)?).map_err(|e| format!("{doc_path}: {e}"))?;
     let t = load_transformation(rules_path)?;
+    // Shred through the prepared plan + document index.
+    let mut universe = LabelUniverse::new();
+    let plan = t.prepare(&mut universe);
+    let doc_index = xmlprop::xmltree::DocIndex::build(&doc, &mut universe);
     match relation {
-        Some(rel) => println!("{}", load_rule(&t, rel)?.shred(&doc)),
+        Some(rel) => {
+            load_rule(&t, rel)?; // keeps the "unknown relation" diagnostics
+            let rule_plan = plan.plan(rel).expect("plan exists for every rule");
+            println!("{}", rule_plan.shred(&doc, &doc_index));
+        }
         None => {
-            for relation in t.shred(&doc).relations() {
+            for relation in plan.shred_all(&doc, &doc_index).relations() {
                 println!("{relation}");
             }
         }

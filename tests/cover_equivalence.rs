@@ -92,6 +92,7 @@ fn everything_derived_is_sound_on_generated_documents() {
                     seed: doc_seed,
                     branching: 3,
                     omission_probability: 0.3,
+                    ..DocConfig::default()
                 },
             );
             assert!(

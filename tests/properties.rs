@@ -12,7 +12,8 @@ use xmlprop::reldb::{
 };
 use xmlprop::workload::{generate, generate_document, DocConfig, WorkloadConfig};
 use xmlprop::xmlkeys::{implies, satisfies, satisfies_all};
-use xmlprop::xmlpath::Atom;
+use xmlprop::xmlpath::{Atom, EvalScratch, LabelUniverse, PathCompiler};
+use xmlprop::xmltree::DocIndex;
 
 // ---------------------------------------------------------------------------
 // Strategies
@@ -255,7 +256,7 @@ proptest! {
         let w = generate(&WorkloadConfig::new(fields, depth, depth + 2).with_seed(seed));
         let doc = generate_document(
             &w,
-            &DocConfig { branching, omission_probability: omit, seed },
+            &DocConfig { branching, omission_probability: omit, seed, ..DocConfig::default() },
         );
         let instance = w.universal.shred(&doc);
         prop_assert_eq!(instance.len(), branching.pow(depth as u32));
@@ -315,6 +316,101 @@ proptest! {
         for (fd, verdict) in probes.iter().zip(&batch) {
             prop_assert_eq!(g.check(fd), *verdict, "GminimumCover disagreement on {}", fd);
         }
+    }
+
+    /// Serialize → parse round-trips on random workload documents, both in
+    /// compact and pretty form: the reparsed tree has the same `value()`
+    /// serialization, the same node count and the same label sequence in
+    /// document order.
+    #[test]
+    fn serialize_parse_roundtrip_on_workload_documents(
+        fields in 4usize..10,
+        depth in 1usize..4,
+        branching in 1usize..4,
+        seed in 0u64..40,
+        omit in prop_oneof![Just(0.0f64), Just(0.4f64)],
+        pretty in prop_oneof![Just(false), Just(true)],
+    ) {
+        let depth = depth.min(fields);
+        let w = generate(&WorkloadConfig::new(fields, depth, depth + 2).with_seed(seed));
+        let doc = generate_document(
+            &w,
+            &DocConfig { branching, omission_probability: omit, seed, ..DocConfig::default() },
+        );
+        let text = if pretty {
+            xmlprop::xmltree::to_pretty_xml(&doc)
+        } else {
+            xmlprop::xmltree::to_xml(&doc)
+        };
+        let reparsed = Document::parse_str(&text).unwrap();
+        prop_assert_eq!(reparsed.len(), doc.len());
+        prop_assert_eq!(reparsed.value(reparsed.root()), doc.value(doc.root()));
+        let labels = |d: &Document| -> Vec<String> {
+            d.all_nodes().into_iter().map(|n| d.label(n).to_string()).collect()
+        };
+        prop_assert_eq!(labels(&reparsed), labels(&doc));
+    }
+
+    /// The compiled document engine agrees with the string facades on
+    /// random workload documents: path evaluation, shredding (whole
+    /// transformation) and key validation are pinned bit-for-bit.
+    #[test]
+    fn document_engine_agrees_with_string_facades_on_workloads(
+        fields in 4usize..10,
+        depth in 1usize..4,
+        extra_keys in 0usize..5,
+        branching in 1usize..4,
+        seed in 0u64..40,
+        omit in prop_oneof![Just(0.0f64), Just(0.3f64)],
+    ) {
+        let depth = depth.min(fields);
+        let w = generate(&WorkloadConfig::new(fields, depth, depth + extra_keys).with_seed(seed));
+        let doc = generate_document(
+            &w,
+            &DocConfig { branching, omission_probability: omit, seed, ..DocConfig::default() },
+        );
+
+        // Shredding: prepared plan == string facade, relation for relation.
+        let mut universe = LabelUniverse::new();
+        let plan = w.universal.prepare(&mut universe);
+        let index = DocIndex::build(&doc, &mut universe);
+        prop_assert_eq!(plan.shred(&doc, &index), w.universal.shred(&doc));
+
+        // Path evaluation: compiled == string, over the rule's own paths
+        // plus wildcard probes, from the root and from every entity node.
+        let mut scratch = EvalScratch::new();
+        let mut out = Vec::new();
+        let tree = w.universal.table_tree();
+        let mut probes: Vec<PathExpr> = tree
+            .variables()
+            .iter()
+            .map(|v| tree.path_from_root(v))
+            .collect();
+        probes.push("//".parse().unwrap());
+        probes.push(format!("//{}", w.level_labels[depth - 1]).parse().unwrap());
+        probes.push(format!("//{}//", w.level_labels[0]).parse().unwrap());
+        for expr in &probes {
+            let compiled = universe.compile(expr);
+            compiled.evaluate_positions(&index, index.position(doc.root()), &mut scratch, &mut out);
+            let engine: Vec<NodeId> = out.iter().map(|&p| index.node_at(p)).collect();
+            prop_assert_eq!(engine, expr.evaluate(&doc, doc.root()), "{}", expr);
+        }
+
+        // Key validation: prepared KeyIndex == string oracle, per key and
+        // for the whole set.
+        let mut key_index = w.sigma.prepare();
+        let key_doc_index = key_index.index_document(&doc);
+        for (k, key) in w.sigma.iter().enumerate() {
+            prop_assert_eq!(
+                key_index.violations_of(k, &doc, &key_doc_index),
+                xmlprop::xmlkeys::violations(&doc, key),
+                "key {}", key
+            );
+        }
+        prop_assert_eq!(
+            key_index.satisfies(&doc, &key_doc_index),
+            satisfies_all(&doc, w.sigma.iter())
+        );
     }
 
     /// The polynomial and exponential minimum-cover algorithms agree on
