@@ -1,0 +1,65 @@
+//! Corpus-pipeline bench: whole-corpus shredding and validation through
+//! one shared [`xmlprop_pipeline::CorpusBundle`] at 1/2/4 worker threads.
+//!
+//! The corpus-shaped companion to the single-document `shred` bench: the
+//! prepared bundle is built once outside the timed region (that is the
+//! deployment model — one schema, many documents), so the measured cost is
+//! pure fan-out + per-document engine time + ordered merge.  Thread-scaling
+//! headroom depends on the host's core count; the wider 1–8-thread sweep
+//! with committed numbers lives in the `corpus` experiment of
+//! `paper_experiments` (tracked as `corpus_*` rows in `BENCH_fig7.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlprop_bench::corpus_setup;
+use xmlprop_pipeline::{CorpusOptions, Jobs};
+
+fn bench_corpus_shred(c: &mut Criterion) {
+    let (bundle, docs, report) = corpus_setup(true);
+    let mut group = c.benchmark_group("corpus_shred");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for jobs in [1usize, 2, 4] {
+        let options = CorpusOptions {
+            jobs: Jobs::new(jobs).unwrap(),
+            shred: true,
+            validate: false,
+            covers: false,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}nodes/{jobs}j", report.total_nodes)),
+            &jobs,
+            |b, _| {
+                b.iter(|| bundle.run(&docs, &options));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_corpus_validate(c: &mut Criterion) {
+    let (bundle, docs, report) = corpus_setup(true);
+    let mut group = c.benchmark_group("corpus_validate");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for jobs in [1usize, 2, 4] {
+        let options = CorpusOptions {
+            jobs: Jobs::new(jobs).unwrap(),
+            shred: false,
+            validate: true,
+            covers: false,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}nodes/{jobs}j", report.total_nodes)),
+            &jobs,
+            |b, _| {
+                b.iter(|| bundle.run(&docs, &options));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus_shred, bench_corpus_validate);
+criterion_main!(benches);

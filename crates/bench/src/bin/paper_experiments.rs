@@ -11,8 +11,9 @@
 //!
 //! Experiments: `fig7a`, `fig7b`, `fig7c`, `large`, `prepared` (the
 //! prepared-engine ablation comparing one-shot facades against prepared
-//! state), and `docs` (the document engine: facade vs prepared shredding
-//! and key validation at 10⁴–10⁶-node documents).
+//! state), `docs` (the document engine: facade vs prepared shredding
+//! and key validation at 10⁴–10⁶-node documents), and `corpus` (the
+//! parallel corpus pipeline at 1/2/4/8 worker threads).
 //!
 //! Results are printed as text tables and also written as JSON files under
 //! `target/paper_experiments/` for archival (EXPERIMENTS.md quotes them).
@@ -20,8 +21,9 @@
 use std::fs;
 use std::path::PathBuf;
 use xmlprop_bench::{
-    docs_experiment, docs_rows, fig7a, fig7a_rows, fig7b, fig7c, large_scale, large_scale_rows,
-    prepared_rows, prepared_speedups, propagation_rows, render_table, Fig7Row,
+    corpus_experiment, corpus_rows, docs_experiment, docs_rows, fig7a, fig7a_rows, fig7b, fig7c,
+    large_scale, large_scale_rows, prepared_rows, prepared_speedups, propagation_rows,
+    render_table, Fig7Row,
 };
 
 fn out_dir() -> PathBuf {
@@ -226,6 +228,44 @@ fn run_docs(quick: bool) -> Vec<Fig7Row> {
     docs_rows(&points)
 }
 
+fn run_corpus(quick: bool) -> Vec<Fig7Row> {
+    println!("== Corpus pipeline: whole-corpus shred / validate vs worker threads ==");
+    println!("   (one shared prepared bundle; outputs asserted equal to sequential)\n");
+    let points = corpus_experiment(quick);
+    let baseline = points[0].clone();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.jobs.to_string(),
+                p.documents.to_string(),
+                p.total_nodes.to_string(),
+                format!("{:.3}", p.shred_ms),
+                format!("{:.2}x", p.shred_speedup_over(&baseline)),
+                format!("{:.3}", p.validate_ms),
+                format!("{:.2}x", p.validate_speedup_over(&baseline)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "jobs",
+                "docs",
+                "nodes",
+                "shred (ms)",
+                "speedup",
+                "validate (ms)",
+                "speedup"
+            ],
+            &rows
+        )
+    );
+    write_json("corpus", &points);
+    corpus_rows(&points)
+}
+
 fn run_large() -> Vec<Fig7Row> {
     println!("== Section 6 in-text large-scale spot checks ==\n");
     let points = large_scale();
@@ -276,6 +316,9 @@ fn main() {
     }
     if run_all || wanted.contains(&"docs") {
         rows.extend(run_docs(quick));
+    }
+    if run_all || wanted.contains(&"corpus") {
+        rows.extend(run_corpus(quick));
     }
     println!("JSON copies written to {}", out_dir().display());
     // The consolidated tracking file is only refreshed by a full run: a

@@ -458,6 +458,159 @@ pub fn docs_experiment(quick: bool) -> Vec<DocPoint> {
         .collect()
 }
 
+/// One measured point of the corpus-pipeline experiment: one thread count,
+/// same corpus, shred-only and validate-only timings.
+#[derive(Debug, Clone, Serialize)]
+pub struct CorpusPoint {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Number of corpus documents.
+    pub documents: usize,
+    /// Total node count across the corpus (the scale parameter; the
+    /// acceptance grid requires ≥100k on the full run).
+    pub total_nodes: usize,
+    /// Whole-corpus shredding time (ms) at this thread count.
+    pub shred_ms: f64,
+    /// Whole-corpus validation time (ms) at this thread count.
+    pub validate_ms: f64,
+    /// Total tuples shredded (identical at every thread count).
+    pub tuples: usize,
+}
+
+impl CorpusPoint {
+    /// Throughput gain of this point over a 1-thread shred baseline.
+    pub fn shred_speedup_over(&self, baseline: &CorpusPoint) -> f64 {
+        baseline.shred_ms / self.shred_ms.max(f64::MIN_POSITIVE)
+    }
+
+    /// Throughput gain of this point over a 1-thread validation baseline.
+    pub fn validate_speedup_over(&self, baseline: &CorpusPoint) -> f64 {
+        baseline.validate_ms / self.validate_ms.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The corpus workload shared by the `corpus` experiment and the `corpus`
+/// Criterion bench: one prepared [`xmlprop_pipeline::CorpusBundle`] plus a
+/// generated corpus (documents satisfy Σ; per-document seeds).  `quick`
+/// shrinks the corpus for the CI smoke run; the full corpus exceeds 100k
+/// total nodes (asserted).
+pub fn corpus_setup(
+    quick: bool,
+) -> (
+    xmlprop_pipeline::CorpusBundle,
+    Vec<xmlprop_xmltree::Document>,
+    xmlprop_workload::CorpusReport,
+) {
+    use xmlprop_workload::{generate_corpus, CorpusConfig};
+    let w = generate(&WorkloadConfig::new(15, 4, 10));
+    let config = CorpusConfig {
+        documents: if quick { 6 } else { 24 },
+        base: DocConfig {
+            branching: 6,
+            omission_probability: 0.1,
+            seed: 23,
+            depth: Some(4),
+        },
+    };
+    let (docs, report) = generate_corpus(&w, &config);
+    if !quick {
+        assert!(
+            report.total_nodes >= 100_000,
+            "full corpus must exceed 100k nodes, got {}",
+            report.total_nodes
+        );
+    }
+    let transformation = {
+        let mut t = xmlprop_xmltransform::Transformation::new(Vec::new());
+        t.add_rule(w.universal.clone());
+        t
+    };
+    let bundle = xmlprop_pipeline::CorpusBundle::new(w.sigma.clone(), transformation);
+    (bundle, docs, report)
+}
+
+/// The `corpus` experiment: whole-corpus shredding and validation
+/// throughput at 1/2/4/8 worker threads over one shared prepared bundle.
+///
+/// Shred-only and validate-only runs are timed separately (best-of-`reps`)
+/// so each `BENCH_fig7.json` row isolates one pipeline stage; every
+/// thread count's full output is asserted bit-for-bit equal to the
+/// sequential facade before anything is recorded.  Scaling beyond the
+/// machine's core count is bounded by hardware: the committed rows record
+/// whatever the benchmark host provides (CI and laptops differ), which is
+/// exactly why the thread count is the row's `n`.
+pub fn corpus_experiment(quick: bool) -> Vec<CorpusPoint> {
+    use xmlprop_pipeline::{CorpusOptions, Jobs};
+    let (bundle, docs, report) = corpus_setup(quick);
+    let reps = if quick { 1 } else { 3 };
+
+    let reference = bundle.run_sequential(&docs, &CorpusOptions::default());
+    let job_grid: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    job_grid
+        .iter()
+        .map(|&jobs| {
+            let shred_only = CorpusOptions {
+                jobs: Jobs::new(jobs).expect("grid thread counts are valid"),
+                shred: true,
+                validate: false,
+                covers: false,
+            };
+            let validate_only = CorpusOptions {
+                shred: false,
+                validate: true,
+                ..shred_only.clone()
+            };
+            let (shred_ms, shredded) = time_best_of(reps, || bundle.run(&docs, &shred_only));
+            let (validate_ms, validated) = time_best_of(reps, || bundle.run(&docs, &validate_only));
+            // Equivalence gate: the parallel merge must reproduce the
+            // sequential result exactly, whatever the completion order.
+            assert_eq!(reference.documents.len(), shredded.documents.len());
+            assert_eq!(reference.documents.len(), validated.documents.len());
+            for (i, (seq, shred)) in reference
+                .documents
+                .iter()
+                .zip(&shredded.documents)
+                .enumerate()
+            {
+                assert_eq!(seq.database, shred.database, "doc {i} at jobs={jobs}");
+            }
+            for (i, (seq, val)) in reference
+                .documents
+                .iter()
+                .zip(&validated.documents)
+                .enumerate()
+            {
+                assert_eq!(seq.violations, val.violations, "doc {i} at jobs={jobs}");
+            }
+            assert_eq!(
+                validated.stats.violations, 0,
+                "generated corpora satisfy their own Σ"
+            );
+            CorpusPoint {
+                jobs,
+                documents: report.documents,
+                total_nodes: report.total_nodes,
+                shred_ms,
+                validate_ms,
+                tuples: shredded.stats.tuples,
+            }
+        })
+        .collect()
+}
+
+/// Consolidates corpus-pipeline points into [`Fig7Row`]s, two per point
+/// (`corpus_shred` and `corpus_validate`), with `n` the **thread count**
+/// (the corpus itself is fixed per run; its size is in the experiment
+/// JSON).
+pub fn corpus_rows(points: &[CorpusPoint]) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for p in points {
+        rows.push(Fig7Row::new("corpus_shred", p.jobs, p.shred_ms));
+        rows.push(Fig7Row::new("corpus_validate", p.jobs, p.validate_ms));
+    }
+    rows
+}
+
 /// Consolidates document-engine points into [`Fig7Row`]s, five per point
 /// (`docs_{index_build, shred_facade, shred_prepared, validate_facade,
 /// validate_prepared}`), with `n` the exact node count.
@@ -707,6 +860,28 @@ mod tests {
         assert_eq!(rows[3].bench, "docs_validate_facade");
         assert_eq!(rows[4].bench, "docs_validate_prepared");
         assert!(rows.iter().all(|r| r.n == points[0].nodes));
+    }
+
+    #[test]
+    fn corpus_experiment_runs_and_rows_cover_it() {
+        // The quick grid: 6 documents at jobs 1 and 2; the function itself
+        // asserts bit-for-bit parallel/sequential agreement per document.
+        let points = corpus_experiment(true);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].jobs, 1);
+        assert_eq!(points[1].jobs, 2);
+        assert_eq!(points[0].documents, 6);
+        assert!(points[0].total_nodes > 10_000);
+        assert!(points[0].tuples > 0);
+        assert_eq!(points[0].tuples, points[1].tuples);
+        assert!(points[1].shred_speedup_over(&points[0]) > 0.0);
+        assert!(points[1].validate_speedup_over(&points[0]) > 0.0);
+        let rows = corpus_rows(&points);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].bench, "corpus_shred");
+        assert_eq!(rows[1].bench, "corpus_validate");
+        assert_eq!(rows[0].n, 1);
+        assert_eq!(rows[2].n, 2);
     }
 
     #[test]

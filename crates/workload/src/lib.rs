@@ -20,16 +20,21 @@
 //! It also provides a document generator ([`generate_document`]) that
 //! produces XML trees *satisfying* the generated key set, which the property
 //! tests use to check soundness of the propagation algorithms end to end,
-//! and a raw FD-set generator ([`generate_fds`]) producing the 10³–10⁴-FD
-//! inputs of the relational closure/minimum-cover benchmarks.
+//! a corpus generator ([`generate_corpus`]) materializing many such
+//! documents with per-document seeds (the input of the parallel corpus
+//! pipeline and its benches), and a raw FD-set generator
+//! ([`generate_fds`]) producing the 10³–10⁴-FD inputs of the relational
+//! closure/minimum-cover benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod corpus;
 mod docs;
 mod fdsynth;
 mod synth;
 
+pub use corpus::{corpus_doc_config, generate_corpus, CorpusConfig, CorpusReport};
 pub use docs::{generate_document, generate_document_with_report, DocConfig, DocReport};
 pub use fdsynth::{closure_seed, generate_fds, FdSetConfig};
 pub use synth::{generate, random_fd, target_fd, Workload, WorkloadConfig};

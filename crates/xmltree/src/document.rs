@@ -30,7 +30,11 @@ use std::fmt;
 /// [`Document::ids_in_document_order`] reports whether that still holds).
 /// Code that needs document order must rank nodes by DFS position, e.g.
 /// through a [`crate::DocIndex`], not by `NodeId`.
-#[derive(Debug, Clone)]
+/// Equality is *structural identity* of the arenas (same nodes, same ids,
+/// same child order) — what the corpus-generation reproducibility tests
+/// compare; two structurally equal trees built in different insertion
+/// orders may compare unequal.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Document {
     nodes: Vec<NodeData>,
     root: NodeId,

@@ -75,7 +75,7 @@ impl NodeKind {
 }
 
 /// Internal arena record for one node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct NodeData {
     pub(crate) kind: NodeKind,
     /// Element tag name, or attribute name **including** the leading `@`.

@@ -1,0 +1,67 @@
+-- minimum cover of the propagated dependencies
+--   bookIsbn -> bookTitle
+--   bookIsbn -> authContact
+--   bookIsbn, chapNum -> chapName
+--   bookIsbn, chapNum, secNum -> secName
+
+-- BCNF decomposition
+CREATE TABLE U_1 (
+    bookAuthor TEXT,
+    bookIsbn TEXT,
+    chapNum TEXT,
+    secNum TEXT,
+    PRIMARY KEY (bookAuthor, bookIsbn, chapNum, secNum)
+);
+
+CREATE TABLE U_2 (
+    bookIsbn TEXT,
+    chapNum TEXT,
+    secName TEXT,
+    secNum TEXT,
+    PRIMARY KEY (bookIsbn, chapNum, secNum)
+);
+
+CREATE TABLE U_3 (
+    bookIsbn TEXT,
+    chapName TEXT,
+    chapNum TEXT,
+    PRIMARY KEY (bookIsbn, chapNum)
+);
+
+CREATE TABLE U_4 (
+    authContact TEXT,
+    bookIsbn TEXT,
+    bookTitle TEXT,
+    PRIMARY KEY (bookIsbn)
+);
+
+-- 3NF synthesis
+CREATE TABLE U_1 (
+    bookIsbn TEXT,
+    chapNum TEXT,
+    secName TEXT,
+    secNum TEXT,
+    PRIMARY KEY (bookIsbn, chapNum, secNum)
+);
+
+CREATE TABLE U_2 (
+    bookAuthor TEXT,
+    bookIsbn TEXT,
+    chapNum TEXT,
+    secNum TEXT,
+    PRIMARY KEY (bookAuthor, bookIsbn, chapNum, secNum)
+);
+
+CREATE TABLE U_3 (
+    authContact TEXT,
+    bookIsbn TEXT,
+    bookTitle TEXT,
+    PRIMARY KEY (bookIsbn)
+);
+
+CREATE TABLE U_4 (
+    bookIsbn TEXT,
+    chapName TEXT,
+    chapNum TEXT,
+    PRIMARY KEY (bookIsbn, chapNum)
+);

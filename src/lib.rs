@@ -18,7 +18,9 @@
 //!   `minimum_cover`, `GminimumCover`, and the end-to-end schema refinement
 //!   pipeline;
 //! * [`workload`] — synthetic generators reproducing the experimental setup
-//!   of Section 6.
+//!   of Section 6;
+//! * [`pipeline`] — the parallel corpus pipeline: one shared prepared
+//!   bundle, many documents fanned out over worker threads.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `EXPERIMENTS.md` for the reproduction of the paper's evaluation.
@@ -26,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub use xmlprop_core as core;
+pub use xmlprop_pipeline as pipeline;
 pub use xmlprop_reldb as reldb;
 pub use xmlprop_workload as workload;
 pub use xmlprop_xmlkeys as xmlkeys;
@@ -39,6 +42,7 @@ pub mod prelude {
         minimum_cover, naive_minimum_cover, propagate_all, propagation, GMinimumCover,
         PropagationEngine, PropagationOutcome, RefinedDesign,
     };
+    pub use xmlprop_pipeline::{CorpusBundle, CorpusOptions, CorpusResult, Jobs};
     pub use xmlprop_reldb::{Fd, Relation, RelationSchema, Value};
     pub use xmlprop_xmlkeys::{KeySet, XmlKey};
     pub use xmlprop_xmlpath::{Path, PathExpr};

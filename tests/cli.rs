@@ -131,4 +131,207 @@ fn help_prints_usage() {
     let out = run(&["help"]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("USAGE"));
+    assert!(stdout(&out).contains("--jobs"));
+}
+
+// ---------------------------------------------------------------------
+// Batch (corpus-directory) modes
+// ---------------------------------------------------------------------
+
+/// A scratch corpus directory, removed on drop.
+struct CorpusDir(std::path::PathBuf);
+
+impl CorpusDir {
+    fn new(test: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("xmlprop-cli-{test}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create corpus dir");
+        CorpusDir(dir)
+    }
+
+    fn write(&self, name: &str, content: &str) {
+        std::fs::write(self.0.join(name), content).expect("write corpus file");
+    }
+
+    fn copy_fig1(&self, name: &str) {
+        let fig1 = format!("{}/examples/data/fig1.xml", env!("CARGO_MANIFEST_DIR"));
+        std::fs::copy(fig1, self.0.join(name)).expect("copy fig1");
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().unwrap()
+    }
+}
+
+impl Drop for CorpusDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn batch_validate_processes_a_directory() {
+    let dir = CorpusDir::new("batch-validate");
+    dir.copy_fig1("a.xml");
+    dir.copy_fig1("b.xml");
+    let out = run(&[
+        "validate",
+        "--jobs",
+        "2",
+        dir.path(),
+        "examples/data/book_keys.txt",
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("[ok]   a.xml"));
+    assert!(text.contains("[ok]   b.xml"));
+    assert!(text.contains("2 documents: 2 ok"));
+}
+
+#[test]
+fn batch_validate_reports_malformed_files_and_keeps_going() {
+    let dir = CorpusDir::new("batch-validate-malformed");
+    dir.copy_fig1("a.xml");
+    dir.write("broken.xml", "<unclosed");
+    dir.copy_fig1("z.xml");
+    let out = run(&[
+        "validate",
+        "--jobs=2",
+        dir.path(),
+        "examples/data/book_keys.txt",
+    ]);
+    // The malformed file makes the batch fail overall (exit 1, not the
+    // usage-error 2) but every other file is still processed.
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("[ok]   a.xml"));
+    assert!(text.contains("[ok]   z.xml"));
+    assert!(
+        text.contains("[SKIP] broken.xml:"),
+        "the failing file must be named: {text}"
+    );
+    assert!(text.contains("1 unparseable"));
+}
+
+#[test]
+fn batch_validate_flags_violating_documents_by_name() {
+    let dir = CorpusDir::new("batch-validate-violations");
+    dir.copy_fig1("good.xml");
+    dir.write("dup.xml", r#"<db><book isbn="1"/><book isbn="1"/></db>"#);
+    let out = run(&["validate", dir.path(), "examples/data/book_keys.txt"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("[FAIL] dup.xml"));
+    assert!(text.contains("[ok]   good.xml"));
+}
+
+#[test]
+fn batch_shred_reports_per_file_tuple_counts() {
+    let dir = CorpusDir::new("batch-shred");
+    dir.copy_fig1("a.xml");
+    dir.copy_fig1("b.xml");
+    let out = run(&[
+        "shred",
+        "--jobs",
+        "2",
+        dir.path(),
+        "examples/data/book_rules.txt",
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("a.xml: "));
+    assert!(text.contains("b.xml: "));
+    assert!(text.contains("book: 2"));
+    assert!(text.contains("2 documents shredded"));
+}
+
+#[test]
+fn batch_shred_with_a_relation_filter_counts_only_that_relation() {
+    let dir = CorpusDir::new("batch-shred-filter");
+    dir.copy_fig1("a.xml");
+    let out = run(&[
+        "shred",
+        dir.path(),
+        "examples/data/book_rules.txt",
+        "chapter",
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let text = stdout(&out);
+    // Only the requested relation is shredded and counted: fig1 has 3
+    // chapter tuples, and the summary total must agree with the per-file
+    // line instead of summing relations the user filtered out.
+    assert!(text.contains("a.xml: chapter: 3"), "{text}");
+    assert!(!text.contains("book:"), "{text}");
+    assert!(text.contains("3 tuples total"), "{text}");
+
+    let unknown = run(&["shred", dir.path(), "examples/data/book_rules.txt", "nope"]);
+    assert_eq!(unknown.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("no rule for relation"));
+}
+
+#[test]
+fn batch_over_an_empty_directory_is_a_clean_no_op() {
+    let dir = CorpusDir::new("batch-empty");
+    let out = run(&["validate", dir.path(), "examples/data/book_keys.txt"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("no *.xml documents"));
+    let out = run(&["shred", dir.path(), "examples/data/book_rules.txt"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("no *.xml documents"));
+}
+
+#[test]
+fn jobs_zero_is_rejected_with_a_clear_error() {
+    let dir = CorpusDir::new("jobs-zero");
+    dir.copy_fig1("a.xml");
+    let out = run(&[
+        "validate",
+        "--jobs",
+        "0",
+        dir.path(),
+        "examples/data/book_keys.txt",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        err.contains("--jobs") && err.contains("at least 1"),
+        "unhelpful error: {err}"
+    );
+}
+
+#[test]
+fn jobs_on_a_single_document_is_noted_not_ignored() {
+    let out = run(&[
+        "validate",
+        "--jobs",
+        "4",
+        "examples/data/fig1.xml",
+        "examples/data/book_keys.txt",
+    ]);
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--jobs only affects directory batches"),
+        "silently ignoring --jobs misleads users about parallelism"
+    );
+}
+
+#[test]
+fn absurd_jobs_values_are_rejected_with_a_clear_error() {
+    let dir = CorpusDir::new("jobs-absurd");
+    dir.copy_fig1("a.xml");
+    for bad in ["100000", "banana", "-3"] {
+        let out = run(&[
+            "shred",
+            "--jobs",
+            bad,
+            dir.path(),
+            "examples/data/book_rules.txt",
+        ]);
+        assert_eq!(out.status.code(), Some(2), "--jobs {bad} must be rejected");
+        let err = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(
+            err.contains("exceeds the maximum") || err.contains("positive integer"),
+            "unhelpful error for --jobs {bad}: {err}"
+        );
+    }
 }
