@@ -12,8 +12,10 @@
 //! Experiments: `fig7a`, `fig7b`, `fig7c`, `large`, `prepared` (the
 //! prepared-engine ablation comparing one-shot facades against prepared
 //! state), `docs` (the document engine: facade vs prepared shredding
-//! and key validation at 10⁴–10⁶-node documents), and `corpus` (the
-//! parallel corpus pipeline at 1/2/4/8 worker threads).
+//! and key validation at 10⁴–10⁶-node documents), `corpus` (the
+//! parallel corpus pipeline at 1/2/4/8 worker threads), and `serve`
+//! (the resident constraint server: validate requests/sec at 1/2/4/8
+//! client threads against one shared hot-swappable bundle).
 //!
 //! Results are printed as text tables and also written as JSON files under
 //! `target/paper_experiments/` for archival (EXPERIMENTS.md quotes them).
@@ -23,7 +25,7 @@ use std::path::PathBuf;
 use xmlprop_bench::{
     corpus_experiment, corpus_rows, docs_experiment, docs_rows, fig7a, fig7a_rows, fig7b, fig7c,
     large_scale, large_scale_rows, prepared_rows, prepared_speedups, propagation_rows,
-    render_table, Fig7Row,
+    render_table, serve_experiment, serve_rows, Fig7Row,
 };
 
 fn out_dir() -> PathBuf {
@@ -266,6 +268,33 @@ fn run_corpus(quick: bool) -> Vec<Fig7Row> {
     corpus_rows(&points)
 }
 
+fn run_serve(quick: bool) -> Vec<Fig7Row> {
+    println!("== Resident server: validate requests/sec vs client threads ==");
+    println!("   (one shared bundle behind the swap cell; every response byte-checked)\n");
+    let points = serve_experiment(quick);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.client_threads.to_string(),
+                p.requests.to_string(),
+                p.documents.to_string(),
+                format!("{:.3}", p.elapsed_ms),
+                format!("{:.0}", p.requests_per_sec),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["clients", "requests", "docs", "elapsed (ms)", "req/s"],
+            &rows
+        )
+    );
+    write_json("serve", &points);
+    serve_rows(&points)
+}
+
 fn run_large() -> Vec<Fig7Row> {
     println!("== Section 6 in-text large-scale spot checks ==\n");
     let points = large_scale();
@@ -319,6 +348,9 @@ fn main() {
     }
     if run_all || wanted.contains(&"corpus") {
         rows.extend(run_corpus(quick));
+    }
+    if run_all || wanted.contains(&"serve") {
+        rows.extend(run_serve(quick));
     }
     println!("JSON copies written to {}", out_dir().display());
     // The consolidated tracking file is only refreshed by a full run: a

@@ -611,6 +611,119 @@ pub fn corpus_rows(points: &[CorpusPoint]) -> Vec<Fig7Row> {
     rows
 }
 
+/// One measured point of the `serve` experiment: N client threads issuing
+/// validate requests against one resident server.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServePoint {
+    /// Concurrent client connections driving requests.
+    pub client_threads: usize,
+    /// Total requests completed across all clients.
+    pub requests: usize,
+    /// Distinct documents round-robined across the requests.
+    pub documents: usize,
+    /// Wall-clock time (ms) from first send to last response.
+    pub elapsed_ms: f64,
+    /// Aggregate throughput, `requests / elapsed`.
+    pub requests_per_sec: f64,
+}
+
+/// The `serve` experiment: aggregate request throughput of the resident
+/// server at 1/2/4/8 concurrent client connections (1/2 under `quick`),
+/// over a real TCP loopback session per client.
+///
+/// Every served response is asserted byte-equal to the sequential
+/// renderer's output for the same document *before* any timing is
+/// recorded — the concurrent server must agree with the one-shot path
+/// exactly, whatever interleaving the gate produces.
+pub fn serve_experiment(quick: bool) -> Vec<ServePoint> {
+    use xmlprop_pipeline::{Jobs, PreparedState};
+    use xmlprop_server::{render, Client, Request, Server};
+    let (bundle, docs, _report) = corpus_setup(quick);
+    let doc_texts: Vec<String> = docs.iter().take(4).map(xmlprop_xmltree::to_xml).collect();
+    // The sequential reference: what a one-shot run prints per document.
+    let expected: Vec<String> = {
+        let mut scratch = bundle.scratch();
+        doc_texts
+            .iter()
+            .map(|text| {
+                let doc = xmlprop_xmltree::Document::parse_str(text)
+                    .expect("serialized corpus documents reparse");
+                render::validate_report(&bundle, &doc, &mut scratch).1
+            })
+            .collect()
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        bundle,
+        Jobs::new(8).expect("8 is a valid thread count"),
+    )
+    .expect("loopback bind");
+    let addr = server.local_addr();
+    let grid: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let total_requests = if quick { 24 } else { 240 };
+    let points = grid
+        .iter()
+        .map(|&threads| {
+            let per_thread = total_requests / threads;
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let doc_texts = &doc_texts;
+                        let expected = &expected;
+                        scope.spawn(move || {
+                            let mut client = Client::connect(addr).expect("loopback connect");
+                            for i in 0..per_thread {
+                                let j = (t + i) % doc_texts.len();
+                                let resp = client
+                                    .send(&Request::Validate {
+                                        document: doc_texts[j].clone(),
+                                    })
+                                    .expect("request round-trip");
+                                assert_eq!(
+                                    resp.payload, expected[j],
+                                    "served response must equal the sequential renderer output"
+                                );
+                            }
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    handle.join().expect("client thread");
+                }
+            });
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            let requests = per_thread * threads;
+            ServePoint {
+                client_threads: threads,
+                requests,
+                documents: doc_texts.len(),
+                elapsed_ms,
+                requests_per_sec: requests as f64 / (elapsed_ms / 1e3),
+            }
+        })
+        .collect();
+    server.shutdown();
+    points
+}
+
+/// Consolidates serve points into [`Fig7Row`]s (`serve_requests_per_sec`),
+/// with `n` the **client thread count** and `seconds` the mean seconds per
+/// request (throughput is its reciprocal), keeping the shared
+/// `BENCH_fig7.json` row schema.
+pub fn serve_rows(points: &[ServePoint]) -> Vec<Fig7Row> {
+    points
+        .iter()
+        .map(|p| {
+            Fig7Row::new(
+                "serve_requests_per_sec",
+                p.client_threads,
+                p.elapsed_ms / p.requests as f64,
+            )
+        })
+        .collect()
+}
+
 /// Consolidates document-engine points into [`Fig7Row`]s, five per point
 /// (`docs_{index_build, shred_facade, shred_prepared, validate_facade,
 /// validate_prepared}`), with `n` the exact node count.

@@ -74,6 +74,15 @@ impl PropagationEngine {
         Self::from_owned(sigma.clone(), rule.clone())
     }
 
+    /// The `prepare`-shaped constructor, matching
+    /// [`xmlprop_xmlkeys::KeySet::prepare`] and
+    /// [`xmlprop_xmltransform::Transformation::prepare`]: every compiled
+    /// layer spells its one-time preparation the same way.  Identical to
+    /// [`PropagationEngine::new`].
+    pub fn prepare(sigma: &KeySet, rule: &TableRule) -> Self {
+        Self::new(sigma, rule)
+    }
+
     /// Like [`PropagationEngine::new`] but takes ownership of the key set
     /// and rule, avoiding the clones.
     pub fn from_owned(sigma: KeySet, rule: TableRule) -> Self {

@@ -21,11 +21,14 @@
 //! hold node ids and names), which is what makes the parallel run
 //! bit-for-bit equal to the sequential one.
 
+use crate::run::{CorpusOptions, DocOutcome};
+use crate::state::RequestScratch;
 use xmlprop_core::PropagationEngine;
-use xmlprop_reldb::Fd;
+use xmlprop_reldb::{Database, Fd};
 use xmlprop_xmlkeys::{KeyIndex, KeySet};
 use xmlprop_xmlpath::LabelUniverse;
 use xmlprop_xmltransform::{Transformation, TransformationPlan};
+use xmlprop_xmltree::Document;
 
 /// One rule's propagated minimum cover, by relation name.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +77,16 @@ impl CorpusBundle {
         }
     }
 
+    /// The `prepare`-shaped constructor, matching
+    /// [`xmlprop_xmlkeys::KeySet::prepare`],
+    /// [`xmlprop_xmltransform::Transformation::prepare`] and
+    /// [`PropagationEngine::prepare`]: every compiled layer spells its
+    /// one-time preparation the same way.  Identical to
+    /// [`CorpusBundle::new`].
+    pub fn prepare(sigma: KeySet, transformation: Transformation) -> Self {
+        CorpusBundle::new(sigma, transformation)
+    }
+
     /// A validation-only bundle (no transformation): batch key checking.
     pub fn for_validation(sigma: KeySet) -> Self {
         CorpusBundle::new(sigma, Transformation::new(Vec::new()))
@@ -120,6 +133,51 @@ impl CorpusBundle {
     /// docs for why clones do not affect outputs).
     pub fn worker_universe(&self) -> LabelUniverse {
         self.universe.clone()
+    }
+
+    /// Processes one document against the bundle's prepared state: builds
+    /// a [`xmlprop_xmltree::DocIndex`] in the scratch's private universe,
+    /// then shreds and/or validates per `options`.  This is the
+    /// per-request unit both the corpus runner's workers and the resident
+    /// server's connection handlers drive; everything touched through
+    /// `&self` is read-only, everything mutable lives in `scratch`.
+    pub fn process(
+        &self,
+        doc: &Document,
+        scratch: &mut RequestScratch,
+        options: &CorpusOptions,
+    ) -> DocOutcome {
+        if !options.shred && !options.validate {
+            // Covers are document-independent; with both per-document tasks
+            // off there is nothing to index.
+            return DocOutcome {
+                database: Database::new(),
+                violations: Vec::new(),
+                nodes: doc.len(),
+                tuples: 0,
+            };
+        }
+        let index = scratch.index_document(doc);
+        let mut database = Database::new();
+        if options.shred {
+            // The value() memo is per-document; evaluation buffers survive.
+            scratch.shred.reset();
+            for plan in self.plan.plans() {
+                database.insert(plan.shred_with(doc, &index, &mut scratch.shred));
+            }
+        }
+        let violations = if options.validate {
+            self.keys.violations(doc, &index)
+        } else {
+            Vec::new()
+        };
+        let tuples = database.relations().map(|r| r.len()).sum();
+        DocOutcome {
+            database,
+            violations,
+            nodes: doc.len(),
+            tuples,
+        }
     }
 
     /// The propagated minimum cover of every rule, in rule order — the

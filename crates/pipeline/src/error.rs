@@ -1,0 +1,234 @@
+//! The workspace error type: one enum, one exit-code table, one wire-code
+//! table.
+//!
+//! Before this module every layer grew its own `Result<_, String>` surface
+//! (the CLI assembled ad-hoc strings, [`crate::Jobs::new`] returned a bare
+//! `String`, the parsers each had private error structs that callers
+//! flattened with `to_string()`).  [`Error`] replaces those surfaces with a
+//! single enum whose *kind* carries the classification every consumer
+//! needs:
+//!
+//! * the CLI maps an error to its process exit code through
+//!   [`ErrorKind::exit_code`] — the same table for every subcommand,
+//!   including `serve`;
+//! * the server's wire protocol maps an error to its `err <code> …`
+//!   response line through [`ErrorKind::wire_code`] — so a scripted client
+//!   session and a CLI invocation report the same failure the same way.
+//!
+//! The variants hold preformatted human-readable messages (the typed part
+//! is the *kind*, which is what the two tables key on); the one structured
+//! variant, [`Error::UnknownRelation`], keeps its fields because callers
+//! render the candidate list in context.
+
+use std::fmt;
+
+/// The classification of an [`Error`] — the key into the exit-code and
+/// wire-code tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// A malformed command line or request (wrong arity, unknown option).
+    Usage,
+    /// An I/O failure (unreadable file, socket error).
+    Io,
+    /// A parse failure in any of the input languages (documents, key
+    /// files, rule files, FDs).
+    Parse,
+    /// An invalid worker-thread count.
+    Jobs,
+    /// A relation name that no rule of the transformation populates.
+    UnknownRelation,
+    /// A malformed or oversized wire request (server protocol framing).
+    Protocol,
+}
+
+impl ErrorKind {
+    /// Every kind, in wire-code order (exercised by the table tests).
+    pub const ALL: [ErrorKind; 6] = [
+        ErrorKind::Usage,
+        ErrorKind::Io,
+        ErrorKind::Parse,
+        ErrorKind::Jobs,
+        ErrorKind::UnknownRelation,
+        ErrorKind::Protocol,
+    ];
+
+    /// The stable `err <code> …` token the server protocol reports this
+    /// kind as.
+    pub fn wire_code(self) -> &'static str {
+        match self {
+            ErrorKind::Usage => "usage",
+            ErrorKind::Io => "io",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Jobs => "jobs",
+            ErrorKind::UnknownRelation => "relation",
+            ErrorKind::Protocol => "protocol",
+        }
+    }
+
+    /// The stable process exit code the CLI maps this kind to.  Exit code
+    /// 1 is *not* in this table: it reports a domain verdict (violations
+    /// found, FD not propagated, files skipped), not an error.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::Usage => 2,
+            ErrorKind::Io => 2,
+            ErrorKind::Parse => 2,
+            ErrorKind::Jobs => 2,
+            ErrorKind::UnknownRelation => 2,
+            ErrorKind::Protocol => 2,
+        }
+    }
+}
+
+/// The workspace error; see the module docs.  Constructed through the
+/// kind-named helpers ([`Error::usage`], [`Error::io`], …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A malformed command line or request.
+    Usage(String),
+    /// An I/O failure, message includes the path or peer.
+    Io(String),
+    /// A parse failure, message includes the input's origin.
+    Parse(String),
+    /// An invalid worker-thread count.
+    Jobs(String),
+    /// A relation no rule populates, plus the known relation names.
+    UnknownRelation {
+        /// The relation that was asked for.
+        relation: String,
+        /// The relations the transformation does populate, in rule order.
+        known: Vec<String>,
+    },
+    /// A malformed or oversized wire request.
+    Protocol(String),
+}
+
+impl Error {
+    /// A [`ErrorKind::Usage`] error.
+    pub fn usage(message: impl Into<String>) -> Self {
+        Error::Usage(message.into())
+    }
+
+    /// A [`ErrorKind::Io`] error.
+    pub fn io(message: impl Into<String>) -> Self {
+        Error::Io(message.into())
+    }
+
+    /// A [`ErrorKind::Io`] error for an unreadable file, in the phrasing
+    /// every subcommand uses.
+    pub fn read(path: &str, cause: impl fmt::Display) -> Self {
+        Error::Io(format!("cannot read `{path}`: {cause}"))
+    }
+
+    /// A [`ErrorKind::Parse`] error; `origin` names the input (a path, a
+    /// `path:line`, or a protocol body name).
+    pub fn parse(origin: &str, cause: impl fmt::Display) -> Self {
+        Error::Parse(format!("{origin}: {cause}"))
+    }
+
+    /// A [`ErrorKind::Jobs`] error.
+    pub fn jobs(message: impl Into<String>) -> Self {
+        Error::Jobs(message.into())
+    }
+
+    /// A [`ErrorKind::UnknownRelation`] error.
+    pub fn unknown_relation(relation: impl Into<String>, known: Vec<String>) -> Self {
+        Error::UnknownRelation {
+            relation: relation.into(),
+            known,
+        }
+    }
+
+    /// A [`ErrorKind::Protocol`] error.
+    pub fn protocol(message: impl Into<String>) -> Self {
+        Error::Protocol(message.into())
+    }
+
+    /// The error's classification.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Usage(_) => ErrorKind::Usage,
+            Error::Io(_) => ErrorKind::Io,
+            Error::Parse(_) => ErrorKind::Parse,
+            Error::Jobs(_) => ErrorKind::Jobs,
+            Error::UnknownRelation { .. } => ErrorKind::UnknownRelation,
+            Error::Protocol(_) => ErrorKind::Protocol,
+        }
+    }
+
+    /// Shorthand for `self.kind().wire_code()`.
+    pub fn wire_code(&self) -> &'static str {
+        self.kind().wire_code()
+    }
+
+    /// Shorthand for `self.kind().exit_code()`.
+    pub fn exit_code(&self) -> u8 {
+        self.kind().exit_code()
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Usage(m)
+            | Error::Io(m)
+            | Error::Parse(m)
+            | Error::Jobs(m)
+            | Error::Protocol(m) => f.write_str(m),
+            Error::UnknownRelation { relation, known } => {
+                write!(
+                    f,
+                    "no rule for relation `{relation}` (known: {})",
+                    known.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_distinct_wire_codes_and_a_stable_exit_code() {
+        let codes: Vec<&str> = ErrorKind::ALL.iter().map(|k| k.wire_code()).collect();
+        let mut deduped = codes.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), codes.len(), "wire codes must be unique");
+        for kind in ErrorKind::ALL {
+            assert_eq!(kind.exit_code(), 2, "all errors exit 2; verdicts exit 1");
+        }
+    }
+
+    #[test]
+    fn constructors_classify_and_display() {
+        let e = Error::read("missing.xml", "No such file");
+        assert_eq!(e.kind(), ErrorKind::Io);
+        assert_eq!(e.to_string(), "cannot read `missing.xml`: No such file");
+        assert_eq!(e.wire_code(), "io");
+        assert_eq!(e.exit_code(), 2);
+
+        let e = Error::parse("keys.txt:3", "expected `(`");
+        assert_eq!(e.kind(), ErrorKind::Parse);
+        assert_eq!(e.to_string(), "keys.txt:3: expected `(`");
+
+        let e = Error::unknown_relation("nope", vec!["book".into(), "chapter".into()]);
+        assert_eq!(e.kind(), ErrorKind::UnknownRelation);
+        assert_eq!(
+            e.to_string(),
+            "no rule for relation `nope` (known: book, chapter)"
+        );
+        assert_eq!(e.wire_code(), "relation");
+
+        let e = Error::protocol("body exceeds the request size limit");
+        assert_eq!(e.wire_code(), "protocol");
+
+        // The trait objects the std ecosystem expects are implemented.
+        let boxed: Box<dyn std::error::Error> = Box::new(Error::usage("u"));
+        assert_eq!(boxed.to_string(), "u");
+    }
+}

@@ -25,7 +25,15 @@
 #![warn(missing_docs)]
 
 pub mod bundle;
+pub mod error;
 pub mod run;
+pub mod source;
+pub mod state;
+pub mod swap;
 
 pub use bundle::{CorpusBundle, RuleCover};
+pub use error::{Error, ErrorKind};
 pub use run::{fan_out, CorpusOptions, CorpusResult, CorpusStats, DocOutcome, Jobs, MAX_JOBS};
+pub use source::{parse_keys_text, parse_rules_text};
+pub use state::{PreparedState, RequestScratch};
+pub use swap::{Published, SwapCell};

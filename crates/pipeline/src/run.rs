@@ -12,9 +12,11 @@
 //!   off the per-document fast path).  Chunks also preserve locality: a
 //!   worker's `value()` memo and evaluation scratch stay warm across the
 //!   documents of one chunk.
-//! * Each worker owns its mutable state: a private clone of the bundle's
-//!   label universe (append-only ids; see [`CorpusBundle::worker_universe`])
-//!   and one [`ShredScratch`] reused across all its documents.
+//! * Each worker owns its mutable state: one
+//!   [`crate::RequestScratch`] (a private clone of the bundle's label
+//!   universe — append-only ids, see [`CorpusBundle::worker_universe`] —
+//!   plus shred buffers) reused across all its documents, manufactured
+//!   through the [`PreparedState`] boundary.
 //! * Finished documents flow back over an [`std::sync::mpsc`] channel as
 //!   `(index, outcome)` pairs and are placed into a slot vector by index —
 //!   the merged [`CorpusResult`] is ordered by document index, **never** by
@@ -28,13 +30,13 @@
 //! once on the main thread.
 
 use crate::bundle::{CorpusBundle, RuleCover};
+use crate::error::Error;
+use crate::state::PreparedState;
 use std::num::NonZeroUsize;
 use std::sync::{mpsc, Mutex};
 use xmlprop_reldb::Database;
 use xmlprop_xmlkeys::Violation;
-use xmlprop_xmlpath::LabelUniverse;
-use xmlprop_xmltransform::ShredScratch;
-use xmlprop_xmltree::{DocIndex, Document};
+use xmlprop_xmltree::Document;
 
 /// Upper bound on worker threads: far above any plausible core count, low
 /// enough that a typo'd `--jobs 10000` is rejected instead of spawning ten
@@ -47,12 +49,12 @@ pub struct Jobs(NonZeroUsize);
 
 impl Jobs {
     /// Validates a thread count.
-    pub fn new(jobs: usize) -> Result<Jobs, String> {
+    pub fn new(jobs: usize) -> Result<Jobs, Error> {
         match NonZeroUsize::new(jobs) {
-            None => Err("worker thread count must be at least 1".to_string()),
-            Some(_) if jobs > MAX_JOBS => Err(format!(
+            None => Err(Error::jobs("worker thread count must be at least 1")),
+            Some(_) if jobs > MAX_JOBS => Err(Error::jobs(format!(
                 "worker thread count {jobs} exceeds the maximum of {MAX_JOBS}"
-            )),
+            ))),
             Some(n) => Ok(Jobs(n)),
         }
     }
@@ -70,12 +72,14 @@ impl Default for Jobs {
 }
 
 impl std::str::FromStr for Jobs {
-    type Err = String;
+    type Err = Error;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let n: usize = s
-            .parse()
-            .map_err(|_| format!("worker thread count expects a positive integer, got `{s}`"))?;
+        let n: usize = s.parse().map_err(|_| {
+            Error::jobs(format!(
+                "worker thread count expects a positive integer, got `{s}`"
+            ))
+        })?;
         Jobs::new(n)
     }
 }
@@ -155,57 +159,6 @@ pub struct CorpusResult {
     pub covers: Vec<RuleCover>,
     /// Corpus-level totals.
     pub stats: CorpusStats,
-}
-
-/// One worker's mutable state, reused across all documents it processes.
-struct Worker<'b> {
-    bundle: &'b CorpusBundle,
-    universe: LabelUniverse,
-    scratch: ShredScratch,
-}
-
-impl<'b> Worker<'b> {
-    fn new(bundle: &'b CorpusBundle) -> Self {
-        Worker {
-            bundle,
-            universe: bundle.worker_universe(),
-            scratch: ShredScratch::new(),
-        }
-    }
-
-    fn process(&mut self, doc: &Document, options: &CorpusOptions) -> DocOutcome {
-        if !options.shred && !options.validate {
-            // Covers are document-independent; with both per-document tasks
-            // off there is nothing to index.
-            return DocOutcome {
-                database: Database::new(),
-                violations: Vec::new(),
-                nodes: doc.len(),
-                tuples: 0,
-            };
-        }
-        let index = DocIndex::build(doc, &mut self.universe);
-        let mut database = Database::new();
-        if options.shred {
-            // The value() memo is per-document; evaluation buffers survive.
-            self.scratch.reset();
-            for plan in self.bundle.plan().plans() {
-                database.insert(plan.shred_with(doc, &index, &mut self.scratch));
-            }
-        }
-        let violations = if options.validate {
-            self.bundle.keys().violations(doc, &index)
-        } else {
-            Vec::new()
-        };
-        let tuples = database.relations().map(|r| r.len()).sum();
-        DocOutcome {
-            database,
-            violations,
-            nodes: doc.len(),
-            tuples,
-        }
-    }
 }
 
 /// Chunk size for the work queue: a few chunks per worker for balance
@@ -318,10 +271,10 @@ impl CorpusBundle {
     /// reference semantics the parallel [`CorpusBundle::run`] is
     /// property-tested against (`options.jobs` is ignored).
     pub fn run_sequential(&self, docs: &[Document], options: &CorpusOptions) -> CorpusResult {
-        let mut worker = Worker::new(self);
+        let mut scratch = self.scratch();
         let documents = docs
             .iter()
-            .map(|doc| worker.process(doc, options))
+            .map(|doc| self.process(doc, &mut scratch, options))
             .collect();
         let covers = if options.covers {
             self.covers()
@@ -345,8 +298,8 @@ impl CorpusBundle {
             docs,
             jobs,
             chunk_size(n, jobs),
-            || Worker::new(self),
-            |worker, _, doc| worker.process(doc, options),
+            || self.scratch(),
+            |scratch, _, doc| self.process(doc, scratch, options),
         );
         let covers = if options.covers {
             self.covers()
@@ -425,7 +378,7 @@ mod tests {
         assert_send_sync::<xmlprop_xmltransform::ShredPlan>();
         assert_send_sync::<xmlprop_xmlkeys::KeyIndex>();
         assert_send_sync::<xmlprop_core::PropagationEngine>();
-        assert_send_sync::<DocIndex>();
+        assert_send_sync::<xmlprop_xmltree::DocIndex>();
         assert_send_sync::<Document>();
         assert_send_sync::<xmlprop_reldb::Value>();
         assert_send_sync::<DocOutcome>();

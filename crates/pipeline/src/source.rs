@@ -1,0 +1,78 @@
+//! Text-format loaders shared by the CLI and the server.
+//!
+//! Both front ends accept the same two schema inputs: a *keys file* (one
+//! key per line in the paper's syntax, `#` starts a comment) and a *rules
+//! file* (the transformation syntax of `xmlprop-xmltransform`).  The CLI
+//! reads them from disk, the server receives them as `reload` request
+//! bodies — the parsing, the empty-input rejection and the error phrasing
+//! must not depend on which path the text arrived through, so this module
+//! is the one copy of that logic, reporting failures as the workspace
+//! [`Error`].
+
+use crate::error::Error;
+use xmlprop_xmlkeys::{KeySet, XmlKey};
+use xmlprop_xmltransform::Transformation;
+
+/// Parses a keys file: one key per line, `#` comments, blank lines
+/// ignored; an input with no keys at all is rejected.  `origin` names the
+/// input in errors (a path for the CLI, a body name for the server).
+pub fn parse_keys_text(text: &str, origin: &str) -> Result<KeySet, Error> {
+    let mut keys = KeySet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let key = XmlKey::parse(line)
+            .map_err(|e| Error::parse(&format!("{origin}:{}", lineno + 1), e))?;
+        keys.add(key);
+    }
+    if keys.is_empty() {
+        return Err(Error::parse(origin, "contains no keys"));
+    }
+    Ok(keys)
+}
+
+/// Parses a rules file into a [`Transformation`]; `origin` names the input
+/// in errors.
+pub fn parse_rules_text(text: &str, origin: &str) -> Result<Transformation, Error> {
+    Transformation::parse(text).map_err(|e| Error::parse(origin, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorKind;
+
+    #[test]
+    fn keys_files_parse_with_comments_and_report_line_numbers() {
+        let keys = parse_keys_text(
+            "# header\nK1: (ε, (//book, {@isbn}))  # trailing\n\nK2: (//book, (chapter, {@number}))\n",
+            "keys.txt",
+        )
+        .unwrap();
+        assert_eq!(keys.len(), 2);
+
+        let err =
+            parse_keys_text("K1: (ε, (//book, {@isbn}))\nnot a key\n", "keys.txt").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Parse);
+        assert!(err.to_string().starts_with("keys.txt:2: "), "{err}");
+
+        let err = parse_keys_text("# only comments\n", "reload.keys").unwrap_err();
+        assert_eq!(err.to_string(), "reload.keys: contains no keys");
+    }
+
+    #[test]
+    fn rules_files_parse_and_report_their_origin() {
+        let t = parse_rules_text(
+            "rule book(isbn) { xb := xr//book; xi := xb/@isbn; isbn := value(xi); }",
+            "rules.txt",
+        )
+        .unwrap();
+        assert_eq!(t.rules().len(), 1);
+
+        let err = parse_rules_text("rule {", "rules.txt").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Parse);
+        assert!(err.to_string().starts_with("rules.txt: "), "{err}");
+    }
+}

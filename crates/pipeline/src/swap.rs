@@ -1,0 +1,193 @@
+//! The publication cell behind hot bundle swaps: prepare off-lock, then
+//! publish a pointer.
+//!
+//! The resident server keeps one [`SwapCell`]`<`[`crate::CorpusBundle`]`>`
+//! shared by every connection.  The discipline is the *write-then-publish*
+//! idiom of left-right concurrency (cf. the `active_standby` crate's
+//! lockless read handles over paired tables, PAPERS.md): a writer does
+//! **all** preparation — parsing schema text, compiling key indexes and
+//! shred plans, building propagation engines — on its own thread with no
+//! lock held, and only then calls [`SwapCell::publish`], whose critical
+//! section is a single `Arc` pointer store.  Readers call
+//! [`SwapCell::read`] at request start and get an owned
+//! `Arc<`[`Published`]`<T>>` snapshot: the value and its epoch travel in
+//! *one* allocation behind *one* pointer, so a response computed from a
+//! snapshot can never mix two published versions (no torn reads by
+//! construction), and the reader keeps serving from its snapshot however
+//! many publications happen mid-request.
+//!
+//! Readers therefore never wait on preparation; the only reader/writer
+//! window is the pointer store itself.  (A fully lock-free cell would need
+//! an atomic pointer swap, which `unsafe_code = "forbid"` rules out; an
+//! `RwLock` held for a clone/store is the std-only equivalent — the
+//! [`swap` tests](self) pin the liveness property, readers making progress
+//! *during* a slow preparation.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A published value and the epoch it was published at.  Snapshots deref
+/// to the value; [`Published::epoch`] tags responses and scratch caches.
+#[derive(Debug)]
+pub struct Published<T> {
+    epoch: u64,
+    value: T,
+}
+
+impl<T> Published<T> {
+    /// The monotonically increasing publication number (the first value a
+    /// cell is created with has epoch 1).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The published value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::Deref for Published<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+/// The epoch-tagged publication cell; see the module docs.
+#[derive(Debug)]
+pub struct SwapCell<T> {
+    current: RwLock<Arc<Published<T>>>,
+    /// Mirror of the current epoch, readable without touching the lock
+    /// (cheap staleness probes, `status` responses).
+    epoch: AtomicU64,
+}
+
+impl<T> SwapCell<T> {
+    /// Creates a cell holding `value` at epoch 1.
+    pub fn new(value: T) -> Self {
+        SwapCell {
+            current: RwLock::new(Arc::new(Published { epoch: 1, value })),
+            epoch: AtomicU64::new(1),
+        }
+    }
+
+    /// An owned snapshot of the currently published value.  The read lock
+    /// is held only for the `Arc` clone; the snapshot stays valid (and
+    /// identical) for as long as the caller keeps it, across any number of
+    /// later publications.
+    pub fn read(&self) -> Arc<Published<T>> {
+        Arc::clone(&self.current.read().expect("swap cell poisoned"))
+    }
+
+    /// Publishes a fully prepared `value`, returning its epoch.  The
+    /// caller must finish *all* preparation before calling: the write lock
+    /// is held only for a pointer store (the allocation happens before the
+    /// lock), so concurrent readers are delayed by at most that store.
+    pub fn publish(&self, value: T) -> u64 {
+        let next = self.epoch.load(Ordering::Relaxed) + 1;
+        let published = Arc::new(Published { epoch: next, value });
+        let mut slot = self.current.write().expect("swap cell poisoned");
+        *slot = published;
+        // Publish the mirror while still holding the lock so `epoch()`
+        // never runs ahead of or behind what `read()` can observe for
+        // writers serialized on the lock.
+        self.epoch.store(next, Ordering::Release);
+        next
+    }
+
+    /// The epoch of the currently published value, without locking.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn publish_bumps_the_epoch_and_readers_see_the_latest_value() {
+        let cell = SwapCell::new("v1");
+        assert_eq!(cell.epoch(), 1);
+        let snap = cell.read();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(**snap, "v1");
+
+        assert_eq!(cell.publish("v2"), 2);
+        assert_eq!(cell.epoch(), 2);
+        // The old snapshot is unchanged; a new read sees the new value.
+        assert_eq!(**snap, "v1");
+        let snap2 = cell.read();
+        assert_eq!((snap2.epoch(), **snap2), (2, "v2"));
+    }
+
+    #[test]
+    fn snapshots_pair_value_and_epoch_atomically_under_concurrent_publish() {
+        // Each published value encodes its own epoch; a torn read would
+        // surface as a snapshot whose value disagrees with its tag.
+        let cell = Arc::new(SwapCell::new(1u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = cell.read();
+                        assert_eq!(snap.epoch(), **snap, "torn snapshot");
+                        assert!(snap.epoch() >= last, "epoch went backwards");
+                        last = snap.epoch();
+                    }
+                });
+            }
+            for expected in 2..=50u64 {
+                assert_eq!(cell.publish(expected), expected);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(cell.epoch(), 50);
+    }
+
+    #[test]
+    fn readers_make_progress_while_a_writer_is_still_preparing() {
+        // The write-then-publish contract: preparation happens before
+        // `publish`, so a slow preparation must not stall readers.  The
+        // writer "prepares" for 150ms; if readers were serialized behind
+        // preparation they would complete ~1 read in that window instead
+        // of thousands.
+        let cell = Arc::new(SwapCell::new(0u32));
+        let reads = std::thread::scope(|scope| {
+            let reader = {
+                let cell = Arc::clone(&cell);
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut reads = 0u64;
+                    while start.elapsed() < Duration::from_millis(150) {
+                        let _ = cell.read();
+                        reads += 1;
+                    }
+                    reads
+                })
+            };
+            let writer = {
+                let cell = Arc::clone(&cell);
+                scope.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(100)); // "preparing"
+                    cell.publish(1);
+                })
+            };
+            writer.join().unwrap();
+            reader.join().unwrap()
+        });
+        assert!(
+            reads > 100,
+            "readers must not block on preparation, got {reads} reads"
+        );
+        assert_eq!(cell.epoch(), 2);
+    }
+}

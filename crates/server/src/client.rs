@@ -1,0 +1,55 @@
+//! A minimal blocking client for the `xmlprop/1` protocol — what the CLI's
+//! script driver, the swap-under-load tests and CI sessions speak through.
+
+use crate::protocol::{Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use xmlprop_pipeline::Error;
+
+/// One connected session: greeting consumed, ready to send requests.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    greeting: String,
+}
+
+impl Client {
+    /// Connects to a server and reads the greeting line.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, Error> {
+        let writer = TcpStream::connect(addr)
+            .map_err(|e| Error::io(format!("cannot connect to server: {e}")))?;
+        let reader = writer
+            .try_clone()
+            .map_err(|e| Error::io(format!("cannot clone connection: {e}")))?;
+        let mut reader = BufReader::new(reader);
+        let mut greeting = String::new();
+        reader
+            .read_line(&mut greeting)
+            .map_err(|e| Error::io(format!("reading greeting: {e}")))?;
+        let greeting = greeting.trim_end_matches(['\r', '\n']).to_string();
+        if !greeting.starts_with("xmlprop/") {
+            return Err(Error::protocol(format!("unexpected greeting `{greeting}`")));
+        }
+        Ok(Client {
+            reader,
+            writer,
+            greeting,
+        })
+    }
+
+    /// The server's greeting line (protocol version, epoch, counts).
+    pub fn greeting(&self) -> &str {
+        &self.greeting
+    }
+
+    /// Sends one request and reads its response.
+    pub fn send(&mut self, request: &Request) -> Result<Response, Error> {
+        request
+            .write_to(&mut self.writer)
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| Error::io(format!("sending request: {e}")))?;
+        Response::read_from(&mut self.reader)?
+            .ok_or_else(|| Error::protocol("server closed the connection before responding"))
+    }
+}

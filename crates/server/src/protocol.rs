@@ -1,0 +1,425 @@
+//! The versioned plain-text line protocol — `xmlprop/1`.
+//!
+//! The protocol is deliberately *goldenable*: every byte a server writes is
+//! deterministic given the request stream and the published bundle, so CI
+//! can diff whole session transcripts against checked-in expectations.
+//!
+//! ## Grammar
+//!
+//! On connect the server greets with one line:
+//!
+//! ```text
+//! xmlprop/1 ready bundle=<epoch> keys=<count> rules=<count>
+//! ```
+//!
+//! Requests are one header line each; document and schema bodies are
+//! **length-framed** (byte counts in the header, raw bytes following the
+//! newline) so XML never needs escaping:
+//!
+//! ```text
+//! ping
+//! status
+//! validate <len>\n<len bytes of XML>
+//! shred <len>\n<len bytes of XML>
+//! shred <len> <relation>\n<len bytes of XML>
+//! propagate <relation> <fd text…>
+//! cover
+//! cover <relation>
+//! reload <keys-len> <rules-len>\n<keys bytes><rules bytes>
+//! quit
+//! ```
+//!
+//! Responses are a header line, a payload, and a terminating `.` line:
+//!
+//! ```text
+//! ok <verb> bundle=<epoch> [k=v …]\n<payload lines…>\n.\n
+//! err <wire-code> <message>\n.\n
+//! ```
+//!
+//! Every `ok` header carries the `bundle=<epoch>` tag of the snapshot that
+//! served it, which is what the swap-under-load tests key on.  Error wire
+//! codes come from [`ErrorKind::wire_code`](xmlprop_pipeline::ErrorKind::wire_code) — the same table the CLI maps
+//! to exit codes, so a scripted session and a one-shot invocation classify
+//! failures identically.  Payload lines never consist of a lone `.` (no
+//! renderer emits one), so the terminator is unambiguous.
+
+use std::io::{BufRead, Write};
+use xmlprop_pipeline::Error;
+
+/// The protocol version spoken by this crate (the `1` of `xmlprop/1`).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on any length-framed body, before allocation.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; the response carries the current bundle epoch.
+    Ping,
+    /// Bundle status: epoch, key count, rule count, worker gate width.
+    Status,
+    /// Validate an XML document against the published key set.
+    Validate {
+        /// The document text.
+        document: String,
+    },
+    /// Shred an XML document through the published transformation.
+    Shred {
+        /// The document text.
+        document: String,
+        /// Restrict output to one relation (`None` = all rules).
+        relation: Option<String>,
+    },
+    /// Decide FD propagation for one relation.
+    Propagate {
+        /// The relation whose rule is queried.
+        relation: String,
+        /// The FD in `X -> A` syntax.
+        fd: String,
+    },
+    /// The propagated minimum cover of one relation (or all of them).
+    Cover {
+        /// The relation to cover (`None` = every rule).
+        relation: Option<String>,
+    },
+    /// Admin: rebuild the bundle from new keys/rules text and publish it.
+    Reload {
+        /// The keys file text (same syntax as the CLI's `<keys.txt>`).
+        keys: String,
+        /// The rules file text (same syntax as the CLI's `<rules.txt>`).
+        rules: String,
+    },
+    /// Close the session (the server responds, then hangs up).
+    Quit,
+}
+
+impl Request {
+    /// The verb echoed in `ok <verb>` response headers.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Status => "status",
+            Request::Validate { .. } => "validate",
+            Request::Shred { .. } => "shred",
+            Request::Propagate { .. } => "propagate",
+            Request::Cover { .. } => "cover",
+            Request::Reload { .. } => "reload",
+            Request::Quit => "quit",
+        }
+    }
+
+    /// Encodes the request onto `w` in wire form (header line + framed
+    /// bodies).
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        match self {
+            Request::Ping => writeln!(w, "ping"),
+            Request::Status => writeln!(w, "status"),
+            Request::Validate { document } => {
+                writeln!(w, "validate {}", document.len())?;
+                w.write_all(document.as_bytes())
+            }
+            Request::Shred { document, relation } => {
+                match relation {
+                    Some(rel) => writeln!(w, "shred {} {rel}", document.len())?,
+                    None => writeln!(w, "shred {}", document.len())?,
+                }
+                w.write_all(document.as_bytes())
+            }
+            Request::Propagate { relation, fd } => writeln!(w, "propagate {relation} {fd}"),
+            Request::Cover { relation } => match relation {
+                Some(rel) => writeln!(w, "cover {rel}"),
+                None => writeln!(w, "cover"),
+            },
+            Request::Reload { keys, rules } => {
+                writeln!(w, "reload {} {}", keys.len(), rules.len())?;
+                w.write_all(keys.as_bytes())?;
+                w.write_all(rules.as_bytes())
+            }
+            Request::Quit => writeln!(w, "quit"),
+        }
+    }
+
+    /// Reads the next request from `r`.  Returns `Ok(None)` on a clean EOF
+    /// before any header byte; blank lines between requests are skipped.
+    pub fn read_from(r: &mut impl BufRead) -> Result<Option<Request>, Error> {
+        let line = loop {
+            let mut line = String::new();
+            let n = r
+                .read_line(&mut line)
+                .map_err(|e| Error::io(format!("reading request header: {e}")))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']).to_string();
+            if !trimmed.is_empty() {
+                break trimmed;
+            }
+        };
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().expect("non-empty line has a first token");
+        match verb {
+            "ping" => Ok(Some(Request::Ping)),
+            "status" => Ok(Some(Request::Status)),
+            "quit" => Ok(Some(Request::Quit)),
+            "validate" => {
+                let len = parse_len(parts.next(), "validate")?;
+                let document = read_body(r, len, "validate document")?;
+                Ok(Some(Request::Validate { document }))
+            }
+            "shred" => {
+                let len = parse_len(parts.next(), "shred")?;
+                let relation = parts.next().map(str::to_string);
+                let document = read_body(r, len, "shred document")?;
+                Ok(Some(Request::Shred { document, relation }))
+            }
+            "propagate" => {
+                let relation = parts
+                    .next()
+                    .ok_or_else(|| Error::protocol("propagate expects `<relation> <fd>`"))?
+                    .to_string();
+                let fd: Vec<&str> = parts.collect();
+                if fd.is_empty() {
+                    return Err(Error::protocol(
+                        "propagate expects an FD after the relation",
+                    ));
+                }
+                Ok(Some(Request::Propagate {
+                    relation,
+                    fd: fd.join(" "),
+                }))
+            }
+            "cover" => Ok(Some(Request::Cover {
+                relation: parts.next().map(str::to_string),
+            })),
+            "reload" => {
+                let keys_len = parse_len(parts.next(), "reload")?;
+                let rules_len = parse_len(parts.next(), "reload")?;
+                let keys = read_body(r, keys_len, "reload keys")?;
+                let rules = read_body(r, rules_len, "reload rules")?;
+                Ok(Some(Request::Reload { keys, rules }))
+            }
+            other => Err(Error::protocol(format!("unknown request verb `{other}`"))),
+        }
+    }
+}
+
+/// Parses a decimal body length out of a request header token.
+fn parse_len(token: Option<&str>, verb: &str) -> Result<usize, Error> {
+    let token =
+        token.ok_or_else(|| Error::protocol(format!("{verb} expects a body byte length")))?;
+    let len: usize = token
+        .parse()
+        .map_err(|_| Error::protocol(format!("{verb}: invalid body length `{token}`")))?;
+    if len > MAX_BODY_BYTES {
+        return Err(Error::protocol(format!(
+            "{verb}: body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    Ok(len)
+}
+
+/// Reads an exact-length UTF-8 body following a request header.
+fn read_body(r: &mut impl BufRead, len: usize, what: &str) -> Result<String, Error> {
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)
+        .map_err(|e| Error::protocol(format!("reading {what} body ({len} bytes): {e}")))?;
+    String::from_utf8(buf).map_err(|_| Error::protocol(format!("{what} body is not valid UTF-8")))
+}
+
+/// A server response: one header line plus a (possibly empty) payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The full header line (`ok …` or `err …`), without the newline.
+    pub header: String,
+    /// The payload text; empty or newline-terminated.
+    pub payload: String,
+}
+
+impl Response {
+    /// An `ok` response for `verb` served by bundle epoch `epoch`.
+    /// `extra` holds additional `k=v` header tags, `payload` the body.
+    pub fn ok(verb: &str, epoch: u64, extra: &str, payload: String) -> Self {
+        let header = if extra.is_empty() {
+            format!("ok {verb} bundle={epoch}")
+        } else {
+            format!("ok {verb} bundle={epoch} {extra}")
+        };
+        Response { header, payload }
+    }
+
+    /// The wire form of an error, via the shared [`ErrorKind::wire_code`](xmlprop_pipeline::ErrorKind::wire_code)
+    /// table.  Multi-line messages are flattened — headers are one line.
+    pub fn error(error: &Error) -> Self {
+        let message = error.to_string().replace('\n', " | ");
+        Response {
+            header: format!("err {} {message}", error.wire_code()),
+            payload: String::new(),
+        }
+    }
+
+    /// Whether this is an `err` response.
+    pub fn is_err(&self) -> bool {
+        self.header.starts_with("err ")
+    }
+
+    /// The wire code of an `err` response, if any.
+    pub fn wire_code(&self) -> Option<&str> {
+        self.header.strip_prefix("err ")?.split_whitespace().next()
+    }
+
+    /// The `bundle=<epoch>` tag of an `ok` header, if present.
+    pub fn epoch(&self) -> Option<u64> {
+        self.header
+            .split_whitespace()
+            .find_map(|tag| tag.strip_prefix("bundle="))
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// Encodes the response onto `w`: header, payload, `.` terminator.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        writeln!(w, "{}", self.header)?;
+        if !self.payload.is_empty() {
+            w.write_all(self.payload.as_bytes())?;
+            if !self.payload.ends_with('\n') {
+                writeln!(w)?;
+            }
+        }
+        writeln!(w, ".")
+    }
+
+    /// Reads one response from `r` (the client side).  Returns `Ok(None)`
+    /// on a clean EOF before the header.
+    pub fn read_from(r: &mut impl BufRead) -> Result<Option<Response>, Error> {
+        let mut header = String::new();
+        let n = r
+            .read_line(&mut header)
+            .map_err(|e| Error::io(format!("reading response header: {e}")))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        let header = header.trim_end_matches(['\r', '\n']).to_string();
+        if !(header.starts_with("ok ") || header.starts_with("err ")) {
+            return Err(Error::protocol(format!(
+                "malformed response header `{header}`"
+            )));
+        }
+        let mut payload = String::new();
+        loop {
+            let mut line = String::new();
+            let n = r
+                .read_line(&mut line)
+                .map_err(|e| Error::io(format!("reading response payload: {e}")))?;
+            if n == 0 {
+                return Err(Error::protocol("connection closed mid-response"));
+            }
+            if line.trim_end_matches(['\r', '\n']) == "." {
+                break;
+            }
+            payload.push_str(&line);
+        }
+        Ok(Some(Response { header, payload }))
+    }
+}
+
+/// The greeting line a server writes on connect.
+pub fn greeting(epoch: u64, keys: usize, rules: usize) -> String {
+    format!("xmlprop/{PROTOCOL_VERSION} ready bundle={epoch} keys={keys} rules={rules}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+    use xmlprop_pipeline::ErrorKind;
+
+    fn round_trip(req: Request) {
+        let mut wire = Vec::new();
+        req.write_to(&mut wire).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let back = Request::read_from(&mut reader).unwrap().unwrap();
+        assert_eq!(back, req);
+        assert!(Request::read_from(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_form() {
+        round_trip(Request::Ping);
+        round_trip(Request::Status);
+        round_trip(Request::Quit);
+        round_trip(Request::Validate {
+            document: "<r><a/>\nmulti line</r>".into(),
+        });
+        round_trip(Request::Shred {
+            document: "<r/>".into(),
+            relation: None,
+        });
+        round_trip(Request::Shred {
+            document: "<r/>".into(),
+            relation: Some("book".into()),
+        });
+        round_trip(Request::Propagate {
+            relation: "chapter".into(),
+            fd: "inBook, number -> name".into(),
+        });
+        round_trip(Request::Cover { relation: None });
+        round_trip(Request::Cover {
+            relation: Some("book".into()),
+        });
+        round_trip(Request::Reload {
+            keys: "K1: (ε, (//book, {@isbn}))\n".into(),
+            rules: "rule book(isbn) { xb := xr//book; xi := xb/@isbn; isbn := value(xi); }\n"
+                .into(),
+        });
+    }
+
+    #[test]
+    fn responses_round_trip_and_tag_epochs() {
+        let resp = Response::ok(
+            "validate",
+            3,
+            "verdict=ok violations=0",
+            "[ok]   K1\n".into(),
+        );
+        assert_eq!(resp.epoch(), Some(3));
+        assert!(!resp.is_err());
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let back = Response::read_from(&mut reader).unwrap().unwrap();
+        assert_eq!(back, resp);
+
+        let err = Response::error(&Error::protocol("bad frame"));
+        assert!(err.is_err());
+        assert_eq!(err.wire_code(), Some(ErrorKind::Protocol.wire_code()));
+        let mut wire = Vec::new();
+        err.write_to(&mut wire).unwrap();
+        let back = Response::read_from(&mut BufReader::new(wire.as_slice()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, err);
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_allocation() {
+        let header = format!("validate {}\n", MAX_BODY_BYTES + 1);
+        let err = Request::read_from(&mut BufReader::new(header.as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Protocol);
+    }
+
+    #[test]
+    fn unknown_verbs_are_protocol_errors() {
+        let err = Request::read_from(&mut BufReader::new(&b"frobnicate\n"[..])).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Protocol);
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn blank_lines_between_requests_are_skipped() {
+        let mut reader = BufReader::new(&b"\n\nping\n"[..]);
+        assert_eq!(
+            Request::read_from(&mut reader).unwrap(),
+            Some(Request::Ping)
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! The report renderers shared by the CLI's one-shot commands and the
+//! resident server's responses.
+//!
+//! Byte-for-byte equality between `xmlprop-cli validate doc.xml keys.txt`
+//! and a `validate` request against a served bundle is **by construction**:
+//! both call the functions in this module.  The property tests in
+//! `tests/server_swap.rs` pin it end to end anyway.
+
+use std::fmt::Write;
+use xmlprop_core::{PropagationEngine, PropagationOutcome};
+use xmlprop_pipeline::{CorpusBundle, Error, RequestScratch};
+use xmlprop_reldb::{Database, Fd};
+use xmlprop_xmltree::Document;
+
+/// Renders the per-key validation report for one document: `[ok]   {key}`
+/// or `[FAIL] {key}` with indented violations.  Returns the verdict (all
+/// keys satisfied) and the report text.
+pub fn validate_report(
+    bundle: &CorpusBundle,
+    doc: &Document,
+    scratch: &mut RequestScratch,
+) -> (bool, String) {
+    let index = scratch.index_document(doc);
+    let mut out = String::new();
+    let mut ok = true;
+    for (k, key) in bundle.sigma().iter().enumerate() {
+        let broken = bundle.keys().violations_of(k, doc, &index);
+        if broken.is_empty() {
+            writeln!(out, "[ok]   {key}").expect("String write");
+        } else {
+            ok = false;
+            writeln!(out, "[FAIL] {key}").expect("String write");
+            for v in broken {
+                writeln!(out, "         {v}").expect("String write");
+            }
+        }
+    }
+    (ok, out)
+}
+
+/// Renders the shred output for one document: the named relation only, or
+/// every rule's relation in plan (name) order.  Returns the total tuple
+/// count and the report text.
+pub fn shred_report(
+    bundle: &CorpusBundle,
+    doc: &Document,
+    scratch: &mut RequestScratch,
+    relation: Option<&str>,
+) -> Result<(usize, String), Error> {
+    if let Some(rel) = relation {
+        require_rule(bundle, rel)?;
+    }
+    let index = scratch.index_document(doc);
+    // The value() memo is per-document; evaluation buffers survive.
+    scratch.shred_scratch().reset();
+    let mut out = String::new();
+    let mut tuples = 0;
+    match relation {
+        Some(rel) => {
+            let plan = bundle.plan().plan(rel).expect("plan exists for every rule");
+            let relation = plan.shred_with(doc, &index, scratch.shred_scratch());
+            tuples += relation.len();
+            writeln!(out, "{relation}").expect("String write");
+        }
+        None => {
+            let mut database = Database::new();
+            for plan in bundle.plan().plans() {
+                database.insert(plan.shred_with(doc, &index, scratch.shred_scratch()));
+            }
+            for relation in database.relations() {
+                tuples += relation.len();
+                writeln!(out, "{relation}").expect("String write");
+            }
+        }
+    }
+    Ok((tuples, out))
+}
+
+/// Renders the propagated minimum cover of one relation (the CLI `cover`
+/// format), or of every rule with `-- {relation}` section headers.
+/// Returns the FD count and the report text.
+pub fn cover_report(
+    bundle: &CorpusBundle,
+    relation: Option<&str>,
+) -> Result<(usize, String), Error> {
+    let mut out = String::new();
+    let mut fds = 0;
+    match relation {
+        Some(rel) => {
+            let engine = require_rule(bundle, rel)?;
+            fds += write_cover(&mut out, &engine.minimum_cover());
+        }
+        None => {
+            for engine in bundle.engines() {
+                writeln!(out, "-- {}", engine.rule().schema().name()).expect("String write");
+                fds += write_cover(&mut out, &engine.minimum_cover());
+            }
+        }
+    }
+    Ok((fds, out))
+}
+
+fn write_cover(out: &mut String, cover: &[Fd]) -> usize {
+    if cover.is_empty() {
+        writeln!(out, "(no non-trivial dependencies are propagated)").expect("String write");
+    }
+    for fd in cover {
+        writeln!(out, "{fd}").expect("String write");
+    }
+    cover.len()
+}
+
+/// Renders an already-computed minimum cover in the CLI `cover` format —
+/// the building block `cover_report` sections are made of.
+pub fn render_cover(cover: &[Fd]) -> String {
+    let mut out = String::new();
+    write_cover(&mut out, cover);
+    out
+}
+
+/// Renders per-field propagation verdicts (the CLI `propagate` format).
+/// Returns the overall verdict (every RHS field guaranteed) and the report
+/// text.
+pub fn propagate_report(outcomes: &[PropagationOutcome]) -> (bool, String) {
+    let mut out = String::new();
+    let mut all = true;
+    for o in outcomes {
+        if o.propagated {
+            writeln!(
+                out,
+                "GUARANTEED: every field `{}` value is determined (keyed ancestor variable: {})",
+                o.field,
+                o.keyed_ancestor.as_deref().unwrap_or("-"),
+            )
+            .expect("String write");
+        } else {
+            all = false;
+            writeln!(out, "NOT GUARANTEED for field `{}`:", o.field).expect("String write");
+            if o.keyed_ancestor.is_none() {
+                writeln!(
+                    out,
+                    "  - no ancestor of the field's variable is transitively keyed by the LHS"
+                )
+                .expect("String write");
+            }
+            if !o.unresolved_fields.is_empty() {
+                let fields: Vec<&str> = o.unresolved_fields.iter().map(String::as_str).collect();
+                writeln!(
+                    out,
+                    "  - LHS field(s) {} are not guaranteed non-null whenever `{}` is non-null",
+                    fields.join(", "),
+                    o.field
+                )
+                .expect("String write");
+            }
+        }
+    }
+    (all, out)
+}
+
+/// Parses an `X -> A` FD, with the CLI's exact diagnostic.
+pub fn parse_fd(text: &str) -> Result<Fd, Error> {
+    text.parse()
+        .map_err(|e| Error::Parse(format!("invalid FD `{text}`: {e}")))
+}
+
+/// The prepared engine for `relation`, or the shared "no rule for relation"
+/// diagnostic listing the known rules.
+pub fn require_rule<'b>(
+    bundle: &'b CorpusBundle,
+    relation: &str,
+) -> Result<&'b PropagationEngine, Error> {
+    bundle
+        .engines()
+        .iter()
+        .find(|e| e.rule().schema().name() == relation)
+        .ok_or_else(|| {
+            let known = bundle
+                .transformation()
+                .rules()
+                .iter()
+                .map(|r| r.schema().name().to_string())
+                .collect();
+            Error::unknown_relation(relation, known)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlprop_pipeline::{parse_keys_text, parse_rules_text, PreparedState};
+
+    const KEYS: &str = "K1: (ε, (//book, {@isbn}))\n";
+    const RULES: &str = "rule book(isbn) { xb := xr//book; xi := xb/@isbn; isbn := value(xi); }\n";
+
+    fn bundle() -> CorpusBundle {
+        CorpusBundle::prepare(
+            parse_keys_text(KEYS, "keys").unwrap(),
+            parse_rules_text(RULES, "rules").unwrap(),
+        )
+    }
+
+    #[test]
+    fn validate_report_formats_ok_and_fail_lines() {
+        let bundle = bundle();
+        let mut scratch = bundle.scratch();
+        let good = Document::parse_str("<r><book isbn='1'/><book isbn='2'/></r>").unwrap();
+        let (ok, text) = validate_report(&bundle, &good, &mut scratch);
+        assert!(ok);
+        assert!(text.starts_with("[ok]   "), "got: {text}");
+
+        let bad = Document::parse_str("<r><book isbn='1'/><book isbn='1'/></r>").unwrap();
+        let (ok, text) = validate_report(&bundle, &bad, &mut scratch);
+        assert!(!ok);
+        assert!(text.starts_with("[FAIL] "), "got: {text}");
+        assert!(text.lines().count() > 1, "violations listed: {text}");
+    }
+
+    #[test]
+    fn shred_report_counts_tuples_and_rejects_unknown_relations() {
+        let bundle = bundle();
+        let mut scratch = bundle.scratch();
+        let doc = Document::parse_str("<r><book isbn='1'/><book isbn='2'/></r>").unwrap();
+        let (tuples, text) = shred_report(&bundle, &doc, &mut scratch, None).unwrap();
+        assert_eq!(tuples, 2);
+        assert!(text.contains("book"), "got: {text}");
+        let (tuples_one, text_one) =
+            shred_report(&bundle, &doc, &mut scratch, Some("book")).unwrap();
+        assert_eq!(tuples_one, 2);
+        assert_eq!(text, text_one, "single-rule bundle: both forms agree");
+
+        let err = shred_report(&bundle, &doc, &mut scratch, Some("nope")).unwrap_err();
+        assert!(err.to_string().contains("no rule for relation `nope`"));
+        assert!(err.to_string().contains("book"), "known rules listed");
+    }
+
+    #[test]
+    fn cover_report_all_rules_matches_single_rule_section() {
+        let bundle = bundle();
+        let (fds, one) = cover_report(&bundle, Some("book")).unwrap();
+        let (fds_all, all) = cover_report(&bundle, None).unwrap();
+        assert_eq!(fds, fds_all);
+        assert_eq!(all, format!("-- book\n{one}"));
+    }
+
+    #[test]
+    fn parse_fd_uses_the_cli_diagnostic() {
+        let err = parse_fd("not an fd").unwrap_err();
+        assert!(err.to_string().starts_with("invalid FD `not an fd`:"));
+        assert!(parse_fd("isbn -> isbn").is_ok());
+    }
+}

@@ -1,0 +1,174 @@
+//! The scripted session driver behind `xmlprop-cli serve --script`.
+//!
+//! A script file is one request per line; `#` starts a comment.  Document
+//! and schema bodies come from files named with an `@` prefix, resolved
+//! relative to the script's directory:
+//!
+//! ```text
+//! ping
+//! status
+//! validate @fig1.xml
+//! shred @fig1.xml chapter
+//! propagate chapter inBook, number -> name
+//! cover chapter
+//! reload @keys2.txt @rules2.txt
+//! quit
+//! ```
+//!
+//! The driver connects, echoes each script line as `>> <line>`, and prints
+//! every response verbatim (header, payload, `.` terminator), preceded by
+//! the server greeting — a fully deterministic transcript that CI diffs
+//! against a golden file.
+
+use crate::client::Client;
+use crate::protocol::Request;
+use std::fs;
+use std::io::Write;
+use std::net::ToSocketAddrs;
+use std::path::Path;
+use xmlprop_pipeline::Error;
+
+/// One script line: the text to echo and the request it encodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptStep {
+    /// The trimmed script line, echoed as `>> <line>` in the transcript.
+    pub line: String,
+    /// The request the line encodes.
+    pub request: Request,
+}
+
+/// Parses a script; `@file` references are read relative to `base`.
+pub fn parse_script(text: &str, base: &Path) -> Result<Vec<ScriptStep>, Error> {
+    let mut steps = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let request = parse_line(line, base)
+            .map_err(|e| Error::usage(format!("script line {}: {e}", lineno + 1)))?;
+        steps.push(ScriptStep {
+            line: line.to_string(),
+            request,
+        });
+    }
+    if steps.is_empty() {
+        return Err(Error::usage("script contains no requests"));
+    }
+    Ok(steps)
+}
+
+fn parse_line(line: &str, base: &Path) -> Result<Request, Error> {
+    let mut parts = line.split_whitespace();
+    let verb = parts.next().expect("non-empty line has a first token");
+    match verb {
+        "ping" => Ok(Request::Ping),
+        "status" => Ok(Request::Status),
+        "quit" => Ok(Request::Quit),
+        "validate" => Ok(Request::Validate {
+            document: file_arg(parts.next(), base, "validate expects `@document.xml`")?,
+        }),
+        "shred" => Ok(Request::Shred {
+            document: file_arg(
+                parts.next(),
+                base,
+                "shred expects `@document.xml [relation]`",
+            )?,
+            relation: parts.next().map(str::to_string),
+        }),
+        "propagate" => {
+            let relation = parts
+                .next()
+                .ok_or_else(|| Error::usage("propagate expects `<relation> <fd>`"))?
+                .to_string();
+            let fd: Vec<&str> = parts.collect();
+            if fd.is_empty() {
+                return Err(Error::usage("propagate expects an FD after the relation"));
+            }
+            Ok(Request::Propagate {
+                relation,
+                fd: fd.join(" "),
+            })
+        }
+        "cover" => Ok(Request::Cover {
+            relation: parts.next().map(str::to_string),
+        }),
+        "reload" => Ok(Request::Reload {
+            keys: file_arg(parts.next(), base, "reload expects `@keys.txt @rules.txt`")?,
+            rules: file_arg(parts.next(), base, "reload expects `@keys.txt @rules.txt`")?,
+        }),
+        other => Err(Error::usage(format!("unknown script verb `{other}`"))),
+    }
+}
+
+fn file_arg(token: Option<&str>, base: &Path, usage: &str) -> Result<String, Error> {
+    let token = token.ok_or_else(|| Error::usage(usage))?;
+    let name = token
+        .strip_prefix('@')
+        .ok_or_else(|| Error::usage(format!("{usage} (file arguments start with `@`)")))?;
+    let path = base.join(name);
+    fs::read_to_string(&path).map_err(|e| Error::read(&path.display().to_string(), e))
+}
+
+/// Runs a parsed script against a live server, writing the transcript
+/// (greeting, echoed lines, verbatim responses) to `out`.  Stops after a
+/// `quit` step even if more lines follow.
+pub fn run_script(
+    addr: impl ToSocketAddrs,
+    steps: &[ScriptStep],
+    out: &mut impl Write,
+) -> Result<(), Error> {
+    let mut client = Client::connect(addr)?;
+    writeln!(out, "{}", client.greeting())
+        .map_err(|e| Error::io(format!("writing transcript: {e}")))?;
+    for step in steps {
+        writeln!(out, ">> {}", step.line)
+            .map_err(|e| Error::io(format!("writing transcript: {e}")))?;
+        let response = client.send(&step.request)?;
+        response
+            .write_to(out)
+            .map_err(|e| Error::io(format!("writing transcript: {e}")))?;
+        if step.request == Request::Quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_parse_inline_verbs_without_touching_disk() {
+        let steps = parse_script(
+            "# session\nping\nstatus\npropagate chapter inBook, number -> name\ncover chapter\nquit\n",
+            Path::new("/nonexistent"),
+        )
+        .unwrap();
+        assert_eq!(steps.len(), 5);
+        assert_eq!(steps[0].request, Request::Ping);
+        assert_eq!(
+            steps[2].request,
+            Request::Propagate {
+                relation: "chapter".into(),
+                fd: "inBook, number -> name".into(),
+            }
+        );
+        assert_eq!(steps[4].request, Request::Quit);
+    }
+
+    #[test]
+    fn missing_script_files_report_the_resolved_path() {
+        let err = parse_script("validate @missing.xml\n", Path::new("/nonexistent")).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("script line 1"), "got: {text}");
+        assert!(text.contains("/nonexistent/missing.xml"), "got: {text}");
+    }
+
+    #[test]
+    fn empty_scripts_are_usage_errors() {
+        let err = parse_script("# only comments\n\n", Path::new(".")).unwrap_err();
+        assert!(err.to_string().contains("no requests"));
+    }
+}

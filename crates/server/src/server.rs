@@ -1,0 +1,470 @@
+//! The resident server: a shared [`ServerState`] behind a [`SwapCell`],
+//! plus the `std::net` accept loop that serves it.
+//!
+//! ## Reader/writer discipline
+//!
+//! Request handlers never block on a reload.  Each request clones the
+//! published `Arc<Published<CorpusBundle>>` snapshot once at request start
+//! ([`SwapCell::read`] — a read-lock held only for an `Arc` clone) and
+//! works against that snapshot for the whole request; `reload` prepares
+//! the replacement bundle entirely off-lock and publishes it with a single
+//! pointer store.  Epoch and bundle travel in one allocation, so a
+//! response's `bundle=<epoch>` tag always names exactly the bundle that
+//! produced its payload — there is no torn state to observe.
+//!
+//! ## Scratch discipline
+//!
+//! A connection's [`RequestScratch`] is derived from a specific bundle's
+//! label universe, so each connection caches `(epoch, scratch)` and
+//! re-derives the scratch when the published epoch has moved
+//! ([`ScratchCache::for_snapshot`]).  Stale scratches are never used
+//! against a newer bundle.
+
+use crate::protocol::{self, Request, Response};
+use crate::render;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use xmlprop_pipeline::{
+    parse_keys_text, parse_rules_text, CorpusBundle, Error, Jobs, PreparedState, Published,
+    RequestScratch, SwapCell,
+};
+use xmlprop_xmltree::Document;
+
+/// The shared, hot-swappable state every connection serves from.
+#[derive(Debug)]
+pub struct ServerState {
+    cell: SwapCell<CorpusBundle>,
+    jobs: Jobs,
+}
+
+impl ServerState {
+    /// Wraps an initial bundle (published as epoch 1) and the worker gate
+    /// width.
+    pub fn new(bundle: CorpusBundle, jobs: Jobs) -> Self {
+        ServerState {
+            cell: SwapCell::new(bundle),
+            jobs,
+        }
+    }
+
+    /// The publication cell (for tests and admin tooling).
+    pub fn cell(&self) -> &SwapCell<CorpusBundle> {
+        &self.cell
+    }
+
+    /// The currently published epoch (lock-free).
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// The greeting line for a new connection, naming the snapshot it
+    /// would currently be served from.
+    pub fn greeting(&self) -> String {
+        let snapshot = self.cell.read();
+        protocol::greeting(
+            snapshot.epoch(),
+            snapshot.sigma().len(),
+            snapshot.transformation().rules().len(),
+        )
+    }
+
+    /// Serves one request against the current snapshot.  Errors become
+    /// `err <wire-code> …` responses via the shared error table; the
+    /// connection stays usable.
+    pub fn respond(&self, request: &Request, cache: &mut ScratchCache) -> Response {
+        match self.try_respond(request, cache) {
+            Ok(response) => response,
+            Err(error) => Response::error(&error),
+        }
+    }
+
+    fn try_respond(&self, request: &Request, cache: &mut ScratchCache) -> Result<Response, Error> {
+        // One snapshot per request: every byte of the response comes from
+        // this bundle, whatever `reload`s land meanwhile.
+        let snapshot = self.cell.read();
+        let epoch = snapshot.epoch();
+        match request {
+            Request::Ping => Ok(Response::ok("ping", epoch, "", String::new())),
+            Request::Status => Ok(Response::ok(
+                "status",
+                epoch,
+                &format!(
+                    "keys={} rules={} jobs={}",
+                    snapshot.sigma().len(),
+                    snapshot.transformation().rules().len(),
+                    self.jobs.get()
+                ),
+                String::new(),
+            )),
+            Request::Quit => Ok(Response::ok("quit", epoch, "", String::new())),
+            Request::Validate { document } => {
+                let doc = parse_document(document)?;
+                let scratch = cache.for_snapshot(&snapshot);
+                let (ok, text) = render::validate_report(&snapshot, &doc, scratch);
+                let verdict = if ok { "ok" } else { "fail" };
+                Ok(Response::ok(
+                    "validate",
+                    epoch,
+                    &format!("verdict={verdict}"),
+                    text,
+                ))
+            }
+            Request::Shred { document, relation } => {
+                let doc = parse_document(document)?;
+                let scratch = cache.for_snapshot(&snapshot);
+                let (tuples, text) =
+                    render::shred_report(&snapshot, &doc, scratch, relation.as_deref())?;
+                Ok(Response::ok(
+                    "shred",
+                    epoch,
+                    &format!("tuples={tuples}"),
+                    text,
+                ))
+            }
+            Request::Propagate { relation, fd } => {
+                let fd = render::parse_fd(fd)?;
+                let engine = render::require_rule(&snapshot, relation)?;
+                let (all, text) = render::propagate_report(&engine.propagation_explained(&fd));
+                let verdict = if all { "guaranteed" } else { "not-guaranteed" };
+                Ok(Response::ok(
+                    "propagate",
+                    epoch,
+                    &format!("verdict={verdict}"),
+                    text,
+                ))
+            }
+            Request::Cover { relation } => {
+                let (fds, text) = render::cover_report(&snapshot, relation.as_deref())?;
+                Ok(Response::ok("cover", epoch, &format!("fds={fds}"), text))
+            }
+            Request::Reload { keys, rules } => {
+                // Parse and prepare entirely off-lock; publish is a single
+                // pointer store.  Concurrent readers keep their snapshots.
+                let sigma = parse_keys_text(keys, "reload keys")?;
+                let transformation = parse_rules_text(rules, "reload rules")?;
+                let keys_len = sigma.len();
+                let rules_len = transformation.rules().len();
+                let bundle = CorpusBundle::prepare(sigma, transformation);
+                let published = self.cell.publish(bundle);
+                Ok(Response::ok(
+                    "reload",
+                    published,
+                    &format!("keys={keys_len} rules={rules_len}"),
+                    String::new(),
+                ))
+            }
+        }
+    }
+}
+
+fn parse_document(text: &str) -> Result<Document, Error> {
+    Document::parse_str(text).map_err(|e| Error::parse("request document", e))
+}
+
+/// One connection's `(epoch, scratch)` cache; see the module docs.
+#[derive(Debug, Default)]
+pub struct ScratchCache {
+    epoch: u64,
+    scratch: Option<RequestScratch>,
+}
+
+impl ScratchCache {
+    /// An empty cache (no scratch derived yet).
+    pub fn new() -> Self {
+        ScratchCache::default()
+    }
+
+    /// The scratch for `snapshot`'s bundle, re-derived iff the epoch moved
+    /// since the last request on this connection.
+    pub fn for_snapshot(&mut self, snapshot: &Published<CorpusBundle>) -> &mut RequestScratch {
+        if self.scratch.is_none() || self.epoch != snapshot.epoch() {
+            self.scratch = Some(snapshot.value().scratch());
+            self.epoch = snapshot.epoch();
+        }
+        self.scratch.as_mut().expect("scratch derived above")
+    }
+}
+
+/// Caps concurrently served connections at the worker gate width; the
+/// accept loop blocks (back-pressure on the listen queue) when saturated.
+#[derive(Debug)]
+struct Gate {
+    max: usize,
+    active: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn new(max: usize) -> Self {
+        Gate {
+            max,
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut active = self.active.lock().expect("gate lock");
+        while *active >= self.max {
+            active = self.freed.wait(active).expect("gate lock");
+        }
+        *active += 1;
+    }
+
+    fn release(&self) {
+        let mut active = self.active.lock().expect("gate lock");
+        *active -= 1;
+        drop(active);
+        self.freed.notify_one();
+    }
+}
+
+/// A bound, running server: accept loop on its own thread, one thread per
+/// live connection (capped by the jobs gate).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral test port) and
+    /// starts serving `bundle` over at most `jobs` concurrent connections.
+    pub fn bind(addr: &str, bundle: CorpusBundle, jobs: Jobs) -> Result<Server, Error> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| Error::io(format!("cannot bind `{addr}`: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| Error::io(format!("cannot resolve bound address: {e}")))?;
+        let state = Arc::new(ServerState::new(bundle, jobs));
+        let stop = Arc::new(AtomicBool::new(false));
+        let gate = Arc::new(Gate::new(jobs.get()));
+        let accept = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("xmlprop-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        gate.acquire();
+                        let state = Arc::clone(&state);
+                        let slot = Arc::clone(&gate);
+                        let spawned = std::thread::Builder::new()
+                            .name("xmlprop-conn".into())
+                            .spawn(move || {
+                                let _ = handle_connection(stream, &state);
+                                slot.release();
+                            });
+                        if spawned.is_err() {
+                            gate.release();
+                        }
+                    }
+                })
+                .map_err(|e| Error::io(format!("cannot spawn accept thread: {e}")))?
+        };
+        Ok(Server {
+            addr: local,
+            state,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the server is actually listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (for tests driving `respond` or `publish`
+    /// directly).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// The currently published bundle epoch.
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch()
+    }
+
+    /// Stops accepting and joins the accept thread.  Connections already
+    /// being served run to completion on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    /// Blocks the calling thread for the server's lifetime (the CLI's
+    /// foreground mode).  Returns only if the accept thread exits.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop_accepting(&mut self) {
+        let Some(handle) = self.accept.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Poke the listener so the blocking accept observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// Serves one connection: greeting, then a request/response loop until
+/// `quit`, EOF, or a framing error (framing errors get an `err` response
+/// and close the connection; request-level errors keep it open).
+fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
+    let reader = stream.try_clone()?;
+    let mut reader = BufReader::new(reader);
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "{}", state.greeting())?;
+    writer.flush()?;
+    let mut cache = ScratchCache::new();
+    serve_session(&mut reader, &mut writer, state, &mut cache)
+}
+
+/// The transport-agnostic session loop (shared by the TCP handler and
+/// in-process tests).
+pub fn serve_session(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    state: &ServerState,
+    cache: &mut ScratchCache,
+) -> std::io::Result<()> {
+    loop {
+        match Request::read_from(reader) {
+            Ok(None) => return Ok(()),
+            Ok(Some(request)) => {
+                let quit = request == Request::Quit;
+                let response = state.respond(&request, cache);
+                response.write_to(writer)?;
+                writer.flush()?;
+                if quit {
+                    return Ok(());
+                }
+            }
+            Err(error) => {
+                // Framing is broken; answer once and hang up.
+                let _ = Response::error(&error).write_to(writer);
+                let _ = writer.flush();
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlprop_pipeline::{parse_keys_text, parse_rules_text};
+
+    const KEYS: &str = "K1: (ε, (//book, {@isbn}))\n";
+    const RULES: &str = "rule book(isbn) { xb := xr//book; xi := xb/@isbn; isbn := value(xi); }\n";
+
+    fn bundle() -> CorpusBundle {
+        CorpusBundle::prepare(
+            parse_keys_text(KEYS, "keys").unwrap(),
+            parse_rules_text(RULES, "rules").unwrap(),
+        )
+    }
+
+    #[test]
+    fn respond_tags_every_ok_with_the_serving_epoch() {
+        let state = ServerState::new(bundle(), Jobs::default());
+        let mut cache = ScratchCache::new();
+        let resp = state.respond(&Request::Ping, &mut cache);
+        assert_eq!(resp.header, "ok ping bundle=1");
+        let resp = state.respond(
+            &Request::Reload {
+                keys: KEYS.into(),
+                rules: RULES.into(),
+            },
+            &mut cache,
+        );
+        assert_eq!(resp.header, "ok reload bundle=2 keys=1 rules=1");
+        let resp = state.respond(&Request::Ping, &mut cache);
+        assert_eq!(resp.header, "ok ping bundle=2");
+    }
+
+    #[test]
+    fn request_errors_keep_the_session_usable() {
+        let state = ServerState::new(bundle(), Jobs::default());
+        let mut cache = ScratchCache::new();
+        let resp = state.respond(
+            &Request::Validate {
+                document: "<unclosed".into(),
+            },
+            &mut cache,
+        );
+        assert!(resp.is_err());
+        assert_eq!(resp.wire_code(), Some("parse"));
+        let resp = state.respond(
+            &Request::Cover {
+                relation: Some("nope".into()),
+            },
+            &mut cache,
+        );
+        assert_eq!(resp.wire_code(), Some("relation"));
+        assert!(resp.header.contains("no rule for relation `nope`"));
+        // Still serving fine afterwards.
+        let resp = state.respond(&Request::Status, &mut cache);
+        assert!(resp.header.starts_with("ok status bundle=1 "));
+    }
+
+    #[test]
+    fn scratch_cache_rederives_on_epoch_change() {
+        let state = ServerState::new(bundle(), Jobs::default());
+        let mut cache = ScratchCache::new();
+        let snap1 = state.cell().read();
+        let _ = cache.for_snapshot(&snap1);
+        assert_eq!(cache.epoch, 1);
+        state.cell().publish(bundle());
+        let snap2 = state.cell().read();
+        let _ = cache.for_snapshot(&snap2);
+        assert_eq!(cache.epoch, 2);
+    }
+
+    #[test]
+    fn tcp_round_trip_serves_and_shuts_down() {
+        let server = Server::bind("127.0.0.1:0", bundle(), Jobs::default()).unwrap();
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting).unwrap();
+        assert_eq!(
+            greeting.trim_end(),
+            "xmlprop/1 ready bundle=1 keys=1 rules=1"
+        );
+        let mut writer = stream;
+        Request::Ping.write_to(&mut writer).unwrap();
+        writer.flush().unwrap();
+        let resp = Response::read_from(&mut reader).unwrap().unwrap();
+        assert_eq!(resp.header, "ok ping bundle=1");
+        Request::Quit.write_to(&mut writer).unwrap();
+        writer.flush().unwrap();
+        let resp = Response::read_from(&mut reader).unwrap().unwrap();
+        assert_eq!(resp.header, "ok quit bundle=1");
+        assert!(
+            Response::read_from(&mut reader).unwrap().is_none(),
+            "hung up"
+        );
+        server.shutdown();
+    }
+}

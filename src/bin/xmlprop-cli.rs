@@ -6,6 +6,7 @@
 //! xmlprop-cli cover     <keys.txt> <rules.txt> <relation>
 //! xmlprop-cli refine    <keys.txt> <rules.txt> <relation>
 //! xmlprop-cli shred     [--jobs N] <document.xml | corpus-dir> <rules.txt> [relation]
+//! xmlprop-cli serve     [--addr HOST:PORT] [--jobs N] [--script FILE] <keys.txt> <rules.txt>
 //! xmlprop-cli import-xsd <schema.xsd>
 //! ```
 //!
@@ -20,15 +21,33 @@
 //! `--jobs` worker threads.  A file that fails to parse is reported by name
 //! and the batch continues; the exit code then signals failure without
 //! aborting the remaining files.
+//!
+//! `serve` keeps the prepared bundle **resident** behind the `xmlprop/1`
+//! line protocol (see the `xmlprop-server` crate docs): clients validate,
+//! shred, propagate and cover against a shared snapshot, and an admin
+//! `reload` hot-swaps a new bundle without blocking readers.  With
+//! `--script FILE` the CLI instead starts an ephemeral server, drives the
+//! scripted session against it, prints the deterministic transcript and
+//! exits — the goldenable mode CI uses.
+//!
+//! Exit codes: `0` success, `1` domain verdict (violations found,
+//! propagation not guaranteed, files skipped), `2` error — the mapping
+//! comes from the shared [`xmlprop::ErrorKind`] table, so an error class
+//! exits identically from every subcommand and maps onto the same wire
+//! code over the server protocol.
 
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
-use xmlprop::core::{minimum_cover, propagation_explained, refine};
-use xmlprop::pipeline::{CorpusBundle, CorpusOptions, Jobs};
+use xmlprop::core::refine;
+use xmlprop::pipeline::{
+    parse_keys_text, parse_rules_text, CorpusBundle, CorpusOptions, Jobs, PreparedState,
+};
 use xmlprop::prelude::*;
+use xmlprop::server::render;
+use xmlprop::server::{parse_script, run_script, Server};
 use xmlprop::xmlkeys::import_xsd_keys;
-use xmlprop::xmlpath::LabelUniverse;
+use xmlprop::Error;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,21 +57,22 @@ fn main() -> ExitCode {
         Some("cover") => cmd_cover(&args[1..]),
         Some("refine") => cmd_refine(&args[1..]),
         Some("shred") => cmd_shred(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("import-xsd") => cmd_import_xsd(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(true)
         }
-        Some(other) => Err(format!(
+        Some(other) => Err(Error::usage(format!(
             "unknown subcommand `{other}`; try `xmlprop-cli help`"
-        )),
+        ))),
     };
     match result {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::from(1),
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::from(2)
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::from(error.exit_code())
         }
     }
 }
@@ -66,29 +86,38 @@ fn print_usage() {
            xmlprop-cli cover      <keys.txt> <rules.txt> <relation>\n  \
            xmlprop-cli refine     <keys.txt> <rules.txt> <relation>\n  \
            xmlprop-cli shred      [--jobs N] <document.xml | dir> <rules.txt> [relation]\n  \
+           xmlprop-cli serve      [--addr HOST:PORT] [--jobs N] [--script FILE] <keys.txt> <rules.txt>\n  \
            xmlprop-cli import-xsd <schema.xsd>\n\n\
          Passing a directory to `validate` or `shred` processes every *.xml\n\
          file in it (sorted by name) through the parallel corpus pipeline\n\
-         over N worker threads (default 1)."
+         over N worker threads (default 1).\n\n\
+         `serve` answers validate/shred/propagate/cover requests over the\n\
+         xmlprop/1 line protocol from a resident prepared bundle (default\n\
+         address 127.0.0.1:7878, default 8 connection threads); `reload`\n\
+         hot-swaps new keys/rules without blocking readers.  With --script\n\
+         the session is self-driven and the transcript printed to stdout."
     );
 }
 
 /// Splits `--jobs N` / `--jobs=N` out of an argument list, validating the
 /// value; everything else is returned as positional arguments in order.
-fn parse_jobs(args: &[String]) -> Result<(Vec<String>, Jobs), String> {
+/// This is the **one** jobs path: batch commands default the `None` to one
+/// worker, `serve` to its gate width, and the `--jobs 0` / over-maximum
+/// rejections are identical everywhere.
+fn parse_jobs(args: &[String]) -> Result<(Vec<String>, Option<Jobs>), Error> {
     let mut positional = Vec::new();
-    let mut jobs = Jobs::default();
+    let mut jobs = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if let Some(value) = arg.strip_prefix("--jobs=") {
-            jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?;
+            jobs = Some(parse_jobs_value(value)?);
         } else if arg == "--jobs" {
             let value = iter
                 .next()
-                .ok_or_else(|| "--jobs expects a thread count".to_string())?;
-            jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?;
+                .ok_or_else(|| Error::usage("--jobs expects a thread count"))?;
+            jobs = Some(parse_jobs_value(value)?);
         } else if arg.starts_with("--") {
-            return Err(format!("unknown option `{arg}`"));
+            return Err(Error::usage(format!("unknown option `{arg}`")));
         } else {
             positional.push(arg.clone());
         }
@@ -96,13 +125,20 @@ fn parse_jobs(args: &[String]) -> Result<(Vec<String>, Jobs), String> {
     Ok((positional, jobs))
 }
 
+fn parse_jobs_value(value: &str) -> Result<Jobs, Error> {
+    value
+        .parse()
+        .map_err(|e: Error| Error::jobs(format!("--jobs: {e}")))
+}
+
 /// The `*.xml` files of a corpus directory, sorted by file name so batch
 /// output and document indices are stable across runs and platforms.
-fn corpus_files(dir: &str) -> Result<Vec<(String, std::path::PathBuf)>, String> {
-    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read directory `{dir}`: {e}"))?;
+fn corpus_files(dir: &str) -> Result<Vec<(String, std::path::PathBuf)>, Error> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| Error::io(format!("cannot read directory `{dir}`: {e}")))?;
     let mut files = Vec::new();
     for entry in entries {
-        let entry = entry.map_err(|e| format!("cannot read directory `{dir}`: {e}"))?;
+        let entry = entry.map_err(|e| Error::io(format!("cannot read directory `{dir}`: {e}")))?;
         let path = entry.path();
         let is_xml = path
             .extension()
@@ -116,9 +152,9 @@ fn corpus_files(dir: &str) -> Result<Vec<(String, std::path::PathBuf)>, String> 
     Ok(files)
 }
 
-fn read_and_parse(path: &Path) -> Result<Document, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
-    Document::parse_str(&text).map_err(|e| e.to_string())
+fn read_and_parse(path: &Path) -> Result<Document, Error> {
+    let text = fs::read_to_string(path).map_err(|e| Error::io(format!("cannot read: {e}")))?;
+    Document::parse_str(&text).map_err(|e| Error::Parse(e.to_string()))
 }
 
 /// Reads and parses a corpus directory over `jobs` worker threads (I/O and
@@ -131,7 +167,7 @@ fn read_and_parse(path: &Path) -> Result<Document, String> {
 fn load_corpus(
     dir: &str,
     jobs: Jobs,
-) -> Result<(Vec<(String, Document)>, Vec<(String, String)>), String> {
+) -> Result<(Vec<(String, Document)>, Vec<(String, String)>), Error> {
     let files = corpus_files(dir)?;
     let outcomes = xmlprop::pipeline::fan_out(
         &files,
@@ -145,7 +181,7 @@ fn load_corpus(
     for ((name, _), outcome) in files.into_iter().zip(outcomes) {
         match outcome {
             Ok(doc) => parsed.push((name, doc)),
-            Err(e) => failed.push((name, e)),
+            Err(e) => failed.push((name, e.to_string())),
         }
     }
     Ok((parsed, failed))
@@ -153,139 +189,93 @@ fn load_corpus(
 
 /// `--jobs` only fans out over directory batches; say so instead of
 /// silently ignoring it on a single document.
-fn warn_single_document_jobs(jobs: Jobs) {
-    if jobs.get() > 1 {
+fn warn_single_document_jobs(jobs: Option<Jobs>) {
+    if jobs.map(|j| j.get()).unwrap_or(1) > 1 {
         eprintln!(
             "note: --jobs only affects directory batches; a single document is processed on one thread"
         );
     }
 }
 
-fn read(path: &str) -> Result<String, String> {
-    fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+fn read(path: &str) -> Result<String, Error> {
+    fs::read_to_string(path).map_err(|e| Error::read(path, e))
 }
 
-fn load_keys(path: &str) -> Result<KeySet, String> {
-    let text = read(path)?;
-    let mut keys = KeySet::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let key = XmlKey::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
-        keys.add(key);
-    }
-    if keys.is_empty() {
-        return Err(format!("`{path}` contains no keys"));
-    }
-    Ok(keys)
+fn load_keys(path: &str) -> Result<KeySet, Error> {
+    parse_keys_text(&read(path)?, path)
 }
 
-fn load_transformation(path: &str) -> Result<Transformation, String> {
-    Transformation::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))
+fn load_transformation(path: &str) -> Result<Transformation, Error> {
+    parse_rules_text(&read(path)?, path)
 }
 
-fn load_rule<'t>(t: &'t Transformation, relation: &str) -> Result<&'t TableRule, String> {
+fn load_rule<'t>(t: &'t Transformation, relation: &str) -> Result<&'t TableRule, Error> {
     t.rule(relation).ok_or_else(|| {
-        let known: Vec<&str> = t.rules().iter().map(|r| r.schema().name()).collect();
-        format!(
-            "no rule for relation `{relation}` (known: {})",
-            known.join(", ")
-        )
+        let known = t
+            .rules()
+            .iter()
+            .map(|r| r.schema().name().to_string())
+            .collect();
+        Error::unknown_relation(relation, known)
     })
 }
 
-fn cmd_validate(args: &[String]) -> Result<bool, String> {
+fn cmd_validate(args: &[String]) -> Result<bool, Error> {
     let (positional, jobs) = parse_jobs(args)?;
     let [doc_path, keys_path] = positional.as_slice() else {
-        return Err("usage: validate [--jobs N] <document.xml | dir> <keys.txt>".to_string());
+        return Err(Error::usage(
+            "usage: validate [--jobs N] <document.xml | dir> <keys.txt>",
+        ));
     };
     if Path::new(doc_path).is_dir() {
-        return batch_validate(doc_path, keys_path, jobs);
+        return batch_validate(doc_path, keys_path, jobs.unwrap_or_default());
     }
     warn_single_document_jobs(jobs);
-    let doc = Document::parse_str(&read(doc_path)?).map_err(|e| format!("{doc_path}: {e}"))?;
-    let keys = load_keys(keys_path)?;
-    // All keys validate against one prepared document index.
-    let mut index = keys.prepare();
-    let doc_index = index.index_document(&doc);
-    let mut ok = true;
-    for (k, key) in keys.iter().enumerate() {
-        let broken = index.violations_of(k, &doc, &doc_index);
-        if broken.is_empty() {
-            println!("[ok]   {key}");
-        } else {
-            ok = false;
-            println!("[FAIL] {key}");
-            for v in broken {
-                println!("         {v}");
-            }
-        }
-    }
+    let doc = Document::parse_str(&read(doc_path)?).map_err(|e| Error::parse(doc_path, e))?;
+    // The server's renderer against a validation-only bundle: a `validate`
+    // request and this one-shot print identical bytes by construction.
+    let bundle = CorpusBundle::for_validation(load_keys(keys_path)?);
+    let mut scratch = bundle.scratch();
+    let (ok, report) = render::validate_report(&bundle, &doc, &mut scratch);
+    print!("{report}");
     Ok(ok)
 }
 
-fn cmd_propagate(args: &[String]) -> Result<bool, String> {
+fn cmd_propagate(args: &[String]) -> Result<bool, Error> {
     let [keys_path, rules_path, relation, fd_text] = args else {
-        return Err("usage: propagate <keys.txt> <rules.txt> <relation> \"X -> A\"".to_string());
+        return Err(Error::usage(
+            "usage: propagate <keys.txt> <rules.txt> <relation> \"X -> A\"",
+        ));
     };
     let sigma = load_keys(keys_path)?;
     let t = load_transformation(rules_path)?;
     let rule = load_rule(&t, relation)?;
-    let fd: Fd = fd_text
-        .parse()
-        .map_err(|e| format!("invalid FD `{fd_text}`: {e}"))?;
-    let outcomes = propagation_explained(&sigma, rule, &fd);
-    let mut all = true;
-    for o in &outcomes {
-        if o.propagated {
-            println!(
-                "GUARANTEED: every field `{}` value is determined (keyed ancestor variable: {})",
-                o.field,
-                o.keyed_ancestor.as_deref().unwrap_or("-"),
-            );
-        } else {
-            all = false;
-            println!("NOT GUARANTEED for field `{}`:", o.field);
-            if o.keyed_ancestor.is_none() {
-                println!(
-                    "  - no ancestor of the field's variable is transitively keyed by the LHS"
-                );
-            }
-            if !o.unresolved_fields.is_empty() {
-                let fields: Vec<&str> = o.unresolved_fields.iter().map(String::as_str).collect();
-                println!(
-                    "  - LHS field(s) {} are not guaranteed non-null whenever `{}` is non-null",
-                    fields.join(", "),
-                    o.field
-                );
-            }
-        }
-    }
+    let engine = PropagationEngine::prepare(&sigma, rule);
+    let fd = render::parse_fd(fd_text)?;
+    let (all, report) = render::propagate_report(&engine.propagation_explained(&fd));
+    print!("{report}");
     Ok(all)
 }
 
-fn cmd_cover(args: &[String]) -> Result<bool, String> {
+fn cmd_cover(args: &[String]) -> Result<bool, Error> {
     let [keys_path, rules_path, relation] = args else {
-        return Err("usage: cover <keys.txt> <rules.txt> <relation>".to_string());
+        return Err(Error::usage(
+            "usage: cover <keys.txt> <rules.txt> <relation>",
+        ));
     };
     let sigma = load_keys(keys_path)?;
     let t = load_transformation(rules_path)?;
     let rule = load_rule(&t, relation)?;
-    let cover = minimum_cover(&sigma, rule);
-    if cover.is_empty() {
-        println!("(no non-trivial dependencies are propagated)");
-    }
-    for fd in cover {
-        println!("{fd}");
-    }
+    let engine = PropagationEngine::prepare(&sigma, rule);
+    print!("{}", render::render_cover(&engine.minimum_cover()));
     Ok(true)
 }
 
-fn cmd_refine(args: &[String]) -> Result<bool, String> {
+fn cmd_refine(args: &[String]) -> Result<bool, Error> {
     let [keys_path, rules_path, relation] = args else {
-        return Err("usage: refine <keys.txt> <rules.txt> <relation>".to_string());
+        return Err(Error::usage(
+            "usage: refine <keys.txt> <rules.txt> <relation>",
+        ));
     };
     let sigma = load_keys(keys_path)?;
     let t = load_transformation(rules_path)?;
@@ -300,45 +290,99 @@ fn cmd_refine(args: &[String]) -> Result<bool, String> {
     Ok(true)
 }
 
-fn cmd_shred(args: &[String]) -> Result<bool, String> {
+fn cmd_shred(args: &[String]) -> Result<bool, Error> {
     let (positional, jobs) = parse_jobs(args)?;
     let (doc_path, rules_path, relation) = match positional.as_slice() {
         [d, r] => (d, r, None),
         [d, r, rel] => (d, r, Some(rel.as_str())),
         _ => {
-            return Err(
-                "usage: shred [--jobs N] <document.xml | dir> <rules.txt> [relation]".to_string(),
-            )
+            return Err(Error::usage(
+                "usage: shred [--jobs N] <document.xml | dir> <rules.txt> [relation]",
+            ))
         }
     };
     if Path::new(doc_path).is_dir() {
-        return batch_shred(doc_path, rules_path, relation, jobs);
+        return batch_shred(doc_path, rules_path, relation, jobs.unwrap_or_default());
     }
     warn_single_document_jobs(jobs);
-    let doc = Document::parse_str(&read(doc_path)?).map_err(|e| format!("{doc_path}: {e}"))?;
-    let t = load_transformation(rules_path)?;
-    // Shred through the prepared plan + document index.
-    let mut universe = LabelUniverse::new();
-    let plan = t.prepare(&mut universe);
-    let doc_index = xmlprop::xmltree::DocIndex::build(&doc, &mut universe);
-    match relation {
-        Some(rel) => {
-            load_rule(&t, rel)?; // keeps the "unknown relation" diagnostics
-            let rule_plan = plan.plan(rel).expect("plan exists for every rule");
-            println!("{}", rule_plan.shred(&doc, &doc_index));
-        }
-        None => {
-            for relation in plan.shred_all(&doc, &doc_index).relations() {
-                println!("{relation}");
-            }
+    let doc = Document::parse_str(&read(doc_path)?).map_err(|e| Error::parse(doc_path, e))?;
+    // The server's renderer against a shredding-only bundle: a `shred`
+    // request and this one-shot print identical bytes by construction.
+    let bundle = CorpusBundle::for_shredding(load_transformation(rules_path)?);
+    let mut scratch = bundle.scratch();
+    let (_tuples, report) = render::shred_report(&bundle, &doc, &mut scratch, relation)?;
+    print!("{report}");
+    Ok(true)
+}
+
+fn cmd_serve(args: &[String]) -> Result<bool, Error> {
+    let mut rest = Vec::new();
+    let mut addr: Option<String> = None;
+    let mut script: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(value) = arg.strip_prefix("--addr=") {
+            addr = Some(value.to_string());
+        } else if arg == "--addr" {
+            let value = iter
+                .next()
+                .ok_or_else(|| Error::usage("--addr expects HOST:PORT"))?;
+            addr = Some(value.clone());
+        } else if let Some(value) = arg.strip_prefix("--script=") {
+            script = Some(value.to_string());
+        } else if arg == "--script" {
+            let value = iter
+                .next()
+                .ok_or_else(|| Error::usage("--script expects a session file"))?;
+            script = Some(value.clone());
+        } else {
+            rest.push(arg.clone());
         }
     }
-    Ok(true)
+    let (positional, jobs) = parse_jobs(&rest)?;
+    let [keys_path, rules_path] = positional.as_slice() else {
+        return Err(Error::usage(
+            "usage: serve [--addr HOST:PORT] [--jobs N] [--script FILE] <keys.txt> <rules.txt>",
+        ));
+    };
+    let bundle = CorpusBundle::prepare(load_keys(keys_path)?, load_transformation(rules_path)?);
+    // Resident service default: enough gate width for concurrent clients;
+    // batch commands keep their single-worker default.
+    let jobs = match jobs {
+        Some(jobs) => jobs,
+        None => Jobs::new(8).expect("8 is a valid thread count"),
+    };
+    match script {
+        Some(script_path) => {
+            let text = read(&script_path)?;
+            let base = Path::new(&script_path)
+                .parent()
+                .filter(|p| !p.as_os_str().is_empty())
+                .unwrap_or(Path::new("."));
+            let steps = parse_script(&text, base)?;
+            let server = Server::bind(addr.as_deref().unwrap_or("127.0.0.1:0"), bundle, jobs)?;
+            let mut out = std::io::stdout().lock();
+            let outcome = run_script(server.local_addr(), &steps, &mut out);
+            server.shutdown();
+            outcome.map(|()| true)
+        }
+        None => {
+            let server = Server::bind(addr.as_deref().unwrap_or("127.0.0.1:7878"), bundle, jobs)?;
+            eprintln!(
+                "xmlprop-cli serve: listening on {} (jobs={}, bundle epoch {})",
+                server.local_addr(),
+                jobs.get(),
+                server.epoch(),
+            );
+            server.join();
+            Ok(true)
+        }
+    }
 }
 
 /// Batch validation: every `*.xml` file of `dir` against the key set, over
 /// the parallel corpus pipeline.
-fn batch_validate(dir: &str, keys_path: &str, jobs: Jobs) -> Result<bool, String> {
+fn batch_validate(dir: &str, keys_path: &str, jobs: Jobs) -> Result<bool, Error> {
     let keys = load_keys(keys_path)?;
     let (parsed, failed) = load_corpus(dir, jobs)?;
     if parsed.is_empty() && failed.is_empty() {
@@ -387,7 +431,7 @@ fn batch_shred(
     rules_path: &str,
     relation: Option<&str>,
     jobs: Jobs,
-) -> Result<bool, String> {
+) -> Result<bool, Error> {
     let t = load_transformation(rules_path)?;
     // With a relation filter, reduce the transformation to that one rule
     // *before* preparing the bundle: the other rules are neither shredded
@@ -436,11 +480,11 @@ fn batch_shred(
     Ok(failed.is_empty())
 }
 
-fn cmd_import_xsd(args: &[String]) -> Result<bool, String> {
+fn cmd_import_xsd(args: &[String]) -> Result<bool, Error> {
     let [xsd_path] = args else {
-        return Err("usage: import-xsd <schema.xsd>".to_string());
+        return Err(Error::usage("usage: import-xsd <schema.xsd>"));
     };
-    let import = import_xsd_keys(&read(xsd_path)?).map_err(|e| e.to_string())?;
+    let import = import_xsd_keys(&read(xsd_path)?).map_err(|e| Error::parse(xsd_path, e))?;
     for key in import.keys.iter() {
         println!("{key}");
     }

@@ -20,7 +20,25 @@
 //! * [`workload`] — synthetic generators reproducing the experimental setup
 //!   of Section 6;
 //! * [`pipeline`] — the parallel corpus pipeline: one shared prepared
-//!   bundle, many documents fanned out over worker threads.
+//!   bundle, many documents fanned out over worker threads;
+//! * [`server`] — the resident constraint server: hot-swappable prepared
+//!   bundles behind the `xmlprop/1` line protocol.
+//!
+//! ## One-shot facades vs. prepared state
+//!
+//! The free functions ([`core::propagation`], [`core::minimum_cover`], …)
+//! and one-shot methods re-prepare their inputs on every call.  That is
+//! the right trade-off for a single query, but **inside a loop or a
+//! service prefer the `prepare`-shaped constructors** —
+//! [`prelude::KeySet::prepare`], [`prelude::Transformation::prepare`],
+//! [`prelude::PropagationEngine::prepare`],
+//! [`prelude::CorpusBundle::prepare`] — which compile once and answer
+//! many times.  The resident server is built exclusively on the prepared
+//! layer.
+//!
+//! Errors across the CLI, the pipeline and the server share one type,
+//! [`Error`], whose [`ErrorKind`] table maps each class to both a CLI
+//! exit code and a protocol wire code.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `EXPERIMENTS.md` for the reproduction of the paper's evaluation.
@@ -30,22 +48,36 @@
 pub use xmlprop_core as core;
 pub use xmlprop_pipeline as pipeline;
 pub use xmlprop_reldb as reldb;
+pub use xmlprop_server as server;
 pub use xmlprop_workload as workload;
 pub use xmlprop_xmlkeys as xmlkeys;
 pub use xmlprop_xmlpath as xmlpath;
 pub use xmlprop_xmltransform as xmltransform;
 pub use xmlprop_xmltree as xmltree;
 
+pub use xmlprop_pipeline::{Error, ErrorKind};
+
 /// Commonly used items, re-exported for convenience.
+///
+/// Alongside the parsed surface types this includes the whole **prepared
+/// layer** — the `Prepared*`/`*Index`/`*Plan` types, their scratch
+/// counterparts and the [`PreparedState`](xmlprop_pipeline::PreparedState)
+/// boundary — so services can name
+/// every compiled artifact through one import.
 pub mod prelude {
     pub use xmlprop_core::{
         minimum_cover, naive_minimum_cover, propagate_all, propagation, GMinimumCover,
         PropagationEngine, PropagationOutcome, RefinedDesign,
     };
-    pub use xmlprop_pipeline::{CorpusBundle, CorpusOptions, CorpusResult, Jobs};
-    pub use xmlprop_reldb::{Fd, Relation, RelationSchema, Value};
-    pub use xmlprop_xmlkeys::{KeySet, XmlKey};
-    pub use xmlprop_xmlpath::{Path, PathExpr};
-    pub use xmlprop_xmltransform::{TableRule, TableTree, Transformation};
-    pub use xmlprop_xmltree::{Document, ElementBuilder, NodeId, NodeKind};
+    pub use xmlprop_pipeline::{
+        CorpusBundle, CorpusOptions, CorpusResult, Error, ErrorKind, Jobs, PreparedState,
+        Published, RequestScratch, SwapCell,
+    };
+    pub use xmlprop_reldb::{Fd, FdIndex, Relation, RelationSchema, Value};
+    pub use xmlprop_xmlkeys::{KeyIndex, KeySet, PreparedKey, XmlKey};
+    pub use xmlprop_xmlpath::{EvalScratch, LabelUniverse, Path, PathExpr};
+    pub use xmlprop_xmltransform::{
+        ShredPlan, ShredScratch, TableRule, TableTree, Transformation, TransformationPlan,
+    };
+    pub use xmlprop_xmltree::{DocIndex, Document, ElementBuilder, NodeId, NodeKind};
 }

@@ -335,3 +335,59 @@ fn absurd_jobs_values_are_rejected_with_a_clear_error() {
         );
     }
 }
+
+#[test]
+fn serve_shares_the_batch_jobs_validation_path() {
+    // `--jobs 0` must produce the identical diagnostic and exit code from
+    // `serve` and from a batch command: one jobs path, one error table.
+    let serve = run(&[
+        "serve",
+        "--jobs",
+        "0",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+    ]);
+    assert_eq!(serve.status.code(), Some(2));
+    let serve_err = String::from_utf8_lossy(&serve.stderr).to_string();
+    assert!(
+        serve_err.contains("--jobs") && serve_err.contains("at least 1"),
+        "unhelpful error: {serve_err}"
+    );
+
+    let dir = CorpusDir::new("serve-jobs-zero");
+    dir.copy_fig1("a.xml");
+    let batch = run(&[
+        "validate",
+        "--jobs",
+        "0",
+        dir.path(),
+        "examples/data/book_keys.txt",
+    ]);
+    assert_eq!(batch.status.code(), Some(2));
+    assert_eq!(
+        String::from_utf8_lossy(&batch.stderr),
+        serve_err,
+        "serve and batch must word the --jobs rejection identically"
+    );
+}
+
+#[test]
+fn serve_usage_and_missing_files_are_clean_errors() {
+    let out = run(&["serve"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: serve"));
+
+    let out = run(&["serve", "no/such/keys.txt", "examples/data/book_rules.txt"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let out = run(&[
+        "serve",
+        "--script",
+        "no/such/session.txt",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

@@ -1,0 +1,162 @@
+//! Golden conformance of the scripted server session, plus byte-equality
+//! between server payloads and the one-shot CLI commands they mirror.
+//!
+//! The transcript under `examples/data/expected/serve_session.txt` pins
+//! the whole service surface — greeting, every response header (verbatim
+//! `bundle=` epochs across a hot reload), every payload, the shared
+//! error-table wire codes.  Regenerate it only when a protocol change is
+//! intended, with:
+//!
+//! ```text
+//! cargo run --bin xmlprop-cli -- serve --script examples/data/server_session.txt \
+//!     examples/data/book_keys.txt examples/data/book_rules.txt \
+//!     > examples/data/expected/serve_session.txt
+//! ```
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xmlprop-cli"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to launch xmlprop-cli")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).to_string()
+}
+
+fn expected(name: &str) -> String {
+    let path = format!(
+        "{}/examples/data/expected/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn run_session() -> Output {
+    run(&[
+        "serve",
+        "--script",
+        "examples/data/server_session.txt",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+    ])
+}
+
+#[test]
+fn scripted_session_reproduces_the_golden_transcript() {
+    let out = run_session();
+    assert!(
+        out.status.success(),
+        "serve --script failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(stdout(&out), expected("serve_session.txt"));
+}
+
+/// The payload of a `>> {line}` step in a transcript: the lines between
+/// the `ok`/`err` header and the `.` terminator.
+fn payload_of(transcript: &str, line: &str) -> String {
+    let mut lines = transcript.lines();
+    lines
+        .by_ref()
+        .find(|l| *l == format!(">> {line}"))
+        .unwrap_or_else(|| panic!("no `>> {line}` step in transcript"));
+    let header = lines.next().expect("response header after the echo");
+    assert!(
+        header.starts_with("ok ") || header.starts_with("err "),
+        "malformed header: {header}"
+    );
+    let mut payload = String::new();
+    for l in lines {
+        if l == "." {
+            return payload;
+        }
+        payload.push_str(l);
+        payload.push('\n');
+    }
+    panic!("unterminated response for `{line}`");
+}
+
+#[test]
+fn server_payloads_byte_match_the_one_shot_cli() {
+    let transcript = stdout(&run_session());
+
+    let validate = run(&[
+        "validate",
+        "examples/data/fig1.xml",
+        "examples/data/book_keys.txt",
+    ]);
+    assert_eq!(
+        payload_of(&transcript, "validate @fig1.xml"),
+        stdout(&validate),
+        "serve validate == one-shot validate"
+    );
+
+    let shred = run(&[
+        "shred",
+        "examples/data/fig1.xml",
+        "examples/data/book_rules.txt",
+        "chapter",
+    ]);
+    assert_eq!(
+        payload_of(&transcript, "shred @fig1.xml chapter"),
+        stdout(&shred),
+        "serve shred == one-shot shred"
+    );
+
+    let propagate = run(&[
+        "propagate",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "chapter",
+        "inBook, number -> name",
+    ]);
+    assert_eq!(
+        payload_of(&transcript, "propagate chapter inBook, number -> name"),
+        stdout(&propagate),
+        "serve propagate == one-shot propagate"
+    );
+
+    let cover = run(&[
+        "cover",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "U",
+    ]);
+    assert_eq!(
+        payload_of(&transcript, "cover U"),
+        stdout(&cover),
+        "serve cover == one-shot cover"
+    );
+}
+
+#[test]
+fn unknown_relation_shares_wire_code_and_cli_diagnostic() {
+    let transcript = stdout(&run_session());
+    let header = transcript
+        .lines()
+        .skip_while(|l| *l != ">> cover nosuchrelation")
+        .nth(1)
+        .expect("error header");
+    assert!(header.starts_with("err relation "), "got: {header}");
+
+    // The one-shot CLI prints the same diagnostic (after `error: `) and
+    // exits 2 — one error table for both surfaces.
+    let out = run(&[
+        "cover",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "nosuchrelation",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let cli_message = stderr
+        .trim()
+        .strip_prefix("error: ")
+        .expect("CLI error prefix");
+    let wire_message = header.strip_prefix("err relation ").unwrap();
+    assert_eq!(cli_message, wire_message);
+}
