@@ -25,6 +25,7 @@ fn bench_corpus_shred(c: &mut Criterion) {
             shred: true,
             validate: false,
             covers: false,
+            stream: false,
         };
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}nodes/{jobs}j", report.total_nodes)),
@@ -49,6 +50,7 @@ fn bench_corpus_validate(c: &mut Criterion) {
             shred: false,
             validate: true,
             covers: false,
+            stream: false,
         };
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}nodes/{jobs}j", report.total_nodes)),

@@ -1,0 +1,136 @@
+//! Streaming front-end bench: the event-driven path versus the DOM path,
+//! end to end, at the 10⁴-node scale.
+//!
+//! Both sides start from the same serialized text and produce the same
+//! result (asserted at setup, before any measurement):
+//!
+//! * `stream_shred` / `stream_validate` —
+//!   [`xmlprop_pipeline::CorpusBundle::stream_text`], one pull-parser pass
+//!   feeding the plans' [`xmlprop_xmltransform::StreamShredder`]s and the
+//!   [`xmlprop_xmlkeys::StreamKeyChecker`]; no `Document`, no `DocIndex`;
+//! * `dom_shred_e2e` / `dom_validate_e2e` — `Document::parse_str` plus
+//!   [`xmlprop_pipeline::CorpusBundle::process`], the prepared DOM path
+//!   *including* its parse and index build (that is what streaming
+//!   replaces).
+//!
+//! The wider 10⁴–10⁶-node sweep lives in the `stream` experiment of
+//! `paper_experiments` (tracked in `BENCH_fig7.json`); this Criterion
+//! bench keeps a statistically measured point inside the CI bench-smoke
+//! gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlprop_pipeline::{CorpusBundle, CorpusOptions, Jobs, PreparedState};
+use xmlprop_workload::{generate, generate_document_with_report, DocConfig, WorkloadConfig};
+use xmlprop_xmltree::Document;
+
+/// A prepared bundle plus the serialized ~10⁴-node workload document both
+/// sides consume.  Asserts stream/DOM agreement before returning.
+fn stream_setup() -> (CorpusBundle, String, usize) {
+    let w = generate(&WorkloadConfig::new(15, 4, 10));
+    let (doc, report) = generate_document_with_report(
+        &w,
+        &DocConfig {
+            branching: 6,
+            omission_probability: 0.1,
+            seed: 11,
+            depth: Some(4),
+        },
+    );
+    let text = xmlprop_xmltree::to_xml(&doc);
+    let transformation = {
+        let mut t = xmlprop_xmltransform::Transformation::new(Vec::new());
+        t.add_rule(w.universal.clone());
+        t
+    };
+    let bundle = CorpusBundle::new(w.sigma.clone(), transformation);
+    let streamed = bundle
+        .stream_text(&text, &options(true, true, true))
+        .expect("serialized workload documents stream");
+    let mut scratch = bundle.scratch();
+    let dom = bundle.process(&doc, &mut scratch, &options(true, true, false));
+    assert_eq!(streamed.database, dom.database, "stream/DOM shred disagree");
+    assert_eq!(
+        streamed.violations, dom.violations,
+        "stream/DOM validation disagree"
+    );
+    (bundle, text, report.nodes)
+}
+
+fn options(shred: bool, validate: bool, stream: bool) -> CorpusOptions {
+    CorpusOptions {
+        jobs: Jobs::default(),
+        shred,
+        validate,
+        covers: false,
+        stream,
+    }
+}
+
+fn bench_stream_shred(c: &mut Criterion) {
+    let (bundle, text, nodes) = stream_setup();
+    let opts = options(true, false, true);
+    let mut group = c.benchmark_group("stream_shred");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+        b.iter(|| bundle.stream_text(&text, &opts).expect("streams"));
+    });
+    group.finish();
+}
+
+fn bench_stream_validate(c: &mut Criterion) {
+    let (bundle, text, nodes) = stream_setup();
+    let opts = options(false, true, true);
+    let mut group = c.benchmark_group("stream_validate");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+        b.iter(|| bundle.stream_text(&text, &opts).expect("streams"));
+    });
+    group.finish();
+}
+
+fn bench_dom_shred_e2e(c: &mut Criterion) {
+    let (bundle, text, nodes) = stream_setup();
+    let mut scratch = bundle.scratch();
+    let opts = options(true, false, false);
+    let mut group = c.benchmark_group("dom_shred_e2e");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+        b.iter(|| {
+            let doc = Document::parse_str(&text).expect("reparses");
+            bundle.process(&doc, &mut scratch, &opts)
+        });
+    });
+    group.finish();
+}
+
+fn bench_dom_validate_e2e(c: &mut Criterion) {
+    let (bundle, text, nodes) = stream_setup();
+    let mut scratch = bundle.scratch();
+    let opts = options(false, true, false);
+    let mut group = c.benchmark_group("dom_validate_e2e");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+        b.iter(|| {
+            let doc = Document::parse_str(&text).expect("reparses");
+            bundle.process(&doc, &mut scratch, &opts)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    streaming_front_end,
+    bench_stream_shred,
+    bench_stream_validate,
+    bench_dom_shred_e2e,
+    bench_dom_validate_e2e
+);
+criterion_main!(streaming_front_end);

@@ -12,10 +12,12 @@
 //! Experiments: `fig7a`, `fig7b`, `fig7c`, `large`, `prepared` (the
 //! prepared-engine ablation comparing one-shot facades against prepared
 //! state), `docs` (the document engine: facade vs prepared shredding
-//! and key validation at 10⁴–10⁶-node documents), `corpus` (the
-//! parallel corpus pipeline at 1/2/4/8 worker threads), and `serve`
-//! (the resident constraint server: validate requests/sec at 1/2/4/8
-//! client threads against one shared hot-swappable bundle).
+//! and key validation at 10⁴–10⁶-node documents), `stream` (the
+//! event-driven front end versus the DOM path end to end, on the same
+//! document grid), `corpus` (the parallel corpus pipeline at 1/2/4/8
+//! worker threads), and `serve` (the resident constraint server:
+//! validate requests/sec at 1/2/4/8 client threads against one shared
+//! hot-swappable bundle).
 //!
 //! Results are printed as text tables and also written as JSON files under
 //! `target/paper_experiments/` for archival (EXPERIMENTS.md quotes them).
@@ -25,7 +27,7 @@ use std::path::PathBuf;
 use xmlprop_bench::{
     corpus_experiment, corpus_rows, docs_experiment, docs_rows, fig7a, fig7a_rows, fig7b, fig7c,
     large_scale, large_scale_rows, prepared_rows, prepared_speedups, propagation_rows,
-    render_table, serve_experiment, serve_rows, Fig7Row,
+    render_table, serve_experiment, serve_rows, stream_experiment, stream_rows, Fig7Row,
 };
 
 fn out_dir() -> PathBuf {
@@ -230,6 +232,47 @@ fn run_docs(quick: bool) -> Vec<Fig7Row> {
     docs_rows(&points)
 }
 
+fn run_stream(quick: bool) -> Vec<Fig7Row> {
+    println!("== Streaming front end: event-driven vs DOM end-to-end ==");
+    println!("   (same documents as `docs`; DOM side includes parse + index build)\n");
+    let points = stream_experiment(quick);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.nodes.to_string(),
+                p.rows.to_string(),
+                format!("{:.3}", p.stream_shred_ms),
+                format!("{:.3}", p.dom_shred_ms),
+                format!("{:.2}x", p.shred_speedup()),
+                format!("{:.3}", p.stream_validate_ms),
+                format!("{:.3}", p.dom_validate_ms),
+                format!("{:.2}x", p.validate_speedup()),
+                p.peak_open_bindings.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "nodes",
+                "tuples",
+                "stream shred (ms)",
+                "dom e2e (ms)",
+                "speedup",
+                "stream validate (ms)",
+                "dom e2e (ms)",
+                "speedup",
+                "peak open"
+            ],
+            &rows
+        )
+    );
+    write_json("stream", &points);
+    stream_rows(&points)
+}
+
 fn run_corpus(quick: bool) -> Vec<Fig7Row> {
     println!("== Corpus pipeline: whole-corpus shred / validate vs worker threads ==");
     println!("   (one shared prepared bundle; outputs asserted equal to sequential)\n");
@@ -345,6 +388,9 @@ fn main() {
     }
     if run_all || wanted.contains(&"docs") {
         rows.extend(run_docs(quick));
+    }
+    if run_all || wanted.contains(&"stream") {
+        rows.extend(run_stream(quick));
     }
     if run_all || wanted.contains(&"corpus") {
         rows.extend(run_corpus(quick));

@@ -458,6 +458,164 @@ pub fn docs_experiment(quick: bool) -> Vec<DocPoint> {
         .collect()
 }
 
+/// One measured point of the streaming front-end experiment: one generated
+/// document, event-driven shredding/validation straight off the serialized
+/// text versus the prepared DOM path **end to end** (parse + `DocIndex`
+/// build + engine run — the honest baseline, since streaming includes its
+/// own tokenization).
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamPoint {
+    /// Total node count of the generated document (the scale parameter).
+    pub nodes: usize,
+    /// Number of tuples the universal-relation shred produced.
+    pub rows: usize,
+    /// `CorpusBundle::stream_text`, shred-only (ms).
+    pub stream_shred_ms: f64,
+    /// `CorpusBundle::stream_text`, validate-only (ms).
+    pub stream_validate_ms: f64,
+    /// DOM end to end, shred-only: `Document::parse_str` + index + plan (ms).
+    pub dom_shred_ms: f64,
+    /// DOM end to end, validate-only: parse + index + key checks (ms).
+    pub dom_validate_ms: f64,
+    /// Peak open binding instances + key contexts of the streaming pass —
+    /// the bounded-memory stat (`O(depth + open bindings)`, not `O(nodes)`).
+    pub peak_open_bindings: usize,
+}
+
+impl StreamPoint {
+    /// Streaming throughput gain over the DOM end-to-end shred.
+    pub fn shred_speedup(&self) -> f64 {
+        self.dom_shred_ms / self.stream_shred_ms.max(f64::MIN_POSITIVE)
+    }
+
+    /// Streaming throughput gain over the DOM end-to-end validation.
+    pub fn validate_speedup(&self) -> f64 {
+        self.dom_validate_ms / self.stream_validate_ms.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The `stream` experiment: the event-driven front end versus the DOM path
+/// at the same 10⁴–10⁶-node grid the `docs` experiment uses, so the
+/// `stream_*` rows of `BENCH_fig7.json` are directly comparable to the
+/// `docs_*` rows at identical node counts.
+///
+/// Streaming and DOM outcomes (relations, violations, node counts) are
+/// asserted bit-for-bit equal *before* anything is timed.  The DOM side is
+/// timed **end to end** — text to result, including parsing and the
+/// `DocIndex` build — because that is what the streaming pass replaces.
+/// `quick` keeps only the ~10⁴-node point for the CI smoke run.
+pub fn stream_experiment(quick: bool) -> Vec<StreamPoint> {
+    use xmlprop_pipeline::{CorpusBundle, CorpusOptions, Jobs, PreparedState};
+    use xmlprop_xmltree::Document;
+    let grids: &[(usize, usize, usize, usize)] = if quick {
+        &[(15, 4, 10, 6)]
+    } else {
+        &[(15, 4, 10, 6), (15, 5, 10, 8), (18, 6, 10, 8)]
+    };
+    grids
+        .iter()
+        .map(|&(fields, depth, keys, branching)| {
+            let w = generate(&WorkloadConfig::new(fields, depth, keys));
+            let (doc, report) = generate_document_with_report(
+                &w,
+                &DocConfig {
+                    branching,
+                    omission_probability: 0.1,
+                    seed: 11,
+                    depth: Some(depth),
+                },
+            );
+            let text = xmlprop_xmltree::to_xml(&doc);
+            drop(doc); // the streaming side must stand on the text alone
+            let transformation = {
+                let mut t = xmlprop_xmltransform::Transformation::new(Vec::new());
+                t.add_rule(w.universal.clone());
+                t
+            };
+            let bundle = CorpusBundle::new(w.sigma.clone(), transformation);
+            let options = |shred: bool, validate: bool, stream: bool| CorpusOptions {
+                jobs: Jobs::default(),
+                shred,
+                validate,
+                covers: false,
+                stream,
+            };
+
+            // Equivalence gate: both fronts, full task set, bit for bit —
+            // nothing is timed until the streamed output is proven equal.
+            let streamed = bundle
+                .stream_text(&text, &options(true, true, true))
+                .expect("serialized workload documents stream");
+            let mut scratch = bundle.scratch();
+            let parsed = Document::parse_str(&text).expect("serialized documents reparse");
+            let dom = bundle.process(&parsed, &mut scratch, &options(true, true, false));
+            assert_eq!(streamed.database, dom.database, "stream/DOM shred disagree");
+            assert_eq!(
+                streamed.violations, dom.violations,
+                "stream/DOM validation disagree"
+            );
+            assert_eq!(streamed.nodes, dom.nodes, "stream/DOM node counts disagree");
+            assert!(
+                streamed.violations.is_empty(),
+                "generated documents satisfy their own Σ"
+            );
+            drop(parsed);
+
+            let reps = if quick { 1 } else { 5 };
+            let (stream_shred_ms, _) = time_best_of(reps, || {
+                bundle.stream_text(&text, &options(true, false, true))
+            });
+            let (stream_validate_ms, _) = time_best_of(reps, || {
+                bundle.stream_text(&text, &options(false, true, true))
+            });
+            let (dom_shred_ms, _) = time_best_of(reps, || {
+                let d = Document::parse_str(&text).expect("reparse");
+                bundle.process(&d, &mut scratch, &options(true, false, false))
+            });
+            let (dom_validate_ms, _) = time_best_of(reps, || {
+                let d = Document::parse_str(&text).expect("reparse");
+                bundle.process(&d, &mut scratch, &options(false, true, false))
+            });
+
+            StreamPoint {
+                nodes: report.nodes,
+                rows: streamed.tuples,
+                stream_shred_ms,
+                stream_validate_ms,
+                dom_shred_ms,
+                dom_validate_ms,
+                peak_open_bindings: streamed.peak_open_bindings,
+            }
+        })
+        .collect()
+}
+
+/// Consolidates streaming points into [`Fig7Row`]s, five per point
+/// (`stream_{shred, validate}`, `dom_{shred, validate}_e2e` and
+/// `stream_peak_open_bindings`), with `n` the exact node count.  The peak
+/// row records a *count*, not a duration: its `seconds` field carries the
+/// frontier size so the bounded-memory trajectory is tracked in the same
+/// file.
+pub fn stream_rows(points: &[StreamPoint]) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for p in points {
+        rows.push(Fig7Row::new("stream_shred", p.nodes, p.stream_shred_ms));
+        rows.push(Fig7Row::new(
+            "stream_validate",
+            p.nodes,
+            p.stream_validate_ms,
+        ));
+        rows.push(Fig7Row::new("dom_shred_e2e", p.nodes, p.dom_shred_ms));
+        rows.push(Fig7Row::new("dom_validate_e2e", p.nodes, p.dom_validate_ms));
+        rows.push(Fig7Row {
+            bench: "stream_peak_open_bindings".to_string(),
+            n: p.nodes,
+            seconds: p.peak_open_bindings as f64,
+        });
+    }
+    rows
+}
+
 /// One measured point of the corpus-pipeline experiment: one thread count,
 /// same corpus, shred-only and validate-only timings.
 #[derive(Debug, Clone, Serialize)]
@@ -554,6 +712,7 @@ pub fn corpus_experiment(quick: bool) -> Vec<CorpusPoint> {
                 shred: true,
                 validate: false,
                 covers: false,
+                stream: false,
             };
             let validate_only = CorpusOptions {
                 shred: false,
@@ -972,6 +1131,31 @@ mod tests {
         assert_eq!(rows[2].bench, "docs_shred_prepared");
         assert_eq!(rows[3].bench, "docs_validate_facade");
         assert_eq!(rows[4].bench, "docs_validate_prepared");
+        assert!(rows.iter().all(|r| r.n == points[0].nodes));
+    }
+
+    #[test]
+    fn stream_experiment_runs_and_rows_cover_it() {
+        // The quick grid: one ~10⁴-node point; the function itself asserts
+        // stream/DOM agreement on relations, violations and node counts.
+        let points = stream_experiment(true);
+        assert_eq!(points.len(), 1);
+        assert!(points[0].nodes > 1_000);
+        assert!(points[0].rows > 0);
+        assert!(points[0].shred_speedup() > 0.0);
+        assert!(points[0].validate_speedup() > 0.0);
+        assert!(
+            points[0].peak_open_bindings > 0 && points[0].peak_open_bindings < points[0].nodes,
+            "the frontier must be recorded and smaller than the document"
+        );
+        let rows = stream_rows(&points);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].bench, "stream_shred");
+        assert_eq!(rows[1].bench, "stream_validate");
+        assert_eq!(rows[2].bench, "dom_shred_e2e");
+        assert_eq!(rows[3].bench, "dom_validate_e2e");
+        assert_eq!(rows[4].bench, "stream_peak_open_bindings");
+        assert_eq!(rows[4].seconds, points[0].peak_open_bindings as f64);
         assert!(rows.iter().all(|r| r.n == points[0].nodes));
     }
 

@@ -155,7 +155,11 @@ impl CorpusBundle {
                 violations: Vec::new(),
                 nodes: doc.len(),
                 tuples: 0,
+                peak_open_bindings: 0,
             };
+        }
+        if options.stream {
+            return self.stream_document(doc, options);
         }
         let index = scratch.index_document(doc);
         let mut database = Database::new();
@@ -177,6 +181,7 @@ impl CorpusBundle {
             violations,
             nodes: doc.len(),
             tuples,
+            peak_open_bindings: 0,
         }
     }
 

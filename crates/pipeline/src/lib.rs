@@ -29,6 +29,7 @@ pub mod error;
 pub mod run;
 pub mod source;
 pub mod state;
+pub mod stream;
 pub mod swap;
 
 pub use bundle::{CorpusBundle, RuleCover};

@@ -96,6 +96,11 @@ pub struct CorpusOptions {
     /// Compute the per-rule propagated minimum covers (document-independent;
     /// benchmarks that time pure document throughput switch this off).
     pub covers: bool,
+    /// Execute shredding and validation through the event-driven streaming
+    /// front end (open-binding frontiers, no `DocIndex`) instead of the
+    /// prepared DOM path.  Results are bit-for-bit identical; only the
+    /// execution strategy — and the peak memory profile — changes.
+    pub stream: bool,
 }
 
 impl Default for CorpusOptions {
@@ -105,6 +110,7 @@ impl Default for CorpusOptions {
             shred: true,
             validate: true,
             covers: true,
+            stream: false,
         }
     }
 }
@@ -133,6 +139,10 @@ pub struct DocOutcome {
     pub nodes: usize,
     /// Total tuples shredded across all relations.
     pub tuples: usize,
+    /// Peak simultaneously-open bindings/contexts held by the streaming
+    /// front end while processing this document (0 on the DOM path, which
+    /// materialises the whole index instead).
+    pub peak_open_bindings: usize,
 }
 
 /// Corpus-level totals.
@@ -148,6 +158,9 @@ pub struct CorpusStats {
     pub violations: usize,
     /// Number of documents with at least one violation.
     pub invalid_documents: usize,
+    /// Maximum per-document [`DocOutcome::peak_open_bindings`] across the
+    /// corpus (0 on the DOM path).
+    pub peak_open_bindings: usize,
 }
 
 /// The merged result of a corpus run, ordered by document index.
@@ -258,6 +271,7 @@ fn merge(documents: Vec<DocOutcome>, covers: Vec<RuleCover>) -> CorpusResult {
         stats.tuples += outcome.tuples;
         stats.violations += outcome.violations.len();
         stats.invalid_documents += usize::from(!outcome.violations.is_empty());
+        stats.peak_open_bindings = stats.peak_open_bindings.max(outcome.peak_open_bindings);
     }
     CorpusResult {
         documents,
@@ -447,6 +461,7 @@ mod tests {
             shred: true,
             validate: false,
             covers: false,
+            stream: false,
         };
         let result = bundle.run(&docs, &shred_only);
         assert!(result.covers.is_empty());
@@ -458,6 +473,7 @@ mod tests {
             shred: false,
             validate: true,
             covers: false,
+            stream: false,
         };
         let result = bundle.run(&docs, &validate_only);
         assert_eq!(result.stats.tuples, 0);

@@ -38,6 +38,34 @@ pub fn validate_report(
     (ok, out)
 }
 
+/// Streaming twin of [`validate_report`]: drives the key checker straight
+/// off raw XML text — no `Document`, no `DocIndex` — and renders the same
+/// bytes.  `origin` names the input in parse diagnostics (the CLI passes
+/// the file path).
+pub fn validate_report_streaming(
+    bundle: &CorpusBundle,
+    xml: &str,
+    origin: &str,
+) -> Result<(bool, String), Error> {
+    let report = bundle
+        .stream_check(xml)
+        .map_err(|e| Error::parse(origin, e))?;
+    let mut out = String::new();
+    let mut ok = true;
+    for (key, broken) in bundle.sigma().iter().zip(&report.per_key) {
+        if broken.is_empty() {
+            writeln!(out, "[ok]   {key}").expect("String write");
+        } else {
+            ok = false;
+            writeln!(out, "[FAIL] {key}").expect("String write");
+            for v in broken {
+                writeln!(out, "         {v}").expect("String write");
+            }
+        }
+    }
+    Ok((ok, out))
+}
+
 /// Renders the shred output for one document: the named relation only, or
 /// every rule's relation in plan (name) order.  Returns the total tuple
 /// count and the report text.
@@ -72,6 +100,30 @@ pub fn shred_report(
                 writeln!(out, "{relation}").expect("String write");
             }
         }
+    }
+    Ok((tuples, out))
+}
+
+/// Streaming twin of [`shred_report`]: shreds raw XML text through the
+/// plans' streaming executors and renders the same bytes (relations print
+/// in name order from the [`Database`] either way).
+pub fn shred_report_streaming(
+    bundle: &CorpusBundle,
+    xml: &str,
+    origin: &str,
+    relation: Option<&str>,
+) -> Result<(usize, String), Error> {
+    if let Some(rel) = relation {
+        require_rule(bundle, rel)?;
+    }
+    let database = bundle
+        .stream_shred(xml, relation)
+        .map_err(|e| Error::parse(origin, e))?;
+    let mut out = String::new();
+    let mut tuples = 0;
+    for relation in database.relations() {
+        tuples += relation.len();
+        writeln!(out, "{relation}").expect("String write");
     }
     Ok((tuples, out))
 }
@@ -232,6 +284,33 @@ mod tests {
         let err = shred_report(&bundle, &doc, &mut scratch, Some("nope")).unwrap_err();
         assert!(err.to_string().contains("no rule for relation `nope`"));
         assert!(err.to_string().contains("book"), "known rules listed");
+    }
+
+    #[test]
+    fn streaming_report_twins_render_identical_bytes() {
+        let bundle = bundle();
+        let mut scratch = bundle.scratch();
+        for xml in [
+            "<r><book isbn='1'/><book isbn='2'/></r>",
+            "<r><book isbn='1'/><book isbn='1'/></r>",
+        ] {
+            let doc = Document::parse_str(xml).unwrap();
+            let (ok, dom) = validate_report(&bundle, &doc, &mut scratch);
+            let (ok_s, streamed) = validate_report_streaming(&bundle, xml, "doc").unwrap();
+            assert_eq!(ok_s, ok);
+            assert_eq!(streamed, dom, "validate twins must render identically");
+            let (tuples, dom) = shred_report(&bundle, &doc, &mut scratch, None).unwrap();
+            let (tuples_s, streamed) = shred_report_streaming(&bundle, xml, "doc", None).unwrap();
+            assert_eq!(tuples_s, tuples);
+            assert_eq!(streamed, dom, "shred twins must render identically");
+            let (_, one) = shred_report(&bundle, &doc, &mut scratch, Some("book")).unwrap();
+            let (_, one_s) = shred_report_streaming(&bundle, xml, "doc", Some("book")).unwrap();
+            assert_eq!(one_s, one);
+        }
+        let err = validate_report_streaming(&bundle, "<r", "bad.xml").unwrap_err();
+        assert!(err.to_string().starts_with("bad.xml: "), "got: {err}");
+        let err = shred_report_streaming(&bundle, "<r></r>", "doc", Some("nope")).unwrap_err();
+        assert!(err.to_string().contains("no rule for relation `nope`"));
     }
 
     #[test]

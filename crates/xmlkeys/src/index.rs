@@ -71,6 +71,13 @@ impl IndexedKey {
         &self.attrs
     }
 
+    /// The key's attribute ids in the key's own order — the order the
+    /// satisfaction semantics and violation reports enumerate attributes
+    /// in.
+    pub fn val_attrs(&self) -> &[LabelId] {
+        &self.val_attrs
+    }
+
     /// The compiled context path `Q`.
     pub fn context(&self) -> &CompiledExpr {
         &self.context

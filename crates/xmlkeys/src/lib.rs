@@ -68,6 +68,7 @@ mod index;
 mod key;
 mod keyset;
 mod satisfy;
+mod stream;
 pub mod xsd;
 
 pub use general::{partition_for_propagation, GeneralKey};
@@ -76,6 +77,7 @@ pub use index::{IndexedKey, KeyIndex, PreparedKey};
 pub use key::{ParseKeyError, XmlKey};
 pub use keyset::KeySet;
 pub use satisfy::{satisfies, satisfies_all, violations, Violation};
+pub use stream::{StreamCheckReport, StreamKeyChecker};
 pub use xsd::{import_xsd_keys, XsdImport, XsdImportError};
 
 /// The seven sample keys K1–K7 of Example 2.1 in the paper, over the Fig. 1

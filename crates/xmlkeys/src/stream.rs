@@ -1,0 +1,602 @@
+//! Streaming key validation: Definition 2.1 checked as elements close.
+//!
+//! The prepared validator ([`KeyIndex::violations`]) evaluates each key's
+//! context and target paths over a fully built
+//! [`DocIndex`](xmlprop_xmltree::DocIndex).  [`StreamKeyChecker`] answers
+//! the same question from a flat event stream without materializing the
+//! document: per key it simulates the compiled context expression down the
+//! open path ([`xmlprop_xmlpath::StreamMatcher`]), keeps one record per
+//! *open* context node — the paper's observation that a key constraint is
+//! decidable at context close — and inside every open context simulates the
+//! target expression and maintains the hashed key-tuple set of condition
+//! (2).  Retained state is `O(depth + open contexts + reported
+//! violations)` plus the tuple sets, never `O(nodes)` of tree structure.
+//!
+//! The checker reproduces the prepared validator **bit for bit**,
+//! including node identities and report order:
+//!
+//! * streamed nodes are numbered in document pre-order, which equals the
+//!   arena [`NodeId`] order for any parser-built document;
+//! * element targets are finalized when their attribute section ends, so
+//!   complete targets enter the tuple set in document order (first/second
+//!   attribution of [`Violation::DuplicateKeyValue`] matches);
+//! * per-context violations are stably sorted by target before a context
+//!   report is emitted, and contexts report in document order.
+
+use crate::index::KeyIndex;
+use crate::satisfy::Violation;
+use std::collections::HashMap;
+use xmlprop_xmlpath::{LabelId, MatchState, StreamMatcher};
+use xmlprop_xmltree::NodeId;
+
+/// Per-key compiled machinery plus live matching state.
+#[derive(Debug)]
+struct KeyState {
+    context_matcher: StreamMatcher,
+    target_matcher: StreamMatcher,
+    /// Context-expression NFA state per open element (root-path).
+    context_states: Vec<MatchState>,
+    /// Open context records, innermost last (they nest along the path).
+    open: Vec<OpenContext>,
+    /// Next context sequence number (contexts are created in pre-order).
+    next_seq: u32,
+    /// Closed contexts that produced violations, keyed by creation order.
+    done: Vec<(u32, Vec<Violation>)>,
+}
+
+/// One open context node of one key.
+#[derive(Debug)]
+struct OpenContext {
+    node: NodeId,
+    seq: u32,
+    /// Element-stack depth at which this context was opened (attribute and
+    /// text contexts close within their event and never carry a depth).
+    depth: usize,
+    /// Target-expression NFA state per open element at or below the
+    /// context; `target_states[0]` is the start state at the context node.
+    target_states: Vec<MatchState>,
+    /// Condition (2): complete key tuple → first target carrying it.
+    seen: HashMap<Vec<String>, NodeId>,
+    /// Violations under this context, tagged with the target node for the
+    /// final stable sort into document order.
+    violations: Vec<(NodeId, Violation)>,
+}
+
+/// Attribute tallies of one element that is a target of ≥ 1 open contexts
+/// of one key: per key attribute (in key order) the number of matching
+/// attribute children seen and the first value.
+#[derive(Debug)]
+struct PendingTarget {
+    key: usize,
+    node: NodeId,
+    /// Stack indices into the key's `open` contexts this node is a target
+    /// of (stable until the element closes — no context below it can pop
+    /// while its attribute section is still open).
+    contexts: Vec<usize>,
+    counts: Vec<u32>,
+    values: Vec<String>,
+}
+
+/// Streaming validator for a prepared [`KeyIndex`] over one document's
+/// event stream.
+///
+/// Feed events in document order ([`start_element`](Self::start_element),
+/// [`attribute`](Self::attribute), [`text`](Self::text),
+/// [`end_element`](Self::end_element) — attribute events must directly
+/// follow their element's start, as the XML grammar guarantees), then call
+/// [`finish`](Self::finish) for the per-key violation lists.  Labels are
+/// the read-only resolutions a
+/// [`StreamParser`](xmlprop_xmltree::StreamParser) over
+/// [`KeyIndex::universe`] produces; `None` (a label no key mentions) can
+/// only traverse `//`.
+#[derive(Debug)]
+pub struct StreamKeyChecker<'a> {
+    index: &'a KeyIndex,
+    keys: Vec<KeyState>,
+    /// The interned id of the text-node label `"S"`, if any key mentions it.
+    text_label: Option<LabelId>,
+    /// Per open element: the pending targets awaiting their attribute
+    /// section end (at most one per key).
+    element_stack: Vec<Vec<PendingTarget>>,
+    /// Document pre-order counter: the next node's id.
+    next_node: u32,
+    /// High-water mark of simultaneously open context records.
+    peak_open_contexts: usize,
+}
+
+/// The result of streaming one document through a [`StreamKeyChecker`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamCheckReport {
+    /// Violations per key, in Σ order — each entry matches
+    /// [`KeyIndex::violations_of`] for that key.
+    pub per_key: Vec<Vec<Violation>>,
+    /// Total number of nodes streamed (elements, attributes, text).
+    pub nodes: usize,
+    /// High-water mark of simultaneously open context records across all
+    /// keys — the validator's contribution to `stream_peak_open_bindings`.
+    pub peak_open_contexts: usize,
+}
+
+impl StreamCheckReport {
+    /// All violations concatenated in Σ order, like
+    /// [`KeyIndex::violations`].
+    pub fn all_violations(&self) -> Vec<Violation> {
+        self.per_key.iter().flatten().cloned().collect()
+    }
+}
+
+impl<'a> StreamKeyChecker<'a> {
+    /// Prepares a checker for one document against `index`.
+    pub fn new(index: &'a KeyIndex) -> Self {
+        let keys = index
+            .keys()
+            .iter()
+            .map(|k| KeyState {
+                context_matcher: StreamMatcher::new(k.context()),
+                target_matcher: StreamMatcher::new(k.target()),
+                context_states: Vec::new(),
+                open: Vec::new(),
+                next_seq: 0,
+                done: Vec::new(),
+            })
+            .collect();
+        StreamKeyChecker {
+            index,
+            keys,
+            text_label: index.universe().lookup("S"),
+            element_stack: Vec::new(),
+            next_node: 0,
+            peak_open_contexts: 0,
+        }
+    }
+
+    /// An element opened.
+    pub fn start_element(&mut self, label: Option<LabelId>) {
+        self.finalize_pending();
+        let node = self.take_node();
+        let depth = self.element_stack.len();
+        self.element_stack.push(Vec::new());
+        let mut open_total = 0;
+        for ki in 0..self.keys.len() {
+            let key = &mut self.keys[ki];
+            // Step target matching of every context already open; collect
+            // hits for the pending-target record (outer contexts first).
+            let mut hit_contexts: Vec<usize> = Vec::new();
+            for (ci, ctx) in key.open.iter_mut().enumerate() {
+                let top = *ctx.target_states.last().expect("context has a state");
+                let stepped = key.target_matcher.step(top, label);
+                ctx.target_states.push(stepped);
+                if key.target_matcher.accepts(stepped) {
+                    hit_contexts.push(ci);
+                }
+            }
+            // Step the context expression: the root is reached by the empty
+            // word, children extend their parent's word by one label.
+            let state = match key.context_states.last() {
+                None => key.context_matcher.start(),
+                Some(&parent) => key.context_matcher.step(parent, label),
+            };
+            key.context_states.push(state);
+            if key.context_matcher.accepts(state) {
+                let start = key.target_matcher.start();
+                let self_target = key.target_matcher.accepts(start);
+                let ci = key.open.len();
+                key.open.push(OpenContext {
+                    node,
+                    seq: key.next_seq,
+                    depth,
+                    target_states: vec![start],
+                    seen: HashMap::new(),
+                    violations: Vec::new(),
+                });
+                key.next_seq += 1;
+                if self_target {
+                    hit_contexts.push(ci);
+                }
+            }
+            if !hit_contexts.is_empty() {
+                let attrs = self.index.keys()[ki].val_attrs().len();
+                if attrs == 0 {
+                    // No attributes to await: the tuple is complete now, and
+                    // finalizing immediately keeps condition (2) insertion
+                    // in document order.
+                    Self::finalize_target(
+                        &[],
+                        &mut self.keys[ki],
+                        node,
+                        &hit_contexts,
+                        &[],
+                        &[],
+                        self.index,
+                    );
+                } else {
+                    self.element_stack
+                        .last_mut()
+                        .expect("just pushed")
+                        .push(PendingTarget {
+                            key: ki,
+                            node,
+                            contexts: hit_contexts,
+                            counts: vec![0; attrs],
+                            values: vec![String::new(); attrs],
+                        });
+                }
+            }
+            open_total += self.keys[ki].open.len();
+        }
+        self.peak_open_contexts = self.peak_open_contexts.max(open_total);
+    }
+
+    /// An attribute of the innermost open element.
+    pub fn attribute(&mut self, label: Option<LabelId>, value: &str) {
+        // Feed the tallies of the owner element's pending targets.
+        if let Some(frame) = self.element_stack.last_mut() {
+            for pending in frame.iter_mut() {
+                let val_attrs = self.index.keys()[pending.key].val_attrs();
+                for (i, &attr) in val_attrs.iter().enumerate() {
+                    if label == Some(attr) {
+                        pending.counts[i] += 1;
+                        if pending.counts[i] == 1 {
+                            pending.values[i] = value.to_string();
+                        }
+                    }
+                }
+            }
+        }
+        // The attribute node is itself addressable by paths.
+        self.leaf_node(label);
+    }
+
+    /// A text child of the innermost open element.
+    pub fn text(&mut self) {
+        self.finalize_pending();
+        let label = self.text_label;
+        self.leaf_node(label);
+    }
+
+    /// The innermost open element closed.
+    pub fn end_element(&mut self) {
+        self.finalize_pending();
+        self.element_stack.pop().expect("balanced events");
+        let depth = self.element_stack.len();
+        for key in &mut self.keys {
+            // A context opened at this element closes now (at most one per
+            // key: contexts lie on the root-path, one node per depth).
+            if key.open.last().is_some_and(|c| c.depth == depth) {
+                let ctx = key.open.pop().expect("checked above");
+                Self::close_context(key, ctx);
+            }
+            for ctx in &mut key.open {
+                ctx.target_states.pop();
+            }
+            key.context_states.pop();
+        }
+    }
+
+    /// Consumes the checker, returning the per-key violation lists in the
+    /// exact order of the prepared DOM validator.
+    pub fn finish(mut self) -> StreamCheckReport {
+        let nodes = self.next_node as usize;
+        let per_key = self
+            .keys
+            .iter_mut()
+            .map(|key| {
+                debug_assert!(key.open.is_empty() && key.context_states.is_empty());
+                key.done.sort_by_key(|(seq, _)| *seq);
+                key.done
+                    .drain(..)
+                    .flat_map(|(_, violations)| violations)
+                    .collect()
+            })
+            .collect();
+        StreamCheckReport {
+            per_key,
+            nodes,
+            peak_open_contexts: self.peak_open_contexts,
+        }
+    }
+
+    /// Allocates the next document-pre-order node id.
+    fn take_node(&mut self) -> NodeId {
+        let node = NodeId::from_index(self.next_node as usize);
+        self.next_node += 1;
+        node
+    }
+
+    /// Handles an attribute or text node: step matching through it, report
+    /// it as a (necessarily attribute-less) target or context, and unwind —
+    /// leaves never stay on any stack.
+    fn leaf_node(&mut self, label: Option<LabelId>) {
+        let node = self.take_node();
+        for ki in 0..self.keys.len() {
+            let key = &mut self.keys[ki];
+            let mut hit_contexts: Vec<usize> = Vec::new();
+            for (ci, ctx) in key.open.iter().enumerate() {
+                let top = *ctx.target_states.last().expect("context has a state");
+                if key
+                    .target_matcher
+                    .accepts(key.target_matcher.step(top, label))
+                {
+                    hit_contexts.push(ci);
+                }
+            }
+            // The leaf may itself be a context; its only possible target is
+            // itself (ε), and it closes immediately.
+            let leaf_context = match key.context_states.last() {
+                None => None,
+                Some(&parent) => {
+                    let state = key.context_matcher.step(parent, label);
+                    key.context_matcher.accepts(state).then(|| {
+                        let seq = key.next_seq;
+                        key.next_seq += 1;
+                        let start = key.target_matcher.start();
+                        let self_target = key.target_matcher.accepts(start);
+                        let ci = key.open.len();
+                        key.open.push(OpenContext {
+                            node,
+                            seq,
+                            depth: usize::MAX,
+                            target_states: vec![start],
+                            seen: HashMap::new(),
+                            violations: Vec::new(),
+                        });
+                        if self_target {
+                            hit_contexts.push(ci);
+                        }
+                    })
+                }
+            };
+            if !hit_contexts.is_empty() {
+                let val_attrs = self.index.keys()[ki].val_attrs().to_vec();
+                Self::finalize_target(
+                    &val_attrs,
+                    &mut self.keys[ki],
+                    node,
+                    &hit_contexts,
+                    &[],
+                    &[],
+                    self.index,
+                );
+            }
+            let key = &mut self.keys[ki];
+            if leaf_context.is_some() {
+                let ctx = key.open.pop().expect("pushed above");
+                Self::close_context(key, ctx);
+            }
+        }
+    }
+
+    /// Finalizes the innermost element's pending targets (its attribute
+    /// section just ended).
+    fn finalize_pending(&mut self) {
+        let Some(frame) = self.element_stack.last_mut() else {
+            return;
+        };
+        if frame.is_empty() {
+            return;
+        }
+        let pendings = std::mem::take(frame);
+        for pending in pendings {
+            let val_attrs = self.index.keys()[pending.key].val_attrs().to_vec();
+            Self::finalize_target(
+                &val_attrs,
+                &mut self.keys[pending.key],
+                pending.node,
+                &pending.contexts,
+                &pending.counts,
+                &pending.values,
+                self.index,
+            );
+        }
+    }
+
+    /// Checks conditions (1) and (2) of Definition 2.1 for one target node
+    /// against every open context it matched, mirroring the DOM loop of
+    /// [`KeyIndex::violations`] attribute for attribute.  `counts` and
+    /// `values` are empty for attribute-less finalization (leaves, or keys
+    /// with no attributes).
+    #[allow(clippy::too_many_arguments)]
+    fn finalize_target(
+        val_attrs: &[LabelId],
+        key: &mut KeyState,
+        node: NodeId,
+        contexts: &[usize],
+        counts: &[u32],
+        values: &[String],
+        index: &KeyIndex,
+    ) {
+        for &ci in contexts {
+            let ctx = &mut key.open[ci];
+            let mut complete = true;
+            for (i, &attr) in val_attrs.iter().enumerate() {
+                match counts.get(i).copied().unwrap_or(0) {
+                    1 => {}
+                    0 => {
+                        complete = false;
+                        ctx.violations.push((
+                            node,
+                            Violation::MissingAttribute {
+                                context: ctx.node,
+                                target: node,
+                                attribute: index.universe().name(attr).to_string(),
+                            },
+                        ));
+                    }
+                    _ => {
+                        complete = false;
+                        ctx.violations.push((
+                            node,
+                            Violation::DuplicateAttribute {
+                                context: ctx.node,
+                                target: node,
+                                attribute: index.universe().name(attr).to_string(),
+                            },
+                        ));
+                    }
+                }
+            }
+            if !complete {
+                continue;
+            }
+            let tuple: Vec<String> = values.to_vec();
+            match ctx.seen.get(&tuple) {
+                Some(&first) => {
+                    ctx.violations.push((
+                        node,
+                        Violation::DuplicateKeyValue {
+                            context: ctx.node,
+                            first,
+                            second: node,
+                            values: tuple,
+                        },
+                    ));
+                }
+                None => {
+                    ctx.seen.insert(tuple, node);
+                }
+            }
+        }
+    }
+
+    /// Closes one context: orders its violations by target (the DOM
+    /// validator reports a context's targets in document order) and records
+    /// them under the context's creation order.
+    fn close_context(key: &mut KeyState, mut ctx: OpenContext) {
+        if ctx.violations.is_empty() {
+            return;
+        }
+        ctx.violations.sort_by_key(|(target, _)| *target);
+        key.done.push((
+            ctx.seq,
+            ctx.violations.into_iter().map(|(_, v)| v).collect(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KeySet, XmlKey};
+    use xmlprop_xmltree::{Document, StreamEvent, StreamParser};
+
+    /// Streams `text` through a checker against `index`.
+    fn stream_check(index: &KeyIndex, text: &str) -> StreamCheckReport {
+        let mut checker = StreamKeyChecker::new(index);
+        let mut parser = StreamParser::with_universe(text, index.universe());
+        while let Some(event) = parser.next_event().unwrap() {
+            match event {
+                StreamEvent::StartElement { label, .. } => checker.start_element(label),
+                StreamEvent::Attribute { label, value, .. } => checker.attribute(label, &value),
+                StreamEvent::Text { .. } => checker.text(),
+                StreamEvent::EndElement => checker.end_element(),
+            }
+        }
+        checker.finish()
+    }
+
+    /// Asserts the streamed report matches the prepared DOM validator
+    /// per key and in aggregate.
+    fn assert_matches_dom(sigma: &KeySet, text: &str) {
+        let doc = Document::parse_str(text).unwrap();
+        assert!(doc.ids_in_document_order());
+        let mut index = KeyIndex::new(sigma);
+        let dix = index.index_document(&doc);
+        let report = stream_check(&index, text);
+        assert_eq!(report.nodes, doc.len(), "node count for {text}");
+        for k in 0..index.len() {
+            assert_eq!(
+                report.per_key[k],
+                index.violations_of(k, &doc, &dix),
+                "key {k} on {text}"
+            );
+        }
+        assert_eq!(report.all_violations(), index.violations(&doc, &dix));
+    }
+
+    fn sigma(keys: &[&str]) -> KeySet {
+        keys.iter().map(|k| XmlKey::parse(k).unwrap()).collect()
+    }
+
+    #[test]
+    fn clean_document_reports_nothing() {
+        let sigma = sigma(&["(ε, (//book, {@isbn}))"]);
+        let index = KeyIndex::new(&sigma);
+        let report = stream_check(&index, r#"<db><book isbn="1"/><book isbn="2"/></db>"#);
+        assert!(report.per_key.iter().all(|v| v.is_empty()));
+        assert_eq!(report.nodes, 5);
+        assert!(report.peak_open_contexts >= 1);
+    }
+
+    #[test]
+    fn every_violation_kind_matches_the_dom_validator() {
+        let s = sigma(&["(ε, (//book, {@isbn}))"]);
+        // Missing, duplicate attribute, duplicate key value.
+        assert_matches_dom(
+            &s,
+            r#"<db><book/><book isbn="1" isbn="2"/><book isbn="3"/><book isbn="3"/></db>"#,
+        );
+    }
+
+    #[test]
+    fn nested_contexts_report_in_document_order() {
+        // Contexts nest (every `part` is a context); inner contexts close
+        // before outer ones but must report after them.
+        let s = sigma(&["(//part, (item, {@id}))"]);
+        assert_matches_dom(
+            &s,
+            r#"<r><part><item id="1"/><part><item/><item id="2"/><item id="2"/></part><item id="1"/><item id="1"/></part></r>"#,
+        );
+    }
+
+    #[test]
+    fn multi_attribute_keys_and_attribute_targets() {
+        let s = sigma(&[
+            "(ε, (//book, {@isbn, @lang}))",
+            "(//book, (@isbn, {}))",
+            "(ε, (//book/author, {}))",
+        ]);
+        assert_matches_dom(
+            &s,
+            r#"<db><book isbn="1"><author/><author/></book><book lang="en" isbn="1" lang="en"/><book isbn="1" lang="fr"/><book isbn="1" lang="fr"/></db>"#,
+        );
+    }
+
+    #[test]
+    fn descendant_paths_and_unknown_labels() {
+        let s = sigma(&["(//a, (//b, {@k}))"]);
+        assert_matches_dom(
+            &s,
+            r#"<r><a><zzz><b k="1"/><b k="1"/></zzz><b/></a><a><b k="2"/></a></r>"#,
+        );
+    }
+
+    #[test]
+    fn text_and_epsilon_targets() {
+        // Text nodes are addressable as `S`; ε targets make every context
+        // its own target.
+        let s = sigma(&["(//p, (S, {}))", "(//p, (ε, {@id}))"]);
+        assert_matches_dom(&s, r#"<r><p id="1">one</p><p>two<b/>three</p></r>"#);
+    }
+
+    #[test]
+    fn empty_attribute_sets_use_node_identity_tuples() {
+        // {} keys: every complete tuple is the empty tuple, so two targets
+        // under one context always clash.
+        let s = sigma(&["(ε, (//chapter, {}))"]);
+        assert_matches_dom(&s, r#"<db><book><chapter/><chapter/></book></db>"#);
+    }
+
+    #[test]
+    fn peak_open_contexts_stays_bounded_by_nesting() {
+        let s = sigma(&["(//a, (b, {@k}))"]);
+        let index = KeyIndex::new(&s);
+        // 40 sibling `a` subtrees: one context open at a time.
+        let mut text = String::from("<r>");
+        for i in 0..40 {
+            text.push_str(&format!(r#"<a><b k="{i}"/></a>"#));
+        }
+        text.push_str("</r>");
+        let report = stream_check(&index, &text);
+        assert_eq!(report.peak_open_contexts, 1);
+    }
+}

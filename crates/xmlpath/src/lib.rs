@@ -28,7 +28,11 @@
 //! * **evaluation** `n[[P]]` over [`xmlprop_xmltree::Document`]s
 //!   ([`evaluate`] / [`PathExpr::evaluate`]), plus the compiled
 //!   [`CompiledExpr::evaluate`] over a prepared
-//!   [`xmlprop_xmltree::DocIndex`] with reusable [`EvalScratch`] state.
+//!   [`xmlprop_xmltree::DocIndex`] with reusable [`EvalScratch`] state;
+//! * **incremental matching** for the streaming front end:
+//!   [`StreamMatcher`] simulates a compiled expression as an NFA one label
+//!   at a time, with `Copy` [`MatchState`] bitmasks that open-binding
+//!   frontiers stack per document depth.
 //!
 //! # Example
 //!
@@ -52,9 +56,11 @@ mod containment;
 mod eval;
 mod expr;
 mod path;
+mod stream;
 
 pub use compile::{CompiledAtom, CompiledExpr, LabelId, LabelUniverse, PathCompiler};
 pub use containment::{contained_in, word_matches};
 pub use eval::{evaluate, evaluate_from_root, EvalScratch};
 pub use expr::{Atom, ParsePathError, PathExpr};
 pub use path::Path;
+pub use stream::{MatchState, StreamMatcher};

@@ -1,0 +1,367 @@
+//! Incremental word matching for the streaming front end.
+//!
+//! The DOM evaluator ([`crate::evaluate`] and the compiled
+//! [`CompiledExpr::evaluate`]) answers `n[[P]]` with the whole label word in
+//! hand.  The streaming shredder and key checker instead descend the
+//! document one label at a time and need, at every open node, the answer to
+//! "could the path from the binding root to here (or below) still match
+//! `P`?" — a classic NFA simulation.
+//!
+//! [`StreamMatcher`] compiles a [`CompiledExpr`] into exactly that: a
+//! Thompson-style NFA whose states are positions between atoms, carried in a
+//! single `u128` bitmask ([`MatchState`]).  Position `i` means "a prefix of
+//! the word has matched `atoms[..i]`"; position `len(atoms)` is the accept
+//! state.  `//` atoms contribute a self-loop (consume any label) plus an
+//! ε-edge (consume nothing), which is closed eagerly so a state is always
+//! ε-closed.
+//!
+//! Matching agrees with [`CompiledExpr::matches_word`] label for label — a
+//! property pinned by proptest-style exhaustive tests below — and one
+//! `step` is a couple of bit operations per atom, allocation-free, so the
+//! per-event cost of the streaming path stays flat.
+
+use crate::compile::{CompiledAtom, CompiledExpr};
+use xmlprop_xmltree::LabelId;
+
+/// The NFA state set of one in-progress match, as a position bitmask.
+///
+/// Obtained from [`StreamMatcher::start`] and advanced with
+/// [`StreamMatcher::step`]; `Copy`, so open-binding frontiers can stack
+/// them per document depth without allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatchState(u128);
+
+impl MatchState {
+    /// True if no NFA position is live: no extension of the consumed word
+    /// can ever match, so the subtree below can be skipped.
+    pub fn is_dead(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A compiled path expression in NFA form, for label-at-a-time matching.
+///
+/// # Example
+///
+/// ```
+/// use xmlprop_xmlpath::{PathCompiler, LabelUniverse, StreamMatcher};
+///
+/// let mut u = LabelUniverse::new();
+/// let expr = u.compile(&"//book/chapter".parse().unwrap());
+/// let matcher = StreamMatcher::new(&expr);
+///
+/// let mut state = matcher.start();
+/// assert!(!matcher.accepts(state));
+/// state = matcher.step(state, u.lookup("book"));
+/// state = matcher.step(state, u.lookup("chapter"));
+/// assert!(matcher.accepts(state));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamMatcher {
+    /// Positions whose atom is `Label(l)`, indexed by `l`'s raw id; labels
+    /// past the table (or `None`) have no consuming positions.  The masks
+    /// are dense in the label id space, which the interner keeps small.
+    label_masks: Vec<u128>,
+    /// Positions whose atom is `//` (self-loop on every label).
+    any_mask: u128,
+    /// The accept position, `1 << atoms.len()`.
+    accept_mask: u128,
+    /// `Label(l)` positions whose consumption lands in the accept closure:
+    /// a state overlapping this mask accepts after consuming that label.
+    label_accept: u128,
+    /// `//` positions inside the accept closure: a state overlapping this
+    /// mask accepts after consuming *any* label.
+    any_accept: u128,
+    /// The label consumed at each `Label` position (placeholder for `//`).
+    atom_labels: Vec<LabelId>,
+    start: MatchState,
+}
+
+impl StreamMatcher {
+    /// Compiles `expr` into NFA form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expr` has 128 or more atoms (the state set is a `u128`
+    /// bitmask over `len + 1` positions).  Paper-style path expressions are
+    /// a handful of atoms; the limit exists only to keep states `Copy`.
+    pub fn new(expr: &CompiledExpr) -> Self {
+        let atoms = expr.atoms();
+        assert!(
+            atoms.len() < 128,
+            "StreamMatcher supports at most 127 atoms, got {}",
+            atoms.len()
+        );
+        let mut any_mask = 0u128;
+        let mut max_label = 0usize;
+        for atom in atoms {
+            match atom {
+                CompiledAtom::Label(l) => max_label = max_label.max(l.index() + 1),
+                CompiledAtom::AnyPath => {}
+            }
+        }
+        let mut label_masks = vec![0u128; max_label];
+        for (i, atom) in atoms.iter().enumerate() {
+            match atom {
+                CompiledAtom::Label(l) => label_masks[l.index()] |= 1u128 << i,
+                CompiledAtom::AnyPath => any_mask |= 1u128 << i,
+            }
+        }
+        let atom_labels: Vec<LabelId> = atoms
+            .iter()
+            .map(|atom| match atom {
+                CompiledAtom::Label(l) => *l,
+                CompiledAtom::AnyPath => LabelId(u32::MAX),
+            })
+            .collect();
+        let mut matcher = StreamMatcher {
+            label_masks,
+            any_mask,
+            accept_mask: 1u128 << atoms.len(),
+            label_accept: 0,
+            any_accept: 0,
+            atom_labels,
+            start: MatchState(0),
+        };
+        matcher.start = matcher.close(MatchState(1));
+        for (i, atom) in atoms.iter().enumerate() {
+            match atom {
+                CompiledAtom::Label(_) => {
+                    if matcher.close(MatchState(1u128 << (i + 1))).0 & matcher.accept_mask != 0 {
+                        matcher.label_accept |= 1u128 << i;
+                    }
+                }
+                CompiledAtom::AnyPath => {
+                    if matcher.close(MatchState(1u128 << i)).0 & matcher.accept_mask != 0 {
+                        matcher.any_accept |= 1u128 << i;
+                    }
+                }
+            }
+        }
+        matcher
+    }
+
+    /// The initial state: the empty word has been consumed.
+    #[inline]
+    pub fn start(&self) -> MatchState {
+        self.start
+    }
+
+    /// True if the word consumed to reach `state` is in the language.
+    #[inline]
+    pub fn accepts(&self, state: MatchState) -> bool {
+        state.0 & self.accept_mask != 0
+    }
+
+    /// True if some position's atom can consume `label` from *some* state —
+    /// a static property of the expression, independent of the current
+    /// state.  When false, every [`step`](Self::step) on `label` maps every
+    /// state to the dead state's closure, so callers batching many matchers
+    /// per event (the streaming shredder's leaf scans) can skip this one.
+    #[inline]
+    pub fn can_consume(&self, label: Option<LabelId>) -> bool {
+        match label {
+            Some(l) => {
+                self.any_mask != 0 || self.label_masks.get(l.index()).copied().unwrap_or(0) != 0
+            }
+            None => self.any_mask != 0,
+        }
+    }
+
+    /// True if `state` accepts after consuming *any* label (a `//` atom
+    /// carries it into the accept closure): `accepts(step(state, l))` holds
+    /// for every `l`, including labels outside the universe.
+    #[inline]
+    pub fn accepts_any_label(&self, state: MatchState) -> bool {
+        state.0 & self.any_accept != 0
+    }
+
+    /// Calls `f` with each distinct label `l` for which
+    /// `accepts(step(state, Some(l)))` holds — **unless**
+    /// [`accepts_any_label`](Self::accepts_any_label) is true, in which
+    /// case every label accepts and the per-label enumeration is moot.
+    /// Path expressions are single atom chains, so at most one position's
+    /// label can land in the accept closure and `f` runs at most once.
+    #[inline]
+    pub fn for_each_accepting_label(&self, state: MatchState, mut f: impl FnMut(LabelId)) {
+        let mut bits = state.0 & self.label_accept;
+        while bits != 0 {
+            let p = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            f(self.atom_labels[p]);
+        }
+    }
+
+    /// Advances `state` by one label.  `None` (a label absent from the
+    /// universe) can only be consumed by `//` — it never equals an interned
+    /// label, mirroring the DOM evaluator's unknown-label semantics.
+    #[inline]
+    pub fn step(&self, state: MatchState, label: Option<LabelId>) -> MatchState {
+        let consuming = match label {
+            Some(l) => self.label_masks.get(l.index()).copied().unwrap_or_default(),
+            None => 0,
+        };
+        // `Label(l)` positions advance by one; `//` positions self-loop.
+        let out = ((state.0 & consuming) << 1) | (state.0 & self.any_mask);
+        self.close(MatchState(out))
+    }
+
+    /// ε-closure: a live `//` position also reaches the position after it.
+    /// ε-edges only ever point forward, so runs of consecutive `//` atoms
+    /// converge in as many rounds as the longest run — one for typical
+    /// paths.
+    #[inline]
+    fn close(&self, state: MatchState) -> MatchState {
+        let mut mask = state.0;
+        loop {
+            let grown = mask | ((mask & self.any_mask) << 1);
+            if grown == mask {
+                return MatchState(mask);
+            }
+            mask = grown;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::PathCompiler;
+    use crate::expr::PathExpr;
+    use xmlprop_xmltree::LabelUniverse;
+
+    fn p(s: &str) -> PathExpr {
+        s.parse().unwrap()
+    }
+
+    fn stream_matches(matcher: &StreamMatcher, word: &[LabelId]) -> bool {
+        let mut state = matcher.start();
+        for &l in word {
+            state = matcher.step(state, Some(l));
+        }
+        matcher.accepts(state)
+    }
+
+    #[test]
+    fn agrees_with_matches_word_exhaustively() {
+        let exprs = [
+            "ε", "a", "b", "a/b", "//", "//a", "a//", "//a//", "a//b", "//a/b", "b//a", "a//a",
+            "//b//a", "a/b//a", "a/b/a", "//a//b//", "a/@x", "//@x",
+        ];
+        let mut u = LabelUniverse::new();
+        let labels = [u.intern("a"), u.intern("b"), u.intern("@x")];
+        for expr in exprs {
+            let compiled = u.compile(&p(expr));
+            let matcher = StreamMatcher::new(&compiled);
+            // All words over {a, b, @x} up to length 4.
+            let mut words: Vec<Vec<LabelId>> = vec![Vec::new()];
+            let mut frontier = words.clone();
+            for _ in 0..4 {
+                let mut next = Vec::new();
+                for w in &frontier {
+                    for &l in &labels {
+                        let mut w2 = w.clone();
+                        w2.push(l);
+                        next.push(w2);
+                    }
+                }
+                words.extend(next.iter().cloned());
+                frontier = next;
+            }
+            for word in &words {
+                assert_eq!(
+                    stream_matches(&matcher, word),
+                    compiled.matches_word(word),
+                    "{expr} vs {word:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accepting_label_enumeration_agrees_with_stepping() {
+        let exprs = [
+            "ε", "a", "b", "a/b", "//", "//a", "a//", "//a//", "a//b", "//a/b", "b//a", "a//a",
+            "//b//a", "a/b//a", "a/b/a", "//a//b//", "a/@x", "//@x",
+        ];
+        let mut u = LabelUniverse::new();
+        let labels = [u.intern("a"), u.intern("b"), u.intern("@x")];
+        for expr in exprs {
+            let compiled = u.compile(&p(expr));
+            let matcher = StreamMatcher::new(&compiled);
+            // Every state reachable by a word of length <= 3.
+            let mut states = vec![matcher.start()];
+            let mut frontier = states.clone();
+            for _ in 0..3 {
+                let mut next = Vec::new();
+                for &s in &frontier {
+                    for &l in &labels {
+                        next.push(matcher.step(s, Some(l)));
+                    }
+                    next.push(matcher.step(s, None));
+                }
+                states.extend(next.iter().copied());
+                frontier = next;
+            }
+            for &s in &states {
+                let any = matcher.accepts_any_label(s);
+                let mut listed = Vec::new();
+                matcher.for_each_accepting_label(s, |l| listed.push(l));
+                assert_eq!(
+                    matcher.accepts(matcher.step(s, None)),
+                    any,
+                    "{expr}: unknown-label acceptance"
+                );
+                for &l in &labels {
+                    let accepts = matcher.accepts(matcher.step(s, Some(l)));
+                    assert_eq!(
+                        accepts,
+                        any || listed.contains(&l),
+                        "{expr}: label {l:?} from {s:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_labels_only_pass_through_any_path() {
+        let mut u = LabelUniverse::new();
+        let a = u.compile(&p("a"));
+        let any = u.compile(&p("//"));
+        let any_a = u.compile(&p("//a"));
+        let label_a = u.lookup("a");
+
+        let m = StreamMatcher::new(&a);
+        assert!(!m.accepts(m.step(m.start(), None)));
+        assert!(m.step(m.start(), None).is_dead());
+
+        let m = StreamMatcher::new(&any);
+        assert!(m.accepts(m.step(m.start(), None)));
+
+        let m = StreamMatcher::new(&any_a);
+        let state = m.step(m.start(), None);
+        assert!(!m.accepts(state), "unknown label is not `a`");
+        assert!(m.accepts(m.step(state, label_a)), "`//` consumed it");
+    }
+
+    #[test]
+    fn dead_states_stay_dead() {
+        let mut u = LabelUniverse::new();
+        let expr = u.compile(&p("a/b"));
+        let b = u.lookup("b");
+        let m = StreamMatcher::new(&expr);
+        let dead = m.step(m.start(), b);
+        assert!(dead.is_dead());
+        assert!(m.step(dead, b).is_dead());
+    }
+
+    #[test]
+    fn epsilon_accepts_only_the_empty_word() {
+        let mut u = LabelUniverse::new();
+        let a = u.intern("a");
+        let m = StreamMatcher::new(&CompiledExpr::epsilon());
+        assert!(m.accepts(m.start()));
+        assert!(!m.accepts(m.step(m.start(), Some(a))));
+    }
+}

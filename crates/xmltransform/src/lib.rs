@@ -36,6 +36,10 @@
 //!   memoized `value()` serialization;
 //! * a concise textual syntax ([`Transformation::parse`]) used by examples,
 //!   tests and the workload generator;
+//! * streaming execution: [`StreamShredder`] runs a [`ShredPlan`] over parse
+//!   events with an open-binding frontier, never materialising a document —
+//!   peak memory is bounded by depth plus open bindings, and the produced
+//!   relation is bit-for-bit the DOM result;
 //! * the paper's running transformation (Example 2.4) and universal relation
 //!   (Example 3.1) in [`sample`].
 
@@ -47,10 +51,12 @@ mod plan;
 mod rule;
 pub mod sample;
 mod shred;
+mod stream;
 mod tree;
 
 pub use parse::{parse_single_rule, ParseRuleError};
 pub use plan::{ShredPlan, ShredScratch, TransformationPlan, VarId};
 pub use rule::{FieldRule, RuleError, TableRule, Transformation, VarMapping, ROOT_VAR};
 pub use shred::count_bindings;
+pub use stream::StreamShredder;
 pub use tree::TableTree;

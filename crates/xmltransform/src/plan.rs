@@ -145,6 +145,22 @@ impl ShredPlan {
         VarId(self.field_vars[field])
     }
 
+    /// Parent variable ids, by [`VarId`] (the streaming shredder rebuilds
+    /// the variable tree from these).
+    pub(crate) fn parents(&self) -> &[u32] {
+        &self.parents
+    }
+
+    /// Compiled edge paths, by [`VarId`].
+    pub(crate) fn paths(&self) -> &[CompiledExpr] {
+        &self.paths
+    }
+
+    /// For every schema attribute: the variable id whose `value()` fills it.
+    pub(crate) fn field_var_ids(&self) -> &[u32] {
+        &self.field_vars
+    }
+
     /// Shreds a document into an instance of this plan's relation —
     /// bit-for-bit the relation [`TableRule::shred`] produces, computed
     /// over the prepared index.  Allocates fresh scratch; batch callers

@@ -1,0 +1,1025 @@
+//! Event-driven shredding: a [`ShredPlan`] executed over a stream of parse
+//! events without ever materialising a `Document` or `DocIndex`.
+//!
+//! [`StreamShredder`] keeps an **open-binding frontier**: one *instance* per
+//! variable binding whose subtree is still open.  Element enter events step a
+//! per-child-variable [`StreamMatcher`] state stack; an accepting state opens
+//! a new instance, and when an instance's node closes its rows (the Cartesian
+//! product of its own binding with its children's row sets, `null`-padded for
+//! unbound branches) are folded into its parent.  Attribute and text events
+//! open and close leaf instances in place.  Peak retained state is therefore
+//! bounded by the document depth plus the open bindings and their pending
+//! rows — independent of total document size.
+//!
+//! The hot path is allocation-free in the steady state: instance shells are
+//! pooled per variable, row buffers are recycled, serialised `value()`
+//! strings live once in an arena with rows carrying `u32` arena refs (so
+//! folding a subtree into its parent is a plain integer memcpy — the cost
+//! profile of the DOM path's binding table), and attribute/text events only
+//! step the child variables whose path can consume the event's label at all.
+//!
+//! Row **order** matches [`ShredPlan::shred_with`] bit for bit: when the
+//! plan's variable ids are already a pre-order of the table tree (they are
+//! for every parsed transformation) the nested-product assembly produces the
+//! DOM order directly; otherwise the finished rows are sorted by their
+//! binding positions in variable-id order, which is exactly the DOM's
+//! lexicographic enumeration.
+
+use crate::plan::ShredPlan;
+use xmlprop_reldb::{Relation, Tuple, Value};
+use xmlprop_xmlpath::{LabelId, LabelUniverse, MatchState, StreamMatcher};
+
+/// The "no binding" marker in key columns and the "no value" marker in
+/// value-ref columns (same sentinel as the DOM path's binding table).
+const NULL: u32 = u32::MAX;
+
+/// Incremental `value()` serialisation of an element whose subtree is being
+/// streamed.  Mirrors `field_value`: if every child of the node is a text
+/// node the value is their concatenation, otherwise the parenthesised
+/// structural form built from `@attr:v`, `S:text` and `label:(…)` parts.
+#[derive(Debug)]
+struct ValueBuilder {
+    /// All children seen so far are text nodes.
+    only_text: bool,
+    /// Concatenated direct text children (the `only_text` serialisation).
+    texts: String,
+    /// The structural serialisation, built incrementally.
+    structured: String,
+    /// "No part emitted yet" flag per open nesting level.
+    first: Vec<bool>,
+    /// Open descendant elements (0 = events attach to the instance node).
+    depth: usize,
+}
+
+impl ValueBuilder {
+    fn new() -> Self {
+        ValueBuilder {
+            only_text: true,
+            texts: String::new(),
+            structured: String::from("("),
+            first: vec![true],
+            depth: 0,
+        }
+    }
+
+    /// Emits the `", "` separator unless this is the level's first part.
+    fn sep(&mut self) {
+        let first = self.first.last_mut().expect("open level");
+        if *first {
+            *first = false;
+        } else {
+            self.structured.push_str(", ");
+        }
+    }
+
+    fn start_element(&mut self, name: &str) {
+        if self.depth == 0 {
+            self.only_text = false;
+        }
+        self.sep();
+        self.structured.push_str(name);
+        self.structured.push_str(":(");
+        self.first.push(true);
+        self.depth += 1;
+    }
+
+    fn end_element(&mut self) {
+        self.structured.push(')');
+        self.first.pop();
+        self.depth -= 1;
+    }
+
+    fn attribute(&mut self, name: &str, value: &str) {
+        if self.depth == 0 {
+            self.only_text = false;
+        }
+        self.sep();
+        self.structured.push('@');
+        self.structured.push_str(name);
+        self.structured.push(':');
+        self.structured.push_str(value);
+    }
+
+    fn text(&mut self, value: &str) {
+        if self.depth == 0 {
+            self.texts.push_str(value);
+        }
+        self.sep();
+        self.structured.push_str("S:");
+        self.structured.push_str(value);
+    }
+
+    fn finish(mut self) -> String {
+        if self.only_text {
+            self.texts
+        } else {
+            self.structured.push(')');
+            self.structured
+        }
+    }
+}
+
+/// The rows produced by one closed variable subtree, stored flat.
+///
+/// Each row has `key_width[var]` binding positions (pre-order node numbers,
+/// [`NULL`] for unbound) and `val_width[var]` value-arena refs ([`NULL`] for
+/// unbound), laid out in the subtree's variable pre-order.
+#[derive(Debug)]
+struct RowSet {
+    keys: Vec<u32>,
+    vals: Vec<u32>,
+    rows: usize,
+}
+
+/// One open binding: variable `var` bound to the node `node_pos`, with the
+/// matcher frontier and accumulated child rows for its subtree.
+#[derive(Debug)]
+struct Instance {
+    var: u32,
+    node_pos: u32,
+    /// `(open-stack index of parent instance, child slot, binding ordinal)`;
+    /// `None` for the root variable's instance.
+    parent: Option<(usize, usize, u32)>,
+    /// Per child variable: one matcher state per element depth below the
+    /// instance node (bottom = the state at the node itself).  Dead
+    /// suffixes are elided: once a step dies, deeper elements bump
+    /// `dead_runs` instead of pushing (dead states stay dead, so the
+    /// omitted entries are all equal and never accepting).
+    states: Vec<Vec<MatchState>>,
+    /// Per child variable: number of elided dead states above the stack.
+    dead_runs: Vec<u32>,
+    /// Children whose frontier is still live (`dead_runs == 0`).
+    live: u32,
+    /// Element levels descended since `live` hit zero: with every child
+    /// dead the whole per-child walk collapses to this one counter.
+    frozen: u32,
+    /// Per child variable: binding ordinals issued so far (creation order is
+    /// document pre-order, which close order need not preserve).
+    bind_counts: Vec<u32>,
+    /// Per child variable: `(ordinal, rows)` of each closed binding.
+    child_rows: Vec<Vec<(u32, RowSet)>>,
+    /// Incremental `value()` for element-bound field variables.
+    builder: Option<ValueBuilder>,
+    /// Value-arena ref of the ready-made `value()` for attribute/text-bound
+    /// field variables ([`NULL`] when the variable needs no value).
+    own_ref: u32,
+}
+
+/// Executes one [`ShredPlan`] over a stream of parse events.
+///
+/// Feed the document through [`start_element`](Self::start_element) /
+/// [`attribute`](Self::attribute) / [`text`](Self::text) /
+/// [`end_element`](Self::end_element) (the shape emitted by
+/// `xmlprop_xmltree::StreamParser`), then call [`finish`](Self::finish).
+/// The resulting [`Relation`] is bit-for-bit what
+/// [`ShredPlan::shred_with`] produces from the parsed document.
+#[derive(Debug)]
+pub struct StreamShredder<'a> {
+    plan: &'a ShredPlan,
+    /// One matcher per variable (index 0 is present but never stepped).
+    matchers: Vec<StreamMatcher>,
+    /// Child variable ids per variable, ascending.
+    children: Vec<Vec<u32>>,
+    /// Per variable: `(child slot, child var)` pairs whose path accepts the
+    /// empty word (`//`, `ε`) — a fresh instance immediately binds them.
+    empty_accepting: Vec<Vec<(u32, u32)>>,
+    /// Per variable: a leaf (attribute/text) binding can be emitted as one
+    /// padded row without opening an instance.  True unless some child path
+    /// accepts ε (nothing else can bind below a leaf node).
+    leaf_direct: Vec<bool>,
+    /// Leaf dispatch, rebuilt lazily per element (matcher states only move
+    /// at element boundaries): `(label id, child var, instance, child
+    /// slot)` for every open pair whose next consumed label would accept.
+    /// Attribute/text events scan this compact list instead of the open
+    /// frontier.
+    leaf_dispatch: Vec<(u32, u32, u32, u32)>,
+    /// Open pairs that accept after consuming *any* label (`//` tails),
+    /// as `(child var, instance, child slot)` — they bind on every leaf.
+    leaf_dispatch_any: Vec<(u32, u32, u32)>,
+    /// False whenever the frontier or its states changed since the
+    /// dispatch lists were built.
+    dispatch_valid: bool,
+    /// `true` when variable ids are already a pre-order of the table tree,
+    /// in which case nested-product assembly yields DOM row order directly.
+    contiguous: bool,
+    /// Variables whose `value()` must be materialised (field variables).
+    value_needed: Vec<bool>,
+    /// Flat row widths of each variable's subtree.
+    key_width: Vec<usize>,
+    val_width: Vec<usize>,
+    /// Column of each variable in the root layout (key / value columns).
+    key_col: Vec<usize>,
+    val_col: Vec<usize>,
+    /// The interned `"S"` label (text nodes), if the universe knows it.
+    text_label: Option<LabelId>,
+    /// The open-binding frontier, outermost first.
+    open: Vec<Instance>,
+    /// `open.len()` snapshot at each open element.
+    frames: Vec<usize>,
+    /// Open instances currently carrying a [`ValueBuilder`]; the per-event
+    /// builder scans are skipped entirely while this is zero.
+    builders_open: usize,
+    /// Every materialised `value()` string, once; rows refer by index.
+    values: Vec<Value>,
+    /// Recycled instance shells, per variable (shapes match exactly).
+    free: Vec<Vec<Instance>>,
+    /// Recycled row buffers (key and value-ref vectors alike).
+    u32_pool: Vec<Vec<u32>>,
+    /// Scratch: `(child var, instance, child slot, ordinal)` bindings
+    /// accepted during an event's scan, created after the scan ends.
+    scratch_created: Vec<(u32, usize, usize, u32)>,
+    /// Scratch: per-child flattened row blocks during assembly.
+    scratch_blocks: Vec<(Vec<u32>, Vec<u32>, usize)>,
+    /// Scratch: per-child carry-odometer counters during assembly.
+    scratch_strides: Vec<usize>,
+    /// Pre-order node counter (equals the DOM arena order for parsed docs).
+    next_node: u32,
+    peak_open: usize,
+    /// The root instance's rows, set at the final `end_element`.
+    result: Option<RowSet>,
+}
+
+impl<'a> StreamShredder<'a> {
+    /// Prepares a streaming executor for `plan`.  `universe` must be the
+    /// universe the plan was compiled against (it is consulted for the
+    /// text-node label and for sizing the per-label candidate tables).
+    pub fn new(plan: &'a ShredPlan, universe: &LabelUniverse) -> Self {
+        let n = plan.var_count();
+        let parents = plan.parents();
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (v, &p) in parents.iter().enumerate().skip(1) {
+            children[p as usize].push(v as u32);
+        }
+        let matchers: Vec<StreamMatcher> = plan.paths().iter().map(StreamMatcher::new).collect();
+        let empty_accepting: Vec<Vec<(u32, u32)>> = (0..n)
+            .map(|v| {
+                children[v]
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| {
+                        let m = &matchers[c as usize];
+                        m.accepts(m.start())
+                    })
+                    .map(|(ci, &c)| (ci as u32, c))
+                    .collect()
+            })
+            .collect();
+        let leaf_direct: Vec<bool> = empty_accepting.iter().map(Vec::is_empty).collect();
+        let mut value_needed = vec![false; n];
+        for &fv in plan.field_var_ids() {
+            value_needed[fv as usize] = true;
+        }
+        // Variable pre-order of the table tree, children ascending.
+        let mut layout = Vec::with_capacity(n);
+        let mut stack = vec![0u32];
+        while let Some(v) = stack.pop() {
+            layout.push(v);
+            for &c in children[v as usize].iter().rev() {
+                stack.push(c);
+            }
+        }
+        let contiguous = layout.iter().enumerate().all(|(i, &v)| i == v as usize);
+        let mut key_width = vec![0usize; n];
+        let mut val_width = vec![0usize; n];
+        for &v in layout.iter().rev() {
+            let v = v as usize;
+            key_width[v] = 1 + children[v]
+                .iter()
+                .map(|&c| key_width[c as usize])
+                .sum::<usize>();
+            val_width[v] = usize::from(value_needed[v])
+                + children[v]
+                    .iter()
+                    .map(|&c| val_width[c as usize])
+                    .sum::<usize>();
+        }
+        let mut key_col = vec![0usize; n];
+        let mut val_col = vec![0usize; n];
+        let mut next_val_col = 0usize;
+        for (pos, &v) in layout.iter().enumerate() {
+            key_col[v as usize] = pos;
+            if value_needed[v as usize] {
+                val_col[v as usize] = next_val_col;
+                next_val_col += 1;
+            }
+        }
+        StreamShredder {
+            plan,
+            matchers,
+            children,
+            empty_accepting,
+            leaf_direct,
+            leaf_dispatch: Vec::new(),
+            leaf_dispatch_any: Vec::new(),
+            dispatch_valid: false,
+            contiguous,
+            value_needed,
+            key_width,
+            val_width,
+            key_col,
+            val_col,
+            text_label: universe.lookup("S"),
+            open: Vec::new(),
+            frames: Vec::new(),
+            builders_open: 0,
+            values: Vec::new(),
+            free: (0..n).map(|_| Vec::new()).collect(),
+            u32_pool: Vec::new(),
+            scratch_created: Vec::new(),
+            scratch_blocks: Vec::new(),
+            scratch_strides: Vec::new(),
+            next_node: 0,
+            peak_open: 0,
+            result: None,
+        }
+    }
+
+    /// The high-water mark of simultaneously open bindings.
+    pub fn peak_open_bindings(&self) -> usize {
+        self.peak_open
+    }
+
+    /// An element opened.  `label` is its interned label (or `None` when the
+    /// plan's universe does not know the name); `name` is the tag as written.
+    pub fn start_element(&mut self, label: Option<LabelId>, name: &str) {
+        let node = self.next_node;
+        self.next_node += 1;
+        self.dispatch_valid = false;
+        if self.builders_open > 0 {
+            for inst in &mut self.open {
+                if let Some(b) = inst.builder.as_mut() {
+                    b.start_element(name);
+                }
+            }
+        }
+        self.frames.push(self.open.len());
+        if node == 0 {
+            // The document root always binds the root variable.
+            self.create_element_instance(0, node, None);
+        } else {
+            let mut created = std::mem::take(&mut self.scratch_created);
+            for (i, inst) in self.open.iter_mut().enumerate() {
+                if inst.live == 0 {
+                    inst.frozen += 1;
+                    continue;
+                }
+                let var = inst.var as usize;
+                for (ci, &c) in self.children[var].iter().enumerate() {
+                    if inst.dead_runs[ci] > 0 {
+                        inst.dead_runs[ci] += 1;
+                        continue;
+                    }
+                    let matcher = &self.matchers[c as usize];
+                    let stack = &mut inst.states[ci];
+                    let top = *stack.last().expect("state stack");
+                    let stepped = matcher.step(top, label);
+                    if stepped.is_dead() {
+                        inst.dead_runs[ci] = 1;
+                        inst.live -= 1;
+                        continue;
+                    }
+                    stack.push(stepped);
+                    if matcher.accepts(stepped) {
+                        let ord = inst.bind_counts[ci];
+                        inst.bind_counts[ci] += 1;
+                        created.push((c, i, ci, ord));
+                    }
+                }
+            }
+            for (c, i, ci, ord) in created.drain(..) {
+                self.create_element_instance(c, node, Some((i, ci, ord)));
+            }
+            self.scratch_created = created;
+        }
+        // Cascade: a freshly opened instance's child paths may accept the
+        // empty word (`//`, `ε`), binding the child at the same node.
+        let frame_start = *self.frames.last().expect("frame");
+        let mut j = frame_start;
+        while j < self.open.len() {
+            let var = self.open[j].var as usize;
+            for k in 0..self.empty_accepting[var].len() {
+                let (ci, c) = self.empty_accepting[var][k];
+                let ci = ci as usize;
+                let ord = self.open[j].bind_counts[ci];
+                self.open[j].bind_counts[ci] += 1;
+                self.create_element_instance(c, node, Some((j, ci, ord)));
+            }
+            j += 1;
+        }
+        self.peak_open = self.peak_open.max(self.open.len());
+    }
+
+    /// An attribute of the most recently opened element.
+    pub fn attribute(&mut self, label: Option<LabelId>, name: &str, value: &str) {
+        let node = self.next_node;
+        self.next_node += 1;
+        if self.builders_open > 0 {
+            for inst in &mut self.open {
+                if let Some(b) = inst.builder.as_mut() {
+                    b.attribute(name, value);
+                }
+            }
+        }
+        self.leaf_bindings(label, node, value);
+    }
+
+    /// Character data inside the innermost open element.
+    pub fn text(&mut self, value: &str) {
+        let node = self.next_node;
+        self.next_node += 1;
+        if self.builders_open > 0 {
+            for inst in &mut self.open {
+                if let Some(b) = inst.builder.as_mut() {
+                    b.text(value);
+                }
+            }
+        }
+        let label = self.text_label;
+        self.leaf_bindings(label, node, value);
+    }
+
+    /// The innermost open element closed: fold every instance bound at it
+    /// into its parent.
+    pub fn end_element(&mut self) {
+        let frame_start = self.frames.pop().expect("balanced events");
+        self.dispatch_valid = false;
+        if self.builders_open > 0 {
+            for inst in &mut self.open[..frame_start] {
+                if let Some(b) = inst.builder.as_mut() {
+                    b.end_element();
+                }
+            }
+        }
+        while self.open.len() > frame_start {
+            let mut inst = self.open.pop().expect("non-empty frontier");
+            let parent = inst.parent;
+            let rows = self.assemble(&mut inst);
+            self.free[inst.var as usize].push(inst);
+            match parent {
+                Some((pi, ci, ord)) => self.open[pi].child_rows[ci].push((ord, rows)),
+                None => self.result = Some(rows),
+            }
+        }
+        for inst in &mut self.open[..frame_start] {
+            if inst.frozen > 0 {
+                inst.frozen -= 1;
+                continue;
+            }
+            for (ci, stack) in inst.states.iter_mut().enumerate() {
+                if inst.dead_runs[ci] > 0 {
+                    inst.dead_runs[ci] -= 1;
+                    if inst.dead_runs[ci] == 0 {
+                        inst.live += 1;
+                    }
+                } else {
+                    stack.pop();
+                }
+            }
+        }
+    }
+
+    /// Builds the relation.  Must be called after the document's last
+    /// `end_element`.
+    pub fn finish(self) -> Relation {
+        let rows = self.result.expect("a complete document was streamed");
+        let n = self.plan.var_count();
+        let kw = self.key_width[0];
+        let vw = self.val_width[0];
+        let mut order: Vec<usize> = (0..rows.rows).collect();
+        if !self.contiguous {
+            // Restore the DOM's lexicographic-by-variable-id enumeration.
+            // Rows differing first at variable `v` share `v`'s parent
+            // binding, so comparing pre-order node positions is exactly the
+            // DOM's binding-list order (NULL never meets a real binding at
+            // the first difference).
+            order.sort_unstable_by(|&a, &b| {
+                for v in 1..n {
+                    let col = self.key_col[v];
+                    match rows.keys[a * kw + col].cmp(&rows.keys[b * kw + col]) {
+                        std::cmp::Ordering::Equal => continue,
+                        other => return other,
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        let mut relation = Relation::new(self.plan.schema().clone());
+        for &r in &order {
+            let values: Vec<Value> = self
+                .plan
+                .field_var_ids()
+                .iter()
+                .map(|&fv| match rows.vals[r * vw + self.val_col[fv as usize]] {
+                    NULL => Value::Null,
+                    idx => self.values[idx as usize].clone(),
+                })
+                .collect();
+            relation.insert(Tuple::new(values));
+        }
+        relation
+    }
+
+    /// Opens an instance for an element binding of `var` at `node`.
+    fn create_element_instance(
+        &mut self,
+        var: u32,
+        node: u32,
+        parent: Option<(usize, usize, u32)>,
+    ) {
+        let builder = self.value_needed[var as usize].then(ValueBuilder::new);
+        self.push_instance(var, node, parent, builder, NULL);
+    }
+
+    /// Rebuilds the leaf dispatch lists from the open frontier.  For each
+    /// live `(instance, child)` pair the matcher reports, without stepping,
+    /// which consumed labels would accept from the current state — at most
+    /// one specific label (paths are single atom chains), or *all* labels
+    /// when a `//` tail reaches the accept closure.
+    fn build_leaf_dispatch(&mut self) {
+        let mut dispatch = std::mem::take(&mut self.leaf_dispatch);
+        let mut dispatch_any = std::mem::take(&mut self.leaf_dispatch_any);
+        dispatch.clear();
+        dispatch_any.clear();
+        for (i, inst) in self.open.iter().enumerate() {
+            if inst.live == 0 {
+                continue;
+            }
+            let var = inst.var as usize;
+            for (ci, &c) in self.children[var].iter().enumerate() {
+                if inst.dead_runs[ci] > 0 {
+                    continue;
+                }
+                let matcher = &self.matchers[c as usize];
+                let top = *inst.states[ci].last().expect("state stack");
+                if matcher.accepts_any_label(top) {
+                    dispatch_any.push((c, i as u32, ci as u32));
+                } else {
+                    matcher.for_each_accepting_label(top, |l| {
+                        dispatch.push((l.index() as u32, c, i as u32, ci as u32));
+                    });
+                }
+            }
+        }
+        self.leaf_dispatch = dispatch;
+        self.leaf_dispatch_any = dispatch_any;
+        self.dispatch_valid = true;
+    }
+
+    /// Binds leaf (attribute/text) nodes: no states persist, instances open
+    /// and close within the event.
+    fn leaf_bindings(&mut self, label: Option<LabelId>, node: u32, text: &str) {
+        if !self.dispatch_valid {
+            self.build_leaf_dispatch();
+        }
+        let base = self.open.len();
+        let slot = label.map_or(u32::MAX, |l| l.index() as u32);
+        let mut created = std::mem::take(&mut self.scratch_created);
+        let dispatch = std::mem::take(&mut self.leaf_dispatch);
+        for &(s, c, i, ci) in &dispatch {
+            if s == slot {
+                let (i, ci) = (i as usize, ci as usize);
+                let ord = self.open[i].bind_counts[ci];
+                self.open[i].bind_counts[ci] += 1;
+                created.push((c, i, ci, ord));
+            }
+        }
+        self.leaf_dispatch = dispatch;
+        let dispatch_any = std::mem::take(&mut self.leaf_dispatch_any);
+        for &(c, i, ci) in &dispatch_any {
+            let (i, ci) = (i as usize, ci as usize);
+            let ord = self.open[i].bind_counts[ci];
+            self.open[i].bind_counts[ci] += 1;
+            created.push((c, i, ci, ord));
+        }
+        self.leaf_dispatch_any = dispatch_any;
+        for (c, i, ci, ord) in created.drain(..) {
+            if self.leaf_direct[c as usize] {
+                let rows = self.leaf_rowset(c, node, text);
+                self.open[i].child_rows[ci].push((ord, rows));
+            } else {
+                self.create_leaf_instance(c, node, Some((i, ci, ord)), text);
+            }
+        }
+        self.scratch_created = created;
+        let mut j = base;
+        while j < self.open.len() {
+            let var = self.open[j].var as usize;
+            for k in 0..self.empty_accepting[var].len() {
+                let (ci, c) = self.empty_accepting[var][k];
+                let ci = ci as usize;
+                let ord = self.open[j].bind_counts[ci];
+                self.open[j].bind_counts[ci] += 1;
+                if self.leaf_direct[c as usize] {
+                    let rows = self.leaf_rowset(c, node, text);
+                    self.open[j].child_rows[ci].push((ord, rows));
+                } else {
+                    self.create_leaf_instance(c, node, Some((j, ci, ord)), text);
+                }
+            }
+            j += 1;
+        }
+        self.peak_open = self.peak_open.max(self.open.len());
+        while self.open.len() > base {
+            let mut inst = self.open.pop().expect("non-empty frontier");
+            let parent = inst.parent.expect("leaf instances always have parents");
+            let rows = self.assemble(&mut inst);
+            self.free[inst.var as usize].push(inst);
+            self.open[parent.0].child_rows[parent.1].push((parent.2, rows));
+        }
+    }
+
+    /// The single row of a leaf binding with no ε-bindable children: the
+    /// bound position, [`NULL`]-padded child keys, and (for field
+    /// variables) the text as its value — no instance needed, since
+    /// nothing can bind below an attribute or text node.
+    fn leaf_rowset(&mut self, var: u32, node: u32, text: &str) -> RowSet {
+        let v = var as usize;
+        let kw = self.key_width[v];
+        let vw = self.val_width[v];
+        let mut keys = self.pooled();
+        keys.reserve(kw);
+        keys.push(node);
+        keys.extend(std::iter::repeat_n(NULL, kw - 1));
+        let mut vals = self.pooled();
+        vals.reserve(vw);
+        if self.value_needed[v] {
+            let idx = self.values.len() as u32;
+            self.values.push(Value::text(text.to_string()));
+            vals.push(idx);
+            vals.extend(std::iter::repeat_n(NULL, vw - 1));
+        } else {
+            vals.extend(std::iter::repeat_n(NULL, vw));
+        }
+        RowSet {
+            keys,
+            vals,
+            rows: 1,
+        }
+    }
+
+    fn create_leaf_instance(
+        &mut self,
+        var: u32,
+        node: u32,
+        parent: Option<(usize, usize, u32)>,
+        text: &str,
+    ) {
+        let own_ref = if self.value_needed[var as usize] {
+            let idx = self.values.len() as u32;
+            self.values.push(Value::text(text.to_string()));
+            idx
+        } else {
+            NULL
+        };
+        self.push_instance(var, node, parent, None, own_ref);
+    }
+
+    fn push_instance(
+        &mut self,
+        var: u32,
+        node: u32,
+        parent: Option<(usize, usize, u32)>,
+        builder: Option<ValueBuilder>,
+        own_ref: u32,
+    ) {
+        let v = var as usize;
+        if builder.is_some() {
+            self.builders_open += 1;
+        }
+        let mut inst = match self.free[v].pop() {
+            Some(shell) => shell,
+            None => {
+                let nchild = self.children[v].len();
+                Instance {
+                    var,
+                    node_pos: 0,
+                    parent: None,
+                    states: (0..nchild).map(|_| Vec::new()).collect(),
+                    dead_runs: vec![0; nchild],
+                    live: 0,
+                    frozen: 0,
+                    bind_counts: vec![0; nchild],
+                    child_rows: (0..nchild).map(|_| Vec::new()).collect(),
+                    builder: None,
+                    own_ref: NULL,
+                }
+            }
+        };
+        inst.node_pos = node;
+        inst.parent = parent;
+        inst.builder = builder;
+        inst.own_ref = own_ref;
+        for (ci, stack) in inst.states.iter_mut().enumerate() {
+            stack.clear();
+            stack.push(self.matchers[self.children[v][ci] as usize].start());
+        }
+        for run in &mut inst.dead_runs {
+            *run = 0;
+        }
+        inst.live = inst.dead_runs.len() as u32;
+        inst.frozen = 0;
+        for count in &mut inst.bind_counts {
+            *count = 0;
+        }
+        self.open.push(inst);
+    }
+
+    /// Takes a recycled (or fresh) row buffer from the pool.
+    fn pooled(&mut self) -> Vec<u32> {
+        match self.u32_pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Cross-products an instance's own binding with its children's row
+    /// sets (in child order, earlier children varying slower), padding
+    /// unbound children with nulls.  Row buffers are drawn from and
+    /// returned to the pool; the caller recycles the instance shell.
+    fn assemble(&mut self, inst: &mut Instance) -> RowSet {
+        let var = inst.var as usize;
+        let has_own_val = self.value_needed[var];
+        let own_ref = if has_own_val {
+            if inst.own_ref != NULL {
+                std::mem::replace(&mut inst.own_ref, NULL)
+            } else {
+                let builder = inst
+                    .builder
+                    .take()
+                    .expect("element field instances carry a builder");
+                self.builders_open -= 1;
+                let idx = self.values.len() as u32;
+                self.values.push(Value::text(builder.finish()));
+                idx
+            }
+        } else {
+            NULL
+        };
+        let nchild = self.children[var].len();
+        if nchild == 0 {
+            let mut keys = self.pooled();
+            keys.push(inst.node_pos);
+            let mut vals = self.pooled();
+            if has_own_val {
+                vals.push(own_ref);
+            }
+            return RowSet {
+                keys,
+                vals,
+                rows: 1,
+            };
+        }
+        // Flatten each child's closed bindings into one contiguous block in
+        // ordinal (document) order — close order of nested `//` bindings
+        // can invert it.  Single bindings hand their buffers over whole.
+        let mut blocks = std::mem::take(&mut self.scratch_blocks);
+        let mut nrows = 1usize;
+        for ci in 0..nchild {
+            let binds = &mut inst.child_rows[ci];
+            let block = match binds.len() {
+                0 => (Vec::new(), Vec::new(), 0usize),
+                1 => {
+                    let (_, rs) = binds.pop().expect("one binding");
+                    (rs.keys, rs.vals, rs.rows)
+                }
+                _ => {
+                    binds.sort_unstable_by_key(|(ord, _)| *ord);
+                    let m: usize = binds.iter().map(|(_, rs)| rs.rows).sum();
+                    let c = self.children[var][ci] as usize;
+                    let mut bk = self.pooled();
+                    bk.reserve(m * self.key_width[c]);
+                    let mut bv = self.pooled();
+                    bv.reserve(m * self.val_width[c]);
+                    for (_, mut rs) in binds.drain(..) {
+                        bk.append(&mut rs.keys);
+                        bv.append(&mut rs.vals);
+                        self.u32_pool.push(rs.keys);
+                        self.u32_pool.push(rs.vals);
+                    }
+                    (bk, bv, m)
+                }
+            };
+            nrows *= block.2.max(1);
+            blocks.push(block);
+        }
+        // Carry odometer over the child blocks: child `ci` varies faster
+        // than `ci - 1`, empty (null-padded) blocks tick through for free,
+        // and a row costs amortised O(1) index arithmetic, not a division
+        // per child.
+        let mut odo = std::mem::take(&mut self.scratch_strides);
+        odo.clear();
+        odo.resize(nchild, 0);
+        let kw = self.key_width[var];
+        let vw = self.val_width[var];
+        let mut keys = self.pooled();
+        keys.reserve(nrows * kw);
+        let mut vals = self.pooled();
+        vals.reserve(nrows * vw);
+        for _ in 0..nrows {
+            keys.push(inst.node_pos);
+            if has_own_val {
+                vals.push(own_ref);
+            }
+            for ci in 0..nchild {
+                let c = self.children[var][ci] as usize;
+                let ckw = self.key_width[c];
+                let cvw = self.val_width[c];
+                let (ck, cv, m) = &blocks[ci];
+                if *m == 0 {
+                    keys.extend(std::iter::repeat_n(NULL, ckw));
+                    vals.extend(std::iter::repeat_n(NULL, cvw));
+                } else {
+                    let idx = odo[ci];
+                    keys.extend_from_slice(&ck[idx * ckw..(idx + 1) * ckw]);
+                    vals.extend_from_slice(&cv[idx * cvw..(idx + 1) * cvw]);
+                }
+            }
+            for ci in (0..nchild).rev() {
+                odo[ci] += 1;
+                if odo[ci] < blocks[ci].2 {
+                    break;
+                }
+                odo[ci] = 0;
+            }
+        }
+        for (bk, bv, _) in blocks.drain(..) {
+            if bk.capacity() > 0 {
+                self.u32_pool.push(bk);
+            }
+            if bv.capacity() > 0 {
+                self.u32_pool.push(bv);
+            }
+        }
+        self.scratch_blocks = blocks;
+        self.scratch_strides = odo;
+        RowSet {
+            keys,
+            vals,
+            rows: nrows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sample, Transformation};
+    use xmlprop_xmltree::sample::fig1;
+    use xmlprop_xmltree::{to_xml, DocIndex, Document, StreamEvent, StreamParser};
+
+    /// Runs `plan` over `xml` through the streaming front end.
+    fn stream_shred(plan: &ShredPlan, universe: &LabelUniverse, xml: &str) -> (Relation, usize) {
+        let mut parser = StreamParser::with_universe(xml, universe);
+        let mut shredder = StreamShredder::new(plan, universe);
+        while let Some(event) = parser.next_event().expect("well-formed input") {
+            match event {
+                StreamEvent::StartElement { name, label } => shredder.start_element(label, name),
+                StreamEvent::Attribute { name, label, value } => {
+                    shredder.attribute(label, name, &value)
+                }
+                StreamEvent::Text { value } => shredder.text(&value),
+                StreamEvent::EndElement => shredder.end_element(),
+            }
+        }
+        let peak = shredder.peak_open_bindings();
+        (shredder.finish(), peak)
+    }
+
+    /// Asserts the streamed relation equals the prepared DOM path on `doc`.
+    fn assert_matches_dom(t: &Transformation, doc: &Document) {
+        let mut universe = LabelUniverse::new();
+        let plans = crate::TransformationPlan::new(t, &mut universe);
+        let index = DocIndex::build(doc, &mut universe);
+        let xml = to_xml(doc);
+        for plan in plans.plans() {
+            let expected = plan.shred(doc, &index);
+            let (streamed, _) = stream_shred(plan, &universe, &xml);
+            assert_eq!(streamed, expected, "relation {}", plan.schema().name());
+        }
+    }
+
+    #[test]
+    fn fig1_matches_the_dom_path_on_the_running_example() {
+        assert_matches_dom(&sample::example_2_4_transformation(), &fig1());
+    }
+
+    #[test]
+    fn fig1_matches_the_dom_path_on_the_universal_relation() {
+        let t = Transformation::new(vec![sample::example_3_1_universal()]);
+        assert_matches_dom(&t, &fig1());
+    }
+
+    #[test]
+    fn cartesian_products_and_nulls_match() {
+        let t = Transformation::parse(
+            "rule pairs(a, b) {\n\
+             xa := xr//a;\n\
+             xb := xr//b;\n\
+             a := value(xa);\n\
+             b := value(xb);\n\
+             }",
+        )
+        .expect("valid transformation");
+        // Two `a`s and three `b`s: a 2×3 product; one book has no `b` at
+        // all, exercising the null branch.
+        let xml = "<r><a>1</a><a>2</a><b>x</b><b>y</b><b>z</b></r>";
+        let doc = xmlprop_xmltree::parse(xml).expect("well-formed");
+        assert_matches_dom(&t, &doc);
+        let doc = xmlprop_xmltree::parse("<r><a>1</a></r>").expect("well-formed");
+        assert_matches_dom(&t, &doc);
+    }
+
+    #[test]
+    fn nested_descendant_bindings_keep_document_order() {
+        // `//sec` binds nested sections: the inner instance closes before
+        // the outer one, so the ordinal sort must restore document order.
+        let t = Transformation::parse(
+            "rule secs(s) {\n\
+             xs := xr//sec;\n\
+             s := value(xs);\n\
+             }",
+        )
+        .expect("valid transformation");
+        let xml = "<r><sec n=\"1\"><sec n=\"2\"><sec n=\"3\"/></sec></sec><sec n=\"4\"/></r>";
+        let doc = xmlprop_xmltree::parse(xml).expect("well-formed");
+        assert_matches_dom(&t, &doc);
+    }
+
+    #[test]
+    fn non_preorder_variable_ids_are_sorted_back_to_dom_order() {
+        // Declaration order r, a, b, c with c under a: variable ids are not
+        // a pre-order of the table tree ([r, a, b, c] but subtree(a) is
+        // {a, c}), forcing the key-sort fallback.
+        let t = Transformation::parse(
+            "rule t(b, c) {\n\
+             xa := xr/a;\n\
+             xb := xr/b;\n\
+             xc := xa/c;\n\
+             b := value(xb);\n\
+             c := value(xc);\n\
+             }",
+        )
+        .expect("valid transformation");
+        let xml = "<r><a><c>c1</c><c>c2</c></a><a><c>c3</c></a><b>b1</b><b>b2</b></r>";
+        let doc = xmlprop_xmltree::parse(xml).expect("well-formed");
+        assert_matches_dom(&t, &doc);
+    }
+
+    #[test]
+    fn attribute_and_text_bindings_match() {
+        let t = Transformation::parse(
+            "rule t(isbn, title) {\n\
+             xb := xr//book;\n\
+             xi := xb/@isbn;\n\
+             xt := xb/title;\n\
+             isbn := value(xi);\n\
+             title := value(xt);\n\
+             }",
+        )
+        .expect("valid transformation");
+        assert_matches_dom(&t, &fig1());
+    }
+
+    #[test]
+    fn structured_values_match_field_value() {
+        // The field variable binds a subtree with attributes, text and
+        // nested elements, exercising the incremental serialisation.
+        let t = Transformation::parse(
+            "rule t(v) {\n\
+             xv := xr/item;\n\
+             v := value(xv);\n\
+             }",
+        )
+        .expect("valid transformation");
+        let xml = "<r><item id=\"7\">lead<sub>inner</sub>tail</item><item>only text</item>\
+                   <item/><item><sub a=\"1\"/><sub a=\"2\"/></item></r>";
+        let doc = xmlprop_xmltree::parse(xml).expect("well-formed");
+        assert_matches_dom(&t, &doc);
+    }
+
+    #[test]
+    fn peak_open_bindings_is_bounded_by_the_frontier_not_the_document() {
+        let t = Transformation::parse(
+            "rule t(n) {\n\
+             xc := xr/c;\n\
+             n := value(xc);\n\
+             }",
+        )
+        .expect("valid transformation");
+        let mut xml = String::from("<r>");
+        for i in 0..500 {
+            xml.push_str(&format!("<c>{i}</c>"));
+        }
+        xml.push_str("</r>");
+        let mut universe = LabelUniverse::new();
+        let rule = t.rules().first().expect("one rule");
+        let plan = rule.prepare(&mut universe);
+        let (relation, peak) = stream_shred(&plan, &universe, &xml);
+        assert_eq!(relation.len(), 500);
+        // Root + at most one open `c` binding at any instant.
+        assert!(peak <= 2, "peak open bindings was {peak}");
+    }
+}

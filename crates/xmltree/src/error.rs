@@ -53,8 +53,8 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "XML parse error at line {}, column {}: {}",
-            self.line, self.column, self.message
+            "XML parse error at line {}, column {} (byte {}): {}",
+            self.line, self.column, self.offset, self.message
         )
     }
 }
@@ -79,6 +79,7 @@ mod tests {
         let e = ParseError::new(3, "ab\ncd", "unexpected `c`");
         let s = e.to_string();
         assert!(s.contains("line 2"));
+        assert!(s.contains("byte 3"), "{s}");
         assert!(s.contains("unexpected `c`"));
     }
 }

@@ -28,6 +28,11 @@
 //!   layers) and [`DocIndex`] (per-node label ids, DFS document-order
 //!   numbering with contiguous subtree ranges, label → nodes postings and
 //!   interned text values, all built in one DFS pass);
+//! * the **streaming front end**: [`StreamParser`] pulls
+//!   [`StreamEvent`]s (start/attribute/text/end, with optional read-only
+//!   [`LabelId`] resolution) off the same tokenizer the DOM parser uses,
+//!   retaining only `O(depth)` state — the DOM [`parse`] is itself a driver
+//!   over this stream, so both paths share one error table;
 //! * the running example of the paper (Fig. 1) as [`sample::fig1`].
 //!
 //! # Example
@@ -59,6 +64,7 @@ mod node;
 mod parse;
 pub mod sample;
 mod serialize;
+mod stream;
 
 pub use builder::ElementBuilder;
 pub use document::Document;
@@ -68,3 +74,4 @@ pub use labels::{LabelId, LabelUniverse};
 pub use node::{NodeId, NodeKind};
 pub use parse::parse;
 pub use serialize::{to_pretty_xml, to_xml};
+pub use stream::{StreamEvent, StreamParser};

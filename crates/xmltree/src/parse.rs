@@ -6,330 +6,54 @@
 //! predefined entities and numeric character references.  DOCTYPE
 //! declarations are recognised and skipped (the paper explicitly treats key
 //! constraints as orthogonal to DTDs, so no DTD content model is needed).
+//!
+//! The tokenizer lives in [`crate::stream`]: this module is a thin driver
+//! that folds the event stream into a [`Document`], so the DOM and
+//! streaming paths accept the same inputs and report identical
+//! [`ParseError`]s.
 
 use crate::error::ParseError;
+use crate::stream::{StreamEvent, StreamParser};
 use crate::{Document, NodeId};
 
 /// Parses an XML document from text.
 pub fn parse(input: &str) -> Result<Document, ParseError> {
-    Parser::new(input).parse_document()
-}
-
-struct Parser<'a> {
-    input: &'a str,
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(input: &'a str) -> Self {
-        Parser {
-            input,
-            bytes: input.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError::new(self.pos, self.input, message)
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn starts_with(&self, s: &str) -> bool {
-        self.input[self.pos..].starts_with(s)
-    }
-
-    fn bump(&mut self, n: usize) {
-        self.pos += n;
-    }
-
-    fn skip_whitespace(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
-        if self.starts_with(s) {
-            self.bump(s.len());
-            Ok(())
-        } else {
-            Err(self.err(format!("expected `{s}`")))
-        }
-    }
-
-    fn parse_document(&mut self) -> Result<Document, ParseError> {
-        self.skip_prolog()?;
-        self.skip_whitespace();
-        if self.peek() != Some(b'<') {
-            return Err(self.err("expected root element"));
-        }
-        let mut doc = None;
-        self.parse_element(&mut doc, None)?;
-        let doc = doc.expect("parse_element populates the document for the root");
-        // Trailing misc (comments / whitespace / PIs).
-        loop {
-            self.skip_whitespace();
-            if self.pos >= self.bytes.len() {
-                break;
+    let mut parser = StreamParser::new(input);
+    let mut doc: Option<Document> = None;
+    let mut open: Vec<NodeId> = Vec::new();
+    while let Some(event) = parser.next_event()? {
+        match event {
+            StreamEvent::StartElement { name, .. } => {
+                let id = match doc.as_mut() {
+                    None => {
+                        doc = Some(Document::new(name));
+                        doc.as_ref().expect("just created").root()
+                    }
+                    Some(d) => {
+                        let parent = *open.last().expect("nested element has an open parent");
+                        d.add_element(parent, name)
+                    }
+                };
+                open.push(id);
             }
-            if self.starts_with("<!--") {
-                self.skip_comment()?;
-            } else if self.starts_with("<?") {
-                self.skip_pi()?;
-            } else {
-                return Err(self.err("unexpected content after root element"));
+            StreamEvent::Attribute { name, value, .. } => {
+                let owner = *open.last().expect("attribute follows an open element");
+                doc.as_mut()
+                    .expect("document exists")
+                    .add_attribute(owner, name, value);
             }
-        }
-        Ok(doc)
-    }
-
-    fn skip_prolog(&mut self) -> Result<(), ParseError> {
-        loop {
-            self.skip_whitespace();
-            if self.starts_with("<?") {
-                self.skip_pi()?;
-            } else if self.starts_with("<!--") {
-                self.skip_comment()?;
-            } else if self.starts_with("<!DOCTYPE") {
-                self.skip_doctype()?;
-            } else {
-                return Ok(());
+            StreamEvent::Text { value } => {
+                let parent = *open.last().expect("text occurs inside an open element");
+                doc.as_mut()
+                    .expect("document exists")
+                    .add_text(parent, value);
+            }
+            StreamEvent::EndElement => {
+                open.pop().expect("end event closes an open element");
             }
         }
     }
-
-    fn skip_pi(&mut self) -> Result<(), ParseError> {
-        self.expect("<?")?;
-        match self.input[self.pos..].find("?>") {
-            Some(end) => {
-                self.bump(end + 2);
-                Ok(())
-            }
-            None => Err(self.err("unterminated processing instruction")),
-        }
-    }
-
-    fn skip_comment(&mut self) -> Result<(), ParseError> {
-        self.expect("<!--")?;
-        match self.input[self.pos..].find("-->") {
-            Some(end) => {
-                self.bump(end + 3);
-                Ok(())
-            }
-            None => Err(self.err("unterminated comment")),
-        }
-    }
-
-    /// Skips a DOCTYPE declaration, including an internal subset if present.
-    fn skip_doctype(&mut self) -> Result<(), ParseError> {
-        self.expect("<!DOCTYPE")?;
-        let mut depth = 1usize;
-        while depth > 0 {
-            match self.peek() {
-                Some(b'<') => {
-                    depth += 1;
-                    self.bump(1);
-                }
-                Some(b'>') => {
-                    depth -= 1;
-                    self.bump(1);
-                }
-                Some(_) => self.bump(1),
-                None => return Err(self.err("unterminated DOCTYPE declaration")),
-            }
-        }
-        Ok(())
-    }
-
-    fn parse_name(&mut self) -> Result<String, ParseError> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            let c = b as char;
-            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        if self.pos == start {
-            return Err(self.err("expected a name"));
-        }
-        Ok(self.input[start..self.pos].to_string())
-    }
-
-    /// Parses an element.  On the first call `doc` is `None` and a new
-    /// document rooted at this element is created; recursive calls attach to
-    /// `parent`.
-    fn parse_element(
-        &mut self,
-        doc: &mut Option<Document>,
-        parent: Option<NodeId>,
-    ) -> Result<NodeId, ParseError> {
-        self.expect("<")?;
-        let name = self.parse_name()?;
-        let id = match (doc.as_mut(), parent) {
-            (None, _) => {
-                *doc = Some(Document::new(name));
-                doc.as_ref().expect("just created").root()
-            }
-            (Some(d), Some(p)) => d.add_element(p, name),
-            (Some(_), None) => unreachable!("nested element without a parent"),
-        };
-
-        // Attributes.
-        loop {
-            self.skip_whitespace();
-            match self.peek() {
-                Some(b'/') => {
-                    self.expect("/>")?;
-                    return Ok(id);
-                }
-                Some(b'>') => {
-                    self.bump(1);
-                    break;
-                }
-                Some(_) => {
-                    let attr_name = self.parse_name()?;
-                    self.skip_whitespace();
-                    self.expect("=")?;
-                    self.skip_whitespace();
-                    let value = self.parse_attr_value()?;
-                    doc.as_mut()
-                        .expect("document exists")
-                        .add_attribute(id, attr_name, value);
-                }
-                None => return Err(self.err("unexpected end of input inside element tag")),
-            }
-        }
-
-        // Content.
-        loop {
-            if self.starts_with("</") {
-                self.expect("</")?;
-                let close = self.parse_name()?;
-                let open = doc.as_ref().expect("document exists").label(id).to_string();
-                if close != open {
-                    return Err(self.err(format!(
-                        "mismatched end tag: expected `</{open}>`, found `</{close}>`"
-                    )));
-                }
-                self.skip_whitespace();
-                self.expect(">")?;
-                return Ok(id);
-            } else if self.starts_with("<!--") {
-                self.skip_comment()?;
-            } else if self.starts_with("<![CDATA[") {
-                let text = self.parse_cdata()?;
-                if !text.is_empty() {
-                    doc.as_mut().expect("document exists").add_text(id, text);
-                }
-            } else if self.starts_with("<?") {
-                self.skip_pi()?;
-            } else if self.peek() == Some(b'<') {
-                self.parse_element(doc, Some(id))?;
-            } else if self.peek().is_some() {
-                let text = self.parse_char_data()?;
-                // Whitespace-only runs between tags are formatting, not data;
-                // anything else is kept verbatim so mixed content survives.
-                if !text.trim().is_empty() {
-                    doc.as_mut().expect("document exists").add_text(id, text);
-                }
-            } else {
-                return Err(self.err("unexpected end of input inside element content"));
-            }
-        }
-    }
-
-    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
-        let quote = match self.peek() {
-            Some(q @ (b'"' | b'\'')) => q,
-            _ => return Err(self.err("expected quoted attribute value")),
-        };
-        self.bump(1);
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b == quote {
-                let raw = &self.input[start..self.pos];
-                self.bump(1);
-                return decode_entities(raw).map_err(|m| ParseError::new(start, self.input, m));
-            }
-            self.pos += 1;
-        }
-        Err(self.err("unterminated attribute value"))
-    }
-
-    fn parse_char_data(&mut self) -> Result<String, ParseError> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b == b'<' {
-                break;
-            }
-            self.pos += 1;
-        }
-        decode_entities(&self.input[start..self.pos])
-            .map_err(|m| ParseError::new(start, self.input, m))
-    }
-
-    fn parse_cdata(&mut self) -> Result<String, ParseError> {
-        self.expect("<![CDATA[")?;
-        match self.input[self.pos..].find("]]>") {
-            Some(end) => {
-                let text = self.input[self.pos..self.pos + end].to_string();
-                self.bump(end + 3);
-                Ok(text)
-            }
-            None => Err(self.err("unterminated CDATA section")),
-        }
-    }
-}
-
-/// Decodes the predefined entities and numeric character references.
-fn decode_entities(raw: &str) -> Result<String, String> {
-    if !raw.contains('&') {
-        return Ok(raw.to_string());
-    }
-    let mut out = String::with_capacity(raw.len());
-    let mut rest = raw;
-    while let Some(amp) = rest.find('&') {
-        out.push_str(&rest[..amp]);
-        rest = &rest[amp..];
-        let semi = rest
-            .find(';')
-            .ok_or_else(|| "unterminated entity reference".to_string())?;
-        let entity = &rest[1..semi];
-        match entity {
-            "lt" => out.push('<'),
-            "gt" => out.push('>'),
-            "amp" => out.push('&'),
-            "apos" => out.push('\''),
-            "quot" => out.push('"'),
-            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
-                let code = u32::from_str_radix(&entity[2..], 16)
-                    .map_err(|_| format!("invalid character reference `&{entity};`"))?;
-                out.push(
-                    char::from_u32(code)
-                        .ok_or_else(|| format!("invalid code point in `&{entity};`"))?,
-                );
-            }
-            _ if entity.starts_with('#') => {
-                let code = entity[1..]
-                    .parse::<u32>()
-                    .map_err(|_| format!("invalid character reference `&{entity};`"))?;
-                out.push(
-                    char::from_u32(code)
-                        .ok_or_else(|| format!("invalid code point in `&{entity};`"))?,
-                );
-            }
-            _ => return Err(format!("unknown entity `&{entity};`")),
-        }
-        rest = &rest[semi + 1..];
-    }
-    out.push_str(rest);
-    Ok(out)
+    Ok(doc.expect("a completed stream contains a root element"))
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use xmlprop::core::refine;
 use xmlprop::pipeline::{
-    parse_keys_text, parse_rules_text, CorpusBundle, CorpusOptions, Jobs, PreparedState,
+    parse_keys_text, parse_rules_text, CorpusBundle, CorpusOptions, DocOutcome, Jobs, PreparedState,
 };
 use xmlprop::prelude::*;
 use xmlprop::server::render;
@@ -97,6 +97,22 @@ fn print_usage() {
          hot-swaps new keys/rules without blocking readers.  With --script\n\
          the session is self-driven and the transcript printed to stdout."
     );
+}
+
+/// Strips every occurrence of a boolean flag (e.g. `--stream`) from an
+/// argument list, reporting whether it was present.  Runs before
+/// [`parse_jobs`], which rejects unknown `--` options.
+fn split_flag(args: &[String], flag: &str) -> (Vec<String>, bool) {
+    let mut found = false;
+    let mut rest = Vec::with_capacity(args.len());
+    for arg in args {
+        if arg == flag {
+            found = true;
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    (rest, found)
 }
 
 /// Splits `--jobs N` / `--jobs=N` out of an argument list, validating the
@@ -221,20 +237,28 @@ fn load_rule<'t>(t: &'t Transformation, relation: &str) -> Result<&'t TableRule,
 }
 
 fn cmd_validate(args: &[String]) -> Result<bool, Error> {
-    let (positional, jobs) = parse_jobs(args)?;
+    let (args, stream) = split_flag(args, "--stream");
+    let (positional, jobs) = parse_jobs(&args)?;
     let [doc_path, keys_path] = positional.as_slice() else {
         return Err(Error::usage(
-            "usage: validate [--jobs N] <document.xml | dir> <keys.txt>",
+            "usage: validate [--jobs N] [--stream] <document.xml | dir> <keys.txt>",
         ));
     };
     if Path::new(doc_path).is_dir() {
-        return batch_validate(doc_path, keys_path, jobs.unwrap_or_default());
+        return batch_validate(doc_path, keys_path, jobs.unwrap_or_default(), stream);
     }
     warn_single_document_jobs(jobs);
-    let doc = Document::parse_str(&read(doc_path)?).map_err(|e| Error::parse(doc_path, e))?;
     // The server's renderer against a validation-only bundle: a `validate`
     // request and this one-shot print identical bytes by construction.
     let bundle = CorpusBundle::for_validation(load_keys(keys_path)?);
+    if stream {
+        // The event-driven front end: the file's text goes straight through
+        // the streaming checker — no document tree is ever built.
+        let (ok, report) = render::validate_report_streaming(&bundle, &read(doc_path)?, doc_path)?;
+        print!("{report}");
+        return Ok(ok);
+    }
+    let doc = Document::parse_str(&read(doc_path)?).map_err(|e| Error::parse(doc_path, e))?;
     let mut scratch = bundle.scratch();
     let (ok, report) = render::validate_report(&bundle, &doc, &mut scratch);
     print!("{report}");
@@ -291,24 +315,36 @@ fn cmd_refine(args: &[String]) -> Result<bool, Error> {
 }
 
 fn cmd_shred(args: &[String]) -> Result<bool, Error> {
-    let (positional, jobs) = parse_jobs(args)?;
-    let (doc_path, rules_path, relation) = match positional.as_slice() {
-        [d, r] => (d, r, None),
-        [d, r, rel] => (d, r, Some(rel.as_str())),
-        _ => {
-            return Err(Error::usage(
-                "usage: shred [--jobs N] <document.xml | dir> <rules.txt> [relation]",
-            ))
-        }
-    };
+    let (args, stream) = split_flag(args, "--stream");
+    let (positional, jobs) = parse_jobs(&args)?;
+    let (doc_path, rules_path, relation) =
+        match positional.as_slice() {
+            [d, r] => (d, r, None),
+            [d, r, rel] => (d, r, Some(rel.as_str())),
+            _ => return Err(Error::usage(
+                "usage: shred [--jobs N] [--stream] <document.xml | dir> <rules.txt> [relation]",
+            )),
+        };
     if Path::new(doc_path).is_dir() {
-        return batch_shred(doc_path, rules_path, relation, jobs.unwrap_or_default());
+        return batch_shred(
+            doc_path,
+            rules_path,
+            relation,
+            jobs.unwrap_or_default(),
+            stream,
+        );
     }
     warn_single_document_jobs(jobs);
-    let doc = Document::parse_str(&read(doc_path)?).map_err(|e| Error::parse(doc_path, e))?;
     // The server's renderer against a shredding-only bundle: a `shred`
     // request and this one-shot print identical bytes by construction.
     let bundle = CorpusBundle::for_shredding(load_transformation(rules_path)?);
+    if stream {
+        let (_tuples, report) =
+            render::shred_report_streaming(&bundle, &read(doc_path)?, doc_path, relation)?;
+        print!("{report}");
+        return Ok(true);
+    }
+    let doc = Document::parse_str(&read(doc_path)?).map_err(|e| Error::parse(doc_path, e))?;
     let mut scratch = bundle.scratch();
     let (_tuples, report) = render::shred_report(&bundle, &doc, &mut scratch, relation)?;
     print!("{report}");
@@ -380,28 +416,83 @@ fn cmd_serve(args: &[String]) -> Result<bool, Error> {
     }
 }
 
-/// Batch validation: every `*.xml` file of `dir` against the key set, over
-/// the parallel corpus pipeline.
-fn batch_validate(dir: &str, keys_path: &str, jobs: Jobs) -> Result<bool, Error> {
-    let keys = load_keys(keys_path)?;
-    let (parsed, failed) = load_corpus(dir, jobs)?;
-    if parsed.is_empty() && failed.is_empty() {
-        println!("(no *.xml documents in `{dir}`)");
-        return Ok(true);
+/// Runs a directory batch: the DOM pipeline over parsed documents, or —
+/// with `options.stream` — one streaming pass per file straight off its
+/// text (no document trees at all).  Returns `(name, outcome)` pairs in
+/// file-name order plus the per-file failures, or `None` for an empty
+/// directory.
+#[allow(clippy::type_complexity)]
+fn batch_outcomes(
+    dir: &str,
+    bundle: &CorpusBundle,
+    options: &CorpusOptions,
+) -> Result<Option<(Vec<(String, DocOutcome)>, Vec<(String, String)>)>, Error> {
+    if options.stream {
+        let files = corpus_files(dir)?;
+        if files.is_empty() {
+            return Ok(None);
+        }
+        let results = xmlprop::pipeline::fan_out(
+            &files,
+            options.jobs.get(),
+            1, // chunk of 1: file I/O has no per-worker cache to keep warm
+            || (),
+            |(), _, (_, path)| {
+                fs::read_to_string(path)
+                    .map_err(|e| Error::io(format!("cannot read: {e}")))
+                    .and_then(|text| {
+                        bundle
+                            .stream_text(&text, options)
+                            .map_err(|e| Error::Parse(e.to_string()))
+                    })
+            },
+        );
+        let mut outcomes = Vec::new();
+        let mut failed = Vec::new();
+        for ((name, _), result) in files.into_iter().zip(results) {
+            match result {
+                Ok(outcome) => outcomes.push((name, outcome)),
+                Err(e) => failed.push((name, e.to_string())),
+            }
+        }
+        Ok(Some((outcomes, failed)))
+    } else {
+        let (parsed, failed) = load_corpus(dir, options.jobs)?;
+        if parsed.is_empty() && failed.is_empty() {
+            return Ok(None);
+        }
+        let (names, docs): (Vec<String>, Vec<Document>) = parsed.into_iter().unzip();
+        let result = bundle.run(&docs, options);
+        Ok(Some((
+            names.into_iter().zip(result.documents).collect(),
+            failed,
+        )))
     }
-    let bundle = CorpusBundle::for_validation(keys);
-    let (names, docs): (Vec<String>, Vec<Document>) = parsed.into_iter().unzip();
+}
+
+/// Batch validation: every `*.xml` file of `dir` against the key set, over
+/// the parallel corpus pipeline (or its streaming front end).
+fn batch_validate(dir: &str, keys_path: &str, jobs: Jobs, stream: bool) -> Result<bool, Error> {
+    let bundle = CorpusBundle::for_validation(load_keys(keys_path)?);
     let options = CorpusOptions {
         jobs,
         shred: false,
         validate: true,
         covers: false,
+        stream,
     };
-    let result = bundle.run(&docs, &options);
-    for (name, outcome) in names.iter().zip(&result.documents) {
+    let Some((outcomes, failed)) = batch_outcomes(dir, &bundle, &options)? else {
+        println!("(no *.xml documents in `{dir}`)");
+        return Ok(true);
+    };
+    let mut invalid = 0usize;
+    let mut violations_total = 0usize;
+    for (name, outcome) in &outcomes {
         if outcome.violations.is_empty() {
             println!("[ok]   {name}");
         } else {
+            invalid += 1;
+            violations_total += outcome.violations.len();
             println!("[FAIL] {name} ({} violations)", outcome.violations.len());
             for v in &outcome.violations {
                 println!("         {v}");
@@ -413,24 +504,25 @@ fn batch_validate(dir: &str, keys_path: &str, jobs: Jobs) -> Result<bool, Error>
     }
     println!(
         "{} documents: {} ok, {} with violations, {} unparseable ({} violations total, jobs={})",
-        result.stats.documents + failed.len(),
-        result.stats.documents - result.stats.invalid_documents,
-        result.stats.invalid_documents,
+        outcomes.len() + failed.len(),
+        outcomes.len() - invalid,
+        invalid,
         failed.len(),
-        result.stats.violations,
+        violations_total,
         jobs.get(),
     );
-    Ok(result.stats.invalid_documents == 0 && failed.is_empty())
+    Ok(invalid == 0 && failed.is_empty())
 }
 
 /// Batch shredding: every `*.xml` file of `dir` through the prepared plans,
-/// over the parallel corpus pipeline.  With a relation name only that
-/// relation's tuple counts are reported.
+/// over the parallel corpus pipeline (or its streaming front end).  With a
+/// relation name only that relation's tuple counts are reported.
 fn batch_shred(
     dir: &str,
     rules_path: &str,
     relation: Option<&str>,
     jobs: Jobs,
+    stream: bool,
 ) -> Result<bool, Error> {
     let t = load_transformation(rules_path)?;
     // With a relation filter, reduce the transformation to that one rule
@@ -445,21 +537,21 @@ fn batch_shred(
         }
         None => t,
     };
-    let (parsed, failed) = load_corpus(dir, jobs)?;
-    if parsed.is_empty() && failed.is_empty() {
-        println!("(no *.xml documents in `{dir}`)");
-        return Ok(true);
-    }
     let bundle = CorpusBundle::for_shredding(t);
-    let (names, docs): (Vec<String>, Vec<Document>) = parsed.into_iter().unzip();
     let options = CorpusOptions {
         jobs,
         shred: true,
         validate: false,
         covers: false,
+        stream,
     };
-    let result = bundle.run(&docs, &options);
-    for (name, outcome) in names.iter().zip(&result.documents) {
+    let Some((outcomes, failed)) = batch_outcomes(dir, &bundle, &options)? else {
+        println!("(no *.xml documents in `{dir}`)");
+        return Ok(true);
+    };
+    let mut tuples_total = 0usize;
+    for (name, outcome) in &outcomes {
+        tuples_total += outcome.tuples;
         let counts: Vec<String> = outcome
             .database
             .relations()
@@ -472,8 +564,8 @@ fn batch_shred(
     }
     println!(
         "{} documents shredded, {} tuples total, {} unparseable (jobs={})",
-        result.stats.documents,
-        result.stats.tuples,
+        outcomes.len(),
+        tuples_total,
         failed.len(),
         jobs.get(),
     );

@@ -24,6 +24,19 @@
 //! * [`server`] — the resident constraint server: hot-swappable prepared
 //!   bundles behind the `xmlprop/1` line protocol.
 //!
+//! ## Streaming front end
+//!
+//! Every per-document task also runs **event-driven**, without building a
+//! `Document` or a `DocIndex`: [`prelude::StreamParser`] pulls events off
+//! raw XML text, [`prelude::StreamMatcher`] steps compiled path NFAs,
+//! [`prelude::StreamKeyChecker`] validates Σ and
+//! [`prelude::StreamShredder`] executes shred plans — all bounded by
+//! document *depth* plus *open bindings*, not document size, and all
+//! proven bit-for-bit equal to the DOM path.  The pipeline exposes the
+//! whole stack as `CorpusOptions { stream: true, .. }` and
+//! [`pipeline::CorpusBundle::stream_text`]; the CLI as
+//! `validate --stream` / `shred --stream`.
+//!
 //! ## One-shot facades vs. prepared state
 //!
 //! The free functions ([`core::propagation`], [`core::minimum_cover`], …)
@@ -74,10 +87,17 @@ pub mod prelude {
         Published, RequestScratch, SwapCell,
     };
     pub use xmlprop_reldb::{Fd, FdIndex, Relation, RelationSchema, Value};
-    pub use xmlprop_xmlkeys::{KeyIndex, KeySet, PreparedKey, XmlKey};
-    pub use xmlprop_xmlpath::{EvalScratch, LabelUniverse, Path, PathExpr};
-    pub use xmlprop_xmltransform::{
-        ShredPlan, ShredScratch, TableRule, TableTree, Transformation, TransformationPlan,
+    pub use xmlprop_xmlkeys::{
+        KeyIndex, KeySet, PreparedKey, StreamCheckReport, StreamKeyChecker, XmlKey,
     };
-    pub use xmlprop_xmltree::{DocIndex, Document, ElementBuilder, NodeId, NodeKind};
+    pub use xmlprop_xmlpath::{
+        EvalScratch, LabelUniverse, MatchState, Path, PathExpr, StreamMatcher,
+    };
+    pub use xmlprop_xmltransform::{
+        ShredPlan, ShredScratch, StreamShredder, TableRule, TableTree, Transformation,
+        TransformationPlan,
+    };
+    pub use xmlprop_xmltree::{
+        DocIndex, Document, ElementBuilder, NodeId, NodeKind, StreamEvent, StreamParser,
+    };
 }

@@ -270,6 +270,60 @@ fn batch_shred_with_a_relation_filter_counts_only_that_relation() {
 }
 
 #[test]
+fn batch_stream_matches_the_dom_batch_and_names_malformed_files() {
+    let dir = CorpusDir::new("batch-stream");
+    dir.copy_fig1("a.xml");
+    dir.write("broken.xml", "<unclosed");
+    dir.write("dup.xml", r#"<db><book isbn="1"/><book isbn="1"/></db>"#);
+    let stream = run(&[
+        "validate",
+        "--stream",
+        "--jobs",
+        "2",
+        dir.path(),
+        "examples/data/book_keys.txt",
+    ]);
+    let dom = run(&[
+        "validate",
+        "--jobs",
+        "2",
+        dir.path(),
+        "examples/data/book_keys.txt",
+    ]);
+    assert_eq!(stream.status.code(), Some(1), "{}", stdout(&stream));
+    assert_eq!(
+        stdout(&stream),
+        stdout(&dom),
+        "--stream must render the exact DOM batch bytes"
+    );
+    let text = stdout(&stream);
+    assert!(text.contains("[ok]   a.xml"));
+    assert!(text.contains("[FAIL] dup.xml"));
+    assert!(
+        text.contains("[SKIP] broken.xml:"),
+        "the failing file must be named: {text}"
+    );
+    assert!(text.contains("1 unparseable"));
+
+    let stream = run(&[
+        "shred",
+        "--stream",
+        dir.path(),
+        "examples/data/book_rules.txt",
+        "chapter",
+    ]);
+    let dom = run(&[
+        "shred",
+        dir.path(),
+        "examples/data/book_rules.txt",
+        "chapter",
+    ]);
+    assert_eq!(stream.status.code(), Some(1), "{}", stdout(&stream));
+    assert_eq!(stdout(&stream), stdout(&dom));
+    assert!(stdout(&stream).contains("a.xml: chapter: 3"));
+}
+
+#[test]
 fn batch_over_an_empty_directory_is_a_clean_no_op() {
     let dir = CorpusDir::new("batch-empty");
     let out = run(&["validate", dir.path(), "examples/data/book_keys.txt"]);

@@ -71,6 +71,30 @@ fn fig1_shred_matches_golden() {
     );
 }
 
+/// The streaming front end renders the *same bytes* as the DOM path: both
+/// `--stream` invocations must reproduce the committed goldens unchanged.
+#[test]
+fn fig1_streaming_matches_the_same_goldens() {
+    assert_golden(
+        &[
+            "validate",
+            "--stream",
+            "examples/data/fig1.xml",
+            "examples/data/book_keys.txt",
+        ],
+        "fig1_validate.txt",
+    );
+    assert_golden(
+        &[
+            "shred",
+            "--stream",
+            "examples/data/fig1.xml",
+            "examples/data/book_rules.txt",
+        ],
+        "fig1_shred.txt",
+    );
+}
+
 #[test]
 fn example_3_1_cover_matches_golden() {
     assert_golden(
