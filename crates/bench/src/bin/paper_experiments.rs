@@ -15,9 +15,11 @@
 //! and key validation at 10⁴–10⁶-node documents), `stream` (the
 //! event-driven front end versus the DOM path end to end, on the same
 //! document grid), `corpus` (the parallel corpus pipeline at 1/2/4/8
-//! worker threads), and `serve` (the resident constraint server:
-//! validate requests/sec at 1/2/4/8 client threads against one shared
-//! hot-swappable bundle).
+//! worker threads), `serve` (the resident constraint server: validate
+//! requests/sec at 1/2/4/8 client threads against one shared
+//! hot-swappable bundle), and `incremental` (delta-maintained
+//! revalidation and re-shredding under a single small edit versus the
+//! from-scratch pipeline, on the same document grid).
 //!
 //! Results are printed as text tables and also written as JSON files under
 //! `target/paper_experiments/` for archival (EXPERIMENTS.md quotes them).
@@ -26,8 +28,9 @@ use std::fs;
 use std::path::PathBuf;
 use xmlprop_bench::{
     corpus_experiment, corpus_rows, docs_experiment, docs_rows, fig7a, fig7a_rows, fig7b, fig7c,
-    large_scale, large_scale_rows, prepared_rows, prepared_speedups, propagation_rows,
-    render_table, serve_experiment, serve_rows, stream_experiment, stream_rows, Fig7Row,
+    incremental_experiment, incremental_rows, large_scale, large_scale_rows, prepared_rows,
+    prepared_speedups, propagation_rows, render_table, serve_experiment, serve_rows,
+    stream_experiment, stream_rows, Fig7Row,
 };
 
 fn out_dir() -> PathBuf {
@@ -338,6 +341,45 @@ fn run_serve(quick: bool) -> Vec<Fig7Row> {
     serve_rows(&points)
 }
 
+fn run_incremental(quick: bool) -> Vec<Fig7Row> {
+    println!("== Incremental revalidation: delta maintenance vs from-scratch ==");
+    println!("   (one steady-state text edit; scratch = index rebuild + full pass)\n");
+    let points = incremental_experiment(quick);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.nodes.to_string(),
+                p.rows.to_string(),
+                format!("{:.3}", p.incr_validate_ms),
+                format!("{:.3}", p.scratch_validate_ms),
+                format!("{:.1}x", p.validate_speedup()),
+                format!("{:.3}", p.incr_shred_ms),
+                format!("{:.3}", p.scratch_shred_ms),
+                format!("{:.1}x", p.shred_speedup()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "nodes",
+                "tuples",
+                "incr validate (ms)",
+                "scratch validate (ms)",
+                "speedup",
+                "incr shred (ms)",
+                "scratch shred (ms)",
+                "speedup"
+            ],
+            &rows
+        )
+    );
+    write_json("incremental", &points);
+    incremental_rows(&points)
+}
+
 fn run_large() -> Vec<Fig7Row> {
     println!("== Section 6 in-text large-scale spot checks ==\n");
     let points = large_scale();
@@ -397,6 +439,9 @@ fn main() {
     }
     if run_all || wanted.contains(&"serve") {
         rows.extend(run_serve(quick));
+    }
+    if run_all || wanted.contains(&"incremental") {
+        rows.extend(run_incremental(quick));
     }
     println!("JSON copies written to {}", out_dir().display());
     // The consolidated tracking file is only refreshed by a full run: a

@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 use xmlprop_core::{
     minimum_cover, naive_minimum_cover, propagation, GMinimumCover, PropagationEngine,
 };
-use xmlprop_reldb::Fd;
+use xmlprop_reldb::{Fd, Relation};
 use xmlprop_workload::{
     generate, generate_document_with_report, target_fd, DocConfig, Workload, WorkloadConfig,
 };
@@ -770,6 +770,225 @@ pub fn corpus_rows(points: &[CorpusPoint]) -> Vec<Fig7Row> {
     rows
 }
 
+/// One measured point of the incremental-revalidation experiment: the cost
+/// of keeping validation and shredding current under a single small edit,
+/// through the delta-maintained engines versus re-running from scratch
+/// (index rebuild + full pass) on the same mutated document.
+#[derive(Debug, Clone, Serialize)]
+pub struct IncrementalPoint {
+    /// Total node count of the generated document (the scale parameter).
+    pub nodes: usize,
+    /// Number of tuples the universal-relation shred produces.
+    pub rows: usize,
+    /// Incremental validation: `Document::apply` + `DocIndex::apply_delta`
+    /// + `IncrementalValidator::apply` for one edit (ms).
+    pub incr_validate_ms: f64,
+    /// From-scratch validation of the same mutated document: apply +
+    /// `DocIndex::build` + `KeyIndex::violations` (ms).
+    pub scratch_validate_ms: f64,
+    /// Incremental shredding: apply + index delta +
+    /// `IncrementalShredder::apply` for one edit (ms).
+    pub incr_shred_ms: f64,
+    /// From-scratch shredding of the same mutated document: apply +
+    /// `DocIndex::build` + `TransformationPlan::shred_all` (ms).
+    pub scratch_shred_ms: f64,
+}
+
+impl IncrementalPoint {
+    /// Scratch-over-incremental speedup of the validation.
+    pub fn validate_speedup(&self) -> f64 {
+        self.scratch_validate_ms / self.incr_validate_ms.max(f64::MIN_POSITIVE)
+    }
+
+    /// Scratch-over-incremental speedup of the shred.
+    pub fn shred_speedup(&self) -> f64 {
+        self.scratch_shred_ms / self.incr_shred_ms.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The `incremental` experiment: delta maintenance versus from-scratch
+/// recomputation under document mutation, at the same 10⁴–10⁶-node grid
+/// the `docs` and `stream` experiments use.
+///
+/// The steady-state edit is a text toggle on the document's last text leaf
+/// — a single small edit whose dirty region is one root-to-leaf chain, the
+/// workload the incremental engines are built for.  Each grid point keeps
+/// two identical documents: one maintained incrementally, one re-indexed
+/// and re-processed from scratch after every edit.  The two sides are
+/// measured **interleaved** (incremental edit *i*, then the scratch side
+/// applying the same edit *i*), best-of-`reps`, so jitter hits both
+/// equally; before and after the timed region the maintained state is
+/// asserted bit-for-bit equal to the from-scratch result.  `quick` keeps
+/// only the ~10⁴-node point for the CI smoke run.
+pub fn incremental_experiment(quick: bool) -> Vec<IncrementalPoint> {
+    use xmlprop_xmlkeys::IncrementalValidator;
+    use xmlprop_xmltransform::{IncrementalShredder, TransformationPlan};
+    use xmlprop_xmltree::{Delta, NodeKind};
+    let grids: &[(usize, usize, usize, usize)] = if quick {
+        &[(15, 4, 10, 6)]
+    } else {
+        &[(15, 4, 10, 6), (15, 5, 10, 8), (18, 6, 10, 8)]
+    };
+    grids
+        .iter()
+        .map(|&(fields, depth, keys, branching)| {
+            let w = generate(&WorkloadConfig::new(fields, depth, keys));
+            let (doc, report) = generate_document_with_report(
+                &w,
+                &DocConfig {
+                    branching,
+                    omission_probability: 0.1,
+                    seed: 11,
+                    depth: Some(depth),
+                },
+            );
+            let target = doc
+                .all_nodes()
+                .into_iter()
+                .rev()
+                .find(|&n| matches!(doc.kind(n), NodeKind::Text))
+                .expect("workload documents contain text leaves");
+            let edit = |i: usize| Delta::SetText {
+                node: target,
+                text: format!("edit-{}", i % 2),
+            };
+            let reps = if quick { 1 } else { 5 };
+
+            // Validation: delta-maintained KeyIndex state versus index
+            // rebuild + full violation walk.  The scratch side extends a
+            // worker copy of the key index's universe (append-only ids).
+            let keys_index = w.sigma.prepare();
+            let mut universe = keys_index.universe().clone();
+            let mut vdoc = doc.clone();
+            let mut vindex = DocIndex::build(&vdoc, &mut universe);
+            let mut validator = IncrementalValidator::new(&keys_index, &vdoc, &vindex);
+            let mut sdoc = doc.clone();
+
+            // Equivalence gate: one untimed edit through both paths.
+            {
+                let applied = vdoc.apply(&edit(0)).expect("toggle applies");
+                vindex.apply_delta(&vdoc, &applied, &mut universe);
+                validator.apply(&keys_index, &vdoc, &vindex, &applied);
+                sdoc.apply(&edit(0)).expect("toggle applies");
+                let sindex = DocIndex::build(&sdoc, &mut universe);
+                assert_eq!(
+                    validator.violations(),
+                    keys_index.violations(&sdoc, &sindex),
+                    "incremental/scratch validation disagree"
+                );
+            }
+
+            let mut incr_validate_ms = f64::INFINITY;
+            let mut scratch_validate_ms = f64::INFINITY;
+            for i in 1..=reps {
+                let delta = edit(i);
+                let (ms, _) = time(|| {
+                    let applied = vdoc.apply(&delta).expect("toggle applies");
+                    vindex.apply_delta(&vdoc, &applied, &mut universe);
+                    validator.apply(&keys_index, &vdoc, &vindex, &applied);
+                    validator.violation_count()
+                });
+                incr_validate_ms = incr_validate_ms.min(ms);
+                let (ms, _) = time(|| {
+                    sdoc.apply(&delta).expect("toggle applies");
+                    let sindex = DocIndex::build(&sdoc, &mut universe);
+                    keys_index.violations(&sdoc, &sindex).len()
+                });
+                scratch_validate_ms = scratch_validate_ms.min(ms);
+            }
+            let sindex = DocIndex::build(&sdoc, &mut universe);
+            assert_eq!(
+                validator.violations(),
+                keys_index.violations(&sdoc, &sindex),
+                "incremental validation drifted across the timed edits"
+            );
+
+            // Shredding: delta-maintained tuple blocks versus index rebuild
+            // + full re-shred of the universal relation.
+            let transformation = {
+                let mut t = xmlprop_xmltransform::Transformation::new(Vec::new());
+                t.add_rule(w.universal.clone());
+                t
+            };
+            let mut shred_universe = LabelUniverse::new();
+            let plan = TransformationPlan::new(&transformation, &mut shred_universe);
+            let mut pdoc = doc.clone();
+            let mut pindex = DocIndex::build(&pdoc, &mut shred_universe);
+            let mut shredder = IncrementalShredder::new(&plan, &pdoc, &pindex);
+            let mut qdoc = doc.clone();
+
+            let rows = {
+                let applied = pdoc.apply(&edit(0)).expect("toggle applies");
+                pindex.apply_delta(&pdoc, &applied, &mut shred_universe);
+                shredder.apply(&plan, &pdoc, &pindex, &applied);
+                qdoc.apply(&edit(0)).expect("toggle applies");
+                let qindex = DocIndex::build(&qdoc, &mut shred_universe);
+                let scratch_db = plan.shred_all(&qdoc, &qindex);
+                assert_eq!(
+                    shredder.database(&plan),
+                    scratch_db,
+                    "incremental/scratch shredding disagree"
+                );
+                scratch_db.relations().map(Relation::len).sum()
+            };
+
+            let mut incr_shred_ms = f64::INFINITY;
+            let mut scratch_shred_ms = f64::INFINITY;
+            for i in 1..=reps {
+                let delta = edit(i);
+                let (ms, _) = time(|| {
+                    let applied = pdoc.apply(&delta).expect("toggle applies");
+                    pindex.apply_delta(&pdoc, &applied, &mut shred_universe);
+                    shredder.apply(&plan, &pdoc, &pindex, &applied).len()
+                });
+                incr_shred_ms = incr_shred_ms.min(ms);
+                let (ms, _) = time(|| {
+                    qdoc.apply(&delta).expect("toggle applies");
+                    let qindex = DocIndex::build(&qdoc, &mut shred_universe);
+                    plan.shred_all(&qdoc, &qindex)
+                        .relations()
+                        .map(Relation::len)
+                        .sum::<usize>()
+                });
+                scratch_shred_ms = scratch_shred_ms.min(ms);
+            }
+            let qindex = DocIndex::build(&qdoc, &mut shred_universe);
+            assert_eq!(
+                shredder.database(&plan),
+                plan.shred_all(&qdoc, &qindex),
+                "incremental shredding drifted across the timed edits"
+            );
+
+            IncrementalPoint {
+                nodes: report.nodes,
+                rows,
+                incr_validate_ms,
+                scratch_validate_ms,
+                incr_shred_ms,
+                scratch_shred_ms,
+            }
+        })
+        .collect()
+}
+
+/// Consolidates incremental-revalidation points into [`Fig7Row`]s, four per
+/// point (`incr_validate`, `scratch_validate`, `incr_shred`,
+/// `scratch_shred`), with `n` the exact node count.
+pub fn incremental_rows(points: &[IncrementalPoint]) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for p in points {
+        rows.push(Fig7Row::new("incr_validate", p.nodes, p.incr_validate_ms));
+        rows.push(Fig7Row::new(
+            "scratch_validate",
+            p.nodes,
+            p.scratch_validate_ms,
+        ));
+        rows.push(Fig7Row::new("incr_shred", p.nodes, p.incr_shred_ms));
+        rows.push(Fig7Row::new("scratch_shred", p.nodes, p.scratch_shred_ms));
+    }
+    rows
+}
+
 /// One measured point of the `serve` experiment: N client threads issuing
 /// validate requests against one resident server.
 #[derive(Debug, Clone, Serialize)]
@@ -1156,6 +1375,26 @@ mod tests {
         assert_eq!(rows[3].bench, "dom_validate_e2e");
         assert_eq!(rows[4].bench, "stream_peak_open_bindings");
         assert_eq!(rows[4].seconds, points[0].peak_open_bindings as f64);
+        assert!(rows.iter().all(|r| r.n == points[0].nodes));
+    }
+
+    #[test]
+    fn incremental_experiment_runs_and_rows_cover_it() {
+        // The quick grid: one ~10⁴-node point, one timed edit per side; the
+        // function itself asserts incremental/scratch agreement before and
+        // after the timed region.
+        let points = incremental_experiment(true);
+        assert_eq!(points.len(), 1);
+        assert!(points[0].nodes > 1_000);
+        assert!(points[0].rows > 0);
+        assert!(points[0].validate_speedup() > 0.0);
+        assert!(points[0].shred_speedup() > 0.0);
+        let rows = incremental_rows(&points);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].bench, "incr_validate");
+        assert_eq!(rows[1].bench, "scratch_validate");
+        assert_eq!(rows[2].bench, "incr_shred");
+        assert_eq!(rows[3].bench, "scratch_shred");
         assert!(rows.iter().all(|r| r.n == points[0].nodes));
     }
 

@@ -26,6 +26,7 @@
 
 pub mod bundle;
 pub mod error;
+pub mod incremental;
 pub mod run;
 pub mod source;
 pub mod state;
@@ -34,6 +35,7 @@ pub mod swap;
 
 pub use bundle::{CorpusBundle, RuleCover};
 pub use error::{Error, ErrorKind};
+pub use incremental::{parse_edit_script, EditReport, IncrementalDocument};
 pub use run::{fan_out, CorpusOptions, CorpusResult, CorpusStats, DocOutcome, Jobs, MAX_JOBS};
 pub use source::{parse_keys_text, parse_rules_text};
 pub use state::{PreparedState, RequestScratch};

@@ -32,4 +32,4 @@ pub mod server;
 pub use client::Client;
 pub use protocol::{greeting, Request, Response, MAX_BODY_BYTES, PROTOCOL_VERSION};
 pub use script::{parse_script, run_script, ScriptStep};
-pub use server::{serve_session, ScratchCache, Server, ServerState};
+pub use server::{serve_session, ScratchCache, Server, ServerState, VerbCounters};

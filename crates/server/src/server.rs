@@ -24,7 +24,7 @@ use crate::protocol::{self, Request, Response};
 use crate::render;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use xmlprop_pipeline::{
@@ -33,11 +33,84 @@ use xmlprop_pipeline::{
 };
 use xmlprop_xmltree::Document;
 
+/// Per-verb request counters, bumped once at request entry (so a `status`
+/// request counts itself).  Relaxed atomics: the counts are monitoring
+/// data, not synchronization — a `status` response may miss bumps racing
+/// with it, never a bump from its own connection.
+#[derive(Debug, Default)]
+pub struct VerbCounters {
+    ping: AtomicU64,
+    status: AtomicU64,
+    validate: AtomicU64,
+    shred: AtomicU64,
+    propagate: AtomicU64,
+    cover: AtomicU64,
+    reload: AtomicU64,
+    quit: AtomicU64,
+}
+
+impl VerbCounters {
+    fn slot(&self, request: &Request) -> &AtomicU64 {
+        match request {
+            Request::Ping => &self.ping,
+            Request::Status => &self.status,
+            Request::Validate { .. } => &self.validate,
+            Request::Shred { .. } => &self.shred,
+            Request::Propagate { .. } => &self.propagate,
+            Request::Cover { .. } => &self.cover,
+            Request::Reload { .. } => &self.reload,
+            Request::Quit => &self.quit,
+        }
+    }
+
+    fn bump(&self, request: &Request) {
+        self.slot(request).fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The count served so far for `request`'s verb.
+    pub fn get(&self, request: &Request) -> u64 {
+        self.slot(request).load(Ordering::Relaxed)
+    }
+
+    /// Total requests served across all verbs.
+    pub fn total(&self) -> u64 {
+        [
+            &self.ping,
+            &self.status,
+            &self.validate,
+            &self.shred,
+            &self.propagate,
+            &self.cover,
+            &self.reload,
+            &self.quit,
+        ]
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .sum()
+    }
+
+    /// One-line per-verb report, in the protocol's verb order.
+    pub fn report(&self) -> String {
+        format!(
+            "ping={} status={} validate={} shred={} propagate={} cover={} reload={} quit={}",
+            self.ping.load(Ordering::Relaxed),
+            self.status.load(Ordering::Relaxed),
+            self.validate.load(Ordering::Relaxed),
+            self.shred.load(Ordering::Relaxed),
+            self.propagate.load(Ordering::Relaxed),
+            self.cover.load(Ordering::Relaxed),
+            self.reload.load(Ordering::Relaxed),
+            self.quit.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// The shared, hot-swappable state every connection serves from.
 #[derive(Debug)]
 pub struct ServerState {
     cell: SwapCell<CorpusBundle>,
     jobs: Jobs,
+    counters: VerbCounters,
 }
 
 impl ServerState {
@@ -47,7 +120,13 @@ impl ServerState {
         ServerState {
             cell: SwapCell::new(bundle),
             jobs,
+            counters: VerbCounters::default(),
         }
+    }
+
+    /// The per-verb request counters.
+    pub fn counters(&self) -> &VerbCounters {
+        &self.counters
     }
 
     /// The publication cell (for tests and admin tooling).
@@ -75,6 +154,7 @@ impl ServerState {
     /// `err <wire-code> …` responses via the shared error table; the
     /// connection stays usable.
     pub fn respond(&self, request: &Request, cache: &mut ScratchCache) -> Response {
+        self.counters.bump(request);
         match self.try_respond(request, cache) {
             Ok(response) => response,
             Err(error) => Response::error(&error),
@@ -92,12 +172,13 @@ impl ServerState {
                 "status",
                 epoch,
                 &format!(
-                    "keys={} rules={} jobs={}",
+                    "keys={} rules={} jobs={} served={}",
                     snapshot.sigma().len(),
                     snapshot.transformation().rules().len(),
-                    self.jobs.get()
+                    self.jobs.get(),
+                    self.counters.total()
                 ),
-                String::new(),
+                self.counters.report() + "\n",
             )),
             Request::Quit => Ok(Response::ok("quit", epoch, "", String::new())),
             Request::Validate { document } => {
@@ -425,6 +506,41 @@ mod tests {
         // Still serving fine afterwards.
         let resp = state.respond(&Request::Status, &mut cache);
         assert!(resp.header.starts_with("ok status bundle=1 "));
+    }
+
+    #[test]
+    fn status_reports_per_verb_counters_and_counts_itself() {
+        let state = ServerState::new(bundle(), Jobs::default());
+        let mut cache = ScratchCache::new();
+        state.respond(&Request::Ping, &mut cache);
+        state.respond(&Request::Ping, &mut cache);
+        let resp = state.respond(&Request::Status, &mut cache);
+        assert_eq!(
+            resp.header,
+            format!(
+                "ok status bundle=1 keys=1 rules=1 jobs={} served=3",
+                Jobs::default().get()
+            )
+        );
+        assert_eq!(
+            resp.payload,
+            "ping=2 status=1 validate=0 shred=0 propagate=0 cover=0 reload=0 quit=0\n"
+        );
+        assert_eq!(state.counters().total(), 3);
+        assert_eq!(state.counters().get(&Request::Ping), 2);
+        // Errors are served requests too: the bump happens at entry.
+        state.respond(
+            &Request::Validate {
+                document: "<unclosed".into(),
+            },
+            &mut cache,
+        );
+        assert_eq!(
+            state.counters().get(&Request::Validate {
+                document: String::new()
+            }),
+            1
+        );
     }
 
     #[test]

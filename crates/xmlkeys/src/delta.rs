@@ -1,0 +1,413 @@
+//! Incremental key validation under document deltas.
+//!
+//! [`IncrementalValidator`] keeps, per key of Σ, the full result of the
+//! last validation in updatable form: the context set, each context's
+//! target list, and per `(context, target)` pair the probe result (the
+//! condition-(1) violations and the hashed interned-value key tuple).
+//! After an edit it re-probes only what the edit can have changed.
+//!
+//! The locality argument: all targets of a context `c`, and all the
+//! attribute children their tuples are built from, live inside
+//! `subtree(c)`; a delta changes subtree content only for the
+//! [`AppliedDelta::dirty_node`] and its ancestors (plus freshly inserted
+//! nodes, which can have no cached state).  So a cached context whose node
+//! is outside that ancestor chain is reused wholesale — violations and
+//! all — and within a recomputed context, cached target probes are reused
+//! for targets outside the chain.  Context *sets* are re-evaluated from
+//! the patched [`DocIndex`] every time (a cheap postings scan), which is
+//! what makes contexts appear and disappear correctly under structural
+//! edits.
+//!
+//! The result is bit-for-bit the list [`KeyIndex::violations`] would
+//! produce from scratch on the mutated document — same violations, same
+//! order — which the differential proptests pin.
+
+use crate::index::KeyIndex;
+use crate::satisfy::Violation;
+use std::collections::{HashMap, HashSet};
+use xmlprop_xmlpath::EvalScratch;
+use xmlprop_xmltree::{AppliedDelta, DocIndex, Document, NodeId};
+
+/// Delta-maintained validation state for one document against one
+/// [`KeyIndex`]; see the module docs.
+#[derive(Debug)]
+pub struct IncrementalValidator {
+    /// Per key of Σ, in Σ order.
+    keys: Vec<KeyState>,
+    /// [`Document::epoch`] the state is current for.
+    epoch: u64,
+    scratch: Scratch,
+}
+
+/// Updatable validation state of one key.
+#[derive(Debug, Default)]
+struct KeyState {
+    /// Current contexts, in document order (the assembly order of
+    /// [`IncrementalValidator::violations`]).
+    contexts: Vec<NodeId>,
+    /// Context → its targets in document order.
+    targets: HashMap<NodeId, Vec<NodeId>>,
+    /// `(context, target)` → cached probe result.
+    entries: HashMap<(NodeId, NodeId), TargetEntry>,
+    /// Context → its violations in canonical order; contexts with no
+    /// violations are absent.
+    violations: HashMap<NodeId, Vec<Violation>>,
+}
+
+/// Cached per-target probe: condition (1) violations plus the interned
+/// key tuple (`None` when an attribute was missing or duplicated).
+#[derive(Debug)]
+struct TargetEntry {
+    cond1: Vec<Violation>,
+    tuple: Option<Vec<u32>>,
+}
+
+#[derive(Debug, Default)]
+struct Scratch {
+    eval: EvalScratch,
+    /// Context positions of the key being refreshed.
+    cpos: Vec<u32>,
+    /// Target positions of the context being recomputed.
+    tpos: Vec<u32>,
+    /// Condition (2): tuple → first target carrying it.
+    seen: HashMap<Vec<u32>, NodeId>,
+}
+
+impl IncrementalValidator {
+    /// Builds the full validation state for `doc` (equivalent to one
+    /// from-scratch [`KeyIndex::violations`] pass, stored in updatable
+    /// form).  `index` must be current for `doc` and built against an
+    /// extension of the key universe.
+    pub fn new(keys: &KeyIndex, doc: &Document, index: &DocIndex) -> Self {
+        index.debug_assert_current(doc);
+        let mut validator = IncrementalValidator {
+            keys: (0..keys.len()).map(|_| KeyState::default()).collect(),
+            epoch: doc.epoch(),
+            scratch: Scratch::default(),
+        };
+        for k in 0..keys.len() {
+            validator.refresh_key(keys, k, doc, index, None);
+        }
+        validator
+    }
+
+    /// Adjusts the state for one applied delta.  Call order per edit:
+    /// [`Document::apply`], then [`DocIndex::apply_delta`], then this —
+    /// the index must already be patched, and the validator must have
+    /// seen every earlier delta (both debug-asserted via epochs).
+    pub fn apply(
+        &mut self,
+        keys: &KeyIndex,
+        doc: &Document,
+        index: &DocIndex,
+        applied: &AppliedDelta,
+    ) {
+        index.debug_assert_current(doc);
+        debug_assert_eq!(
+            self.epoch + 1,
+            doc.epoch(),
+            "the incremental validator must see every delta exactly once",
+        );
+        let dirty = applied.dirty_node();
+        let mut chain = vec![dirty];
+        chain.extend(doc.ancestors(dirty));
+        for k in 0..keys.len() {
+            self.refresh_key(keys, k, doc, index, Some(&chain));
+        }
+        self.epoch = doc.epoch();
+    }
+
+    /// All current violations, in the exact order a from-scratch
+    /// [`KeyIndex::violations`] pass over the mutated document produces
+    /// (Σ order, contexts in document order).
+    pub fn violations(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for state in &self.keys {
+            for c in &state.contexts {
+                if let Some(v) = state.violations.get(c) {
+                    out.extend(v.iter().cloned());
+                }
+            }
+        }
+        out
+    }
+
+    /// The number of current violations, without materializing them.
+    pub fn violation_count(&self) -> usize {
+        self.keys
+            .iter()
+            .map(|s| s.violations.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// True if the document currently satisfies every key of Σ.
+    pub fn satisfies(&self) -> bool {
+        self.keys.iter().all(|s| s.violations.is_empty())
+    }
+
+    /// Re-evaluates the contexts of key `k` and recomputes the dirty ones.
+    /// `chain = None` marks everything dirty (initial build); otherwise
+    /// `chain` is the dirty ancestor chain of the edit, and a context or
+    /// target outside it (with cached state) is reused untouched.
+    fn refresh_key(
+        &mut self,
+        keys: &KeyIndex,
+        k: usize,
+        doc: &Document,
+        index: &DocIndex,
+        chain: Option<&[NodeId]>,
+    ) {
+        let key = &keys.keys()[k];
+        let state = &mut self.keys[k];
+        let scratch = &mut self.scratch;
+        key.context().evaluate_positions(
+            index,
+            index.position(doc.root()),
+            &mut scratch.eval,
+            &mut scratch.cpos,
+        );
+        let new_contexts: Vec<NodeId> = scratch.cpos.iter().map(|&p| index.node_at(p)).collect();
+        // When the context set is unchanged (the overwhelmingly common
+        // case) membership checks and garbage collection are skipped.
+        let same_contexts = state.contexts == new_contexts;
+        for (i, &c) in new_contexts.iter().enumerate() {
+            let dirty = match chain {
+                None => true,
+                Some(chain) => {
+                    (!same_contexts && !state.targets.contains_key(&c)) || chain.contains(&c)
+                }
+            };
+            if !dirty {
+                continue;
+            }
+            key.target().evaluate_positions(
+                index,
+                scratch.cpos[i],
+                &mut scratch.eval,
+                &mut scratch.tpos,
+            );
+            let new_targets: Vec<NodeId> = scratch.tpos.iter().map(|&p| index.node_at(p)).collect();
+            // Pull the context's old probes out for selective reuse; what
+            // stays unclaimed (vanished targets) is dropped.
+            let mut old_entries: HashMap<NodeId, TargetEntry> = HashMap::new();
+            if let Some(old_targets) = state.targets.remove(&c) {
+                for t in old_targets {
+                    if let Some(e) = state.entries.remove(&(c, t)) {
+                        old_entries.insert(t, e);
+                    }
+                }
+            }
+            scratch.seen.clear();
+            let mut viol: Vec<Violation> = Vec::new();
+            for (j, &t) in new_targets.iter().enumerate() {
+                let target_pos = scratch.tpos[j];
+                let reusable = matches!(chain, Some(chain) if !chain.contains(&t));
+                let entry = match old_entries.remove(&t) {
+                    Some(e) if reusable => e,
+                    _ => probe_target(keys, k, index, c, target_pos),
+                };
+                viol.extend(entry.cond1.iter().cloned());
+                if let Some(tuple) = &entry.tuple {
+                    // Condition (2): no two distinct targets under this
+                    // context agree on the whole key tuple.
+                    match scratch.seen.get(tuple) {
+                        Some(&first) => viol.push(Violation::DuplicateKeyValue {
+                            context: c,
+                            first,
+                            second: t,
+                            values: keys.tuple_strings_at(k, doc, index, target_pos),
+                        }),
+                        None => {
+                            scratch.seen.insert(tuple.clone(), t);
+                        }
+                    }
+                }
+                state.entries.insert((c, t), entry);
+            }
+            if viol.is_empty() {
+                state.violations.remove(&c);
+            } else {
+                state.violations.insert(c, viol);
+            }
+            state.targets.insert(c, new_targets);
+        }
+        if !same_contexts {
+            // Garbage-collect contexts that vanished with the edit.
+            let live: HashSet<NodeId> = new_contexts.iter().copied().collect();
+            let stale: Vec<NodeId> = state
+                .targets
+                .keys()
+                .copied()
+                .filter(|c| !live.contains(c))
+                .collect();
+            for c in stale {
+                if let Some(ts) = state.targets.remove(&c) {
+                    for t in ts {
+                        state.entries.remove(&(c, t));
+                    }
+                }
+                state.violations.remove(&c);
+            }
+            state.contexts = new_contexts;
+        }
+    }
+}
+
+/// Probes one target of key `k` under `context`: counts the attribute
+/// children behind each key attribute (condition (1) demands exactly one)
+/// and assembles the interned-value tuple — the cached form of the inner
+/// loop of [`KeyIndex::violations`].
+fn probe_target(
+    keys: &KeyIndex,
+    k: usize,
+    index: &DocIndex,
+    context: NodeId,
+    target_pos: u32,
+) -> TargetEntry {
+    let key = &keys.keys()[k];
+    let mut cond1 = Vec::new();
+    let mut tuple = Vec::with_capacity(key.val_attrs().len());
+    let mut complete = true;
+    for &attr in key.val_attrs() {
+        let mut count = 0u32;
+        let mut value = 0u32;
+        for child in index.children_at(target_pos) {
+            if index.label_at(child) == attr && index.kind_at(child).is_attribute() {
+                count += 1;
+                value = index.value_id_at(child).unwrap_or(0);
+            }
+        }
+        match count {
+            1 => tuple.push(value),
+            0 => {
+                complete = false;
+                cond1.push(Violation::MissingAttribute {
+                    context,
+                    target: index.node_at(target_pos),
+                    attribute: keys.universe().name(attr).to_string(),
+                });
+            }
+            _ => {
+                complete = false;
+                cond1.push(Violation::DuplicateAttribute {
+                    context,
+                    target: index.node_at(target_pos),
+                    attribute: keys.universe().name(attr).to_string(),
+                });
+            }
+        }
+    }
+    TargetEntry {
+        cond1,
+        tuple: complete.then_some(tuple),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{example_2_1_keys, KeySet};
+    use xmlprop_xmltree::{Delta, Fragment};
+
+    /// Applies a script of deltas, asserting after each one that the
+    /// incremental violations equal a from-scratch pass bit-for-bit.
+    fn run_script(sigma: &KeySet, mut doc: Document, script: Vec<Delta>) {
+        let mut keys = KeyIndex::new(sigma);
+        let mut universe = keys.universe().clone();
+        let mut index = DocIndex::build(&doc, &mut universe);
+        let mut validator = IncrementalValidator::new(&keys, &doc, &index);
+        assert_eq!(validator.violations(), keys.violations(&doc, &index));
+        for delta in &script {
+            let applied = doc.apply(delta).unwrap();
+            index.apply_delta(&doc, &applied, &mut universe);
+            validator.apply(&keys, &doc, &index, &applied);
+            let scratch = keys.index_document(&doc);
+            let expected = keys.violations(&doc, &scratch);
+            assert_eq!(validator.violations(), expected, "after {delta:?}");
+            assert_eq!(validator.violation_count(), expected.len());
+            assert_eq!(validator.satisfies(), expected.is_empty());
+        }
+    }
+
+    #[test]
+    fn incremental_tracks_scratch_on_fig1_edits() {
+        let doc = xmlprop_xmltree::sample::fig1();
+        let books: Vec<NodeId> = doc
+            .all_nodes()
+            .into_iter()
+            .filter(|&n| doc.label(n) == "book")
+            .collect();
+        let isbn0 = doc.attribute_node(books[0], "isbn").unwrap();
+        let isbn1 = doc.attribute_node(books[1], "isbn").unwrap();
+        let chapter = doc.children_labelled(books[0], "chapter").next().unwrap();
+        let script = vec![
+            // Collide the two isbn values: one DuplicateKeyValue appears.
+            Delta::SetText {
+                node: isbn1,
+                text: "123".into(),
+            },
+            // Resolve it again.
+            Delta::SetText {
+                node: isbn1,
+                text: "999".into(),
+            },
+            // A second isbn on book 0: DuplicateAttribute.
+            Delta::InsertSubtree {
+                parent: books[0],
+                position: 0,
+                fragment: Fragment::Attribute {
+                    name: "isbn".into(),
+                    value: "123".into(),
+                },
+            },
+            // Remove the original: back to one isbn.
+            Delta::RemoveSubtree { node: isbn0 },
+            // A whole new book without isbn: MissingAttribute, plus new
+            // chapter contexts.
+            Delta::InsertSubtree {
+                parent: doc.root(),
+                position: 2,
+                fragment: Fragment::Element(
+                    Document::parse_str(
+                        "<book><title>New</title><chapter number=\"1\"><name>A</name></chapter></book>",
+                    )
+                    .unwrap(),
+                ),
+            },
+            // Remove a chapter subtree: contexts vanish.
+            Delta::RemoveSubtree { node: chapter },
+        ];
+        run_script(&example_2_1_keys(), doc, script);
+    }
+
+    #[test]
+    fn incremental_handles_duplicate_tuples_through_reuse() {
+        // Three siblings with equal tuples; edits flip which ones collide.
+        let doc = Document::parse_str(r#"<r><b isbn="1"/><b isbn="2"/><b isbn="1"/></r>"#).unwrap();
+        let sigma = KeySet::from_keys(vec![crate::XmlKey::parse("(ε, (//b, {@isbn}))").unwrap()]);
+        let bs: Vec<NodeId> = doc
+            .all_nodes()
+            .into_iter()
+            .filter(|&n| doc.label(n) == "b")
+            .collect();
+        let a0 = doc.attribute_node(bs[0], "isbn").unwrap();
+        let a1 = doc.attribute_node(bs[1], "isbn").unwrap();
+        let script = vec![
+            // 1,2,1 → 2,2,1: the colliding pair shifts.
+            Delta::SetText {
+                node: a0,
+                text: "2".into(),
+            },
+            // 2,2,1 → 2,1,1.
+            Delta::SetText {
+                node: a1,
+                text: "1".into(),
+            },
+            // Remove the first: 1,1 still collide.
+            Delta::RemoveSubtree { node: bs[0] },
+            // Remove another: no collision left.
+            Delta::RemoveSubtree { node: bs[1] },
+        ];
+        run_script(&sigma, doc, script);
+    }
+}

@@ -389,6 +389,7 @@ impl KeyIndex {
     /// interned-value id vectors instead of `BTreeMap<Vec<String>, _>`
     /// lookups, and all scratch state is reused across contexts and keys.
     pub fn violations(&self, doc: &Document, index: &DocIndex) -> Vec<Violation> {
+        index.debug_assert_current(doc);
         let mut out = Vec::new();
         let mut scratch = ValidateScratch::default();
         for k in 0..self.keys.len() {
@@ -400,6 +401,7 @@ impl KeyIndex {
     /// The violations of the `k`-th key of Σ alone (same order as
     /// [`crate::violations`] of that key).
     pub fn violations_of(&self, k: usize, doc: &Document, index: &DocIndex) -> Vec<Violation> {
+        index.debug_assert_current(doc);
         let mut out = Vec::new();
         let mut scratch = ValidateScratch::default();
         self.collect_violations(k, doc, index, &mut scratch, Some(&mut out));
@@ -410,6 +412,7 @@ impl KeyIndex {
     /// prepared counterpart of [`crate::satisfies_all`].  Stops at the
     /// first violation instead of collecting them.
     pub fn satisfies(&self, doc: &Document, index: &DocIndex) -> bool {
+        index.debug_assert_current(doc);
         let mut scratch = ValidateScratch::default();
         (0..self.keys.len()).all(|k| !self.collect_violations(k, doc, index, &mut scratch, None))
     }
@@ -533,6 +536,18 @@ impl KeyIndex {
                     .to_string()
             })
             .collect()
+    }
+
+    /// [`KeyIndex::tuple_strings`] addressed by key position — the
+    /// violation-reporting path of the incremental validator.
+    pub(crate) fn tuple_strings_at(
+        &self,
+        k: usize,
+        doc: &Document,
+        index: &DocIndex,
+        target_pos: u32,
+    ) -> Vec<String> {
+        self.tuple_strings(&self.keys[k], doc, index, target_pos)
     }
 }
 

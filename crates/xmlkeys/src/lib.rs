@@ -36,7 +36,12 @@
 //!   over it.  It also validates documents at scale:
 //!   [`KeyIndex::index_document`] + [`KeyIndex::violations`] /
 //!   [`KeyIndex::satisfies`] check all keys over a prepared
-//!   [`xmlprop_xmltree::DocIndex`] with interned-value key tuples.
+//!   [`xmlprop_xmltree::DocIndex`] with interned-value key tuples;
+//! * [`IncrementalValidator`] — delta-maintained validation state: after a
+//!   [`xmlprop_xmltree::Document::apply`] edit (index patched via
+//!   [`xmlprop_xmltree::DocIndex::apply_delta`]) it re-probes only the
+//!   contexts and targets on the edit's ancestor chain, reproducing
+//!   [`KeyIndex::violations`] bit-for-bit at a fraction of the cost.
 //!
 //! # Implication procedure
 //!
@@ -62,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delta;
 pub mod general;
 mod implication;
 mod index;
@@ -71,6 +77,7 @@ mod satisfy;
 mod stream;
 pub mod xsd;
 
+pub use delta::IncrementalValidator;
 pub use general::{partition_for_propagation, GeneralKey};
 pub use implication::{attribute_assured, attributes_assured, implies, node_unique_under};
 pub use index::{IndexedKey, KeyIndex, PreparedKey};

@@ -68,7 +68,7 @@ pub fn evaluate(doc: &Document, from: NodeId, expr: &PathExpr) -> Vec<NodeId> {
     if result.len() > 1 && !doc.ids_in_document_order() {
         // The BTreeSet yields NodeId order; rank by DFS position when the
         // two orders have diverged.
-        let mut rank = vec![0u32; doc.len()];
+        let mut rank = vec![0u32; doc.arena_len()];
         for (i, n) in doc.all_nodes().into_iter().enumerate() {
             rank[n.index()] = i as u32;
         }

@@ -40,12 +40,18 @@
 //!   events with an open-binding frontier, never materialising a document —
 //!   peak memory is bounded by depth plus open bindings, and the produced
 //!   relation is bit-for-bit the DOM result;
+//! * incremental re-shredding: [`IncrementalShredder`] maintains the
+//!   shredded database under [`xmlprop_xmltree::Document::apply`] edits by
+//!   caching per-anchor tuple blocks, re-shredding only blocks on the
+//!   edit's dirty ancestor chain and reporting tuple-level
+//!   [`RelationDelta`]s;
 //! * the paper's running transformation (Example 2.4) and universal relation
 //!   (Example 3.1) in [`sample`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delta;
 mod parse;
 mod plan;
 mod rule;
@@ -54,6 +60,7 @@ mod shred;
 mod stream;
 mod tree;
 
+pub use delta::{IncrementalShredder, RelationDelta};
 pub use parse::{parse_single_rule, ParseRuleError};
 pub use plan::{ShredPlan, ShredScratch, TransformationPlan, VarId};
 pub use rule::{FieldRule, RuleError, TableRule, Transformation, VarMapping, ROOT_VAR};

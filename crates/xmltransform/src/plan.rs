@@ -34,7 +34,7 @@ use xmlprop_reldb::{Database, Relation, RelationSchema, Tuple, Value};
 use xmlprop_xmlpath::{
     CompiledAtom, CompiledExpr, EvalScratch, LabelId, LabelUniverse, PathCompiler,
 };
-use xmlprop_xmltree::{DocIndex, Document};
+use xmlprop_xmltree::{DocIndex, Document, NodeId};
 
 /// A dense identifier for a variable of one [`ShredPlan`] (the root
 /// variable `xr` is `VarId(0)`; parents precede children).
@@ -183,12 +183,33 @@ impl ShredPlan {
         index: &DocIndex,
         scratch: &mut ShredScratch,
     ) -> Relation {
+        index.debug_assert_current(doc);
         let stride = self.parents.len();
         // The binding table: `stride` u32 slots per row, NULL for unbound.
         let mut rows: Vec<u32> = vec![NULL; stride];
         rows[0] = index.position(doc.root());
+        self.expand_rows(index, scratch, &mut rows, 1);
+        scratch.ensure_values(doc.arena_len());
+        let mut relation = Relation::new(self.schema.clone());
+        for row in rows.chunks_exact(stride) {
+            relation.insert(self.materialize_row(doc, index, scratch, row));
+        }
+        relation
+    }
 
-        for v in 1..stride {
+    /// Extends the binding table by the variables `from..`, replicating
+    /// rows on multi-node bindings — the Cartesian-product engine behind
+    /// [`ShredPlan::shred_with`] (`from = 1`) and the incremental
+    /// [`ShredPlan::shred_block`] (`from = 2`, anchor pre-bound).
+    fn expand_rows(
+        &self,
+        index: &DocIndex,
+        scratch: &mut ShredScratch,
+        rows: &mut Vec<u32>,
+        from: usize,
+    ) {
+        let stride = self.parents.len();
+        for v in from..stride {
             let parent = self.parents[v] as usize;
             let path = &self.paths[v];
             let nrows = rows.len() / stride;
@@ -280,32 +301,83 @@ impl ShredPlan {
                 }
             }
             if let Some(wide) = expanded {
-                rows = wide;
+                *rows = wide;
             }
         }
+    }
 
-        if scratch.values.len() < index.len() {
-            scratch.values.resize(index.len(), None);
-        }
-        let mut relation = Relation::new(self.schema.clone());
-        for row in rows.chunks_exact(stride) {
-            let values: Vec<Value> = self
-                .field_vars
-                .iter()
-                .map(|&v| match row[v as usize] {
-                    NULL => Value::Null,
-                    pos => {
-                        let slot = &mut scratch.values[pos as usize];
-                        slot.get_or_insert_with(|| {
-                            Value::text(field_value(doc, index.node_at(pos)))
-                        })
+    /// Materializes one binding row into a tuple through the node-keyed
+    /// `value()` memo (caller must have sized it via
+    /// [`ShredScratch::ensure_values`]).
+    fn materialize_row(
+        &self,
+        doc: &Document,
+        index: &DocIndex,
+        scratch: &mut ShredScratch,
+        row: &[u32],
+    ) -> Tuple {
+        let values: Vec<Value> = self
+            .field_vars
+            .iter()
+            .map(|&v| match row[v as usize] {
+                NULL => Value::Null,
+                pos => {
+                    let node = index.node_at(pos);
+                    let slot = &mut scratch.values[node.index()];
+                    slot.get_or_insert_with(|| Value::text(field_value(doc, node)))
                         .clone()
-                    }
-                })
-                .collect();
-            relation.insert(Tuple::new(values));
+                }
+            })
+            .collect();
+        Tuple::new(values)
+    }
+
+    /// The anchor variable of a block-decomposable plan, if any.
+    ///
+    /// A plan is block-decomposable when the root variable has exactly one
+    /// child variable (necessarily `VarId(1)`: variables are ordered
+    /// parent-before-child) and no schema field reads `value(xr)`.  Every
+    /// other variable then descends from that **anchor**, so the shredded
+    /// relation is the concatenation, in document order, of independent
+    /// per-anchor-binding tuple blocks — the unit of reuse of the
+    /// incremental shredder.
+    pub(crate) fn anchor_var(&self) -> Option<VarId> {
+        let stride = self.parents.len();
+        if stride < 2 || self.field_vars.contains(&0) {
+            return None;
         }
-        relation
+        if (2..stride).any(|v| self.parents[v] == 0) {
+            return None;
+        }
+        Some(VarId(1))
+    }
+
+    /// Shreds the tuple block of one anchor binding (see
+    /// [`ShredPlan::anchor_var`]): the rows [`ShredPlan::shred_with`] would
+    /// emit for this anchor node, in the same order.
+    pub(crate) fn shred_block(
+        &self,
+        doc: &Document,
+        index: &DocIndex,
+        scratch: &mut ShredScratch,
+        anchor_pos: u32,
+    ) -> Vec<Tuple> {
+        let stride = self.parents.len();
+        let mut rows: Vec<u32> = vec![NULL; stride];
+        rows[0] = index.position(doc.root());
+        rows[1] = anchor_pos;
+        self.expand_rows(index, scratch, &mut rows, 2);
+        scratch.ensure_values(doc.arena_len());
+        rows.chunks_exact(stride)
+            .map(|row| self.materialize_row(doc, index, scratch, row))
+            .collect()
+    }
+
+    /// The all-null tuple a plan emits when its variables bind nothing —
+    /// the relation content of a block-decomposable plan with zero anchor
+    /// bindings.
+    pub(crate) fn null_tuple(&self) -> Tuple {
+        Tuple::new(vec![Value::Null; self.field_vars.len()])
     }
 }
 
@@ -320,8 +392,10 @@ pub struct ShredScratch {
     binding_memo: HashMap<u32, (u32, u32)>,
     /// Pool backing the memoized binding ranges.
     binding_pool: Vec<u32>,
-    /// DFS position → memoized field value of that node (dense, sized to
-    /// the document on first use).
+    /// [`NodeId`] index → memoized field value of that node (dense, sized
+    /// to the document arena on first use).  Node-keyed rather than
+    /// position-keyed so the memo survives deltas: positions shift under
+    /// edits, node ids do not.
     values: Vec<Option<Value>>,
 }
 
@@ -335,6 +409,26 @@ impl ShredScratch {
     /// document); evaluation buffers are kept.
     pub fn reset(&mut self) {
         self.values.clear();
+    }
+
+    /// Grows the `value()` memo to cover a document arena of `arena_len`
+    /// nodes (existing entries are kept).
+    fn ensure_values(&mut self, arena_len: usize) {
+        if self.values.len() < arena_len {
+            self.values.resize(arena_len, None);
+        }
+    }
+
+    /// Drops the memoized `value()` of the given nodes — after a delta,
+    /// exactly the dirty ancestor chain's serializations are stale (nodes
+    /// off the chain kept their subtree content; fresh nodes have no
+    /// entry; removed nodes are never queried again).
+    pub fn invalidate_values(&mut self, nodes: &[NodeId]) {
+        for &node in nodes {
+            if let Some(slot) = self.values.get_mut(node.index()) {
+                *slot = None;
+            }
+        }
     }
 }
 
@@ -371,6 +465,7 @@ impl TransformationPlan {
     /// bit-for-bit what [`Transformation::shred`] produces — sharing one
     /// scratch (and thus one `value()` memo) across all rules.
     pub fn shred_all(&self, doc: &Document, index: &DocIndex) -> Database {
+        index.debug_assert_current(doc);
         let mut scratch = ShredScratch::new();
         let mut db = Database::new();
         for plan in &self.plans {

@@ -1,5 +1,6 @@
 //! The arena-backed XML document.
 
+use crate::delta::{AppliedDelta, Delta, DeltaError, Fragment};
 use crate::node::{NodeData, NodeId, NodeKind};
 use crate::ParseError;
 use std::fmt;
@@ -7,8 +8,13 @@ use std::fmt;
 /// An XML document stored as an arena of nodes.
 ///
 /// The document always has a single root element.  Nodes are addressed by
-/// [`NodeId`]; the arena never removes nodes, so identifiers stay valid for
-/// the lifetime of the document.
+/// [`NodeId`]; the arena never reuses slots, so an identifier handed out
+/// once always refers to the same node data.  [`Document::remove_subtree`]
+/// *detaches* a subtree rather than freeing it: the detached nodes stay in
+/// the arena as tombstones (their ids become invalid for navigation — a
+/// logic error to keep using, never UB), [`Document::len`] counts only
+/// attached nodes, and [`Document::arena_len`] bounds raw indices for
+/// side tables.
 ///
 /// Construction paths:
 ///
@@ -16,6 +22,15 @@ use std::fmt;
 ///   [`Document::add_attribute`], [`Document::add_text`]);
 /// * the fluent [`crate::ElementBuilder`];
 /// * [`Document::parse_str`] for textual XML.
+///
+/// Post-construction edits go through [`Document::apply`] (insert/remove
+/// subtree, set text — see [`Delta`]) or the underlying primitives
+/// [`Document::remove_subtree`] / [`Document::set_text`].  Every mutation
+/// bumps a monotonically increasing [`Document::epoch`] counter, which
+/// prepared structures ([`crate::DocIndex`]) record and debug-assert
+/// against: using an index built before the latest mutation is a logic
+/// error unless the index was patched with
+/// [`crate::DocIndex::apply_delta`].
 ///
 /// # Document order
 ///
@@ -43,6 +58,10 @@ pub struct Document {
     /// True while `NodeId` order coincides with document order; see the
     /// struct docs.
     id_order: bool,
+    /// Number of attached (non-tombstone) nodes.
+    live: usize,
+    /// Mutation counter; see [`Document::epoch`].
+    epoch: u64,
 }
 
 impl Document {
@@ -54,6 +73,8 @@ impl Document {
             root: NodeId(0),
             last: NodeId(0),
             id_order: true,
+            live: 1,
+            epoch: 0,
         }
     }
 
@@ -68,16 +89,59 @@ impl Document {
         self.root
     }
 
-    /// The number of nodes in the document (elements, attributes and text).
+    /// The number of attached nodes in the document (elements, attributes
+    /// and text).  Nodes detached by [`Document::remove_subtree`] are not
+    /// counted.
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.live
     }
 
     /// True if the document contains only the root element.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.nodes.len() <= 1
+        self.live <= 1
+    }
+
+    /// The arena size: one more than the largest raw [`NodeId::index`]
+    /// ever handed out, *including* detached nodes.  Side tables indexed by
+    /// raw node index must be sized by this, not [`Document::len`].
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The mutation counter: starts at 0 and increases by one for every
+    /// mutation ([`Document::add_element`] and friends,
+    /// [`Document::remove_subtree`], [`Document::set_text`], one per
+    /// [`Document::apply`]).  Prepared structures record the epoch they
+    /// were built at and refuse (in debug builds) to serve a document that
+    /// has moved on.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True if `id` addresses an attached node of this document: in range
+    /// and reachable from the root (not detached by an earlier
+    /// [`Document::remove_subtree`]).
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len() && self.is_attached(id)
+    }
+
+    /// Walks the parent chain to decide whether `id` is still reachable
+    /// from the root.  O(depth).
+    fn is_attached(&self, id: NodeId) -> bool {
+        let mut cur = id;
+        loop {
+            if cur == self.root {
+                return true;
+            }
+            match self.data(cur).parent {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
     }
 
     fn data(&self, id: NodeId) -> &NodeData {
@@ -311,6 +375,7 @@ impl Document {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("document too large"));
         self.nodes.push(data);
         self.last = id;
+        self.live += 1;
         id
     }
 
@@ -318,6 +383,7 @@ impl Document {
     pub fn add_element(&mut self, parent: NodeId, label: impl Into<String>) -> NodeId {
         let id = self.push_node(NodeData::element(label, Some(parent)));
         self.data_mut(parent).children.push(id);
+        self.epoch += 1;
         id
     }
 
@@ -330,6 +396,7 @@ impl Document {
     ) -> NodeId {
         let id = self.push_node(NodeData::attribute(name, value, parent));
         self.data_mut(parent).children.push(id);
+        self.epoch += 1;
         id
     }
 
@@ -337,7 +404,189 @@ impl Document {
     pub fn add_text(&mut self, parent: NodeId, value: impl Into<String>) -> NodeId {
         let id = self.push_node(NodeData::text(value, parent));
         self.data_mut(parent).children.push(id);
+        self.epoch += 1;
         id
+    }
+
+    /// Detaches the subtree rooted at `node` from its parent and returns
+    /// the number of nodes detached.  The arena slots are kept as
+    /// tombstones ([`NodeId`]s of the detached nodes become invalid for
+    /// navigation — a logic error, never UB); `NodeId` order of the
+    /// surviving nodes is a subsequence of the old order, so
+    /// [`Document::ids_in_document_order`] is unaffected.
+    ///
+    /// Panics when `node` is the root or already detached; the checked
+    /// equivalent is [`Document::apply`] with [`Delta::RemoveSubtree`].
+    pub fn remove_subtree(&mut self, node: NodeId) -> usize {
+        assert!(node != self.root, "cannot remove the document root");
+        assert!(
+            self.contains(node),
+            "cannot remove unknown or detached node {node}"
+        );
+        let parent = self
+            .data(node)
+            .parent
+            .expect("non-root attached node has a parent");
+        let children = &mut self.data_mut(parent).children;
+        let slot = children
+            .iter()
+            .position(|&c| c == node)
+            .expect("parent/child links are consistent");
+        children.remove(slot);
+        self.data_mut(node).parent = None;
+        let removed = self.descendants_or_self(node).len();
+        self.live -= removed;
+        self.epoch += 1;
+        removed
+    }
+
+    /// Replaces the text carried by attribute or text node `node`.
+    ///
+    /// Panics when `node` is an element, unknown or detached; the checked
+    /// equivalent is [`Document::apply`] with [`Delta::SetText`].
+    pub fn set_text(&mut self, node: NodeId, text: impl Into<String>) {
+        assert!(
+            self.contains(node),
+            "cannot set text on unknown or detached node {node}"
+        );
+        assert!(
+            !self.kind(node).is_element(),
+            "cannot set text on element node {node}"
+        );
+        self.data_mut(node).text = text.into();
+        self.epoch += 1;
+    }
+
+    /// Applies one [`Delta`] to the document, validating it first, and
+    /// returns the [`AppliedDelta`] receipt the incremental maintenance
+    /// layers consume.  On error the document is unchanged.  Exactly one
+    /// epoch tick per successful call, regardless of subtree size.
+    pub fn apply(&mut self, delta: &Delta) -> Result<AppliedDelta, DeltaError> {
+        match delta {
+            Delta::RemoveSubtree { node } => {
+                let node = *node;
+                if node == self.root {
+                    return Err(DeltaError::RemoveRoot);
+                }
+                if !self.contains(node) {
+                    return Err(DeltaError::UnknownNode(node));
+                }
+                let parent = self.data(node).parent.expect("checked non-root");
+                let nodes = self.remove_subtree(node);
+                Ok(AppliedDelta::Remove {
+                    parent,
+                    root: node,
+                    nodes,
+                })
+            }
+            Delta::SetText { node, text } => {
+                let node = *node;
+                if !self.contains(node) {
+                    return Err(DeltaError::UnknownNode(node));
+                }
+                if self.kind(node).is_element() {
+                    return Err(DeltaError::SetTextOnElement(node));
+                }
+                self.set_text(node, text.clone());
+                Ok(AppliedDelta::SetText { node })
+            }
+            Delta::InsertSubtree {
+                parent,
+                position,
+                fragment,
+            } => {
+                let parent = *parent;
+                let position = *position;
+                if !self.contains(parent) {
+                    return Err(DeltaError::UnknownNode(parent));
+                }
+                if !self.kind(parent).is_element() {
+                    return Err(DeltaError::InsertUnderNonElement(parent));
+                }
+                let children = self.data(parent).children.len();
+                if position > children {
+                    return Err(DeltaError::PositionOutOfRange {
+                        parent,
+                        position,
+                        children,
+                    });
+                }
+                let (root, nodes) = self.graft(parent, position, fragment);
+                self.epoch += 1;
+                Ok(AppliedDelta::Insert {
+                    parent,
+                    position,
+                    root,
+                    nodes,
+                })
+            }
+        }
+    }
+
+    /// Copies `fragment` into the arena as the `position`-th child of
+    /// `parent` (validated by the caller).  Returns the new subtree root
+    /// and node count.  Does not tick the epoch.
+    fn graft(&mut self, parent: NodeId, position: usize, fragment: &Fragment) -> (NodeId, usize) {
+        let appended = position == self.data(parent).children.len();
+        let root = match fragment {
+            Fragment::Attribute { name, value } => {
+                let id = self.push_node(NodeData::attribute(name.clone(), value.clone(), parent));
+                self.data_mut(parent).children.push(id);
+                id
+            }
+            Fragment::Text(text) => {
+                let id = self.push_node(NodeData::text(text.clone(), parent));
+                self.data_mut(parent).children.push(id);
+                id
+            }
+            Fragment::Element(frag) => {
+                // Copy the fragment in document order so the new subtree is
+                // internally DFS-ordered; remap fragment ids to fresh ids.
+                let mut map = vec![u32::MAX; frag.arena_len()];
+                let mut root = self.root; // overwritten on the first node
+                for n in frag.all_nodes() {
+                    let id = if n == frag.root() {
+                        let id = self.push_node(NodeData {
+                            kind: frag.kind(n),
+                            label: frag.data(n).label.clone(),
+                            text: frag.data(n).text.clone(),
+                            parent: Some(parent),
+                            children: Vec::new(),
+                        });
+                        self.data_mut(parent).children.push(id);
+                        root = id;
+                        id
+                    } else {
+                        let new_parent =
+                            NodeId(map[frag.data(n).parent.expect("non-root").index()]);
+                        let id = self.push_node(NodeData {
+                            kind: frag.kind(n),
+                            label: frag.data(n).label.clone(),
+                            text: frag.data(n).text.clone(),
+                            parent: Some(new_parent),
+                            children: Vec::new(),
+                        });
+                        self.data_mut(new_parent).children.push(id);
+                        id
+                    };
+                    map[n.index()] = id.0;
+                }
+                root
+            }
+        };
+        let count = match fragment {
+            Fragment::Element(frag) => frag.len(),
+            _ => 1,
+        };
+        if !appended {
+            // Move the root from the appended slot to the requested one;
+            // ids now interleave with document order.
+            let children = &mut self.data_mut(parent).children;
+            let id = children.pop().expect("just pushed");
+            children.insert(position, id);
+            self.id_order = false;
+        }
+        (root, count)
     }
 
     // ------------------------------------------------------------------
@@ -520,5 +769,216 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert_eq!(d.height(), 0);
         assert_eq!(d.value(d.root()), "()");
+    }
+
+    #[test]
+    fn remove_subtree_detaches_and_counts() {
+        let mut d = tiny();
+        let before = d.len();
+        let book = d.element_children(d.root()).next().unwrap();
+        let title = d.children_labelled(book, "title").next().unwrap();
+        let removed = d.remove_subtree(title);
+        assert_eq!(removed, 2); // title + its text node
+        assert_eq!(d.len(), before - 2);
+        assert_eq!(d.arena_len(), before, "arena keeps tombstone slots");
+        assert!(!d.contains(title));
+        assert!(d.contains(book));
+        assert!(d.children_labelled(book, "title").next().is_none());
+        assert_eq!(d.all_nodes().len(), d.len());
+    }
+
+    #[test]
+    fn remove_subtree_handles_attributes() {
+        let mut d = tiny();
+        let book = d.element_children(d.root()).next().unwrap();
+        let isbn = d.attribute_node(book, "isbn").unwrap();
+        assert_eq!(d.remove_subtree(isbn), 1);
+        assert_eq!(d.attribute(book, "isbn"), None);
+        assert_eq!(d.value(book), "(title:(S:XML))");
+    }
+
+    #[test]
+    fn set_text_rewrites_attributes_and_text() {
+        let mut d = tiny();
+        let book = d.element_children(d.root()).next().unwrap();
+        let isbn = d.attribute_node(book, "isbn").unwrap();
+        d.set_text(isbn, "999");
+        assert_eq!(d.attribute(book, "isbn"), Some("999"));
+        let title = d.children_labelled(book, "title").next().unwrap();
+        let text = d.children(title).next().unwrap();
+        d.set_text(text, "Relational");
+        assert_eq!(d.string_value(book), "Relational");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the document root")]
+    fn remove_root_panics() {
+        let mut d = tiny();
+        d.remove_subtree(d.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "element node")]
+    fn set_text_on_element_panics() {
+        let mut d = tiny();
+        let book = d.element_children(d.root()).next().unwrap();
+        d.set_text(book, "nope");
+    }
+
+    #[test]
+    fn epoch_ticks_once_per_mutation() {
+        let mut d = Document::new("r");
+        let e0 = d.epoch();
+        let a = d.add_element(d.root(), "a");
+        assert_eq!(d.epoch(), e0 + 1);
+        d.add_attribute(a, "x", "1");
+        d.add_text(a, "t");
+        assert_eq!(d.epoch(), e0 + 3);
+        let clone = d.clone();
+        assert_eq!(clone.epoch(), d.epoch());
+        d.remove_subtree(a);
+        assert_eq!(d.epoch(), e0 + 4);
+        let applied = d
+            .apply(&crate::Delta::InsertSubtree {
+                parent: d.root(),
+                position: 0,
+                fragment: crate::Fragment::Element(tiny()),
+            })
+            .unwrap();
+        assert_eq!(d.epoch(), e0 + 5, "apply ticks once, not once per node");
+        assert_eq!(applied.nodes_added(), tiny().len() as isize);
+    }
+
+    #[test]
+    fn apply_validates_before_mutating() {
+        use crate::{Delta, DeltaError, Fragment};
+        let mut d = tiny();
+        let book = d.element_children(d.root()).next().unwrap();
+        let isbn = d.attribute_node(book, "isbn").unwrap();
+        let epoch = d.epoch();
+        let bytes = crate::to_xml(&d);
+        let bogus = NodeId::from_index(9999);
+        let cases: Vec<(Delta, DeltaError)> = vec![
+            (
+                Delta::RemoveSubtree { node: d.root() },
+                DeltaError::RemoveRoot,
+            ),
+            (
+                Delta::RemoveSubtree { node: bogus },
+                DeltaError::UnknownNode(bogus),
+            ),
+            (
+                Delta::SetText {
+                    node: book,
+                    text: "x".into(),
+                },
+                DeltaError::SetTextOnElement(book),
+            ),
+            (
+                Delta::InsertSubtree {
+                    parent: isbn,
+                    position: 0,
+                    fragment: Fragment::Text("x".into()),
+                },
+                DeltaError::InsertUnderNonElement(isbn),
+            ),
+            (
+                Delta::InsertSubtree {
+                    parent: book,
+                    position: 99,
+                    fragment: Fragment::Text("x".into()),
+                },
+                DeltaError::PositionOutOfRange {
+                    parent: book,
+                    position: 99,
+                    children: 2,
+                },
+            ),
+        ];
+        for (delta, want) in cases {
+            assert_eq!(d.apply(&delta).unwrap_err(), want);
+        }
+        assert_eq!(d.epoch(), epoch, "failed applies leave the epoch alone");
+        assert_eq!(
+            crate::to_xml(&d),
+            bytes,
+            "failed applies leave the tree alone"
+        );
+        // A node detached earlier is rejected like an unknown one.
+        let mut d2 = d.clone();
+        let title = d2.children_labelled(book, "title").next().unwrap();
+        d2.remove_subtree(title);
+        assert_eq!(
+            d2.apply(&Delta::SetText {
+                node: title,
+                text: "x".into()
+            })
+            .unwrap_err(),
+            DeltaError::UnknownNode(title),
+        );
+    }
+
+    #[test]
+    fn positional_insert_lands_where_asked() {
+        use crate::{Delta, Fragment};
+        let mut d = Document::new("db");
+        let a = d.add_element(d.root(), "a");
+        d.add_element(d.root(), "c");
+        assert!(d.ids_in_document_order());
+        let applied = d
+            .apply(&Delta::InsertSubtree {
+                parent: d.root(),
+                position: 1,
+                fragment: Fragment::Element(Document::new("b")),
+            })
+            .unwrap();
+        let crate::AppliedDelta::Insert { root, nodes, .. } = applied else {
+            panic!("expected Insert receipt");
+        };
+        assert_eq!(nodes, 1);
+        let labels: Vec<&str> = d.children(d.root()).map(|c| d.label(c)).collect();
+        assert_eq!(labels, ["a", "b", "c"]);
+        assert_eq!(d.parent(root), Some(d.root()));
+        assert!(
+            !d.ids_in_document_order(),
+            "a positional insert interleaves NodeId and document order"
+        );
+        // Removal of a subtree keeps the flag truthful: surviving ids are a
+        // subsequence of the old order.
+        let mut d2 = Document::new("db");
+        let a2 = d2.add_element(d2.root(), "a");
+        d2.add_text(a2, "t");
+        d2.add_element(d2.root(), "c");
+        assert!(d2.ids_in_document_order());
+        d2.remove_subtree(a2);
+        assert!(d2.ids_in_document_order());
+        let _ = a; // ids stay comparable but unused hereafter
+    }
+
+    #[test]
+    fn apply_round_trips_through_serialization() {
+        use crate::{Delta, Fragment};
+        let mut d = tiny();
+        let book = d.element_children(d.root()).next().unwrap();
+        let isbn = d.attribute_node(book, "isbn").unwrap();
+        d.apply(&Delta::SetText {
+            node: isbn,
+            text: "X&<\"'>".into(),
+        })
+        .unwrap();
+        d.apply(&Delta::InsertSubtree {
+            parent: book,
+            position: 2,
+            fragment: Fragment::Element(
+                Document::parse_str("<chapter number=\"1\"><name>Intro</name></chapter>").unwrap(),
+            ),
+        })
+        .unwrap();
+        let title = d.children_labelled(book, "title").next().unwrap();
+        d.apply(&Delta::RemoveSubtree { node: title }).unwrap();
+        let xml = crate::to_xml(&d);
+        let reparsed = Document::parse_str(&xml).unwrap();
+        assert_eq!(crate::to_xml(&reparsed), xml, "serialize→parse round-trip");
+        assert_eq!(reparsed.len(), d.len());
     }
 }

@@ -26,6 +26,7 @@
 //! the index was built from (node counts are asserted where cheap; handing
 //! an index a different document is a logic error).
 
+use crate::delta::AppliedDelta;
 use crate::labels::{LabelId, LabelUniverse};
 use crate::node::NodeKind;
 use crate::{Document, NodeId};
@@ -51,8 +52,13 @@ pub struct DocIndex {
     value_at: Vec<u32>,
     /// Label id → DFS positions of nodes carrying it, ascending.
     postings: Vec<Vec<u32>>,
-    /// Number of distinct text values interned.
-    distinct_values: u32,
+    /// Text value → id.  Owned (not borrow-only) so that
+    /// [`DocIndex::apply_delta`] can intern values of edited/inserted
+    /// nodes consistently; ids are append-only and never recycled, so a
+    /// value that disappears from the document keeps its id.
+    values: HashMap<String, u32>,
+    /// [`Document::epoch`] the index is current for.
+    epoch: u64,
 }
 
 impl DocIndex {
@@ -64,16 +70,14 @@ impl DocIndex {
     /// so the relative order of preparation does not matter.
     pub fn build(doc: &Document, universe: &mut LabelUniverse) -> Self {
         let n = doc.len();
-        let mut dfs_of = vec![0u32; n];
+        let mut dfs_of = vec![0u32; doc.arena_len()];
         let mut node_of = Vec::with_capacity(n);
         let mut end_at = vec![0u32; n];
         let mut label_at = Vec::with_capacity(n);
         let mut kind_at = Vec::with_capacity(n);
         let mut value_at = Vec::with_capacity(n);
         let mut postings: Vec<Vec<u32>> = vec![Vec::new(); universe.len()];
-        // Text values are interned through a borrow-only map: the index
-        // stores ids, never copies of the strings.
-        let mut values: HashMap<&str, u32> = HashMap::new();
+        let mut values: HashMap<String, u32> = HashMap::new();
 
         enum Frame {
             Enter(NodeId),
@@ -94,10 +98,14 @@ impl DocIndex {
                     label_at.push(label);
                     kind_at.push(doc.kind(node));
                     value_at.push(match doc.text_value(node) {
-                        Some(text) => {
-                            let fresh = values.len() as u32;
-                            *values.entry(text).or_insert(fresh)
-                        }
+                        Some(text) => match values.get(text) {
+                            Some(&id) => id,
+                            None => {
+                                let id = values.len() as u32;
+                                values.insert(text.to_string(), id);
+                                id
+                            }
+                        },
                         None => NO_VALUE,
                     });
                     stack.push(Frame::Exit(pos));
@@ -121,7 +129,8 @@ impl DocIndex {
             kind_at,
             value_at,
             postings,
-            distinct_values: values.len() as u32,
+            values,
+            epoch: doc.epoch(),
         }
     }
 
@@ -180,9 +189,44 @@ impl DocIndex {
         (v != NO_VALUE).then_some(v)
     }
 
-    /// The number of distinct text values in the document.
+    /// The number of distinct text values interned over the index's
+    /// lifetime.  Equals the number of distinct values in the document for
+    /// a freshly built index; after [`DocIndex::apply_delta`] removals it
+    /// is an upper bound (ids of vanished values are retained, never
+    /// recycled).
     pub fn distinct_values(&self) -> usize {
-        self.distinct_values as usize
+        self.values.len()
+    }
+
+    /// The [`Document::epoch`] this index is current for: the epoch at
+    /// [`DocIndex::build`] time, advanced by every
+    /// [`DocIndex::apply_delta`].
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True if the index is current for `doc` — built from it (or patched
+    /// up to date with [`DocIndex::apply_delta`]) and `doc` has not been
+    /// mutated since.
+    #[inline]
+    pub fn is_current_for(&self, doc: &Document) -> bool {
+        self.epoch == doc.epoch()
+    }
+
+    /// Debug-asserts [`DocIndex::is_current_for`]: evaluation entry points
+    /// call this so that using a stale index (document mutated after
+    /// indexing) fails fast in debug builds instead of silently answering
+    /// from outdated structure.
+    #[inline]
+    pub fn debug_assert_current(&self, doc: &Document) {
+        debug_assert!(
+            self.is_current_for(doc),
+            "stale DocIndex: built at document epoch {} but the document is at epoch {} — \
+             rebuild the index or patch it with apply_delta",
+            self.epoch,
+            doc.epoch(),
+        );
     }
 
     /// The children of the node at `pos`, as DFS positions in document
@@ -211,6 +255,213 @@ impl DocIndex {
     /// [`Document::descendants_or_self`] of the root yields).
     pub fn nodes_in_document_order(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.node_of.iter().map(|&n| NodeId::from_index(n as usize))
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental maintenance
+    // ------------------------------------------------------------------
+
+    /// Patches the index in place for one applied delta instead of
+    /// rebuilding it: only the affected subtree range is renumbered, and
+    /// subtree ranges, label postings and text-value ids are shifted by
+    /// offset arithmetic.
+    ///
+    /// `doc` must be the document the delta was applied to, `applied` the
+    /// receipt [`Document::apply`] returned, and `universe` the label
+    /// universe the index was built against (inserted subtrees may intern
+    /// new labels into it).  The index must be current up to *exactly*
+    /// this delta — current for the document as it was just before the
+    /// edit (debug-asserted through the epoch counter).
+    ///
+    /// Cost: `O(1)` for a text edit; for structural edits
+    /// `O(subtree + suffix + depth)` where *suffix* is the number of index
+    /// positions after the edit point — pure integer shifting, no label or
+    /// value re-interning outside the touched subtree.
+    pub fn apply_delta(
+        &mut self,
+        doc: &Document,
+        applied: &AppliedDelta,
+        universe: &mut LabelUniverse,
+    ) {
+        debug_assert_eq!(
+            self.epoch + 1,
+            doc.epoch(),
+            "apply_delta needs an index current up to exactly the applied delta",
+        );
+        match *applied {
+            AppliedDelta::SetText { node } => {
+                let pos = self.dfs_of[node.index()] as usize;
+                let text = doc
+                    .text_value(node)
+                    .expect("SetText targets carry a text value");
+                self.value_at[pos] = self.intern_value(text);
+            }
+            AppliedDelta::Remove { parent, root, .. } => self.remove_range(doc, parent, root),
+            AppliedDelta::Insert {
+                parent,
+                position,
+                root,
+                ..
+            } => self.insert_range(doc, parent, position, root, universe),
+        }
+        self.epoch = doc.epoch();
+    }
+
+    /// Looks up or appends the id of a text value (the incremental
+    /// counterpart of the build-time interner).
+    fn intern_value(&mut self, text: &str) -> u32 {
+        match self.values.get(text) {
+            Some(&id) => id,
+            None => {
+                let id = self.values.len() as u32;
+                self.values.insert(text.to_string(), id);
+                id
+            }
+        }
+    }
+
+    /// Excises the (detached) subtree rooted at `root` from the numbering:
+    /// positions after it shift down, ancestor subtree ranges shrink.
+    fn remove_range(&mut self, doc: &Document, parent: NodeId, root: NodeId) {
+        let p = self.dfs_of[root.index()] as usize;
+        let e = self.end_at[p] as usize;
+        let k = (e - p) as u32;
+        // Ancestor ranges shrink; their positions (< p) don't move.
+        let mut anc = Some(parent);
+        while let Some(a) = anc {
+            self.end_at[self.dfs_of[a.index()] as usize] -= k;
+            anc = doc.parent(a);
+        }
+        // Postings: drop positions inside [p, e), shift the rest down.
+        // Lists entirely before the edit are skipped by the binary search.
+        let (pu, eu) = (p as u32, e as u32);
+        for list in &mut self.postings {
+            let lo = list.partition_point(|&x| x < pu);
+            if lo == list.len() {
+                continue;
+            }
+            let mut w = lo;
+            for r in lo..list.len() {
+                let x = list[r];
+                if x < eu {
+                    continue;
+                }
+                list[w] = x - k;
+                w += 1;
+            }
+            list.truncate(w);
+        }
+        // Excise the columnar range and renumber the suffix.
+        self.node_of.drain(p..e);
+        self.label_at.drain(p..e);
+        self.kind_at.drain(p..e);
+        self.value_at.drain(p..e);
+        self.end_at.drain(p..e);
+        for end in &mut self.end_at[p..] {
+            *end -= k;
+        }
+        for i in p..self.node_of.len() {
+            self.dfs_of[self.node_of[i] as usize] = i as u32;
+        }
+    }
+
+    /// Splices the freshly grafted subtree rooted at `root` (the
+    /// `position`-th child of `parent`) into the numbering: positions
+    /// after it shift up, ancestor subtree ranges grow, and the new
+    /// nodes' labels/values are interned.
+    fn insert_range(
+        &mut self,
+        doc: &Document,
+        parent: NodeId,
+        position: usize,
+        root: NodeId,
+        universe: &mut LabelUniverse,
+    ) {
+        // Where the subtree starts: right after the parent when it is the
+        // first child, otherwise after the preceding sibling's subtree.
+        let at = if position == 0 {
+            self.dfs_of[parent.index()] + 1
+        } else {
+            let prev = doc
+                .children(parent)
+                .nth(position - 1)
+                .expect("insert position was validated");
+            self.end_at[self.dfs_of[prev.index()] as usize]
+        } as usize;
+
+        // Index the new subtree in one DFS pass, with positions relative
+        // to `at`.
+        let mut new_node_of = Vec::new();
+        let mut new_label_at = Vec::new();
+        let mut new_kind_at = Vec::new();
+        let mut new_value_at = Vec::new();
+        let mut new_end_at = Vec::new();
+        let mut by_label: HashMap<LabelId, Vec<u32>> = HashMap::new();
+        enum Frame {
+            Enter(NodeId),
+            Exit(usize),
+        }
+        let mut stack = vec![Frame::Enter(root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(node) => {
+                    let rel = new_node_of.len();
+                    new_node_of.push(node.index() as u32);
+                    let label = universe.intern(doc.label(node));
+                    by_label.entry(label).or_default().push((at + rel) as u32);
+                    new_label_at.push(label);
+                    new_kind_at.push(doc.kind(node));
+                    new_value_at.push(match doc.text_value(node) {
+                        Some(text) => self.intern_value(text),
+                        None => NO_VALUE,
+                    });
+                    new_end_at.push(0u32);
+                    stack.push(Frame::Exit(rel));
+                    for &c in doc.child_slice(node).iter().rev() {
+                        stack.push(Frame::Enter(c));
+                    }
+                }
+                Frame::Exit(rel) => new_end_at[rel] = (at + new_node_of.len()) as u32,
+            }
+        }
+        let k = new_node_of.len() as u32;
+
+        // Ancestor ranges grow; their positions (< at) don't move.
+        let mut anc = Some(parent);
+        while let Some(a) = anc {
+            self.end_at[self.dfs_of[a.index()] as usize] += k;
+            anc = doc.parent(a);
+        }
+        // Postings: shift positions at or after the splice point up, then
+        // merge in the new subtree's positions (contiguous in [at, at+k)).
+        let atu = at as u32;
+        for list in &mut self.postings {
+            let lo = list.partition_point(|&x| x < atu);
+            for x in &mut list[lo..] {
+                *x += k;
+            }
+        }
+        self.postings.resize(universe.len(), Vec::new());
+        for (label, positions) in by_label {
+            let list = &mut self.postings[label.index()];
+            let lo = list.partition_point(|&x| x < atu);
+            list.splice(lo..lo, positions);
+        }
+        // Splice the columnar range and renumber from the splice point on.
+        self.node_of.splice(at..at, new_node_of);
+        self.label_at.splice(at..at, new_label_at);
+        self.kind_at.splice(at..at, new_kind_at);
+        self.value_at.splice(at..at, new_value_at);
+        self.end_at.splice(at..at, new_end_at);
+        for end in &mut self.end_at[at + k as usize..] {
+            *end += k;
+        }
+        if self.dfs_of.len() < doc.arena_len() {
+            self.dfs_of.resize(doc.arena_len(), 0);
+        }
+        for i in at..self.node_of.len() {
+            self.dfs_of[self.node_of[i] as usize] = i as u32;
+        }
     }
 }
 
@@ -360,6 +611,143 @@ mod tests {
         for node in doc.all_nodes() {
             assert_eq!(index.kind_at(index.position(node)), doc.kind(node));
         }
+    }
+
+    /// Asserts that a patched index answers every observable question the
+    /// way a fresh build over the same (already extended) universe does.
+    /// Text-value ids are compared as equivalence classes: the patched
+    /// index may retain ids for values no longer present, but two live
+    /// nodes must share an id iff a fresh build gives them a shared id.
+    fn assert_matches_fresh(doc: &Document, index: &DocIndex, universe: &LabelUniverse) {
+        index.debug_assert_current(doc);
+        let mut u = universe.clone();
+        let fresh = DocIndex::build(doc, &mut u);
+        assert_eq!(index.len(), fresh.len());
+        assert_eq!(index.len(), doc.len());
+        let order: Vec<NodeId> = index.nodes_in_document_order().collect();
+        let fresh_order: Vec<NodeId> = fresh.nodes_in_document_order().collect();
+        assert_eq!(order, fresh_order, "document-order numbering");
+        let mut incr_to_fresh: std::collections::HashMap<u32, u32> = Default::default();
+        let mut fresh_to_incr: std::collections::HashMap<u32, u32> = Default::default();
+        for (pos, &node) in order.iter().enumerate() {
+            let pos = pos as u32;
+            assert_eq!(index.position(node), pos);
+            assert_eq!(index.node_at(pos), node);
+            assert_eq!(
+                index.subtree_end(pos),
+                fresh.subtree_end(pos),
+                "end at {pos}"
+            );
+            assert_eq!(index.label_at(pos), fresh.label_at(pos), "label at {pos}");
+            assert_eq!(index.kind_at(pos), fresh.kind_at(pos), "kind at {pos}");
+            let children: Vec<u32> = index.children_at(pos).collect();
+            let fresh_children: Vec<u32> = fresh.children_at(pos).collect();
+            assert_eq!(children, fresh_children, "children at {pos}");
+            match (index.value_id_at(pos), fresh.value_id_at(pos)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(
+                        *incr_to_fresh.entry(a).or_insert(b),
+                        b,
+                        "value-id classes diverge at {pos}"
+                    );
+                    assert_eq!(
+                        *fresh_to_incr.entry(b).or_insert(a),
+                        a,
+                        "value-id classes diverge at {pos}"
+                    );
+                }
+                (a, b) => panic!("value presence diverges at {pos}: {a:?} vs {b:?}"),
+            }
+        }
+        for id in 0..u.len() {
+            let label = LabelId(id as u32);
+            assert_eq!(
+                index.postings(label),
+                fresh.postings(label),
+                "postings for {}",
+                u.name(label)
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_fresh_build_over_a_script() {
+        use crate::{Delta, Fragment};
+        let mut doc = crate::sample::fig1();
+        let mut u = LabelUniverse::new();
+        let mut index = DocIndex::build(&doc, &mut u);
+        let books: Vec<NodeId> = doc
+            .all_nodes()
+            .into_iter()
+            .filter(|&n| doc.label(n) == "book")
+            .collect();
+        let isbn = doc.attribute_node(books[0], "isbn").unwrap();
+        let chapter = doc.children_labelled(books[1], "chapter").next().unwrap();
+        let script: Vec<Delta> = vec![
+            Delta::SetText {
+                node: isbn,
+                text: "777".into(),
+            },
+            // New label + new value, positional insert in the middle.
+            Delta::InsertSubtree {
+                parent: books[0],
+                position: 1,
+                fragment: Fragment::Element(
+                    Document::parse_str("<appendix number=\"A\"><name>Maps</name></appendix>")
+                        .unwrap(),
+                ),
+            },
+            Delta::RemoveSubtree { node: chapter },
+            Delta::InsertSubtree {
+                parent: books[1],
+                position: 0,
+                fragment: Fragment::Attribute {
+                    name: "lang".into(),
+                    value: "en".into(),
+                },
+            },
+            Delta::SetText {
+                node: isbn,
+                text: "123".into(), // back to a previously interned value
+            },
+            Delta::InsertSubtree {
+                parent: books[1],
+                position: 2,
+                fragment: Fragment::Text("trailing".into()),
+            },
+        ];
+        for delta in &script {
+            let applied = doc.apply(delta).unwrap();
+            index.apply_delta(&doc, &applied, &mut u);
+            assert_matches_fresh(&doc, &index, &u);
+        }
+    }
+
+    #[test]
+    fn apply_delta_removal_at_document_tail() {
+        use crate::Delta;
+        // Removing the last subtree exercises the empty-suffix path.
+        let mut doc = tiny();
+        let mut u = LabelUniverse::new();
+        let mut index = DocIndex::build(&doc, &mut u);
+        let last_book = doc.element_children(doc.root()).nth(1).unwrap();
+        let applied = doc
+            .apply(&Delta::RemoveSubtree { node: last_book })
+            .unwrap();
+        index.apply_delta(&doc, &applied, &mut u);
+        assert_matches_fresh(&doc, &index, &u);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale DocIndex")]
+    #[cfg(debug_assertions)]
+    fn stale_index_is_debug_asserted() {
+        let mut doc = tiny();
+        let mut u = LabelUniverse::new();
+        let index = DocIndex::build(&doc, &mut u);
+        doc.add_element(doc.root(), "late");
+        index.debug_assert_current(&doc);
     }
 
     #[test]

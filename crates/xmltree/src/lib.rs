@@ -33,6 +33,10 @@
 //!   [`LabelId`] resolution) off the same tokenizer the DOM parser uses,
 //!   retaining only `O(depth)` state — the DOM [`parse`] is itself a driver
 //!   over this stream, so both paths share one error table;
+//! * the **delta interface** ([`Delta`] / [`Document::apply`] /
+//!   [`AppliedDelta`]): first-class subtree insert/remove and text edits,
+//!   with [`DocIndex::apply_delta`] patching a prepared index in place
+//!   (renumbering only the affected range) instead of rebuilding it;
 //! * the running example of the paper (Fig. 1) as [`sample::fig1`].
 //!
 //! # Example
@@ -56,6 +60,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod delta;
 mod document;
 mod error;
 mod index;
@@ -67,6 +72,7 @@ mod serialize;
 mod stream;
 
 pub use builder::ElementBuilder;
+pub use delta::{AppliedDelta, Delta, DeltaError, Fragment};
 pub use document::Document;
 pub use error::ParseError;
 pub use index::{ChildPositions, DocIndex};

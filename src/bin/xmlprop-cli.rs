@@ -6,6 +6,7 @@
 //! xmlprop-cli cover     <keys.txt> <rules.txt> <relation>
 //! xmlprop-cli refine    <keys.txt> <rules.txt> <relation>
 //! xmlprop-cli shred     [--jobs N] <document.xml | corpus-dir> <rules.txt> [relation]
+//! xmlprop-cli mutate    <document.xml> <keys.txt> <rules.txt> <script.edits>
 //! xmlprop-cli serve     [--addr HOST:PORT] [--jobs N] [--script FILE] <keys.txt> <rules.txt>
 //! xmlprop-cli import-xsd <schema.xsd>
 //! ```
@@ -21,6 +22,14 @@
 //! `--jobs` worker threads.  A file that fails to parse is reported by name
 //! and the batch continues; the exit code then signals failure without
 //! aborting the remaining files.
+//!
+//! `mutate` opens a document for **incremental revalidation**: it applies
+//! an edit script (one `settext`/`remove`/`insert` per line, nodes named
+//! by their `n<id>` as printed in violation reports) and after each edit
+//! patches the prepared index, the key-validation state and the shredded
+//! database in place — reporting per edit the node count, the violation
+//! count and the tuple-level insert/delete effect per relation, instead of
+//! re-running the whole pipeline per edit.
 //!
 //! `serve` keeps the prepared bundle **resident** behind the `xmlprop/1`
 //! line protocol (see the `xmlprop-server` crate docs): clients validate,
@@ -57,6 +66,7 @@ fn main() -> ExitCode {
         Some("cover") => cmd_cover(&args[1..]),
         Some("refine") => cmd_refine(&args[1..]),
         Some("shred") => cmd_shred(&args[1..]),
+        Some("mutate") => cmd_mutate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("import-xsd") => cmd_import_xsd(&args[1..]),
         Some("help") | None => {
@@ -86,11 +96,15 @@ fn print_usage() {
            xmlprop-cli cover      <keys.txt> <rules.txt> <relation>\n  \
            xmlprop-cli refine     <keys.txt> <rules.txt> <relation>\n  \
            xmlprop-cli shred      [--jobs N] <document.xml | dir> <rules.txt> [relation]\n  \
+           xmlprop-cli mutate     <document.xml> <keys.txt> <rules.txt> <script.edits>\n  \
            xmlprop-cli serve      [--addr HOST:PORT] [--jobs N] [--script FILE] <keys.txt> <rules.txt>\n  \
            xmlprop-cli import-xsd <schema.xsd>\n\n\
          Passing a directory to `validate` or `shred` processes every *.xml\n\
          file in it (sorted by name) through the parallel corpus pipeline\n\
          over N worker threads (default 1).\n\n\
+         `mutate` applies an edit script (settext/remove/insert lines over\n\
+         n<id> node names) to the document, incrementally maintaining the\n\
+         index, the key validation and the shredded relations per edit.\n\n\
          `serve` answers validate/shred/propagate/cover requests over the\n\
          xmlprop/1 line protocol from a resident prepared bundle (default\n\
          address 127.0.0.1:7878, default 8 connection threads); `reload`\n\
@@ -349,6 +363,63 @@ fn cmd_shred(args: &[String]) -> Result<bool, Error> {
     let (_tuples, report) = render::shred_report(&bundle, &doc, &mut scratch, relation)?;
     print!("{report}");
     Ok(true)
+}
+
+/// One line naming an edit the way the script wrote it, for per-edit
+/// reporting.
+fn describe_edit(delta: &xmlprop::xmltree::Delta) -> String {
+    use xmlprop::xmltree::Delta;
+    match delta {
+        Delta::SetText { node, .. } => format!("settext {node}"),
+        Delta::RemoveSubtree { node } => format!("remove {node}"),
+        Delta::InsertSubtree {
+            parent, position, ..
+        } => format!("insert {parent} {position}"),
+    }
+}
+
+fn cmd_mutate(args: &[String]) -> Result<bool, Error> {
+    let [doc_path, keys_path, rules_path, script_path] = args else {
+        return Err(Error::usage(
+            "usage: mutate <document.xml> <keys.txt> <rules.txt> <script.edits>",
+        ));
+    };
+    let bundle = CorpusBundle::prepare(load_keys(keys_path)?, load_transformation(rules_path)?);
+    let doc = Document::parse_str(&read(doc_path)?).map_err(|e| Error::parse(doc_path, e))?;
+    let edits = xmlprop::pipeline::parse_edit_script(&read(script_path)?, script_path)?;
+    let mut state = bundle.open_incremental(doc);
+    println!(
+        "{doc_path}: {} nodes, {} violations",
+        state.document().len(),
+        state.violation_count(),
+    );
+    let total = edits.len();
+    for (line, delta) in &edits {
+        // A semantically invalid edit (unknown node, position out of
+        // range, …) aborts with the script line as its origin; the
+        // document and all maintained state are left as of the previous
+        // edit, exactly like a parse error before any edit ran.
+        let report = bundle
+            .apply_delta(&mut state, delta)
+            .map_err(|e| Error::parse(&format!("{script_path}:{line}"), e))?;
+        let inserted: usize = report.relations.iter().map(|d| d.inserted().len()).sum();
+        let deleted: usize = report.relations.iter().map(|d| d.deleted().len()).sum();
+        println!(
+            "{script_path}:{line}: {} -> {} nodes, {} violations, tuples +{inserted} -{deleted}",
+            describe_edit(delta),
+            report.nodes,
+            report.violations,
+        );
+    }
+    for violation in state.violations() {
+        println!("  {violation}");
+    }
+    println!(
+        "{total} edits applied: {} nodes, {} violations",
+        state.document().len(),
+        state.violation_count(),
+    );
+    Ok(state.satisfies())
 }
 
 fn cmd_serve(args: &[String]) -> Result<bool, Error> {

@@ -334,6 +334,100 @@ fn batch_over_an_empty_directory_is_a_clean_no_op() {
     assert!(stdout(&out).contains("no *.xml documents"));
 }
 
+// ---------------------------------------------------------------------
+// Incremental mutation (`mutate`)
+// ---------------------------------------------------------------------
+
+/// Writes a small predictable document plus keys/rules for mutate tests:
+/// nodes are `n0`=db, `n1`=book, `n2`=@isbn, `n3`=title, `n4`=text.
+fn mutate_fixture(dir: &CorpusDir) -> [String; 3] {
+    dir.write(
+        "m.xml",
+        r#"<db><book isbn="1"><title>A</title></book></db>"#,
+    );
+    dir.write("m.keys", "K1: (\u{3b5}, (//book, {@isbn}))\n");
+    dir.write(
+        "m.rules",
+        "rule book(isbn, title) { xb := xr//book; xi := xb/@isbn; \
+         xt := xb/title; isbn := value(xi); title := value(xt); }\n",
+    );
+    ["m.xml", "m.keys", "m.rules"].map(|n| dir.0.join(n).to_str().unwrap().to_string())
+}
+
+#[test]
+fn mutate_applies_edits_and_reports_incremental_effects() {
+    let dir = CorpusDir::new("mutate-ok");
+    let [doc, keys, rules] = mutate_fixture(&dir);
+    dir.write(
+        "ok.edits",
+        "# grow then violate\n\
+         settext n2 9\n\
+         insert n0 1 <book isbn=\"9\"><title>B</title></book>\n",
+    );
+    let script = dir.0.join("ok.edits");
+    let out = run(&["mutate", &doc, &keys, &rules, script.to_str().unwrap()]);
+    // The final document violates K1, so the verdict exit code is 1.
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("settext n2 -> 5 nodes, 0 violations"),
+        "{text}"
+    );
+    assert!(
+        text.contains("insert n0 1 -> 9 nodes, 1 violations, tuples +1 -0"),
+        "{text}"
+    );
+    assert!(text.contains("share key value (9)"), "{text}");
+    assert!(
+        text.contains("2 edits applied: 9 nodes, 1 violations"),
+        "{text}"
+    );
+}
+
+#[test]
+fn mutate_rejects_bad_node_ids_positions_and_malformed_lines() {
+    let dir = CorpusDir::new("mutate-bad");
+    let [doc, keys, rules] = mutate_fixture(&dir);
+    for (name, script, needle) in [
+        // Semantic errors carry the script line as their origin.
+        ("unknown.edits", "remove n99\n", "unknown or detached node"),
+        ("oob.edits", "insert n0 7 <x/>\n", "out of range"),
+        ("root.edits", "remove n0\n", "document root"),
+        // Parse errors: malformed verb, node id, fragment.
+        ("verb.edits", "frobnicate n1\n", "unknown edit verb"),
+        ("nodeid.edits", "settext book5 x\n", "not a node id"),
+        ("frag.edits", "insert n0 0 <unclosed\n", "fragment"),
+    ] {
+        dir.write(name, script);
+        let path = dir.0.join(name);
+        let out = run(&["mutate", &doc, &keys, &rules, path.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(2), "{name} must exit 2");
+        let err = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(
+            err.contains(&format!("{}:1: ", path.to_str().unwrap())),
+            "{name}: origin missing in {err}"
+        );
+        assert!(err.contains(needle), "{name}: {err}");
+    }
+}
+
+#[test]
+fn mutate_usage_and_missing_script_are_clean_errors() {
+    let out = run(&["mutate", "examples/data/fig1.xml"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: mutate"));
+
+    let out = run(&[
+        "mutate",
+        "examples/data/fig1.xml",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "no/such/script.edits",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
 #[test]
 fn jobs_zero_is_rejected_with_a_clear_error() {
     let dir = CorpusDir::new("jobs-zero");
