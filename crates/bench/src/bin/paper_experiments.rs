@@ -316,7 +316,8 @@ fn run_corpus(quick: bool) -> Vec<Fig7Row> {
 
 fn run_serve(quick: bool) -> Vec<Fig7Row> {
     println!("== Resident server: validate requests/sec vs client threads ==");
-    println!("   (one shared bundle behind the swap cell; every response byte-checked)\n");
+    println!("   (one shared bundle behind the swap cell; every response byte-checked;");
+    println!("    the `faults` grid injects the 10% delay/short-write schedule)\n");
     let points = serve_experiment(quick);
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -325,6 +326,7 @@ fn run_serve(quick: bool) -> Vec<Fig7Row> {
                 p.client_threads.to_string(),
                 p.requests.to_string(),
                 p.documents.to_string(),
+                if p.faults { "10%" } else { "off" }.to_string(),
                 format!("{:.3}", p.elapsed_ms),
                 format!("{:.0}", p.requests_per_sec),
             ]
@@ -333,7 +335,14 @@ fn run_serve(quick: bool) -> Vec<Fig7Row> {
     println!(
         "{}",
         render_table(
-            &["clients", "requests", "docs", "elapsed (ms)", "req/s"],
+            &[
+                "clients",
+                "requests",
+                "docs",
+                "faults",
+                "elapsed (ms)",
+                "req/s"
+            ],
             &rows
         )
     );

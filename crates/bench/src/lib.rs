@@ -1003,7 +1003,15 @@ pub struct ServePoint {
     pub elapsed_ms: f64,
     /// Aggregate throughput, `requests / elapsed`.
     pub requests_per_sec: f64,
+    /// Whether this point was measured under [`FAULTY_SERVE_SPEC`].
+    pub faults: bool,
 }
+
+/// The seeded schedule the faulty serve grid runs under: 10% of server
+/// reads delayed by 1 ms, 10% of server writes fragmented to 16 bytes —
+/// real transport jitter, but no torn connections, so every response
+/// still completes and byte-checks.
+pub const FAULTY_SERVE_SPEC: &str = "conn.read=10%delay:1,conn.write=10%short:16";
 
 /// The `serve` experiment: aggregate request throughput of the resident
 /// server at 1/2/4/8 concurrent client connections (1/2 under `quick`),
@@ -1014,8 +1022,8 @@ pub struct ServePoint {
 /// recorded — the concurrent server must agree with the one-shot path
 /// exactly, whatever interleaving the gate produces.
 pub fn serve_experiment(quick: bool) -> Vec<ServePoint> {
-    use xmlprop_pipeline::{Jobs, PreparedState};
-    use xmlprop_server::{render, Client, Request, Server};
+    use xmlprop_pipeline::{Faults, Jobs, PreparedState};
+    use xmlprop_server::{render, Server, ServiceConfig};
     let (bundle, docs, _report) = corpus_setup(quick);
     let doc_texts: Vec<String> = docs.iter().take(4).map(xmlprop_xmltree::to_xml).collect();
     // The sequential reference: what a one-shot run prints per document.
@@ -1030,25 +1038,75 @@ pub fn serve_experiment(quick: bool) -> Vec<ServePoint> {
             })
             .collect()
     };
+    let grid: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let total_requests = if quick { 24 } else { 240 };
+
     let server = Server::bind(
         "127.0.0.1:0",
         bundle,
         Jobs::new(8).expect("8 is a valid thread count"),
     )
     .expect("loopback bind");
-    let addr = server.local_addr();
-    let grid: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
-    let total_requests = if quick { 24 } else { 240 };
-    let points = grid
-        .iter()
+    let mut points = measure_serve_grid(
+        server.local_addr(),
+        &doc_texts,
+        &expected,
+        grid,
+        total_requests,
+        false,
+    );
+    server.shutdown();
+
+    // The same grid with the transport degraded by [`FAULTY_SERVE_SPEC`].
+    // The stub build cannot carry a schedule (`parse` errors), so the
+    // faulty rows only land when the `faultline` feature is compiled in.
+    match Faults::parse(FAULTY_SERVE_SPEC, 42) {
+        Ok(faults) => {
+            let (bundle, _, _) = corpus_setup(quick);
+            let server = Server::bind_with(
+                "127.0.0.1:0",
+                bundle,
+                Jobs::new(8).expect("8 is a valid thread count"),
+                ServiceConfig::default(),
+                faults,
+            )
+            .expect("loopback bind");
+            points.extend(measure_serve_grid(
+                server.local_addr(),
+                &doc_texts,
+                &expected,
+                grid,
+                total_requests,
+                true,
+            ));
+            server.shutdown();
+        }
+        Err(_) => println!(
+            "   (fault injection not compiled in; skipping the faulty serve grid — \
+             rebuild with --features faultline)"
+        ),
+    }
+    points
+}
+
+/// Runs the serve grid against an already-bound server, byte-checking
+/// every response against the sequential renderer before timing.
+fn measure_serve_grid(
+    addr: std::net::SocketAddr,
+    doc_texts: &[String],
+    expected: &[String],
+    grid: &[usize],
+    total_requests: usize,
+    faults: bool,
+) -> Vec<ServePoint> {
+    use xmlprop_server::{Client, Request};
+    grid.iter()
         .map(|&threads| {
             let per_thread = total_requests / threads;
             let start = Instant::now();
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|t| {
-                        let doc_texts = &doc_texts;
-                        let expected = &expected;
                         scope.spawn(move || {
                             let mut client = Client::connect(addr).expect("loopback connect");
                             for i in 0..per_thread {
@@ -1078,26 +1136,27 @@ pub fn serve_experiment(quick: bool) -> Vec<ServePoint> {
                 documents: doc_texts.len(),
                 elapsed_ms,
                 requests_per_sec: requests as f64 / (elapsed_ms / 1e3),
+                faults,
             }
         })
-        .collect();
-    server.shutdown();
-    points
+        .collect()
 }
 
-/// Consolidates serve points into [`Fig7Row`]s (`serve_requests_per_sec`),
-/// with `n` the **client thread count** and `seconds` the mean seconds per
-/// request (throughput is its reciprocal), keeping the shared
-/// `BENCH_fig7.json` row schema.
+/// Consolidates serve points into [`Fig7Row`]s — `serve_requests_per_sec`
+/// for the clean grid, `serve_requests_per_sec_faulty` for the grid under
+/// [`FAULTY_SERVE_SPEC`] — with `n` the **client thread count** and
+/// `seconds` the mean seconds per request (throughput is its reciprocal),
+/// keeping the shared `BENCH_fig7.json` row schema.
 pub fn serve_rows(points: &[ServePoint]) -> Vec<Fig7Row> {
     points
         .iter()
         .map(|p| {
-            Fig7Row::new(
-                "serve_requests_per_sec",
-                p.client_threads,
-                p.elapsed_ms / p.requests as f64,
-            )
+            let name = if p.faults {
+                "serve_requests_per_sec_faulty"
+            } else {
+                "serve_requests_per_sec"
+            };
+            Fig7Row::new(name, p.client_threads, p.elapsed_ms / p.requests as f64)
         })
         .collect()
 }

@@ -39,17 +39,29 @@ pub enum ErrorKind {
     UnknownRelation,
     /// A malformed or oversized wire request (server protocol framing).
     Protocol,
+    /// A read/write timeout or an expired per-request deadline: the peer
+    /// was too slow, not wrong.
+    Timeout,
+    /// The server shed the request because its connection gate stayed
+    /// saturated past the bounded admission wait.
+    Overloaded,
+    /// An internal failure (an isolated handler panic); the service keeps
+    /// running, the request does not.
+    Internal,
 }
 
 impl ErrorKind {
     /// Every kind, in wire-code order (exercised by the table tests).
-    pub const ALL: [ErrorKind; 6] = [
+    pub const ALL: [ErrorKind; 9] = [
         ErrorKind::Usage,
         ErrorKind::Io,
         ErrorKind::Parse,
         ErrorKind::Jobs,
         ErrorKind::UnknownRelation,
         ErrorKind::Protocol,
+        ErrorKind::Timeout,
+        ErrorKind::Overloaded,
+        ErrorKind::Internal,
     ];
 
     /// The stable `err <code> …` token the server protocol reports this
@@ -62,6 +74,9 @@ impl ErrorKind {
             ErrorKind::Jobs => "jobs",
             ErrorKind::UnknownRelation => "relation",
             ErrorKind::Protocol => "protocol",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Internal => "internal",
         }
     }
 
@@ -76,6 +91,9 @@ impl ErrorKind {
             ErrorKind::Jobs => 2,
             ErrorKind::UnknownRelation => 2,
             ErrorKind::Protocol => 2,
+            ErrorKind::Timeout => 2,
+            ErrorKind::Overloaded => 2,
+            ErrorKind::Internal => 2,
         }
     }
 }
@@ -101,6 +119,12 @@ pub enum Error {
     },
     /// A malformed or oversized wire request.
     Protocol(String),
+    /// A read/write timeout or expired request deadline.
+    Timeout(String),
+    /// A request shed because the server was saturated.
+    Overloaded(String),
+    /// An isolated internal failure (handler panic).
+    Internal(String),
 }
 
 impl Error {
@@ -144,6 +168,40 @@ impl Error {
         Error::Protocol(message.into())
     }
 
+    /// A [`ErrorKind::Timeout`] error.
+    pub fn timeout(message: impl Into<String>) -> Self {
+        Error::Timeout(message.into())
+    }
+
+    /// A [`ErrorKind::Overloaded`] error.
+    pub fn overloaded(message: impl Into<String>) -> Self {
+        Error::Overloaded(message.into())
+    }
+
+    /// A [`ErrorKind::Internal`] error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Error::Internal(message.into())
+    }
+
+    /// Reconstructs an error from its wire form (`err <code> <message>`),
+    /// the inverse of the server's response encoding.  Unknown codes fall
+    /// back to [`ErrorKind::Protocol`] so a client never drops a message.
+    pub fn from_wire(code: &str, message: impl Into<String>) -> Self {
+        let message = message.into();
+        match code {
+            "usage" => Error::Usage(message),
+            "io" => Error::Io(message),
+            "parse" => Error::Parse(message),
+            "jobs" => Error::Jobs(message),
+            "timeout" => Error::Timeout(message),
+            "overloaded" => Error::Overloaded(message),
+            "internal" => Error::Internal(message),
+            // `relation` carries structure the wire form flattened; keep
+            // the flat message under the closest kind we can restore.
+            _ => Error::Protocol(message),
+        }
+    }
+
     /// The error's classification.
     pub fn kind(&self) -> ErrorKind {
         match self {
@@ -153,6 +211,9 @@ impl Error {
             Error::Jobs(_) => ErrorKind::Jobs,
             Error::UnknownRelation { .. } => ErrorKind::UnknownRelation,
             Error::Protocol(_) => ErrorKind::Protocol,
+            Error::Timeout(_) => ErrorKind::Timeout,
+            Error::Overloaded(_) => ErrorKind::Overloaded,
+            Error::Internal(_) => ErrorKind::Internal,
         }
     }
 
@@ -174,7 +235,10 @@ impl fmt::Display for Error {
             | Error::Io(m)
             | Error::Parse(m)
             | Error::Jobs(m)
-            | Error::Protocol(m) => f.write_str(m),
+            | Error::Protocol(m)
+            | Error::Timeout(m)
+            | Error::Overloaded(m)
+            | Error::Internal(m) => f.write_str(m),
             Error::UnknownRelation { relation, known } => {
                 write!(
                     f,
@@ -227,8 +291,41 @@ mod tests {
         let e = Error::protocol("body exceeds the request size limit");
         assert_eq!(e.wire_code(), "protocol");
 
+        let e = Error::timeout("request deadline exceeded");
+        assert_eq!(e.kind(), ErrorKind::Timeout);
+        assert_eq!(e.wire_code(), "timeout");
+
+        let e = Error::overloaded("server at capacity");
+        assert_eq!(e.wire_code(), "overloaded");
+
+        let e = Error::internal("request handler panicked");
+        assert_eq!(e.wire_code(), "internal");
+
         // The trait objects the std ecosystem expects are implemented.
         let boxed: Box<dyn std::error::Error> = Box::new(Error::usage("u"));
         assert_eq!(boxed.to_string(), "u");
+    }
+
+    #[test]
+    fn wire_form_round_trips_through_from_wire() {
+        for kind in ErrorKind::ALL {
+            if kind == ErrorKind::UnknownRelation {
+                continue; // structured fields do not survive flattening
+            }
+            let original = match kind {
+                ErrorKind::Usage => Error::usage("m"),
+                ErrorKind::Io => Error::io("m"),
+                ErrorKind::Parse => Error::Parse("m".into()),
+                ErrorKind::Jobs => Error::jobs("m"),
+                ErrorKind::Protocol => Error::protocol("m"),
+                ErrorKind::Timeout => Error::timeout("m"),
+                ErrorKind::Overloaded => Error::overloaded("m"),
+                ErrorKind::Internal => Error::internal("m"),
+                ErrorKind::UnknownRelation => unreachable!(),
+            };
+            let back = Error::from_wire(original.wire_code(), original.to_string());
+            assert_eq!(back.kind(), kind);
+            assert_eq!(back.to_string(), original.to_string());
+        }
     }
 }

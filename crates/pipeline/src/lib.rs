@@ -26,6 +26,7 @@
 
 pub mod bundle;
 pub mod error;
+pub mod faultline;
 pub mod incremental;
 pub mod run;
 pub mod source;
@@ -35,6 +36,7 @@ pub mod swap;
 
 pub use bundle::{CorpusBundle, RuleCover};
 pub use error::{Error, ErrorKind};
+pub use faultline::{FaultAction, FaultStream, Faults};
 pub use incremental::{parse_edit_script, EditReport, IncrementalDocument};
 pub use run::{fan_out, CorpusOptions, CorpusResult, CorpusStats, DocOutcome, Jobs, MAX_JOBS};
 pub use source::{parse_keys_text, parse_rules_text};

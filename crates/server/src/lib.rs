@@ -29,7 +29,10 @@ pub mod render;
 pub mod script;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig};
 pub use protocol::{greeting, Request, Response, MAX_BODY_BYTES, PROTOCOL_VERSION};
 pub use script::{parse_script, run_script, ScriptStep};
-pub use server::{serve_session, ScratchCache, Server, ServerState, VerbCounters};
+pub use server::{
+    serve_session, DrainReport, HealthCounters, ScratchCache, Server, ServerState, ServiceConfig,
+    VerbCounters,
+};

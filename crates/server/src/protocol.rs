@@ -29,6 +29,11 @@
 //! quit
 //! ```
 //!
+//! Test builds (and builds with the `faultline` feature) additionally
+//! accept a `boom` verb whose handler panics — the end-to-end probe for
+//! the server's panic-isolation path.  Release servers reject it as an
+//! unknown verb.
+//!
 //! Responses are a header line, a payload, and a terminating `.` line:
 //!
 //! ```text
@@ -92,6 +97,12 @@ pub enum Request {
     },
     /// Close the session (the server responds, then hangs up).
     Quit,
+    /// Test-only: panic inside the request handler.  Exists so the
+    /// panic-isolation path (`err internal`, `panics=` counter, connection
+    /// keeps serving) can be driven end-to-end over the wire; compiled only
+    /// in test builds and under the `faultline` feature.
+    #[cfg(any(test, feature = "faultline"))]
+    Boom,
 }
 
 impl Request {
@@ -106,6 +117,21 @@ impl Request {
             Request::Cover { .. } => "cover",
             Request::Reload { .. } => "reload",
             Request::Quit => "quit",
+            #[cfg(any(test, feature = "faultline"))]
+            Request::Boom => "boom",
+        }
+    }
+
+    /// Whether this request only reads published state.  Read-only verbs
+    /// are safe to retry on a fresh connection after a transport failure;
+    /// `reload` (publishes) and `quit` (terminates) are not — the client's
+    /// retry loop keys on this.
+    pub fn is_read_only(&self) -> bool {
+        match self {
+            Request::Reload { .. } | Request::Quit => false,
+            #[cfg(any(test, feature = "faultline"))]
+            Request::Boom => false,
+            _ => true,
         }
     }
 
@@ -137,21 +163,21 @@ impl Request {
                 w.write_all(rules.as_bytes())
             }
             Request::Quit => writeln!(w, "quit"),
+            #[cfg(any(test, feature = "faultline"))]
+            Request::Boom => writeln!(w, "boom"),
         }
     }
 
     /// Reads the next request from `r`.  Returns `Ok(None)` on a clean EOF
     /// before any header byte; blank lines between requests are skipped.
+    /// A header line truncated by EOF is a torn connection, never a
+    /// parseable request — `cover U` cut to `cover ` must not silently
+    /// become the all-relations query.
     pub fn read_from(r: &mut impl BufRead) -> Result<Option<Request>, Error> {
         let line = loop {
-            let mut line = String::new();
-            let n = r
-                .read_line(&mut line)
-                .map_err(|e| Error::io(format!("reading request header: {e}")))?;
-            if n == 0 {
+            let Some(trimmed) = read_terminated_line(r, "reading request header")? else {
                 return Ok(None);
-            }
-            let trimmed = line.trim_end_matches(['\r', '\n']).to_string();
+            };
             if !trimmed.is_empty() {
                 break trimmed;
             }
@@ -162,6 +188,8 @@ impl Request {
             "ping" => Ok(Some(Request::Ping)),
             "status" => Ok(Some(Request::Status)),
             "quit" => Ok(Some(Request::Quit)),
+            #[cfg(any(test, feature = "faultline"))]
+            "boom" => Ok(Some(Request::Boom)),
             "validate" => {
                 let len = parse_len(parts.next(), "validate")?;
                 let document = read_body(r, len, "validate document")?;
@@ -222,9 +250,53 @@ fn parse_len(token: Option<&str>, verb: &str) -> Result<usize, Error> {
 /// Reads an exact-length UTF-8 body following a request header.
 fn read_body(r: &mut impl BufRead, len: usize, what: &str) -> Result<String, Error> {
     let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)
-        .map_err(|e| Error::protocol(format!("reading {what} body ({len} bytes): {e}")))?;
+    r.read_exact(&mut buf).map_err(|e| {
+        if is_timeout(&e) {
+            Error::timeout(format!("reading {what} body ({len} bytes): {e}"))
+        } else {
+            Error::protocol(format!("reading {what} body ({len} bytes): {e}"))
+        }
+    })?;
     String::from_utf8(buf).map_err(|_| Error::protocol(format!("{what} body is not valid UTF-8")))
+}
+
+/// Reads one protocol line, requiring its terminating newline.  `None` is
+/// a clean EOF before any byte; a line truncated mid-way by EOF is a torn
+/// transport — surfaced as `io` so retry layers treat it like any other
+/// connection death, and so a line prefix can never be mistaken for a
+/// complete (but different) message.
+fn read_terminated_line(r: &mut impl BufRead, context: &str) -> Result<Option<String>, Error> {
+    let mut line = String::new();
+    let n = r
+        .read_line(&mut line)
+        .map_err(|e| classify_io(context, &e))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if !line.ends_with('\n') {
+        return Err(Error::io(format!("{context}: connection closed mid-line")));
+    }
+    Ok(Some(line.trim_end_matches(['\r', '\n']).to_string()))
+}
+
+/// Whether an I/O error is a read/write timeout (the platform reports
+/// socket timeouts as either kind).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// Classifies a transport-level I/O failure: timeouts become
+/// [`ErrorKind::Timeout`](xmlprop_pipeline::ErrorKind::Timeout) (the peer
+/// was too slow), everything else stays [`ErrorKind::Io`](xmlprop_pipeline::ErrorKind::Io).
+fn classify_io(context: &str, e: &std::io::Error) -> Error {
+    if is_timeout(e) {
+        Error::timeout(format!("{context}: {e}"))
+    } else {
+        Error::io(format!("{context}: {e}"))
+    }
 }
 
 /// A server response: one header line plus a (possibly empty) payload.
@@ -291,14 +363,9 @@ impl Response {
     /// Reads one response from `r` (the client side).  Returns `Ok(None)`
     /// on a clean EOF before the header.
     pub fn read_from(r: &mut impl BufRead) -> Result<Option<Response>, Error> {
-        let mut header = String::new();
-        let n = r
-            .read_line(&mut header)
-            .map_err(|e| Error::io(format!("reading response header: {e}")))?;
-        if n == 0 {
+        let Some(header) = read_terminated_line(r, "reading response header")? else {
             return Ok(None);
-        }
-        let header = header.trim_end_matches(['\r', '\n']).to_string();
+        };
         if !(header.starts_with("ok ") || header.starts_with("err ")) {
             return Err(Error::protocol(format!(
                 "malformed response header `{header}`"
@@ -306,17 +373,16 @@ impl Response {
         }
         let mut payload = String::new();
         loop {
-            let mut line = String::new();
-            let n = r
-                .read_line(&mut line)
-                .map_err(|e| Error::io(format!("reading response payload: {e}")))?;
-            if n == 0 {
-                return Err(Error::protocol("connection closed mid-response"));
-            }
-            if line.trim_end_matches(['\r', '\n']) == "." {
+            let Some(line) = read_terminated_line(r, "reading response payload")? else {
+                // A transport death, not a malformed message: `io`, so
+                // clients may retry read-only requests on it.
+                return Err(Error::io("connection closed mid-response"));
+            };
+            if line == "." {
                 break;
             }
             payload.push_str(&line);
+            payload.push('\n');
         }
         Ok(Some(Response { header, payload }))
     }
@@ -371,6 +437,25 @@ mod tests {
             rules: "rule book(isbn) { xb := xr//book; xi := xb/@isbn; isbn := value(xi); }\n"
                 .into(),
         });
+        round_trip(Request::Boom);
+    }
+
+    #[test]
+    fn read_only_verbs_exclude_reload_quit_and_boom() {
+        assert!(Request::Ping.is_read_only());
+        assert!(Request::Status.is_read_only());
+        assert!(Request::Validate {
+            document: String::new()
+        }
+        .is_read_only());
+        assert!(Request::Cover { relation: None }.is_read_only());
+        assert!(!Request::Quit.is_read_only());
+        assert!(!Request::Reload {
+            keys: String::new(),
+            rules: String::new()
+        }
+        .is_read_only());
+        assert!(!Request::Boom.is_read_only());
     }
 
     #[test]
@@ -421,5 +506,29 @@ mod tests {
             Request::read_from(&mut reader).unwrap(),
             Some(Request::Ping)
         );
+    }
+
+    #[test]
+    fn torn_request_lines_are_io_errors_not_prefix_requests() {
+        // `cover U` torn to `cover ` must not become the all-relations
+        // query — a header line without its newline is a dead transport.
+        let err = Request::read_from(&mut BufReader::new(&b"cover "[..])).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Io);
+        assert!(err.to_string().contains("mid-line"), "{err}");
+    }
+
+    #[test]
+    fn torn_response_lines_are_io_errors() {
+        let torn_header = &b"ok cover bundle=1 fds="[..];
+        let err = Response::read_from(&mut BufReader::new(torn_header)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Io);
+
+        let torn_payload = &b"ok cover bundle=1 fds=4\nbookIsbn -> book"[..];
+        let err = Response::read_from(&mut BufReader::new(torn_payload)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Io);
+
+        let missing_terminator = &b"ok ping bundle=1\n"[..];
+        let err = Response::read_from(&mut BufReader::new(missing_terminator)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Io);
     }
 }

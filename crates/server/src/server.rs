@@ -19,19 +19,86 @@
 //! re-derives the scratch when the published epoch has moved
 //! ([`ScratchCache::for_snapshot`]).  Stale scratches are never used
 //! against a newer bundle.
+//!
+//! ## Failure discipline
+//!
+//! Every way a request can go wrong is contained to that request or, at
+//! worst, that connection — never the process (see the README's
+//! "Robustness & fault injection" section for the full guarantee table):
+//!
+//! * **slow or stalled peers** — reads carry a per-read idle timeout and
+//!   every request runs under a deadline armed when its first byte
+//!   arrives ([`ServiceConfig`]); expiry answers `err timeout` and closes
+//!   the connection instead of pinning its thread;
+//! * **handler panics** — [`ServerState::respond`] wraps the handler in
+//!   [`std::panic::catch_unwind`]; a panic becomes `err internal`, bumps
+//!   the `panics` health counter, discards the (possibly poisoned)
+//!   scratch, and the connection keeps serving;
+//! * **overload** — the accept loop admits a connection only if the jobs
+//!   gate frees a slot within a bounded wait; otherwise the client is
+//!   shed with one `err overloaded` line rather than queueing without
+//!   bound;
+//! * **shutdown** — [`Server::shutdown`] stops accepting, read-shutdowns
+//!   every live connection (idle sessions see EOF; in-flight requests
+//!   complete and flush), then waits for the gate to drain under
+//!   [`ServiceConfig::drain_timeout`] before force-closing stragglers.
+//!
+//! All of it is exercised deterministically through
+//! [`xmlprop_pipeline::faultline`]: [`Server::bind_with`] accepts a
+//! [`Faults`] schedule whose `accept.conn` / `conn.read` / `conn.write` /
+//! `reload.prepare` points inject torn connections, I/O errors, short
+//! writes and delays on the exact paths above.
 
 use crate::protocol::{self, Request, Response};
 use crate::render;
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use xmlprop_pipeline::{
-    parse_keys_text, parse_rules_text, CorpusBundle, Error, Jobs, PreparedState, Published,
-    RequestScratch, SwapCell,
+    parse_keys_text, parse_rules_text, CorpusBundle, Error, ErrorKind, FaultStream, Faults, Jobs,
+    PreparedState, Published, RequestScratch, SwapCell,
 };
 use xmlprop_xmltree::Document;
+
+/// The service's timeout and degradation policy.  The defaults suit an
+/// interactive deployment; tests shrink them to drive the slow-path
+/// behaviours in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Longest a single socket read may block: between requests this is
+    /// the idle cutoff, inside a request it bounds each stall.
+    pub read_timeout: Duration,
+    /// Longest a single socket write may block before the connection is
+    /// abandoned.
+    pub write_timeout: Duration,
+    /// Wall-clock budget for one request, armed when its first byte
+    /// arrives; a slow-loris peer trickling bytes gets `err timeout` at
+    /// expiry no matter how diligently it trickles.
+    pub request_deadline: Duration,
+    /// How long an incoming connection may wait for a gate slot before
+    /// being shed with `err overloaded`.
+    pub shed_wait: Duration,
+    /// How long [`Server::shutdown`] waits for in-flight connections to
+    /// drain before force-closing them.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            request_deadline: Duration::from_secs(60),
+            shed_wait: Duration::from_secs(1),
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
 
 /// Per-verb request counters, bumped once at request entry (so a `status`
 /// request counts itself).  Relaxed atomics: the counts are monitoring
@@ -47,6 +114,10 @@ pub struct VerbCounters {
     cover: AtomicU64,
     reload: AtomicU64,
     quit: AtomicU64,
+    /// The test-only panic verb gets a private slot so it never skews the
+    /// `served=` total or the per-verb report the golden transcripts pin.
+    #[cfg(any(test, feature = "faultline"))]
+    boom: AtomicU64,
 }
 
 impl VerbCounters {
@@ -60,6 +131,8 @@ impl VerbCounters {
             Request::Cover { .. } => &self.cover,
             Request::Reload { .. } => &self.reload,
             Request::Quit => &self.quit,
+            #[cfg(any(test, feature = "faultline"))]
+            Request::Boom => &self.boom,
         }
     }
 
@@ -72,7 +145,8 @@ impl VerbCounters {
         self.slot(request).load(Ordering::Relaxed)
     }
 
-    /// Total requests served across all verbs.
+    /// Total requests served across all verbs (`boom` excluded: the
+    /// report below must be identical with and without the feature).
     pub fn total(&self) -> u64 {
         [
             &self.ping,
@@ -105,28 +179,124 @@ impl VerbCounters {
     }
 }
 
+/// Degradation counters: how often each containment path fired.  Reported
+/// on the second `status` payload line and by the same discipline as
+/// [`VerbCounters`] (relaxed, monitoring-only).
+#[derive(Debug, Default)]
+pub struct HealthCounters {
+    panics: AtomicU64,
+    timeouts: AtomicU64,
+    sheds: AtomicU64,
+}
+
+impl HealthCounters {
+    /// Requests whose handler panicked and was contained to `err internal`.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed for blowing a read timeout or request deadline.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed with `err overloaded` at the accept gate.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn bump_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One-line report, mirrored on the `status` payload.
+    pub fn report(&self) -> String {
+        format!(
+            "panics={} timeouts={} sheds={}",
+            self.panics(),
+            self.timeouts(),
+            self.sheds()
+        )
+    }
+}
+
+/// Decrements the in-flight gauge on scope exit — including unwinds, so a
+/// panicking handler cannot leak a phantom in-flight request.
+struct InflightGuard<'a>(&'a AtomicU64);
+
+impl<'a> InflightGuard<'a> {
+    fn new(gauge: &'a AtomicU64) -> Self {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        InflightGuard(gauge)
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// The shared, hot-swappable state every connection serves from.
 #[derive(Debug)]
 pub struct ServerState {
     cell: SwapCell<CorpusBundle>,
     jobs: Jobs,
     counters: VerbCounters,
+    health: HealthCounters,
+    inflight: AtomicU64,
+    start: Instant,
+    faults: Faults,
 }
 
 impl ServerState {
     /// Wraps an initial bundle (published as epoch 1) and the worker gate
-    /// width.
+    /// width, with no fault schedule.
     pub fn new(bundle: CorpusBundle, jobs: Jobs) -> Self {
+        ServerState::with_faults(bundle, jobs, Faults::disabled())
+    }
+
+    /// Like [`ServerState::new`], with a fault-injection schedule for the
+    /// request paths (`reload.prepare` fires in [`ServerState::respond`];
+    /// the connection points fire in the transport wrappers).
+    pub fn with_faults(bundle: CorpusBundle, jobs: Jobs, faults: Faults) -> Self {
         ServerState {
             cell: SwapCell::new(bundle),
             jobs,
             counters: VerbCounters::default(),
+            health: HealthCounters::default(),
+            inflight: AtomicU64::new(0),
+            start: Instant::now(),
+            faults,
         }
     }
 
     /// The per-verb request counters.
     pub fn counters(&self) -> &VerbCounters {
         &self.counters
+    }
+
+    /// The degradation counters (panics / timeouts / sheds).
+    pub fn health(&self) -> &HealthCounters {
+        &self.health
+    }
+
+    /// The fault schedule this state was built with.
+    pub fn faults(&self) -> &Faults {
+        &self.faults
+    }
+
+    /// Requests currently being served (the `status` in-flight gauge).
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
     }
 
     /// The publication cell (for tests and admin tooling).
@@ -151,13 +321,26 @@ impl ServerState {
     }
 
     /// Serves one request against the current snapshot.  Errors become
-    /// `err <wire-code> …` responses via the shared error table; the
+    /// `err <wire-code> …` responses via the shared error table, and a
+    /// panicking handler is contained to `err internal`: either way the
     /// connection stays usable.
     pub fn respond(&self, request: &Request, cache: &mut ScratchCache) -> Response {
+        let _inflight = InflightGuard::new(&self.inflight);
         self.counters.bump(request);
-        match self.try_respond(request, cache) {
-            Ok(response) => response,
-            Err(error) => Response::error(&error),
+        // `&mut ScratchCache` is not unwind-safe by default, but the panic
+        // arm below discards the cache wholesale, so no torn scratch state
+        // can ever be observed after an unwind.
+        match catch_unwind(AssertUnwindSafe(|| self.try_respond(request, cache))) {
+            Ok(Ok(response)) => response,
+            Ok(Err(error)) => Response::error(&error),
+            Err(_panic) => {
+                self.health.bump_panic();
+                *cache = ScratchCache::new();
+                Response::error(&Error::internal(format!(
+                    "request handler panicked serving `{}`",
+                    request.verb()
+                )))
+            }
         }
     }
 
@@ -172,13 +355,15 @@ impl ServerState {
                 "status",
                 epoch,
                 &format!(
-                    "keys={} rules={} jobs={} served={}",
+                    "keys={} rules={} jobs={} uptime={}s inflight={} served={}",
                     snapshot.sigma().len(),
                     snapshot.transformation().rules().len(),
                     self.jobs.get(),
+                    self.start.elapsed().as_secs(),
+                    self.inflight(),
                     self.counters.total()
                 ),
-                self.counters.report() + "\n",
+                format!("{}\n{}\n", self.counters.report(), self.health.report()),
             )),
             Request::Quit => Ok(Response::ok("quit", epoch, "", String::new())),
             Request::Validate { document } => {
@@ -222,6 +407,13 @@ impl ServerState {
                 Ok(Response::ok("cover", epoch, &format!("fds={fds}"), text))
             }
             Request::Reload { keys, rules } => {
+                // A fault here models the preparation dying mid-way (OOM,
+                // torn read of the new schema); the publish below never
+                // ran, so readers keep the old epoch — torn reloads are
+                // unobservable by construction.
+                self.faults
+                    .fire_io("reload.prepare")
+                    .map_err(|e| Error::io(format!("reload preparation failed: {e}")))?;
                 // Parse and prepare entirely off-lock; publish is a single
                 // pointer store.  Concurrent readers keep their snapshots.
                 let sigma = parse_keys_text(keys, "reload keys")?;
@@ -237,6 +429,8 @@ impl ServerState {
                     String::new(),
                 ))
             }
+            #[cfg(any(test, feature = "faultline"))]
+            Request::Boom => panic!("deliberate `boom` panic (test verb)"),
         }
     }
 }
@@ -269,8 +463,10 @@ impl ScratchCache {
     }
 }
 
-/// Caps concurrently served connections at the worker gate width; the
-/// accept loop blocks (back-pressure on the listen queue) when saturated.
+/// Caps concurrently served connections at the worker gate width.  The
+/// accept loop waits a bounded [`ServiceConfig::shed_wait`] for a slot and
+/// sheds the connection if none frees up; shutdown waits for the count to
+/// drain to zero.
 #[derive(Debug)]
 struct Gate {
     max: usize,
@@ -287,20 +483,94 @@ impl Gate {
         }
     }
 
-    fn acquire(&self) {
+    /// Claims a slot, waiting at most `wait`; `false` means saturated.
+    fn try_acquire(&self, wait: Duration) -> bool {
+        let deadline = Instant::now() + wait;
         let mut active = self.active.lock().expect("gate lock");
         while *active >= self.max {
-            active = self.freed.wait(active).expect("gate lock");
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timeout) = self
+                .freed
+                .wait_timeout(active, deadline - now)
+                .expect("gate lock");
+            active = guard;
         }
         *active += 1;
+        true
     }
 
     fn release(&self) {
         let mut active = self.active.lock().expect("gate lock");
         *active -= 1;
         drop(active);
-        self.freed.notify_one();
+        // notify_all: both the accept loop (waiting for one slot) and a
+        // draining shutdown (waiting for zero) may be parked here.
+        self.freed.notify_all();
     }
+
+    /// Waits up to `timeout` for every slot to be released; `false` means
+    /// connections were still live at expiry.
+    fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut active = self.active.lock().expect("gate lock");
+        while *active > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timeout) = self
+                .freed
+                .wait_timeout(active, deadline - now)
+                .expect("gate lock");
+            active = guard;
+        }
+        true
+    }
+}
+
+/// The live-connection registry: one entry per connection being served,
+/// so shutdown can reach into blocked reads (via [`TcpStream::shutdown`])
+/// instead of waiting out their timeouts.
+#[derive(Debug, Default)]
+struct Registry {
+    next: AtomicU64,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl Registry {
+    fn insert(&self, stream: &TcpStream) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        // A failed clone only costs drain coverage for this connection;
+        // it is still served and still gate-counted.
+        if let Ok(clone) = stream.try_clone() {
+            self.conns.lock().expect("registry lock").insert(id, clone);
+        }
+        id
+    }
+
+    fn remove(&self, id: u64) {
+        self.conns.lock().expect("registry lock").remove(&id);
+    }
+
+    fn shutdown_all(&self, how: Shutdown) -> usize {
+        let conns = self.conns.lock().expect("registry lock");
+        for stream in conns.values() {
+            let _ = stream.shutdown(how);
+        }
+        conns.len()
+    }
+}
+
+/// How a [`Server::shutdown`] drain went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Every in-flight connection completed within the drain timeout.
+    pub drained: bool,
+    /// Connections force-closed at timeout (`0` when `drained`).
+    pub forced: usize,
 }
 
 /// A bound, running server: accept loop on its own thread, one thread per
@@ -311,45 +581,53 @@ pub struct Server {
     state: Arc<ServerState>,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    gate: Arc<Gate>,
+    registry: Arc<Registry>,
+    config: ServiceConfig,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral test port) and
-    /// starts serving `bundle` over at most `jobs` concurrent connections.
+    /// starts serving `bundle` over at most `jobs` concurrent connections,
+    /// under the default [`ServiceConfig`] and no fault schedule.
     pub fn bind(addr: &str, bundle: CorpusBundle, jobs: Jobs) -> Result<Server, Error> {
+        Server::bind_with(
+            addr,
+            bundle,
+            jobs,
+            ServiceConfig::default(),
+            Faults::disabled(),
+        )
+    }
+
+    /// [`Server::bind`] with an explicit timeout policy and fault
+    /// schedule.  The schedule's `accept.conn` point tears connections at
+    /// admission, `conn.read` / `conn.write` fire inside the per-connection
+    /// transport, and `reload.prepare` fires in the reload handler.
+    pub fn bind_with(
+        addr: &str,
+        bundle: CorpusBundle,
+        jobs: Jobs,
+        config: ServiceConfig,
+        faults: Faults,
+    ) -> Result<Server, Error> {
         let listener =
             TcpListener::bind(addr).map_err(|e| Error::io(format!("cannot bind `{addr}`: {e}")))?;
         let local = listener
             .local_addr()
             .map_err(|e| Error::io(format!("cannot resolve bound address: {e}")))?;
-        let state = Arc::new(ServerState::new(bundle, jobs));
+        let state = Arc::new(ServerState::with_faults(bundle, jobs, faults));
         let stop = Arc::new(AtomicBool::new(false));
         let gate = Arc::new(Gate::new(jobs.get()));
+        let registry = Arc::new(Registry::default());
         let accept = {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop);
+            let gate = Arc::clone(&gate);
+            let registry = Arc::clone(&registry);
             std::thread::Builder::new()
                 .name("xmlprop-accept".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if stop.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        gate.acquire();
-                        let state = Arc::clone(&state);
-                        let slot = Arc::clone(&gate);
-                        let spawned = std::thread::Builder::new()
-                            .name("xmlprop-conn".into())
-                            .spawn(move || {
-                                let _ = handle_connection(stream, &state);
-                                slot.release();
-                            });
-                        if spawned.is_err() {
-                            gate.release();
-                        }
-                    }
-                })
+                .spawn(move || accept_loop(listener, &state, &stop, &gate, &registry, config))
                 .map_err(|e| Error::io(format!("cannot spawn accept thread: {e}")))?
         };
         Ok(Server {
@@ -357,6 +635,9 @@ impl Server {
             state,
             stop,
             accept: Some(accept),
+            gate,
+            registry,
+            config,
         })
     }
 
@@ -376,10 +657,21 @@ impl Server {
         self.state.epoch()
     }
 
-    /// Stops accepting and joins the accept thread.  Connections already
-    /// being served run to completion on their own threads.
-    pub fn shutdown(mut self) {
+    /// Graceful shutdown: stops accepting, nudges every live connection
+    /// (read-shutdown: idle sessions see EOF, in-flight requests complete
+    /// and flush their response), waits up to
+    /// [`ServiceConfig::drain_timeout`] for the gate to drain, then
+    /// force-closes whatever remains.
+    pub fn shutdown(mut self) -> DrainReport {
         self.stop_accepting();
+        self.registry.shutdown_all(Shutdown::Read);
+        let drained = self.gate.wait_idle(self.config.drain_timeout);
+        let forced = if drained {
+            0
+        } else {
+            self.registry.shutdown_all(Shutdown::Both)
+        };
+        DrainReport { drained, forced }
     }
 
     /// Blocks the calling thread for the server's lifetime (the CLI's
@@ -403,25 +695,200 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
+        // Non-blocking teardown (shutdown() consumed by value is the
+        // graceful path): stop accepting and nudge live connections, but
+        // do not wait for the drain.
         self.stop_accepting();
+        self.registry.shutdown_all(Shutdown::Read);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: &Arc<ServerState>,
+    stop: &AtomicBool,
+    gate: &Arc<Gate>,
+    registry: &Arc<Registry>,
+    config: ServiceConfig,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // `accept.conn` models a connection torn before service (peer
+        // reset between accept and greeting).
+        if state.faults().fire_io("accept.conn").is_err() {
+            continue;
+        }
+        if !gate.try_acquire(config.shed_wait) {
+            state.health().bump_shed();
+            shed(stream, gate.max);
+            continue;
+        }
+        let id = registry.insert(&stream);
+        let state = Arc::clone(state);
+        let slot = Arc::clone(gate);
+        let reg = Arc::clone(registry);
+        let spawned = std::thread::Builder::new()
+            .name("xmlprop-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &state, config);
+                reg.remove(id);
+                slot.release();
+            });
+        if spawned.is_err() {
+            registry.remove(id);
+            gate.release();
+        }
+    }
+}
+
+/// Sheds a connection the gate could not admit: one `err overloaded` line
+/// in greeting position (clients classify it through the shared wire-code
+/// table), under a short write timeout so a dead peer cannot stall the
+/// accept thread.
+fn shed(mut stream: TcpStream, max: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = writeln!(
+        stream,
+        "err overloaded server at capacity ({max} connections); retry later"
+    );
+}
+
+/// The read half of a connection with the timeout policy applied: each
+/// read blocks at most [`ServiceConfig::read_timeout`], and the first byte
+/// of a request arms a deadline that caps the whole request — a peer
+/// trickling one byte per poll cannot stay under it.
+#[derive(Debug)]
+struct DeadlineStream {
+    stream: TcpStream,
+    read_timeout: Duration,
+    request_deadline: Duration,
+    deadline: Option<Instant>,
+}
+
+impl DeadlineStream {
+    fn new(stream: TcpStream, config: &ServiceConfig) -> Self {
+        DeadlineStream {
+            stream,
+            read_timeout: config.read_timeout,
+            request_deadline: config.request_deadline,
+            deadline: None,
+        }
+    }
+
+    /// Disarms the request deadline; the session loop calls this between
+    /// requests so idle time is governed by `read_timeout` alone.
+    fn clear_deadline(&mut self) {
+        self.deadline = None;
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let timeout = match self.deadline {
+            None => self.read_timeout,
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!("request deadline of {:?} exceeded", self.request_deadline),
+                    ));
+                }
+                remaining.min(self.read_timeout)
+            }
+        };
+        self.stream.set_read_timeout(Some(timeout))?;
+        match self.stream.read(buf) {
+            Ok(n) => {
+                if n > 0 && self.deadline.is_none() {
+                    // First byte of a request: the deadline clock starts.
+                    self.deadline = Some(Instant::now() + self.request_deadline);
+                }
+                Ok(n)
+            }
+            // The platform reports a socket timeout as either kind;
+            // normalise so the protocol layer classifies it once.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    if self.deadline.is_some() {
+                        "read timed out mid-request"
+                    } else {
+                        "idle connection timed out"
+                    },
+                ))
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
 /// Serves one connection: greeting, then a request/response loop until
 /// `quit`, EOF, or a framing error (framing errors get an `err` response
-/// and close the connection; request-level errors keep it open).
-fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
-    let reader = stream.try_clone()?;
-    let mut reader = BufReader::new(reader);
-    let mut writer = BufWriter::new(stream);
+/// and close the connection; request-level errors keep it open).  The
+/// transport is the hardened stack: deadline-governed reads, write
+/// timeouts, and the connection-level fault points.
+fn handle_connection(
+    stream: TcpStream,
+    state: &ServerState,
+    config: ServiceConfig,
+) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    let read_half = stream.try_clone()?;
+    let mut reader = BufReader::new(FaultStream::new(
+        DeadlineStream::new(read_half, &config),
+        state.faults().clone(),
+        "conn.read",
+        "conn.write",
+    ));
+    let mut writer = BufWriter::new(FaultStream::new(
+        stream,
+        state.faults().clone(),
+        "conn.read",
+        "conn.write",
+    ));
     writeln!(writer, "{}", state.greeting())?;
     writer.flush()?;
     let mut cache = ScratchCache::new();
-    serve_session(&mut reader, &mut writer, state, &mut cache)
+    loop {
+        reader.get_mut().get_mut().clear_deadline();
+        match Request::read_from(&mut reader) {
+            Ok(None) => return Ok(()),
+            Ok(Some(request)) => {
+                let quit = request == Request::Quit;
+                let response = state.respond(&request, &mut cache);
+                response.write_to(&mut writer)?;
+                writer.flush()?;
+                if quit {
+                    return Ok(());
+                }
+            }
+            Err(error) => {
+                if error.kind() == ErrorKind::Timeout {
+                    state.health().bump_timeout();
+                }
+                // Framing is broken or the peer blew a deadline; answer
+                // once (best-effort) and hang up.
+                let _ = Response::error(&error).write_to(&mut writer);
+                let _ = writer.flush();
+                return Ok(());
+            }
+        }
+    }
 }
 
-/// The transport-agnostic session loop (shared by the TCP handler and
-/// in-process tests).
+/// The transport-agnostic session loop (shared by the TCP handler's
+/// in-process tests and any custom transport).  Panic isolation applies —
+/// it lives in [`ServerState::respond`] — but the timeout policy does
+/// not: that belongs to the TCP transport in [`Server::bind_with`].
 pub fn serve_session(
     reader: &mut impl BufRead,
     writer: &mut impl Write,
@@ -518,16 +985,18 @@ mod tests {
         assert_eq!(
             resp.header,
             format!(
-                "ok status bundle=1 keys=1 rules=1 jobs={} served=3",
+                "ok status bundle=1 keys=1 rules=1 jobs={} uptime=0s inflight=1 served=3",
                 Jobs::default().get()
             )
         );
         assert_eq!(
             resp.payload,
-            "ping=2 status=1 validate=0 shred=0 propagate=0 cover=0 reload=0 quit=0\n"
+            "ping=2 status=1 validate=0 shred=0 propagate=0 cover=0 reload=0 quit=0\n\
+             panics=0 timeouts=0 sheds=0\n"
         );
         assert_eq!(state.counters().total(), 3);
         assert_eq!(state.counters().get(&Request::Ping), 2);
+        assert_eq!(state.inflight(), 0, "gauge drains after each request");
         // Errors are served requests too: the bump happens at entry.
         state.respond(
             &Request::Validate {
@@ -541,6 +1010,64 @@ mod tests {
             }),
             1
         );
+    }
+
+    #[test]
+    fn handler_panics_are_contained_to_err_internal() {
+        let state = ServerState::new(bundle(), Jobs::default());
+        let mut cache = ScratchCache::new();
+        let resp = state.respond(&Request::Boom, &mut cache);
+        assert!(resp.is_err());
+        assert_eq!(resp.wire_code(), Some("internal"));
+        assert!(resp.header.contains("`boom`"), "{}", resp.header);
+        assert_eq!(state.health().panics(), 1);
+        assert_eq!(state.inflight(), 0, "unwind releases the gauge");
+        // `boom` never skews the published totals or the golden report.
+        assert_eq!(state.counters().total(), 0);
+        assert!(!state.counters().report().contains("boom"));
+        assert_eq!(state.counters().get(&Request::Boom), 1);
+        // The very next request on the same connection state succeeds.
+        let resp = state.respond(&Request::Ping, &mut cache);
+        assert_eq!(resp.header, "ok ping bundle=1");
+        let resp = state.respond(
+            &Request::Validate {
+                document: "<db><book isbn=\"1\"/></db>".into(),
+            },
+            &mut cache,
+        );
+        assert!(resp.header.starts_with("ok validate bundle=1"));
+    }
+
+    #[test]
+    fn gate_sheds_when_saturated_and_reports_idle() {
+        let gate = Gate::new(2);
+        assert!(gate.try_acquire(Duration::from_millis(1)));
+        assert!(gate.try_acquire(Duration::from_millis(1)));
+        assert!(!gate.try_acquire(Duration::from_millis(10)), "saturated");
+        assert!(!gate.wait_idle(Duration::from_millis(10)), "still active");
+        gate.release();
+        assert!(gate.try_acquire(Duration::from_millis(1)), "slot freed");
+        gate.release();
+        gate.release();
+        assert!(gate.wait_idle(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn reload_faults_fail_the_request_but_never_publish() {
+        let faults = Faults::parse("reload.prepare=100%error", 7).unwrap();
+        let state = ServerState::with_faults(bundle(), Jobs::default(), faults);
+        let mut cache = ScratchCache::new();
+        let resp = state.respond(
+            &Request::Reload {
+                keys: KEYS.into(),
+                rules: RULES.into(),
+            },
+            &mut cache,
+        );
+        assert_eq!(resp.wire_code(), Some("io"));
+        assert_eq!(state.epoch(), 1, "failed reload must not tick the epoch");
+        let resp = state.respond(&Request::Ping, &mut cache);
+        assert_eq!(resp.header, "ok ping bundle=1", "old bundle still serves");
     }
 
     #[test]
@@ -558,6 +1085,7 @@ mod tests {
 
     #[test]
     fn tcp_round_trip_serves_and_shuts_down() {
+        use std::io::BufRead;
         let server = Server::bind("127.0.0.1:0", bundle(), Jobs::default()).unwrap();
         let addr = server.local_addr();
         let stream = TcpStream::connect(addr).unwrap();
@@ -581,6 +1109,93 @@ mod tests {
             Response::read_from(&mut reader).unwrap().is_none(),
             "hung up"
         );
+        let report = server.shutdown();
+        assert!(report.drained);
+        assert_eq!(report.forced, 0);
+    }
+
+    #[test]
+    fn slow_request_hits_the_deadline_not_the_thread() {
+        use std::io::BufRead;
+        let config = ServiceConfig {
+            read_timeout: Duration::from_millis(200),
+            request_deadline: Duration::from_millis(120),
+            ..ServiceConfig::default()
+        };
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            bundle(),
+            Jobs::default(),
+            config,
+            Faults::disabled(),
+        )
+        .unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting).unwrap();
+        // Slow-loris: start a request header, then trickle bytes slower
+        // than the deadline.  Each write lands within the read timeout,
+        // so only the per-request deadline can catch this.
+        let mut writer = stream;
+        writer.write_all(b"vali").unwrap();
+        writer.flush().unwrap();
+        let start = Instant::now();
+        let response = loop {
+            if start.elapsed() > Duration::from_secs(10) {
+                panic!("server never enforced the request deadline");
+            }
+            if writer.write_all(b" ").is_err() {
+                // Server already hung up on us; read what it said.
+                break Response::read_from(&mut reader).unwrap();
+            }
+            std::thread::sleep(Duration::from_millis(40));
+            // Peek for the err response without blocking forever.
+            let buf = reader.fill_buf().unwrap_or(&[]);
+            if !buf.is_empty() {
+                break Response::read_from(&mut reader).unwrap();
+            }
+        };
+        let response = response.expect("server answers before closing");
+        assert_eq!(response.wire_code(), Some("timeout"), "{}", response.header);
+        assert!(server.state().health().timeouts() >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn saturated_gate_sheds_with_err_overloaded() {
+        use std::io::BufRead;
+        let config = ServiceConfig {
+            shed_wait: Duration::from_millis(50),
+            ..ServiceConfig::default()
+        };
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            bundle(),
+            Jobs::new(1).unwrap(),
+            config,
+            Faults::disabled(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        // First connection holds the only slot.
+        let holder = TcpStream::connect(addr).unwrap();
+        let mut holder_reader = BufReader::new(holder.try_clone().unwrap());
+        let mut line = String::new();
+        holder_reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("xmlprop/1 ready"));
+        // Second connection must be shed, not queued forever.
+        let second = TcpStream::connect(addr).unwrap();
+        let mut second_reader = BufReader::new(second);
+        let mut line = String::new();
+        second_reader.read_line(&mut line).unwrap();
+        assert!(
+            line.starts_with("err overloaded "),
+            "expected a shed, got `{line}`"
+        );
+        assert_eq!(server.state().health().sheds(), 1);
+        drop(holder_reader);
+        drop(holder);
         server.shutdown();
     }
 }

@@ -80,4 +80,4 @@ pub use labels::{LabelId, LabelUniverse};
 pub use node::{NodeId, NodeKind};
 pub use parse::parse;
 pub use serialize::{to_pretty_xml, to_xml};
-pub use stream::{StreamEvent, StreamParser};
+pub use stream::{StreamEvent, StreamParser, MAX_DEPTH};

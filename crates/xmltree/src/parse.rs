@@ -195,6 +195,20 @@ mod tests {
     }
 
     #[test]
+    fn rejects_pathological_nesting() {
+        use crate::stream::MAX_DEPTH;
+        let deep = "<a>".repeat(1_000_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(
+            err.message
+                .contains(&format!("maximum depth of {MAX_DEPTH}")),
+            "{}",
+            err.message
+        );
+        assert_eq!(err.offset, MAX_DEPTH * 3);
+    }
+
+    #[test]
     fn error_positions_are_reported() {
         let err = parse("<db>\n  <book><title></book>\n</db>").unwrap_err();
         assert_eq!(err.line, 2);

@@ -29,6 +29,18 @@
 use crate::error::ParseError;
 use crate::labels::{LabelId, LabelUniverse};
 
+/// The maximum element nesting depth either parser accepts.
+///
+/// Every layer above the tokenizer keeps per-depth state — the parser's
+/// open-name stack, the DOM builder's open-node stack, the streaming
+/// shredder's frontier — and downstream consumers recurse over subtrees.
+/// A pathologically nested document (`<a><a><a>…`) would otherwise trade
+/// a few megabytes of input for an unbounded stack; past this depth the
+/// document is rejected with a byte-offset [`ParseError`] instead.  Real
+/// data-exchange documents nest a few dozen levels deep; 1024 is two
+/// orders of magnitude of headroom.
+pub const MAX_DEPTH: usize = 1024;
+
 /// One structural event of the XML stream.
 ///
 /// Element and attribute names borrow from the parsed input; text and
@@ -240,6 +252,13 @@ impl<'a> StreamParser<'a> {
     }
 
     fn open_tag(&mut self) -> Result<StreamEvent<'a>, ParseError> {
+        if self.open.len() >= MAX_DEPTH {
+            // Reported at the `<` of the offending open tag, before any
+            // state changes — the guard fires for both parsing paths.
+            return Err(self.err(format!(
+                "element nesting exceeds the maximum depth of {MAX_DEPTH}"
+            )));
+        }
         self.expect("<")?;
         let (start, end) = self.parse_name()?;
         self.open.push((start, end));
@@ -581,6 +600,38 @@ mod tests {
             let stream = events(input).unwrap_err();
             assert_eq!(dom, stream, "{input:?}");
         }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting_at_max_depth() {
+        // ~1M open tags: without the guard this input would grow the
+        // per-depth stacks (and downstream recursion) without bound.
+        let deep = "<a>".repeat(1_000_000);
+        let mut parser = StreamParser::new(&deep);
+        let err = loop {
+            match parser.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("a 1M-deep document must not parse"),
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            err.message
+                .contains(&format!("maximum depth of {MAX_DEPTH}")),
+            "{}",
+            err.message
+        );
+        // The error points at the `<` of the first over-deep open tag.
+        assert_eq!(err.offset, MAX_DEPTH * 3);
+
+        // Exactly MAX_DEPTH levels are still fine.
+        let ok = format!("{}{}", "<a>".repeat(MAX_DEPTH), "</a>".repeat(MAX_DEPTH));
+        let mut parser = StreamParser::new(&ok);
+        let mut peak = 0;
+        while let Some(_event) = parser.next_event().unwrap() {
+            peak = peak.max(parser.depth());
+        }
+        assert_eq!(peak, MAX_DEPTH);
     }
 
     #[test]

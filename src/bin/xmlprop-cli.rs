@@ -7,7 +7,9 @@
 //! xmlprop-cli refine    <keys.txt> <rules.txt> <relation>
 //! xmlprop-cli shred     [--jobs N] <document.xml | corpus-dir> <rules.txt> [relation]
 //! xmlprop-cli mutate    <document.xml> <keys.txt> <rules.txt> <script.edits>
-//! xmlprop-cli serve     [--addr HOST:PORT] [--jobs N] [--script FILE] <keys.txt> <rules.txt>
+//! xmlprop-cli serve     [--addr HOST:PORT] [--jobs N] [--script FILE] [--read-timeout-ms N]
+//!                       [--request-deadline-ms N] [--shed-wait-ms N] [--drain-ms N]
+//!                       [--faults SPEC] [--fault-seed N] <keys.txt> <rules.txt>
 //! xmlprop-cli import-xsd <schema.xsd>
 //! ```
 //!
@@ -50,11 +52,12 @@ use std::path::Path;
 use std::process::ExitCode;
 use xmlprop::core::refine;
 use xmlprop::pipeline::{
-    parse_keys_text, parse_rules_text, CorpusBundle, CorpusOptions, DocOutcome, Jobs, PreparedState,
+    parse_keys_text, parse_rules_text, CorpusBundle, CorpusOptions, DocOutcome, Faults, Jobs,
+    PreparedState,
 };
 use xmlprop::prelude::*;
 use xmlprop::server::render;
-use xmlprop::server::{parse_script, run_script, Server};
+use xmlprop::server::{parse_script, run_script, Server, ServiceConfig};
 use xmlprop::xmlkeys::import_xsd_keys;
 use xmlprop::Error;
 
@@ -97,7 +100,10 @@ fn print_usage() {
            xmlprop-cli refine     <keys.txt> <rules.txt> <relation>\n  \
            xmlprop-cli shred      [--jobs N] <document.xml | dir> <rules.txt> [relation]\n  \
            xmlprop-cli mutate     <document.xml> <keys.txt> <rules.txt> <script.edits>\n  \
-           xmlprop-cli serve      [--addr HOST:PORT] [--jobs N] [--script FILE] <keys.txt> <rules.txt>\n  \
+           xmlprop-cli serve      [--addr HOST:PORT] [--jobs N] [--script FILE]\n                         \
+                          [--read-timeout-ms N] [--request-deadline-ms N]\n                         \
+                          [--shed-wait-ms N] [--drain-ms N]\n                         \
+                          [--faults SPEC] [--fault-seed N] <keys.txt> <rules.txt>\n  \
            xmlprop-cli import-xsd <schema.xsd>\n\n\
          Passing a directory to `validate` or `shred` processes every *.xml\n\
          file in it (sorted by name) through the parallel corpus pipeline\n\
@@ -109,7 +115,11 @@ fn print_usage() {
          xmlprop/1 line protocol from a resident prepared bundle (default\n\
          address 127.0.0.1:7878, default 8 connection threads); `reload`\n\
          hot-swaps new keys/rules without blocking readers.  With --script\n\
-         the session is self-driven and the transcript printed to stdout."
+         the session is self-driven and the transcript printed to stdout.\n\
+         Timeout flags harden the service (read/write timeout, per-request\n\
+         deadline, bounded admission wait, shutdown drain budget); --faults\n\
+         installs a seeded fault-injection schedule (builds with the\n\
+         `faultline` feature only), e.g. --faults conn.read=10%delay:2"
     );
 }
 
@@ -422,26 +432,69 @@ fn cmd_mutate(args: &[String]) -> Result<bool, Error> {
     Ok(state.satisfies())
 }
 
+/// Matches a `--flag=value` or `--flag value` option, returning the value
+/// (and consuming it from `iter` in the two-token form).
+fn opt_value(
+    arg: &str,
+    iter: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<Option<String>, Error> {
+    if let Some(value) = arg.strip_prefix(flag) {
+        if let Some(value) = value.strip_prefix('=') {
+            return Ok(Some(value.to_string()));
+        }
+        if value.is_empty() {
+            return match iter.next() {
+                Some(value) => Ok(Some(value.clone())),
+                None => Err(Error::usage(format!("{flag} expects a value"))),
+            };
+        }
+    }
+    Ok(None)
+}
+
+/// Parses a positive millisecond count for a serve timeout flag.
+fn parse_ms(flag: &str, value: &str) -> Result<std::time::Duration, Error> {
+    let ms: u64 = value
+        .parse()
+        .map_err(|_| Error::usage(format!("{flag} expects milliseconds, got `{value}`")))?;
+    if ms == 0 {
+        return Err(Error::usage(format!("{flag} must be positive")));
+    }
+    Ok(std::time::Duration::from_millis(ms))
+}
+
 fn cmd_serve(args: &[String]) -> Result<bool, Error> {
     let mut rest = Vec::new();
     let mut addr: Option<String> = None;
     let mut script: Option<String> = None;
+    let mut faults_spec: Option<String> = None;
+    let mut fault_seed: u64 = 0;
+    let mut config = ServiceConfig::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        if let Some(value) = arg.strip_prefix("--addr=") {
-            addr = Some(value.to_string());
-        } else if arg == "--addr" {
-            let value = iter
-                .next()
-                .ok_or_else(|| Error::usage("--addr expects HOST:PORT"))?;
-            addr = Some(value.clone());
-        } else if let Some(value) = arg.strip_prefix("--script=") {
-            script = Some(value.to_string());
-        } else if arg == "--script" {
-            let value = iter
-                .next()
-                .ok_or_else(|| Error::usage("--script expects a session file"))?;
-            script = Some(value.clone());
+        if let Some(value) = opt_value(arg, &mut iter, "--addr")? {
+            addr = Some(value);
+        } else if let Some(value) = opt_value(arg, &mut iter, "--script")? {
+            script = Some(value);
+        } else if let Some(value) = opt_value(arg, &mut iter, "--read-timeout-ms")? {
+            // One flag governs both socket directions; the request
+            // deadline has its own.
+            let timeout = parse_ms("--read-timeout-ms", &value)?;
+            config.read_timeout = timeout;
+            config.write_timeout = timeout;
+        } else if let Some(value) = opt_value(arg, &mut iter, "--request-deadline-ms")? {
+            config.request_deadline = parse_ms("--request-deadline-ms", &value)?;
+        } else if let Some(value) = opt_value(arg, &mut iter, "--shed-wait-ms")? {
+            config.shed_wait = parse_ms("--shed-wait-ms", &value)?;
+        } else if let Some(value) = opt_value(arg, &mut iter, "--drain-ms")? {
+            config.drain_timeout = parse_ms("--drain-ms", &value)?;
+        } else if let Some(value) = opt_value(arg, &mut iter, "--faults")? {
+            faults_spec = Some(value);
+        } else if let Some(value) = opt_value(arg, &mut iter, "--fault-seed")? {
+            fault_seed = value
+                .parse()
+                .map_err(|_| Error::usage(format!("--fault-seed expects a u64, got `{value}`")))?;
         } else {
             rest.push(arg.clone());
         }
@@ -449,8 +502,16 @@ fn cmd_serve(args: &[String]) -> Result<bool, Error> {
     let (positional, jobs) = parse_jobs(&rest)?;
     let [keys_path, rules_path] = positional.as_slice() else {
         return Err(Error::usage(
-            "usage: serve [--addr HOST:PORT] [--jobs N] [--script FILE] <keys.txt> <rules.txt>",
+            "usage: serve [--addr HOST:PORT] [--jobs N] [--script FILE] \
+             [--read-timeout-ms N] [--request-deadline-ms N] [--shed-wait-ms N] \
+             [--drain-ms N] [--faults SPEC] [--fault-seed N] <keys.txt> <rules.txt>",
         ));
+    };
+    // In builds without the `faultline` feature this reports a usage error
+    // ("not compiled in") — release servers cannot inject faults at all.
+    let faults = match faults_spec {
+        Some(spec) => Faults::parse(&spec, fault_seed)?,
+        None => Faults::disabled(),
     };
     let bundle = CorpusBundle::prepare(load_keys(keys_path)?, load_transformation(rules_path)?);
     // Resident service default: enough gate width for concurrent clients;
@@ -467,19 +528,33 @@ fn cmd_serve(args: &[String]) -> Result<bool, Error> {
                 .filter(|p| !p.as_os_str().is_empty())
                 .unwrap_or(Path::new("."));
             let steps = parse_script(&text, base)?;
-            let server = Server::bind(addr.as_deref().unwrap_or("127.0.0.1:0"), bundle, jobs)?;
+            let server = Server::bind_with(
+                addr.as_deref().unwrap_or("127.0.0.1:0"),
+                bundle,
+                jobs,
+                config,
+                faults,
+            )?;
             let mut out = std::io::stdout().lock();
             let outcome = run_script(server.local_addr(), &steps, &mut out);
             server.shutdown();
             outcome.map(|()| true)
         }
         None => {
-            let server = Server::bind(addr.as_deref().unwrap_or("127.0.0.1:7878"), bundle, jobs)?;
+            let active = faults.is_active();
+            let server = Server::bind_with(
+                addr.as_deref().unwrap_or("127.0.0.1:7878"),
+                bundle,
+                jobs,
+                config,
+                faults,
+            )?;
             eprintln!(
-                "xmlprop-cli serve: listening on {} (jobs={}, bundle epoch {})",
+                "xmlprop-cli serve: listening on {} (jobs={}, bundle epoch {}{})",
                 server.local_addr(),
                 jobs.get(),
                 server.epoch(),
+                if active { ", fault injection ON" } else { "" },
             );
             server.join();
             Ok(true)
