@@ -17,9 +17,11 @@
 //! document grid), `corpus` (the parallel corpus pipeline at 1/2/4/8
 //! worker threads), `serve` (the resident constraint server: validate
 //! requests/sec at 1/2/4/8 client threads against one shared
-//! hot-swappable bundle), and `incremental` (delta-maintained
+//! hot-swappable bundle), `incremental` (delta-maintained
 //! revalidation and re-shredding under a single small edit versus the
-//! from-scratch pipeline, on the same document grid).
+//! from-scratch pipeline, on the same document grid), and `query` (the
+//! key-aware join executed as a hash lookup against the propagated key
+//! versus the naive nested-loop baseline).
 //!
 //! Results are printed as text tables and also written as JSON files under
 //! `target/paper_experiments/` for archival (EXPERIMENTS.md quotes them).
@@ -29,8 +31,8 @@ use std::path::PathBuf;
 use xmlprop_bench::{
     corpus_experiment, corpus_rows, docs_experiment, docs_rows, fig7a, fig7a_rows, fig7b, fig7c,
     incremental_experiment, incremental_rows, large_scale, large_scale_rows, prepared_rows,
-    prepared_speedups, propagation_rows, render_table, serve_experiment, serve_rows,
-    stream_experiment, stream_rows, Fig7Row,
+    prepared_speedups, propagation_rows, query_experiment, query_rows, render_table,
+    serve_experiment, serve_rows, stream_experiment, stream_rows, Fig7Row,
 };
 
 fn out_dir() -> PathBuf {
@@ -411,6 +413,33 @@ fn run_large() -> Vec<Fig7Row> {
     large_scale_rows(&points)
 }
 
+fn run_query(quick: bool) -> Vec<Fig7Row> {
+    println!("== Query layer: unique-key hash-lookup join vs nested loop ==");
+    println!("   (fact ⋈ dim on the propagated key `id`; outputs asserted identical)\n");
+    let points = query_experiment(quick);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.rows.to_string(),
+                p.result_rows.to_string(),
+                format!("{:.3}", p.naive_ms),
+                format!("{:.3}", p.keyed_ms),
+                format!("{:.1}x", p.speedup()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["rows", "result rows", "naive (ms)", "keyed (ms)", "speedup"],
+            &rows
+        )
+    );
+    write_json("query", &points);
+    query_rows(&points)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
@@ -451,6 +480,9 @@ fn main() {
     }
     if run_all || wanted.contains(&"incremental") {
         rows.extend(run_incremental(quick));
+    }
+    if run_all || wanted.contains(&"query") {
+        rows.extend(run_query(quick));
     }
     println!("JSON copies written to {}", out_dir().display());
     // The consolidated tracking file is only refreshed by a full run: a

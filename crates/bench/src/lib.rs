@@ -23,7 +23,8 @@ use std::time::{Duration, Instant};
 use xmlprop_core::{
     minimum_cover, naive_minimum_cover, propagation, GMinimumCover, PropagationEngine,
 };
-use xmlprop_reldb::{Fd, Relation};
+use xmlprop_query::{execute, parse_query, plan, plan_naive, Catalog, JoinKind};
+use xmlprop_reldb::{Database, Fd, Relation, RelationSchema, Tuple, Value};
 use xmlprop_workload::{
     generate, generate_document_with_report, target_fd, DocConfig, Workload, WorkloadConfig,
 };
@@ -1207,6 +1208,114 @@ pub fn prepared_rows(points: &[PreparedPoint]) -> Vec<Fig7Row> {
             p.n,
             p.prepared_ms,
         ));
+    }
+    rows
+}
+
+/// One point of the query experiment: the same unique-key join executed
+/// by the key-aware plan (hash lookup against the propagated key) and by
+/// the naive nested-loop baseline, on `rows`-per-relation instances.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryPoint {
+    /// Rows in each of the two joined relations.
+    pub rows: usize,
+    /// Rows in the join result (identical for both plans).
+    pub result_rows: usize,
+    /// Best-of-reps naive nested-loop execution time.
+    pub naive_ms: f64,
+    /// Best-of-reps key-lookup execution time.
+    pub keyed_ms: f64,
+}
+
+impl QueryPoint {
+    /// How many times faster the keyed join ran.
+    pub fn speedup(&self) -> f64 {
+        self.naive_ms / self.keyed_ms
+    }
+}
+
+/// The query experiment: a foreign-key join between a fact table and a
+/// dimension table whose propagated cover makes `id` a key (`id ->
+/// payload`), so the optimizer executes it as a hash lookup.  Both plans
+/// are executed on the same instance and their outputs asserted equal row
+/// for row before timing is recorded.
+pub fn query_experiment(quick: bool) -> Vec<QueryPoint> {
+    let sizes: &[usize] = if quick {
+        &[200, 400]
+    } else {
+        &[500, 1000, 2000, 4000]
+    };
+    let reps = if quick { 3 } else { 5 };
+
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut dim = Relation::new(RelationSchema::new("dim", ["id", "payload"]));
+            for i in 0..n {
+                dim.insert(Tuple::new(vec![
+                    Value::text(format!("k{i}")),
+                    Value::text(format!("p{i}")),
+                ]));
+            }
+            let mut fact = Relation::new(RelationSchema::new("fact", ["fid", "val"]));
+            for i in 0..n {
+                // Every fact row hits a dimension row; a few carry a NULL
+                // key to keep the null-semantics path (never matches) on
+                // the measured path.
+                let fid = if i % 16 == 15 {
+                    Value::Null
+                } else {
+                    Value::text(format!("k{}", i % n))
+                };
+                fact.insert(Tuple::new(vec![fid, Value::text(format!("v{i}"))]));
+            }
+            let mut db = Database::new();
+            let mut catalog = Catalog::new();
+            catalog.add_relation(
+                dim.schema().clone(),
+                &[Fd::parse("id -> payload").expect("well-formed FD")],
+            );
+            catalog.add_relation(fact.schema().clone(), &[]);
+            db.insert(dim);
+            db.insert(fact);
+
+            let query = parse_query("select val, payload from fact join dim on fid = id")
+                .expect("experiment query parses");
+            let keyed_plan = plan(&query, &catalog).expect("query binds");
+            assert_eq!(
+                keyed_plan.joins[0].kind,
+                JoinKind::KeyLookup,
+                "the dimension join must plan as a hash lookup"
+            );
+            let naive_plan = plan_naive(&query, &catalog).expect("query binds");
+
+            let (naive_ms, naive_out) =
+                time_best_of(reps, || execute(&naive_plan, &db).expect("naive execution"));
+            let (keyed_ms, keyed_out) =
+                time_best_of(reps, || execute(&keyed_plan, &db).expect("keyed execution"));
+            assert_eq!(
+                naive_out.rows(),
+                keyed_out.rows(),
+                "keyed and naive outputs must be identical"
+            );
+
+            QueryPoint {
+                rows: n,
+                result_rows: keyed_out.len(),
+                naive_ms,
+                keyed_ms,
+            }
+        })
+        .collect()
+}
+
+/// Consolidates query points into two [`Fig7Row`]s per point
+/// (`query_naive` and `query_keyed`), with `n` the per-relation row count.
+pub fn query_rows(points: &[QueryPoint]) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for p in points {
+        rows.push(Fig7Row::new("query_naive", p.rows, p.naive_ms));
+        rows.push(Fig7Row::new("query_keyed", p.rows, p.keyed_ms));
     }
     rows
 }

@@ -1,0 +1,34 @@
+//! A small key-aware query engine over the propagated relational design.
+//!
+//! The paper's pipeline shreds an XML document into a [`Database`] and
+//! propagates the XML keys into relational FDs; this crate closes the loop
+//! by letting users *ask questions* of the result, and by making the
+//! propagated constraints earn their keep inside the optimizer:
+//!
+//! - [`parse_query`] — hand-rolled parser for a textual
+//!   select/project/join syntax (grammar in its docs);
+//! - [`Catalog`] / [`plan`] — binder plus key-aware optimizer over the
+//!   interned [`FdIndex`]: a join equated on a propagated key becomes a
+//!   hash lookup against a [`KeyedTable`], and a projection whose kept
+//!   attributes functionally determine the whole tuple skips the dedup
+//!   pass ([`plan_naive`] disables both, as the comparison baseline);
+//! - [`execute`] — the executor, with SQL comparison semantics (NULL never
+//!   equals anything) and set semantics on instances.
+//!
+//! All errors reuse the workspace [`Error`](xmlprop_pipeline::Error) table:
+//! syntax and binding failures carry the `parse` wire code, a query against
+//! an unregistered relation the `relation` code.
+//!
+//! [`Database`]: xmlprop_reldb::Database
+//! [`FdIndex`]: xmlprop_reldb::FdIndex
+
+mod exec;
+mod plan;
+mod syntax;
+
+pub use exec::{execute, KeyedTable};
+pub use plan::{plan, plan_naive, Catalog, JoinKind, JoinStep, Plan};
+pub use syntax::{parse_query, AttrRef, Condition, JoinClause, Query, Select};
+
+#[cfg(test)]
+mod oracle;

@@ -1,0 +1,464 @@
+//! Textual query syntax: tokenizer and recursive-descent parser.
+//!
+//! The language is a small select/project/join subset, enough to ask
+//! questions of a shredded document (see the crate docs for the role it
+//! plays in the pipeline):
+//!
+//! ```text
+//! query  ::= 'select' attrs 'from' ident join* where?
+//! attrs  ::= '*' | [ attr (',' attr)* ]
+//! join   ::= 'join' ident 'on' attr '=' attr ('and' attr '=' attr)*
+//! where  ::= 'where' attr '=' string ('and' attr '=' string)*
+//! attr   ::= ident ('.' ident)?
+//! string ::= '\'' text '\''
+//! ```
+//!
+//! Keywords are lowercase and reserved (an attribute or relation cannot be
+//! named `select`, `from`, `join`, `on`, `where` or `and`); whitespace is
+//! insignificant. String literals use single quotes with the SQL doubling
+//! convention for an embedded quote (`'it''s'`). The attribute list may be
+//! empty (`select from r`), which projects every row onto the empty tuple —
+//! the degenerate query returns at most one row. Qualified names
+//! (`chapter.name`) disambiguate attributes that occur in more than one
+//! joined relation.
+//!
+//! Parse errors reuse the workspace [`Error`] table with origin `query`, so
+//! the CLI and the server report them under the same `parse` wire code as
+//! every other malformed input.
+
+use std::fmt;
+use xmlprop_pipeline::Error;
+
+/// A possibly qualified attribute reference, displayed exactly as written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrRef {
+    /// Qualifier naming the relation the attribute must come from.
+    pub relation: Option<String>,
+    /// The attribute name.
+    pub attr: String,
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.relation {
+            Some(rel) => write!(f, "{rel}.{}", self.attr),
+            None => write!(f, "{}", self.attr),
+        }
+    }
+}
+
+/// One `join <rel> on a = b [and c = d]…` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinClause {
+    /// The relation joined in.
+    pub relation: String,
+    /// Equated attribute pairs, as written (sides in source order).
+    pub on: Vec<(AttrRef, AttrRef)>,
+}
+
+/// One `attr = 'literal'` conjunct of the `where` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condition {
+    /// The filtered attribute.
+    pub attr: AttrRef,
+    /// The literal it must equal (SQL semantics: NULL never matches).
+    pub value: String,
+}
+
+/// The projection list: `*` or explicit attributes (possibly none).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Select {
+    /// `select *` — every attribute of every relation in the query.
+    Star,
+    /// An explicit (possibly empty) attribute list.
+    Attrs(Vec<AttrRef>),
+}
+
+/// A parsed query, before binding against a catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The projection list.
+    pub select: Select,
+    /// The base relation scanned first.
+    pub from: String,
+    /// Joined relations, in source order.
+    pub joins: Vec<JoinClause>,
+    /// `where` conjuncts.
+    pub filters: Vec<Condition>,
+}
+
+const KEYWORDS: [&str; 6] = ["select", "from", "join", "on", "where", "and"];
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Comma,
+    Eq,
+    Star,
+    Dot,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Eq => write!(f, "`=`"),
+            Token::Star => write!(f, "`*`"),
+            Token::Dot => write!(f, "`.`"),
+        }
+    }
+}
+
+fn parse_error(message: impl Into<String>) -> Error {
+    Error::parse("query", message.into())
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, Error> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            _ if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token::Eq);
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token::Star);
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Token::Dot);
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            // `''` is an escaped quote; anything else ends
+                            // the literal.
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c),
+                        None => return Err(parse_error("unterminated string literal")),
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            _ if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            _ => return Err(parse_error(format!("unexpected character `{c}`"))),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.expected(&format!("`{kw}`")))
+        }
+    }
+
+    fn expected(&self, what: &str) -> Error {
+        match self.peek() {
+            Some(t) => parse_error(format!("expected {what}, found {t}")),
+            None => parse_error(format!("expected {what}, found end of query")),
+        }
+    }
+
+    /// A non-keyword identifier (relation or attribute name).
+    fn ident(&mut self, what: &str) -> Result<String, Error> {
+        match self.peek() {
+            Some(Token::Ident(s)) if !KEYWORDS.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.expected(what)),
+        }
+    }
+
+    fn attr_ref(&mut self) -> Result<AttrRef, Error> {
+        let first = self.ident("an attribute name")?;
+        if self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            let attr = self.ident("an attribute name after `.`")?;
+            Ok(AttrRef {
+                relation: Some(first),
+                attr,
+            })
+        } else {
+            Ok(AttrRef {
+                relation: None,
+                attr: first,
+            })
+        }
+    }
+
+    fn select_list(&mut self) -> Result<Select, Error> {
+        if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            return Ok(Select::Star);
+        }
+        // An empty list (`select from r`) is the degenerate zero-attribute
+        // projection.
+        let mut attrs = Vec::new();
+        if self.at_keyword("from") {
+            return Ok(Select::Attrs(attrs));
+        }
+        attrs.push(self.attr_ref()?);
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            attrs.push(self.attr_ref()?);
+        }
+        Ok(Select::Attrs(attrs))
+    }
+
+    fn join_clause(&mut self) -> Result<JoinClause, Error> {
+        let relation = self.ident("a relation name after `join`")?;
+        self.expect_keyword("on")?;
+        let mut on = Vec::new();
+        loop {
+            let left = self.attr_ref()?;
+            if self.next() != Some(Token::Eq) {
+                return Err(parse_error(format!(
+                    "expected `=` after `{left}` in join condition"
+                )));
+            }
+            let right = self.attr_ref()?;
+            on.push((left, right));
+            if self.at_keyword("and") {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(JoinClause { relation, on })
+    }
+
+    fn where_clause(&mut self) -> Result<Vec<Condition>, Error> {
+        let mut filters = Vec::new();
+        loop {
+            let attr = self.attr_ref()?;
+            if self.next() != Some(Token::Eq) {
+                return Err(parse_error(format!(
+                    "expected `=` after `{attr}` in where clause"
+                )));
+            }
+            let value = match self.next() {
+                Some(Token::Str(s)) => s,
+                Some(t) => {
+                    return Err(parse_error(format!(
+                        "expected a quoted string literal after `{attr} =`, found {t}"
+                    )))
+                }
+                None => {
+                    return Err(parse_error(format!(
+                        "expected a quoted string literal after `{attr} =`, found end of query"
+                    )))
+                }
+            };
+            filters.push(Condition { attr, value });
+            if self.at_keyword("and") {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(filters)
+    }
+}
+
+/// Parses one query. Errors carry the `parse` wire code (origin `query`).
+pub fn parse_query(text: &str) -> Result<Query, Error> {
+    let mut p = Parser {
+        tokens: tokenize(text)?,
+        pos: 0,
+    };
+    p.expect_keyword("select")?;
+    let select = p.select_list()?;
+    p.expect_keyword("from")?;
+    let from = p.ident("a relation name after `from`")?;
+    let mut joins = Vec::new();
+    while p.at_keyword("join") {
+        p.pos += 1;
+        joins.push(p.join_clause()?);
+    }
+    let filters = if p.at_keyword("where") {
+        p.pos += 1;
+        p.where_clause()?
+    } else {
+        Vec::new()
+    };
+    if let Some(t) = p.peek() {
+        return Err(parse_error(format!("unexpected trailing {t}")));
+    }
+    Ok(Query {
+        select,
+        from,
+        joins,
+        filters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(name: &str) -> AttrRef {
+        AttrRef {
+            relation: None,
+            attr: name.to_string(),
+        }
+    }
+
+    fn qualified(rel: &str, name: &str) -> AttrRef {
+        AttrRef {
+            relation: Some(rel.to_string()),
+            attr: name.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_simple_select() {
+        let q = parse_query("select isbn, title from book").unwrap();
+        assert_eq!(q.select, Select::Attrs(vec![attr("isbn"), attr("title")]));
+        assert_eq!(q.from, "book");
+        assert!(q.joins.is_empty());
+        assert!(q.filters.is_empty());
+    }
+
+    #[test]
+    fn parses_star_join_and_where() {
+        let q = parse_query(
+            "select * from U join chapter on bookIsbn = inBook and chapNum = number \
+             where bookTitle = 'XML'",
+        )
+        .unwrap();
+        assert_eq!(q.select, Select::Star);
+        assert_eq!(q.from, "U");
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].relation, "chapter");
+        assert_eq!(
+            q.joins[0].on,
+            vec![
+                (attr("bookIsbn"), attr("inBook")),
+                (attr("chapNum"), attr("number")),
+            ]
+        );
+        assert_eq!(
+            q.filters,
+            vec![Condition {
+                attr: attr("bookTitle"),
+                value: "XML".to_string(),
+            }]
+        );
+    }
+
+    #[test]
+    fn parses_qualified_attributes() {
+        let q = parse_query(
+            "select chapter.name from chapter join section on inChapt = chapter.number",
+        )
+        .unwrap();
+        assert_eq!(q.select, Select::Attrs(vec![qualified("chapter", "name")]));
+        assert_eq!(
+            q.joins[0].on,
+            vec![(attr("inChapt"), qualified("chapter", "number"))]
+        );
+    }
+
+    #[test]
+    fn parses_empty_projection() {
+        let q = parse_query("select from book").unwrap();
+        assert_eq!(q.select, Select::Attrs(Vec::new()));
+        assert_eq!(q.from, "book");
+    }
+
+    #[test]
+    fn parses_escaped_quote() {
+        let q = parse_query("select a from r where a = 'it''s'").unwrap();
+        assert_eq!(q.filters[0].value, "it's");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "select",
+            "select a",
+            "select a from",
+            "select a frm r",
+            "select a from r join",
+            "select a from r join s",
+            "select a from r join s on",
+            "select a from r join s on a = ",
+            "select a from r where a = b",
+            "select a from r where a = 'x",
+            "select a from r trailing",
+            "select a, from r",
+            "select a from r where from = 'x'",
+            "select a from r ;",
+        ] {
+            let err = parse_query(bad).unwrap_err();
+            assert_eq!(err.wire_code(), "parse", "query {bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn keywords_are_reserved() {
+        assert!(parse_query("select select from r").is_err());
+        assert!(parse_query("select a from where").is_err());
+    }
+}

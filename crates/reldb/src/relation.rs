@@ -37,6 +37,21 @@ impl Tuple {
     pub fn has_null(&self) -> bool {
         self.values.iter().any(Value::is_null)
     }
+
+    /// SQL-style tuple equality: every field pair compares equal under
+    /// [`Value::sql_eq`]. A tuple containing a null therefore never
+    /// matches anything — itself included — which is the comparison keys
+    /// and joins must use. Structural `==` (nulls equal) remains the right
+    /// notion for *duplicate elimination* ([`Relation::distinct`], SQL
+    /// `DISTINCT`); see the [`Value`] docs for the split.
+    pub fn sql_eq(&self, other: &Tuple) -> bool {
+        self.arity() == other.arity()
+            && self
+                .values
+                .iter()
+                .zip(other.values.iter())
+                .all(|(a, b)| a.sql_eq(b))
+    }
 }
 
 impl<V: Into<Value>> FromIterator<V> for Tuple {
@@ -120,6 +135,13 @@ impl Relation {
     }
 
     /// Returns a copy with duplicate rows removed (order preserved).
+    ///
+    /// Duplicate detection is *structural*, like SQL `DISTINCT`: two rows
+    /// that agree field-by-field collapse even where those fields are
+    /// null. This is deliberately not [`Tuple::sql_eq`] — under SQL
+    /// comparison semantics a null-bearing row equals nothing and
+    /// `DISTINCT` could never remove it, yet SQL (and this engine) still
+    /// collapse repeated `NULL` rows when deduplicating.
     pub fn distinct(&self) -> Relation {
         let mut seen = std::collections::BTreeSet::new();
         let mut out = Relation::new(self.schema.clone());
@@ -375,6 +397,33 @@ mod tests {
         let schema = RelationSchema::new("r", ["a", "b"]);
         let mut r = Relation::new(schema);
         r.insert(["only one"].into_iter().collect());
+    }
+
+    #[test]
+    fn tuple_sql_eq_never_matches_nulls() {
+        let plain: Tuple = ["1", "x"].into_iter().collect();
+        let same: Tuple = ["1", "x"].into_iter().collect();
+        let with_null = Tuple::new(vec![Value::text("1"), Value::Null]);
+        assert!(plain.sql_eq(&same));
+        assert!(!plain.sql_eq(&with_null));
+        // A null-bearing tuple does not even match itself…
+        assert!(!with_null.sql_eq(&with_null));
+        // …although structural equality (duplicate detection) says it does.
+        assert_eq!(with_null, with_null.clone());
+        // Arity mismatch is simply unequal, not a panic.
+        let short: Tuple = ["1"].into_iter().collect();
+        assert!(!plain.sql_eq(&short));
+    }
+
+    #[test]
+    fn distinct_collapses_null_rows_like_sql_distinct() {
+        let schema = RelationSchema::new("r", ["a"]);
+        let mut r = Relation::new(schema);
+        r.insert(Tuple::new(vec![Value::Null]));
+        r.insert(Tuple::new(vec![Value::Null]));
+        // DISTINCT is structural: repeated NULL rows collapse even though
+        // sql_eq would call them unequal.
+        assert_eq!(r.distinct().len(), 1);
     }
 
     #[test]

@@ -14,6 +14,13 @@ use std::sync::Arc;
 /// tuples can live in ordered collections; use [`Value::sql_eq`] where the
 /// paper's semantics of comparisons is required.
 ///
+/// The split of duties is deliberate: *duplicate elimination* (SQL
+/// `DISTINCT`, [`Relation::distinct`](crate::Relation::distinct)) is
+/// structural and collapses nulls, exactly as SQL's `DISTINCT` does, while
+/// *key and join comparisons* must go through [`Value::sql_eq`] (or
+/// [`Tuple::sql_eq`](crate::Tuple::sql_eq)) so that a null-bearing tuple
+/// never matches another tuple and never counts as a key violation.
+///
 /// Text is stored as a shared `Arc<str>`: the shredding semantics populates
 /// the same node's `value()` into every tuple of a Cartesian product, so
 /// value clones are refcount bumps rather than string copies (at 10⁵-row

@@ -25,6 +25,7 @@
 //! propagate <relation> <fd text…>
 //! cover
 //! cover <relation>
+//! query <len> <query text…>\n<len bytes of XML>
 //! reload <keys-len> <rules-len>\n<keys bytes><rules bytes>
 //! quit
 //! ```
@@ -88,6 +89,16 @@ pub enum Request {
         /// The relation to cover (`None` = every rule).
         relation: Option<String>,
     },
+    /// Run a query over the shredded image of an XML document.  The query
+    /// text is the rest of the header line (the language is
+    /// whitespace-insensitive, so token-joining on read is lossless); the
+    /// document is length-framed like `validate`'s.
+    Query {
+        /// The document text.
+        document: String,
+        /// The query text (`select … from … [join …] [where …]`).
+        query: String,
+    },
     /// Admin: rebuild the bundle from new keys/rules text and publish it.
     Reload {
         /// The keys file text (same syntax as the CLI's `<keys.txt>`).
@@ -115,6 +126,7 @@ impl Request {
             Request::Shred { .. } => "shred",
             Request::Propagate { .. } => "propagate",
             Request::Cover { .. } => "cover",
+            Request::Query { .. } => "query",
             Request::Reload { .. } => "reload",
             Request::Quit => "quit",
             #[cfg(any(test, feature = "faultline"))]
@@ -157,6 +169,10 @@ impl Request {
                 Some(rel) => writeln!(w, "cover {rel}"),
                 None => writeln!(w, "cover"),
             },
+            Request::Query { document, query } => {
+                writeln!(w, "query {} {query}", document.len())?;
+                w.write_all(document.as_bytes())
+            }
             Request::Reload { keys, rules } => {
                 writeln!(w, "reload {} {}", keys.len(), rules.len())?;
                 w.write_all(keys.as_bytes())?;
@@ -220,6 +236,20 @@ impl Request {
             "cover" => Ok(Some(Request::Cover {
                 relation: parts.next().map(str::to_string),
             })),
+            "query" => {
+                let len = parse_len(parts.next(), "query")?;
+                let query: Vec<&str> = parts.collect();
+                if query.is_empty() {
+                    return Err(Error::protocol(
+                        "query expects the query text after the body length",
+                    ));
+                }
+                let document = read_body(r, len, "query document")?;
+                Ok(Some(Request::Query {
+                    document,
+                    query: query.join(" "),
+                }))
+            }
             "reload" => {
                 let keys_len = parse_len(parts.next(), "reload")?;
                 let rules_len = parse_len(parts.next(), "reload")?;
@@ -432,6 +462,10 @@ mod tests {
         round_trip(Request::Cover {
             relation: Some("book".into()),
         });
+        round_trip(Request::Query {
+            document: "<r><book isbn='1'/></r>".into(),
+            query: "select title, name from book join chapter on isbn = inBook".into(),
+        });
         round_trip(Request::Reload {
             keys: "K1: (ε, (//book, {@isbn}))\n".into(),
             rules: "rule book(isbn) { xb := xr//book; xi := xb/@isbn; isbn := value(xi); }\n"
@@ -449,6 +483,11 @@ mod tests {
         }
         .is_read_only());
         assert!(Request::Cover { relation: None }.is_read_only());
+        assert!(Request::Query {
+            document: String::new(),
+            query: "select from r".into()
+        }
+        .is_read_only());
         assert!(!Request::Quit.is_read_only());
         assert!(!Request::Reload {
             keys: String::new(),

@@ -210,6 +210,51 @@ pub fn propagate_report(outcomes: &[PropagationOutcome]) -> (bool, String) {
     (all, out)
 }
 
+/// Runs one query against the shredded image of `doc` and renders the
+/// result: a `plan:` line (scan/join strategy, dedup decision), the result
+/// table, and a row-count trailer. Returns the row count and the text.
+///
+/// The catalog the planner optimizes against is the bundle's **propagated
+/// covers** — the same `minimum_cover()` the `cover` verb reports — so a
+/// join equated on a propagated key executes as a hash lookup. Only the
+/// relations the query mentions are shredded.
+pub fn query_report(
+    bundle: &CorpusBundle,
+    doc: &Document,
+    scratch: &mut RequestScratch,
+    query_text: &str,
+) -> Result<(usize, String), Error> {
+    let query = xmlprop_query::parse_query(query_text)?;
+    let mut catalog = xmlprop_query::Catalog::new();
+    for engine in bundle.engines() {
+        catalog.add_relation(engine.rule().schema().clone(), &engine.minimum_cover());
+    }
+    let plan = xmlprop_query::plan(&query, &catalog)?;
+    let needed: std::collections::BTreeSet<&str> = std::iter::once(query.from.as_str())
+        .chain(query.joins.iter().map(|j| j.relation.as_str()))
+        .collect();
+    let index = scratch.index_document(doc);
+    // The value() memo is per-document; evaluation buffers survive.
+    scratch.shred_scratch().reset();
+    let mut database = Database::new();
+    for shred_plan in bundle.plan().plans() {
+        if needed.contains(shred_plan.schema().name()) {
+            database.insert(shred_plan.shred_with(doc, &index, scratch.shred_scratch()));
+        }
+    }
+    let result = xmlprop_query::execute(&plan, &database)?;
+    let rows = result.len();
+    let mut out = String::new();
+    writeln!(out, "plan: {}", plan.describe()).expect("String write");
+    // A zero-attribute projection has no table to draw; the count line
+    // alone is the well-formed rendering.
+    if result.schema().arity() > 0 {
+        out.push_str(&result.to_table_string());
+    }
+    writeln!(out, "({rows} {})", if rows == 1 { "row" } else { "rows" }).expect("String write");
+    Ok((rows, out))
+}
+
 /// Parses an `X -> A` FD, with the CLI's exact diagnostic.
 pub fn parse_fd(text: &str) -> Result<Fd, Error> {
     text.parse()
@@ -320,6 +365,34 @@ mod tests {
         let (fds_all, all) = cover_report(&bundle, None).unwrap();
         assert_eq!(fds, fds_all);
         assert_eq!(all, format!("-- book\n{one}"));
+    }
+
+    #[test]
+    fn query_report_renders_plan_table_and_count() {
+        let bundle = bundle();
+        let mut scratch = bundle.scratch();
+        let doc = Document::parse_str("<r><book isbn='2'/><book isbn='1'/></r>").unwrap();
+        let (rows, text) =
+            query_report(&bundle, &doc, &mut scratch, "select isbn from book").unwrap();
+        assert_eq!(rows, 2);
+        assert!(
+            text.starts_with("plan: scan book; project isbn"),
+            "got: {text}"
+        );
+        assert!(text.contains("isbn"), "header present: {text}");
+        assert!(text.ends_with("(2 rows)\n"), "got: {text}");
+
+        // Zero-attribute projection: no table, just the count.
+        let (rows, text) = query_report(&bundle, &doc, &mut scratch, "select from book").unwrap();
+        assert_eq!(rows, 1);
+        assert!(text.ends_with("(1 row)\n"), "got: {text}");
+        assert_eq!(text.lines().count(), 2, "plan line + count only: {text}");
+
+        // Errors reuse the shared table.
+        let err = query_report(&bundle, &doc, &mut scratch, "select broken").unwrap_err();
+        assert_eq!(err.wire_code(), "parse");
+        let err = query_report(&bundle, &doc, &mut scratch, "select a from nosuch").unwrap_err();
+        assert_eq!(err.wire_code(), "relation");
     }
 
     #[test]

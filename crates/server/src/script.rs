@@ -9,6 +9,7 @@
 //! status
 //! validate @fig1.xml
 //! shred @fig1.xml chapter
+//! query @fig1.xml select chapter.name from chapter
 //! propagate chapter inBook, number -> name
 //! cover chapter
 //! reload @keys2.txt @rules2.txt
@@ -93,6 +94,23 @@ fn parse_line(line: &str, base: &Path) -> Result<Request, Error> {
         "cover" => Ok(Request::Cover {
             relation: parts.next().map(str::to_string),
         }),
+        "query" => {
+            let document = file_arg(
+                parts.next(),
+                base,
+                "query expects `@document.xml <query text>`",
+            )?;
+            let text: Vec<&str> = parts.collect();
+            if text.is_empty() {
+                return Err(Error::usage(
+                    "query expects the query text after the document",
+                ));
+            }
+            Ok(Request::Query {
+                document,
+                query: text.join(" "),
+            })
+        }
         "reload" => Ok(Request::Reload {
             keys: file_arg(parts.next(), base, "reload expects `@keys.txt @rules.txt`")?,
             rules: file_arg(parts.next(), base, "reload expects `@keys.txt @rules.txt`")?,
@@ -156,6 +174,28 @@ mod tests {
             }
         );
         assert_eq!(steps[4].request, Request::Quit);
+    }
+
+    #[test]
+    fn query_lines_join_the_tail_into_one_query_text() {
+        let dir = std::env::temp_dir().join(format!("xmlprop-script-query-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("doc.xml"), "<db/>").unwrap();
+        let steps = parse_script(
+            "query @doc.xml select name from chapter where name = 'Intro'\n",
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(
+            steps[0].request,
+            Request::Query {
+                document: "<db/>".into(),
+                query: "select name from chapter where name = 'Intro'".into(),
+            }
+        );
+        let err = parse_script("query @doc.xml\n", &dir).unwrap_err();
+        assert!(err.to_string().contains("query text"), "got: {err}");
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

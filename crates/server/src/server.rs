@@ -112,6 +112,7 @@ pub struct VerbCounters {
     shred: AtomicU64,
     propagate: AtomicU64,
     cover: AtomicU64,
+    query: AtomicU64,
     reload: AtomicU64,
     quit: AtomicU64,
     /// The test-only panic verb gets a private slot so it never skews the
@@ -129,6 +130,7 @@ impl VerbCounters {
             Request::Shred { .. } => &self.shred,
             Request::Propagate { .. } => &self.propagate,
             Request::Cover { .. } => &self.cover,
+            Request::Query { .. } => &self.query,
             Request::Reload { .. } => &self.reload,
             Request::Quit => &self.quit,
             #[cfg(any(test, feature = "faultline"))]
@@ -155,6 +157,7 @@ impl VerbCounters {
             &self.shred,
             &self.propagate,
             &self.cover,
+            &self.query,
             &self.reload,
             &self.quit,
         ]
@@ -166,13 +169,15 @@ impl VerbCounters {
     /// One-line per-verb report, in the protocol's verb order.
     pub fn report(&self) -> String {
         format!(
-            "ping={} status={} validate={} shred={} propagate={} cover={} reload={} quit={}",
+            "ping={} status={} validate={} shred={} propagate={} cover={} query={} reload={} \
+             quit={}",
             self.ping.load(Ordering::Relaxed),
             self.status.load(Ordering::Relaxed),
             self.validate.load(Ordering::Relaxed),
             self.shred.load(Ordering::Relaxed),
             self.propagate.load(Ordering::Relaxed),
             self.cover.load(Ordering::Relaxed),
+            self.query.load(Ordering::Relaxed),
             self.reload.load(Ordering::Relaxed),
             self.quit.load(Ordering::Relaxed),
         )
@@ -405,6 +410,12 @@ impl ServerState {
             Request::Cover { relation } => {
                 let (fds, text) = render::cover_report(&snapshot, relation.as_deref())?;
                 Ok(Response::ok("cover", epoch, &format!("fds={fds}"), text))
+            }
+            Request::Query { document, query } => {
+                let doc = parse_document(document)?;
+                let scratch = cache.for_snapshot(&snapshot);
+                let (rows, text) = render::query_report(&snapshot, &doc, scratch, query)?;
+                Ok(Response::ok("query", epoch, &format!("rows={rows}"), text))
             }
             Request::Reload { keys, rules } => {
                 // A fault here models the preparation dying mid-way (OOM,
@@ -991,7 +1002,7 @@ mod tests {
         );
         assert_eq!(
             resp.payload,
-            "ping=2 status=1 validate=0 shred=0 propagate=0 cover=0 reload=0 quit=0\n\
+            "ping=2 status=1 validate=0 shred=0 propagate=0 cover=0 query=0 reload=0 quit=0\n\
              panics=0 timeouts=0 sheds=0\n"
         );
         assert_eq!(state.counters().total(), 3);

@@ -695,6 +695,29 @@ mod tests {
     }
 
     #[test]
+    fn incomplete_key_tuples_never_count_as_duplicates() {
+        use xmlprop_xmltree::ElementBuilder;
+        // Two books both missing @isbn: their (absent) key tuples must not
+        // hash equal — a null-bearing tuple is exempt from condition (2),
+        // so each is a MissingAttribute, never a DuplicateKeyValue.
+        let doc = ElementBuilder::new("r")
+            .child(ElementBuilder::new("book"))
+            .child(ElementBuilder::new("book"))
+            .build();
+        let sigma = example_2_1_keys();
+        let mut index = KeyIndex::new(&sigma);
+        let dix = index.index_document(&doc);
+        let k1 = index.violations_of(0, &doc, &dix);
+        assert_eq!(k1.len(), 2);
+        assert!(k1
+            .iter()
+            .all(|v| matches!(v, Violation::MissingAttribute { .. })));
+        assert!(!k1
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateKeyValue { .. })));
+    }
+
+    #[test]
     fn validation_scales_across_multiple_documents_per_index() {
         use xmlprop_xmltree::ElementBuilder;
         let sigma = example_2_1_keys();

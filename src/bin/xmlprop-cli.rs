@@ -7,6 +7,7 @@
 //! xmlprop-cli refine    <keys.txt> <rules.txt> <relation>
 //! xmlprop-cli shred     [--jobs N] <document.xml | corpus-dir> <rules.txt> [relation]
 //! xmlprop-cli mutate    <document.xml> <keys.txt> <rules.txt> <script.edits>
+//! xmlprop-cli query     <document.xml> <keys.txt> <rules.txt> "<select ...>"
 //! xmlprop-cli serve     [--addr HOST:PORT] [--jobs N] [--script FILE] [--read-timeout-ms N]
 //!                       [--request-deadline-ms N] [--shed-wait-ms N] [--drain-ms N]
 //!                       [--faults SPEC] [--fault-seed N] <keys.txt> <rules.txt>
@@ -32,6 +33,12 @@
 //! database in place — reporting per edit the node count, the violation
 //! count and the tuple-level insert/delete effect per relation, instead of
 //! re-running the whole pipeline per edit.
+//!
+//! `query` runs one select/project/join query (the `xmlprop-query`
+//! grammar) against the relations shredded from a document: the bundle is
+//! prepared, the document shredded, and the plan printed alongside the
+//! result table — joins on a propagated key execute as hash lookups, shown
+//! as `[key lookup]` in the plan line.
 //!
 //! `serve` keeps the prepared bundle **resident** behind the `xmlprop/1`
 //! line protocol (see the `xmlprop-server` crate docs): clients validate,
@@ -61,24 +68,81 @@ use xmlprop::server::{parse_script, run_script, Server, ServiceConfig};
 use xmlprop::xmlkeys::import_xsd_keys;
 use xmlprop::Error;
 
+/// The one subcommand table: name, argument spec, and handler.  The main
+/// dispatch, the `help` synopsis and every per-command usage error are all
+/// generated from it, so the surfaces cannot drift apart — a subcommand
+/// cannot exist without a usage line, and a usage line cannot survive its
+/// subcommand's removal.
+type Handler = fn(&[String]) -> Result<bool, Error>;
+const COMMANDS: &[(&str, &str, Handler)] = &[
+    (
+        "validate",
+        "[--jobs N] [--stream] <document.xml | dir> <keys.txt>",
+        cmd_validate,
+    ),
+    (
+        "propagate",
+        "<keys.txt> <rules.txt> <relation> \"X -> A\"",
+        cmd_propagate,
+    ),
+    ("cover", "<keys.txt> <rules.txt> <relation>", cmd_cover),
+    ("refine", "<keys.txt> <rules.txt> <relation>", cmd_refine),
+    (
+        "shred",
+        "[--jobs N] [--stream] <document.xml | dir> <rules.txt> [relation]",
+        cmd_shred,
+    ),
+    (
+        "mutate",
+        "<document.xml> <keys.txt> <rules.txt> <script.edits>",
+        cmd_mutate,
+    ),
+    (
+        "query",
+        "<document.xml> <keys.txt> <rules.txt> \"<select ...>\"",
+        cmd_query,
+    ),
+    (
+        "serve",
+        "[--addr HOST:PORT] [--jobs N] [--script FILE] [--read-timeout-ms N] \
+         [--request-deadline-ms N] [--shed-wait-ms N] [--drain-ms N] \
+         [--faults SPEC] [--fault-seed N] <keys.txt> <rules.txt>",
+        cmd_serve,
+    ),
+    ("import-xsd", "<schema.xsd>", cmd_import_xsd),
+];
+
+/// Every `--` option any subcommand accepts.  Kept next to the spec table
+/// so the usage test can assert each one is documented; a flag parsed in
+/// code but missing here (or here but absent from every spec line) fails
+/// the test.
+#[cfg(test)]
+const FLAGS: &[&str] = &[
+    "--jobs",
+    "--stream",
+    "--addr",
+    "--script",
+    "--read-timeout-ms",
+    "--request-deadline-ms",
+    "--shed-wait-ms",
+    "--drain-ms",
+    "--faults",
+    "--fault-seed",
+];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("validate") => cmd_validate(&args[1..]),
-        Some("propagate") => cmd_propagate(&args[1..]),
-        Some("cover") => cmd_cover(&args[1..]),
-        Some("refine") => cmd_refine(&args[1..]),
-        Some("shred") => cmd_shred(&args[1..]),
-        Some("mutate") => cmd_mutate(&args[1..]),
-        Some("serve") => cmd_serve(&args[1..]),
-        Some("import-xsd") => cmd_import_xsd(&args[1..]),
         Some("help") | None => {
-            print_usage();
+            print!("{}", usage_text());
             Ok(true)
         }
-        Some(other) => Err(Error::usage(format!(
-            "unknown subcommand `{other}`; try `xmlprop-cli help`"
-        ))),
+        Some(cmd) => match COMMANDS.iter().find(|(name, _, _)| *name == cmd) {
+            Some((_, _, handler)) => handler(&args[1..]),
+            None => Err(Error::usage(format!(
+                "unknown subcommand `{cmd}`; try `xmlprop-cli help`"
+            ))),
+        },
     };
     match result {
         Ok(true) => ExitCode::SUCCESS,
@@ -90,37 +154,66 @@ fn main() -> ExitCode {
     }
 }
 
-fn print_usage() {
-    println!(
-        "xmlprop-cli — XML key propagation to relations (ICDE 2003)\n\n\
-         USAGE:\n  \
-           xmlprop-cli validate   [--jobs N] <document.xml | dir> <keys.txt>\n  \
-           xmlprop-cli propagate  <keys.txt> <rules.txt> <relation> \"X -> A\"\n  \
-           xmlprop-cli cover      <keys.txt> <rules.txt> <relation>\n  \
-           xmlprop-cli refine     <keys.txt> <rules.txt> <relation>\n  \
-           xmlprop-cli shred      [--jobs N] <document.xml | dir> <rules.txt> [relation]\n  \
-           xmlprop-cli mutate     <document.xml> <keys.txt> <rules.txt> <script.edits>\n  \
-           xmlprop-cli serve      [--addr HOST:PORT] [--jobs N] [--script FILE]\n                         \
-                          [--read-timeout-ms N] [--request-deadline-ms N]\n                         \
-                          [--shed-wait-ms N] [--drain-ms N]\n                         \
-                          [--faults SPEC] [--fault-seed N] <keys.txt> <rules.txt>\n  \
-           xmlprop-cli import-xsd <schema.xsd>\n\n\
-         Passing a directory to `validate` or `shred` processes every *.xml\n\
+/// The usage error for one subcommand, generated from [`COMMANDS`] so the
+/// message a failing invocation prints is the same line `help` shows.
+fn usage_error(cmd: &str) -> Error {
+    let spec = COMMANDS
+        .iter()
+        .find(|(name, _, _)| *name == cmd)
+        .map(|(_, spec, _)| *spec)
+        .expect("usage_error is only called with table commands");
+    Error::usage(format!("usage: {cmd} {spec}"))
+}
+
+/// Greedy word-wrap of a spec string into lines of at most `width`
+/// characters, for the `help` synopsis; continuation lines get `indent`.
+fn wrap_spec(spec: &str, width: usize, indent: &str) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for word in spec.split_whitespace() {
+        match lines.last_mut() {
+            Some(line) if line.len() + 1 + word.len() <= width => {
+                line.push(' ');
+                line.push_str(word);
+            }
+            _ => lines.push(word.to_string()),
+        }
+    }
+    lines.join(&format!("\n{indent}"))
+}
+
+fn usage_text() -> String {
+    let mut out =
+        String::from("xmlprop-cli — XML key propagation to relations (ICDE 2003)\n\nUSAGE:\n");
+    for (name, spec, _) in COMMANDS {
+        let head = format!("  xmlprop-cli {name:<10} ");
+        let indent = " ".repeat(head.len());
+        out.push_str(&head);
+        out.push_str(&wrap_spec(spec, 52, &indent));
+        out.push('\n');
+    }
+    out.push_str("  xmlprop-cli help\n");
+    out.push_str(
+        "\nPassing a directory to `validate` or `shred` processes every *.xml\n\
          file in it (sorted by name) through the parallel corpus pipeline\n\
          over N worker threads (default 1).\n\n\
          `mutate` applies an edit script (settext/remove/insert lines over\n\
          n<id> node names) to the document, incrementally maintaining the\n\
          index, the key validation and the shredded relations per edit.\n\n\
-         `serve` answers validate/shred/propagate/cover requests over the\n\
-         xmlprop/1 line protocol from a resident prepared bundle (default\n\
-         address 127.0.0.1:7878, default 8 connection threads); `reload`\n\
-         hot-swaps new keys/rules without blocking readers.  With --script\n\
-         the session is self-driven and the transcript printed to stdout.\n\
-         Timeout flags harden the service (read/write timeout, per-request\n\
-         deadline, bounded admission wait, shutdown drain budget); --faults\n\
-         installs a seeded fault-injection schedule (builds with the\n\
-         `faultline` feature only), e.g. --faults conn.read=10%delay:2"
+         `query` shreds the document and runs one select/project/join query\n\
+         against the resulting relations; joins equated on a propagated key\n\
+         execute as hash lookups ([key lookup] in the printed plan).\n\n\
+         `serve` answers validate/shred/propagate/cover/query requests over\n\
+         the xmlprop/1 line protocol from a resident prepared bundle\n\
+         (default address 127.0.0.1:7878, default 8 connection threads);\n\
+         `reload` hot-swaps new keys/rules without blocking readers.  With\n\
+         --script the session is self-driven and the transcript printed to\n\
+         stdout.  Timeout flags harden the service (read/write timeout,\n\
+         per-request deadline, bounded admission wait, shutdown drain\n\
+         budget); --faults installs a seeded fault-injection schedule\n\
+         (builds with the `faultline` feature only), e.g.\n\
+         --faults conn.read=10%delay:2\n",
     );
+    out
 }
 
 /// Strips every occurrence of a boolean flag (e.g. `--stream`) from an
@@ -264,9 +357,7 @@ fn cmd_validate(args: &[String]) -> Result<bool, Error> {
     let (args, stream) = split_flag(args, "--stream");
     let (positional, jobs) = parse_jobs(&args)?;
     let [doc_path, keys_path] = positional.as_slice() else {
-        return Err(Error::usage(
-            "usage: validate [--jobs N] [--stream] <document.xml | dir> <keys.txt>",
-        ));
+        return Err(usage_error("validate"));
     };
     if Path::new(doc_path).is_dir() {
         return batch_validate(doc_path, keys_path, jobs.unwrap_or_default(), stream);
@@ -291,9 +382,7 @@ fn cmd_validate(args: &[String]) -> Result<bool, Error> {
 
 fn cmd_propagate(args: &[String]) -> Result<bool, Error> {
     let [keys_path, rules_path, relation, fd_text] = args else {
-        return Err(Error::usage(
-            "usage: propagate <keys.txt> <rules.txt> <relation> \"X -> A\"",
-        ));
+        return Err(usage_error("propagate"));
     };
     let sigma = load_keys(keys_path)?;
     let t = load_transformation(rules_path)?;
@@ -307,9 +396,7 @@ fn cmd_propagate(args: &[String]) -> Result<bool, Error> {
 
 fn cmd_cover(args: &[String]) -> Result<bool, Error> {
     let [keys_path, rules_path, relation] = args else {
-        return Err(Error::usage(
-            "usage: cover <keys.txt> <rules.txt> <relation>",
-        ));
+        return Err(usage_error("cover"));
     };
     let sigma = load_keys(keys_path)?;
     let t = load_transformation(rules_path)?;
@@ -321,9 +408,7 @@ fn cmd_cover(args: &[String]) -> Result<bool, Error> {
 
 fn cmd_refine(args: &[String]) -> Result<bool, Error> {
     let [keys_path, rules_path, relation] = args else {
-        return Err(Error::usage(
-            "usage: refine <keys.txt> <rules.txt> <relation>",
-        ));
+        return Err(usage_error("refine"));
     };
     let sigma = load_keys(keys_path)?;
     let t = load_transformation(rules_path)?;
@@ -341,14 +426,11 @@ fn cmd_refine(args: &[String]) -> Result<bool, Error> {
 fn cmd_shred(args: &[String]) -> Result<bool, Error> {
     let (args, stream) = split_flag(args, "--stream");
     let (positional, jobs) = parse_jobs(&args)?;
-    let (doc_path, rules_path, relation) =
-        match positional.as_slice() {
-            [d, r] => (d, r, None),
-            [d, r, rel] => (d, r, Some(rel.as_str())),
-            _ => return Err(Error::usage(
-                "usage: shred [--jobs N] [--stream] <document.xml | dir> <rules.txt> [relation]",
-            )),
-        };
+    let (doc_path, rules_path, relation) = match positional.as_slice() {
+        [d, r] => (d, r, None),
+        [d, r, rel] => (d, r, Some(rel.as_str())),
+        _ => return Err(usage_error("shred")),
+    };
     if Path::new(doc_path).is_dir() {
         return batch_shred(
             doc_path,
@@ -390,9 +472,7 @@ fn describe_edit(delta: &xmlprop::xmltree::Delta) -> String {
 
 fn cmd_mutate(args: &[String]) -> Result<bool, Error> {
     let [doc_path, keys_path, rules_path, script_path] = args else {
-        return Err(Error::usage(
-            "usage: mutate <document.xml> <keys.txt> <rules.txt> <script.edits>",
-        ));
+        return Err(usage_error("mutate"));
     };
     let bundle = CorpusBundle::prepare(load_keys(keys_path)?, load_transformation(rules_path)?);
     let doc = Document::parse_str(&read(doc_path)?).map_err(|e| Error::parse(doc_path, e))?;
@@ -430,6 +510,20 @@ fn cmd_mutate(args: &[String]) -> Result<bool, Error> {
         state.violation_count(),
     );
     Ok(state.satisfies())
+}
+
+fn cmd_query(args: &[String]) -> Result<bool, Error> {
+    let [doc_path, keys_path, rules_path, query_text] = args else {
+        return Err(usage_error("query"));
+    };
+    // The server's renderer against the full prepared bundle: a `query`
+    // request and this one-shot print identical bytes by construction.
+    let bundle = CorpusBundle::prepare(load_keys(keys_path)?, load_transformation(rules_path)?);
+    let doc = Document::parse_str(&read(doc_path)?).map_err(|e| Error::parse(doc_path, e))?;
+    let mut scratch = bundle.scratch();
+    let (_rows, report) = render::query_report(&bundle, &doc, &mut scratch, query_text)?;
+    print!("{report}");
+    Ok(true)
 }
 
 /// Matches a `--flag=value` or `--flag value` option, returning the value
@@ -501,11 +595,7 @@ fn cmd_serve(args: &[String]) -> Result<bool, Error> {
     }
     let (positional, jobs) = parse_jobs(&rest)?;
     let [keys_path, rules_path] = positional.as_slice() else {
-        return Err(Error::usage(
-            "usage: serve [--addr HOST:PORT] [--jobs N] [--script FILE] \
-             [--read-timeout-ms N] [--request-deadline-ms N] [--shed-wait-ms N] \
-             [--drain-ms N] [--faults SPEC] [--fault-seed N] <keys.txt> <rules.txt>",
-        ));
+        return Err(usage_error("serve"));
     };
     // In builds without the `faultline` feature this reports a usage error
     // ("not compiled in") — release servers cannot inject faults at all.
@@ -720,7 +810,7 @@ fn batch_shred(
 
 fn cmd_import_xsd(args: &[String]) -> Result<bool, Error> {
     let [xsd_path] = args else {
-        return Err(Error::usage("usage: import-xsd <schema.xsd>"));
+        return Err(usage_error("import-xsd"));
     };
     let import = import_xsd_keys(&read(xsd_path)?).map_err(|e| Error::parse(xsd_path, e))?;
     for key in import.keys.iter() {
@@ -730,4 +820,42 @@ fn cmd_import_xsd(args: &[String]) -> Result<bool, Error> {
         eprintln!("skipped: {skipped}");
     }
     Ok(import.skipped.is_empty() || !import.keys.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_covers_every_subcommand_and_flag() {
+        let usage = usage_text();
+        for (name, _, _) in COMMANDS {
+            assert!(
+                usage.contains(&format!("xmlprop-cli {name}")),
+                "subcommand `{name}` missing from usage:\n{usage}"
+            );
+        }
+        assert!(usage.contains("xmlprop-cli help"), "help missing:\n{usage}");
+        for flag in FLAGS {
+            assert!(
+                usage.contains(flag),
+                "flag `{flag}` missing from usage:\n{usage}"
+            );
+            assert!(
+                COMMANDS.iter().any(|(_, spec, _)| spec.contains(flag)),
+                "flag `{flag}` absent from every command spec"
+            );
+        }
+    }
+
+    #[test]
+    fn per_command_usage_errors_match_the_table() {
+        for (name, spec, _) in COMMANDS {
+            let text = usage_error(name).to_string();
+            assert!(
+                text.contains(&format!("usage: {name} ")) && text.contains(spec),
+                "usage error for `{name}` drifted from the table: {text}"
+            );
+        }
+    }
 }

@@ -22,7 +22,10 @@
 //! * [`pipeline`] — the parallel corpus pipeline: one shared prepared
 //!   bundle, many documents fanned out over worker threads;
 //! * [`server`] — the resident constraint server: hot-swappable prepared
-//!   bundles behind the `xmlprop/1` line protocol.
+//!   bundles behind the `xmlprop/1` line protocol;
+//! * [`query`] — the key-aware query layer over the propagated design:
+//!   select/project/join with a textual syntax, unique-key joins executed
+//!   as hash lookups, FD-implied projections skipping deduplication.
 //!
 //! ## Streaming front end
 //!
@@ -60,6 +63,7 @@
 
 pub use xmlprop_core as core;
 pub use xmlprop_pipeline as pipeline;
+pub use xmlprop_query as query;
 pub use xmlprop_reldb as reldb;
 pub use xmlprop_server as server;
 pub use xmlprop_workload as workload;
@@ -86,6 +90,7 @@ pub mod prelude {
         CorpusBundle, CorpusOptions, CorpusResult, Error, ErrorKind, Jobs, PreparedState,
         Published, RequestScratch, SwapCell,
     };
+    pub use xmlprop_query::{parse_query, Catalog, JoinKind, KeyedTable, Plan, Query};
     pub use xmlprop_reldb::{Fd, FdIndex, Relation, RelationSchema, Value};
     pub use xmlprop_xmlkeys::{
         KeyIndex, KeySet, PreparedKey, StreamCheckReport, StreamKeyChecker, XmlKey,

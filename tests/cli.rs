@@ -109,6 +109,80 @@ fn import_xsd_converts_keys() {
 }
 
 #[test]
+fn query_runs_the_keyed_join_one_shot() {
+    let out = run(&[
+        "query",
+        "examples/data/fig1.xml",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "select U.chapName, chapter.name from U join chapter on bookIsbn = inBook and chapNum = number",
+    ]);
+    assert!(
+        out.status.success(),
+        "query failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("[key lookup]"), "got: {text}");
+    assert!(text.contains("(3 rows)"), "got: {text}");
+}
+
+/// Degenerate query shapes stay well-formed: a zero-attribute projection
+/// prints no table but a row count, and a no-match filter prints an empty
+/// table with `(0 rows)` — both exit 0.
+#[test]
+fn query_degenerate_shapes_are_well_formed() {
+    let empty_select = run(&[
+        "query",
+        "examples/data/fig1.xml",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "select from chapter",
+    ]);
+    assert!(empty_select.status.success());
+    assert!(stdout(&empty_select).contains("(1 row)"));
+
+    let no_match = run(&[
+        "query",
+        "examples/data/fig1.xml",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "select title from book where isbn = '999'",
+    ]);
+    assert!(no_match.status.success());
+    assert!(
+        stdout(&no_match).contains("(0 rows)"),
+        "got: {}",
+        stdout(&no_match)
+    );
+}
+
+/// Query errors ride the shared error table: a syntax error and an unknown
+/// relation both exit 2 with the table's origin prefixes.
+#[test]
+fn query_errors_share_the_error_table() {
+    let parse = run(&[
+        "query",
+        "examples/data/fig1.xml",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "selec oops",
+    ]);
+    assert_eq!(parse.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&parse.stderr).contains("query:"));
+
+    let relation = run(&[
+        "query",
+        "examples/data/fig1.xml",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "select x from nosuchrelation",
+    ]);
+    assert_eq!(relation.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&relation.stderr).contains("no rule for relation"));
+}
+
+#[test]
 fn unknown_subcommand_fails_with_guidance() {
     let out = run(&["frobnicate"]);
     assert!(!out.status.success());
@@ -130,8 +204,34 @@ fn missing_file_is_a_clean_error() {
 fn help_prints_usage() {
     let out = run(&["help"]);
     assert!(out.status.success());
-    assert!(stdout(&out).contains("USAGE"));
-    assert!(stdout(&out).contains("--jobs"));
+    let text = stdout(&out);
+    assert!(text.contains("USAGE"));
+    // Every subcommand and flag; the in-binary unit test pins the full
+    // table, this smokes the actual `help` output end to end.
+    for token in [
+        "validate",
+        "propagate",
+        "cover",
+        "refine",
+        "shred",
+        "mutate",
+        "query",
+        "serve",
+        "import-xsd",
+        "help",
+        "--jobs",
+        "--stream",
+        "--addr",
+        "--script",
+        "--read-timeout-ms",
+        "--request-deadline-ms",
+        "--shed-wait-ms",
+        "--drain-ms",
+        "--faults",
+        "--fault-seed",
+    ] {
+        assert!(text.contains(token), "help is missing `{token}`:\n{text}");
+    }
 }
 
 // ---------------------------------------------------------------------

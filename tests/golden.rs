@@ -1,7 +1,7 @@
 //! Golden-file conformance tests: the paper's Fig. 1 document and the
 //! book keys/rules fixtures, end to end (shred → validate → propagate →
-//! minimum cover → refinement), against the committed expected outputs
-//! under `examples/data/expected/`.
+//! minimum cover → refinement → query), against the committed expected
+//! outputs under `examples/data/expected/`.
 //!
 //! These pin the *user-visible* behavior of the whole stack: a refactor of
 //! any layer (parser, path evaluator, shred plans, key index, propagation
@@ -132,6 +132,63 @@ fn refinement_sql_matches_golden() {
             "U",
         ],
         "refine_U.sql",
+    );
+}
+
+/// The query layer over the Fig. 1 shred: plan line plus result table,
+/// byte for byte.  Four plans are pinned: a filtered scan, the unique-key
+/// join (`[key lookup]` — chapter is keyed on `inBook, number` by the
+/// propagated cover), a non-key nested-loop join (`[scan]`), and a star
+/// projection whose kept attributes determine the tuple (`[unique]`, the
+/// dedup pass elided).
+#[test]
+fn fig1_queries_match_goldens() {
+    let fixtures = [
+        "query",
+        "examples/data/fig1.xml",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+    ];
+    let cases = [
+        (
+            "select chapter.name from chapter where inBook = '123'",
+            "query_chapter.txt",
+        ),
+        (
+            "select U.chapName, chapter.name from U join chapter on bookIsbn = inBook and chapNum = number",
+            "query_join_keyed.txt",
+        ),
+        (
+            "select title, name from book join chapter on isbn = inBook",
+            "query_join_scan.txt",
+        ),
+        ("select * from chapter", "query_star_unique.txt"),
+    ];
+    for (query, file) in cases {
+        let mut args = fixtures.to_vec();
+        args.push(query);
+        assert_golden(&args, file);
+    }
+}
+
+/// The keyed golden really is keyed and the scan golden really is not:
+/// the committed plan lines name the join strategy the optimizer chose.
+#[test]
+fn query_goldens_pin_the_join_strategy() {
+    let keyed = expected("query_join_keyed.txt");
+    assert!(
+        keyed.lines().next().unwrap_or("").contains("[key lookup]"),
+        "keyed golden lost its hash-lookup plan: {keyed}"
+    );
+    let scan = expected("query_join_scan.txt");
+    assert!(
+        scan.lines().next().unwrap_or("").contains("[scan]"),
+        "scan golden gained a key it should not have: {scan}"
+    );
+    let star = expected("query_star_unique.txt");
+    assert!(
+        star.lines().next().unwrap_or("").contains("[unique]"),
+        "star golden lost its dedup elision: {star}"
     );
 }
 

@@ -107,6 +107,22 @@ fn server_payloads_byte_match_the_one_shot_cli() {
         "serve shred == one-shot shred"
     );
 
+    let query = run(&[
+        "query",
+        "examples/data/fig1.xml",
+        "examples/data/book_keys.txt",
+        "examples/data/book_rules.txt",
+        "select U.chapName, chapter.name from U join chapter on bookIsbn = inBook and chapNum = number",
+    ]);
+    assert_eq!(
+        payload_of(
+            &transcript,
+            "query @fig1.xml select U.chapName, chapter.name from U join chapter on bookIsbn = inBook and chapNum = number"
+        ),
+        stdout(&query),
+        "serve query == one-shot query"
+    );
+
     let propagate = run(&[
         "propagate",
         "examples/data/book_keys.txt",
